@@ -1,0 +1,37 @@
+//! # pmkm-baselines — every comparator the paper measures or cites
+//!
+//! * [`serial`] — the serial best-of-R k-means of §5 (the main baseline of
+//!   Table 2 and Figures 6–7),
+//! * [`methods`] — the three parallelization strategies of Figure 2
+//!   (cell-per-processor, restart-per-processor, distributed k-means with
+//!   message accounting),
+//! * [`mod@birch`] — BIRCH CF-trees (§2.2 related work \[30\]),
+//! * [`mod@stream_lsearch`] — a STREAM/LOCALSEARCH-style streaming k-median
+//!   (§2.2 related work \[7\], the approach the paper calls closest to its
+//!   own),
+//! * [`mod@clarans`] — CLARANS randomized k-medoid search (§2.2 related
+//!   work \[25\]),
+//! * [`mod@minibatch`] — mini-batch k-means (Sculley 2010), the modern
+//!   comparator that postdates the paper.
+//!
+//! All baselines consume the same `pmkm_core` data types, so the bench
+//! harnesses compare like with like.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod birch;
+pub mod clarans;
+pub mod methods;
+pub mod minibatch;
+pub mod serial;
+pub mod stream_lsearch;
+
+pub use birch::{birch, BirchConfig, BirchResult, CfTree, ClusteringFeature};
+pub use clarans::{clarans, ClaransConfig, ClaransResult};
+pub use minibatch::{minibatch_kmeans, MiniBatchConfig, MiniBatchResult};
+pub use methods::{
+    method_a, method_b, method_c, MethodAResult, MethodBResult, MethodCResult,
+};
+pub use serial::{serial_kmeans, SerialResult};
+pub use stream_lsearch::{stream_lsearch, StreamLs, StreamLsConfig, StreamLsResult};

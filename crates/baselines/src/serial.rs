@@ -1,0 +1,66 @@
+//! The serial k-means baseline (§5.1): load the whole grid cell into
+//! memory, run best-of-R k-means, keep the minimum-MSE representation.
+
+use pmkm_core::error::Result;
+use pmkm_core::{kmeans, Dataset, KMeansConfig, KMeansOutcome};
+use std::time::{Duration, Instant};
+
+/// Outcome of the serial baseline with the timing the paper tabulates.
+#[derive(Debug, Clone)]
+pub struct SerialResult {
+    /// The best-of-R outcome (centroids, MSE, per-restart stats).
+    pub outcome: KMeansOutcome,
+    /// Wall time of the whole serial run (all R restarts).
+    pub elapsed: Duration,
+}
+
+impl SerialResult {
+    /// The minimum MSE — Table 2's `Min MSE` column for the serial rows.
+    pub fn min_mse(&self) -> f64 {
+        self.outcome.best.mse
+    }
+}
+
+/// Runs the serial baseline. This is literally the same code path as the
+/// partial step on the full cell ("the code for the serial and the partial
+/// k-means implementation are identical"), wrapped with timing.
+pub fn serial_kmeans(cell: &Dataset, cfg: &KMeansConfig) -> Result<SerialResult> {
+    let started = Instant::now();
+    let outcome = kmeans(cell, cfg)?;
+    Ok(SerialResult { outcome, elapsed: started.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmkm_core::PointSource;
+
+    fn cell() -> Dataset {
+        let mut ds = Dataset::new(2).unwrap();
+        for i in 0..60 {
+            let o = (i % 6) as f64 * 0.05;
+            ds.push(&[o, o]).unwrap();
+            ds.push(&[8.0 + o, 8.0 - o]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn matches_core_kmeans_exactly() {
+        let ds = cell();
+        let cfg = KMeansConfig::paper(2, 31);
+        let serial = serial_kmeans(&ds, &cfg).unwrap();
+        let core = pmkm_core::kmeans(&ds, &cfg).unwrap();
+        assert_eq!(serial.outcome.best.centroids, core.best.centroids);
+        assert_eq!(serial.min_mse(), core.best.mse);
+    }
+
+    #[test]
+    fn reports_positive_elapsed_and_weights() {
+        let ds = cell();
+        let serial = serial_kmeans(&ds, &KMeansConfig::paper(2, 1)).unwrap();
+        assert!(serial.elapsed > Duration::ZERO);
+        let total: f64 = serial.outcome.best.cluster_weights.iter().sum();
+        assert_eq!(total, ds.len() as f64);
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion microbench: one pass of every clustering algorithm in the
+//! repo on the same 10,000-point paper-style cell (single restart each, so
+//! the comparison is per-pass cost, not restart policy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmkm_baselines::{
+    birch, clarans, method_c, minibatch_kmeans, stream_lsearch, BirchConfig, ClaransConfig,
+    MiniBatchConfig, StreamLsConfig,
+};
+use pmkm_core::{Dataset, KMeansConfig};
+use pmkm_data::CellConfig;
+use pmkm_stream::ops::fine_kmeans;
+
+fn make_cell(n: usize) -> Dataset {
+    pmkm_data::generator::generate_cell(&CellConfig::paper(n, 21)).expect("generator")
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms_n10k_k40");
+    group.sample_size(10);
+    let cell = make_cell(10_000);
+    let kcfg = KMeansConfig { restarts: 1, ..KMeansConfig::paper(40, 5) };
+
+    group.bench_function("kmeans", |b| {
+        b.iter(|| pmkm_core::kmeans(&cell, &kcfg).unwrap())
+    });
+    group.bench_function("elkan_kmeans", |b| {
+        let init = pmkm_core::seeding::seed_centroids(
+            &cell,
+            40,
+            pmkm_core::SeedMode::RandomPoints,
+            &mut pmkm_core::seeding::rng_for(5, 0),
+        )
+        .unwrap();
+        b.iter(|| pmkm_core::elkan(&cell, &init, &kcfg.lloyd).unwrap())
+    });
+    group.bench_function("partial_merge_10split", |b| {
+        let pm = pmkm_core::PartialMergeConfig {
+            kmeans: kcfg,
+            partitions: pmkm_core::PartitionSpec::Count(10),
+            ..pmkm_core::PartialMergeConfig::paper(40, 10, 5)
+        };
+        b.iter(|| pmkm_core::partial_merge(&cell, &pm).unwrap())
+    });
+    group.bench_function("fine_kmeans_2sorters", |b| {
+        b.iter(|| fine_kmeans(&cell, &kcfg, 2).unwrap())
+    });
+    group.bench_function("method_c_2slaves", |b| {
+        b.iter(|| method_c(&cell, &kcfg, 2).unwrap())
+    });
+    group.bench_function("birch_t60", |b| {
+        let cfg = BirchConfig { k: 40, threshold: 60.0, restarts: 1, ..BirchConfig::default() };
+        b.iter(|| birch(&cell, &cfg).unwrap())
+    });
+    group.bench_function("stream_ls_10chunks", |b| {
+        let cfg = StreamLsConfig { k: 40, max_retained: 480, swap_attempts: 100, seed: 5 };
+        b.iter(|| stream_lsearch(&cell, 10, cfg).unwrap())
+    });
+    group.bench_function("clarans_250neighbors", |b| {
+        let cfg = ClaransConfig { k: 40, num_local: 1, max_neighbors: 250, seed: 5 };
+        b.iter(|| clarans(&cell, &cfg).unwrap())
+    });
+    group.bench_function("minibatch_40steps", |b| {
+        let cfg = MiniBatchConfig { k: 40, batch_size: 256, steps: 40, seed: 5 };
+        b.iter(|| minibatch_kmeans(&cell, &cfg).unwrap())
+    });
+    group.bench_function("ecvq_lambda100", |b| {
+        let cfg = pmkm_core::ecvq::EcvqConfig {
+            max_k: 40,
+            lambda: 100.0,
+            seed: 5,
+            ..Default::default()
+        };
+        b.iter(|| pmkm_core::ecvq::ecvq(&cell, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbench: grid-bucket serialization — full write/read round
+//! trips and the streaming batch reader the scan operator uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmkm_data::{BucketReader, CellConfig, GridBucket, GridCell};
+
+fn bench_bucket_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_io");
+    let n = 20_000usize;
+    let points =
+        pmkm_data::generator::generate_cell(&CellConfig::paper(n, 9)).expect("generator");
+    let bucket = GridBucket { cell: GridCell::new(90, 180).unwrap(), points };
+    let dir = std::env::temp_dir().join(format!("pmkm_bench_io_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.gb");
+    bucket.write_to(&path).unwrap();
+    let bytes = (n * 6 * 8) as u64;
+
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function(BenchmarkId::new("encode", n), |b| {
+        b.iter(|| bucket.to_bytes())
+    });
+    let encoded = bucket.to_bytes();
+    group.bench_function(BenchmarkId::new("decode", n), |b| {
+        b.iter(|| GridBucket::from_bytes(&encoded).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("write_file", n), |b| {
+        b.iter(|| bucket.write_to(&path).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("read_file", n), |b| {
+        b.iter(|| GridBucket::read_from(&path).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("stream_batches_4096", n), |b| {
+        b.iter(|| {
+            let mut r = BucketReader::open(&path).unwrap();
+            let mut total = 0usize;
+            while let Some(batch) = r.next_batch(4096).unwrap() {
+                total += batch.as_flat().len();
+            }
+            assert_eq!(total, n * 6);
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_bucket_io);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion microbench: serial k-means vs partial/merge (5- and 10-split)
+//! on a paper-style cell — the head-to-head behind Table 2, at
+//! microbenchmark scale with a single restart.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmkm_core::{partial_merge, Dataset, KMeansConfig, PartialMergeConfig, PartitionSpec};
+use pmkm_data::CellConfig;
+
+fn make_cell(n: usize) -> Dataset {
+    pmkm_data::generator::generate_cell(&CellConfig::paper(n, 7)).expect("generator")
+}
+
+fn bench_partial_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_merge");
+    group.sample_size(10);
+    let n = 10_000usize;
+    let cell = make_cell(n);
+    let kcfg = KMeansConfig { restarts: 1, ..KMeansConfig::paper(40, 3) };
+
+    group.bench_function(BenchmarkId::new("serial_k40_r1", n), |b| {
+        b.iter(|| pmkm_core::kmeans(&cell, &kcfg).unwrap())
+    });
+    for splits in [5usize, 10] {
+        let pm = PartialMergeConfig {
+            kmeans: kcfg,
+            partitions: PartitionSpec::Count(splits),
+            merge_mode: pmkm_core::MergeMode::Collective,
+            merge_restarts: 1,
+            slicing: pmkm_core::SliceStrategy::RandomOverlap,
+        };
+        group.bench_function(BenchmarkId::new(format!("{splits}split_k40_r1"), n), |b| {
+            b.iter(|| partial_merge(&cell, &pm).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partial_merge);
+criterion_main!(benches);

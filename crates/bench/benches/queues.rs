@@ -1,0 +1,47 @@
+//! Criterion microbench: smart-queue throughput — single producer to 1, 2
+//! and 4 consumer clones, the engine's work-stealing substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmkm_stream::SmartQueue;
+use std::thread;
+
+fn pump(consumers: usize, items: u64) {
+    let q: SmartQueue<u64> = SmartQueue::new("bench", 256);
+    let p = q.producer();
+    let handles: Vec<_> = (0..consumers)
+        .map(|_| {
+            let c = q.consumer();
+            thread::spawn(move || {
+                let mut acc = 0u64;
+                while let Some(v) = c.recv() {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            })
+        })
+        .collect();
+    q.seal();
+    for i in 0..items {
+        p.send(i).unwrap();
+    }
+    drop(p);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).fold(0, u64::wrapping_add);
+    assert_eq!(total, (0..items).fold(0u64, u64::wrapping_add));
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smart_queue");
+    let items = 100_000u64;
+    group.throughput(Throughput::Elements(items));
+    for consumers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("spmc", consumers),
+            &consumers,
+            |b, &consumers| b.iter(|| pump(consumers, items)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation of the §3.3 merge seeding rule. The paper seeds the merge
+//! k-means with the k *heaviest* weighted centroids ("this would not be
+//! enforced if the set of seeds would be chosen randomly"); this harness
+//! quantifies the claim by seeding the same gathered centroid sets three
+//! ways: heaviest, random, and k-means++.
+
+use pmkm_bench::experiments::SweepConfig;
+use pmkm_bench::report::{grouped, print_table, write_json};
+use pmkm_core::{
+    kmeans, metrics, partial_kmeans, partition_random, KMeansConfig, PointSource, SeedMode,
+    WeightedSet,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SeedRow {
+    n: usize,
+    seeding: String,
+    epm_mse: f64,
+    data_mse: f64,
+    iterations: usize,
+}
+
+fn main() {
+    let cfg = SweepConfig::from_args();
+    let splits = 10usize;
+    let mut rows = Vec::new();
+    for &n in &cfg.sizes {
+        for version in 0..cfg.versions {
+            let cell = cfg.cell(n, version);
+            let kcfg = cfg.kmeans_for(n, version);
+            // Shared partial phase: the seeding ablation only varies the
+            // merge, so all three arms see identical weighted centroids.
+            let chunks =
+                partition_random(&cell, splits, kcfg.seed, true).expect("partitioning");
+            let mut gathered = WeightedSet::new(6).expect("dim 6");
+            for (i, chunk) in chunks.iter().enumerate() {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let ccfg = KMeansConfig {
+                    seed: pmkm_core::seeding::derive_seed(kcfg.seed, i as u64),
+                    ..kcfg
+                };
+                let out = partial_kmeans(chunk, &ccfg).expect("partial");
+                gathered.extend_from(&out.centroids).expect("same dim");
+            }
+            for (mode, label) in [
+                (SeedMode::HeaviestPoints, "heaviest"),
+                (SeedMode::RandomPoints, "random"),
+                (SeedMode::PlusPlus, "kmeans++"),
+            ] {
+                eprintln!("[ablation_seeding] n={n} v={version} {label}");
+                let mcfg = KMeansConfig { seed_mode: mode, restarts: 1, ..kcfg };
+                let out = kmeans(&gathered, &mcfg).expect("merge k-means");
+                let data_mse =
+                    metrics::mse_against(&cell, &out.best.centroids).expect("evaluation");
+                rows.push(SeedRow {
+                    n,
+                    seeding: label.into(),
+                    epm_mse: out.best.mse,
+                    data_mse,
+                    iterations: out.best.iterations,
+                });
+            }
+        }
+    }
+
+    let mut printable = Vec::new();
+    let mut sizes = cfg.sizes.clone();
+    sizes.sort_unstable();
+    for &n in &sizes {
+        for mode in ["heaviest", "random", "kmeans++"] {
+            let group: Vec<&SeedRow> =
+                rows.iter().filter(|r| r.n == n && r.seeding == mode).collect();
+            if group.is_empty() {
+                continue;
+            }
+            let m = group.len() as f64;
+            printable.push(vec![
+                n.to_string(),
+                mode.to_string(),
+                grouped(group.iter().map(|r| r.epm_mse).sum::<f64>() / m),
+                grouped(group.iter().map(|r| r.data_mse).sum::<f64>() / m),
+                format!("{:.1}", group.iter().map(|r| r.iterations as f64).sum::<f64>() / m),
+            ]);
+        }
+    }
+    print_table(
+        "§3.3 merge-seeding ablation (10-split, single merge run)",
+        &["N", "seeding", "E_pm MSE", "data MSE", "merge iters"],
+        &printable,
+    );
+    write_json("ablation_seeding", &rows).expect("write JSON");
+}

@@ -1,0 +1,101 @@
+//! Finds the break-even cell size: "a data set has to have a minimum
+//! number of data points for a partial/merge k-means being of advantage
+//! (in our case with k=40, it was N = 500)" (§5.2) and "at N = 12,500,
+//! partial/merge breaks even" on time+quality.
+//!
+//! The harness walks a geometric grid of N and reports, per N, whether
+//! 10-split partial/merge beats serial on (a) overall time and (b) the
+//! paper's error metric, then prints the smallest N where each advantage
+//! first holds and persists.
+//!
+//! Usage: `… --bin crossover [--k=40] [--restarts=R] [--versions=V] [--seed=S]`.
+
+use pmkm_bench::experiments::{run_serial, run_split, SweepConfig};
+use pmkm_bench::report::{grouped, ms, print_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CrossRow {
+    n: usize,
+    serial_ms: f64,
+    split_ms: f64,
+    time_wins: bool,
+    serial_err: f64,
+    split_err: f64,
+    error_wins: bool,
+}
+
+fn main() {
+    let mut cfg = SweepConfig::from_args();
+    if cfg.sizes == SweepConfig::quick().sizes {
+        cfg.sizes = vec![125, 250, 500, 1_000, 2_000, 4_000, 8_000, 16_000, 32_000];
+    }
+    let mut rows = Vec::new();
+    for &n in &cfg.sizes {
+        let mut serial_ms = 0.0;
+        let mut split_ms = 0.0;
+        let mut serial_err = 0.0;
+        let mut split_err = 0.0;
+        for version in 0..cfg.versions {
+            eprintln!("[crossover] n={n} v={version}");
+            let s = run_serial(&cfg, n, version);
+            let p = run_split(&cfg, n, version, 10);
+            serial_ms += s.overall_ms;
+            split_ms += p.overall_ms;
+            serial_err += s.min_mse;
+            split_err += p.min_mse;
+        }
+        let m = cfg.versions as f64;
+        rows.push(CrossRow {
+            n,
+            serial_ms: serial_ms / m,
+            split_ms: split_ms / m,
+            time_wins: split_ms < serial_ms,
+            serial_err: serial_err / m,
+            split_err: split_err / m,
+            error_wins: split_err < serial_err,
+        });
+    }
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                ms(r.serial_ms),
+                ms(r.split_ms),
+                if r.time_wins { "✓" } else { "·" }.into(),
+                grouped(r.serial_err),
+                grouped(r.split_err),
+                if r.error_wins { "✓" } else { "·" }.into(),
+            ]
+        })
+        .collect();
+    print_table(
+        "§5.2 crossover — smallest N where 10-split partial/merge wins",
+        &["N", "serial t", "10split t", "t win", "serial E", "10split E_pm", "E win"],
+        &printable,
+    );
+
+    // Smallest N from which the advantage holds for every larger N tested.
+    let persists_from = |pred: fn(&CrossRow) -> bool| -> Option<usize> {
+        let mut from = None;
+        for r in &rows {
+            if pred(r) {
+                from.get_or_insert(r.n);
+            } else {
+                from = None;
+            }
+        }
+        from
+    };
+    match persists_from(|r| r.time_wins) {
+        Some(n) => println!("\ntime advantage persists from N = {n} (paper: ~500)"),
+        None => println!("\nno persistent time advantage in the tested range"),
+    }
+    match persists_from(|r| r.error_wins) {
+        Some(n) => println!("error advantage persists from N = {n} (paper: ~12,500)"),
+        None => println!("no persistent error advantage in the tested range"),
+    }
+    write_json("crossover", &rows).expect("write JSON");
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table 2** of the paper: serial vs 5-split vs 10-split —
+//! partial time (`t C0−Ci`), merge time (`t merge`), minimum MSE, overall
+//! time — over the N sweep, averaged across dataset versions.
+//!
+//! Usage: `cargo run --release -p pmkm-bench --bin table2 [--full]
+//! [--sizes=a,b,c] [--versions=V] [--restarts=R] [--seed=S]`.
+
+use pmkm_bench::experiments::{mean_rows, run_sweep, SweepConfig};
+use pmkm_bench::report::{grouped, print_table, write_json};
+
+fn main() {
+    let cfg = SweepConfig::from_args();
+    eprintln!("[table2] config: {cfg:?}");
+    let rows = run_sweep(&cfg);
+    let means = mean_rows(&rows);
+
+    // Paper layout: sizes descending, 10split / 5split / serial per size.
+    let mut printable: Vec<Vec<String>> = Vec::new();
+    let mut sizes = cfg.sizes.clone();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    for &n in &sizes {
+        for algo in ["10split", "5split", "serial"] {
+            let Some(m) = means.iter().find(|m| m.n == n && m.algo == algo) else {
+                continue;
+            };
+            let dash = "–".to_string();
+            printable.push(vec![
+                n.to_string(),
+                algo.to_string(),
+                if algo == "serial" { dash.clone() } else { grouped(m.partial_ms) },
+                if algo == "serial" { dash } else { grouped(m.merge_ms) },
+                grouped(m.min_mse),
+                grouped(m.overall_ms),
+                grouped(m.data_mse),
+            ]);
+        }
+    }
+    print_table(
+        "Table 2 — serial vs partial/merge (times in ms; data MSE is an extra column)",
+        &["data pts", "case", "t C0-Ci", "t merge", "Min MSE", "overall t", "data MSE"],
+        &printable,
+    );
+
+    write_json("table2_rows", &rows).expect("write JSON");
+    write_json("table2_means", &means).expect("write JSON");
+}

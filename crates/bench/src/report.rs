@@ -1,0 +1,101 @@
+//! Experiment reporting: aligned text tables on stdout plus JSON dumps
+//! under `target/experiments/` so EXPERIMENTS.md numbers are regenerable.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Prints an aligned table with a header rule.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() && cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", c, width = widths[i.min(widths.len() - 1)]));
+        }
+        out
+    };
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", line(&hdr));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Writes `value` as pretty JSON to `target/experiments/<name>.json`,
+/// returning the path.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")?;
+    println!("\n[written] {}", path.display());
+    Ok(path)
+}
+
+/// Formats a millisecond value compactly.
+pub fn ms(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.2}s", v / 1000.0)
+    } else {
+        format!("{v:.1}ms")
+    }
+}
+
+/// Formats a float with thousands grouping like the paper's tables.
+pub fn grouped(v: f64) -> String {
+    let neg = v < 0.0;
+    // Round to one decimal first so the fractional digit is always 0..=9.
+    let tenths = (v.abs() * 10.0).round() as u64;
+    let whole = tenths / 10;
+    let frac = tenths % 10;
+    let mut s = whole.to_string();
+    let mut out = String::new();
+    while s.len() > 3 {
+        let tail = s.split_off(s.len() - 3);
+        out = format!(",{tail}{out}");
+    }
+    format!("{}{s}{out}.{frac}", if neg { "-" } else { "" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_formats_like_the_paper() {
+        assert_eq!(grouped(1954614.0), "1,954,614.0");
+        assert_eq!(grouped(105020.0), "105,020.0");
+        assert_eq!(grouped(359.0), "359.0");
+        assert_eq!(grouped(15680.25), "15,680.3");
+        assert_eq!(grouped(-1234.5), "-1,234.5");
+    }
+
+    #[test]
+    fn ms_switches_units() {
+        assert_eq!(ms(12.34), "12.3ms");
+        assert_eq!(ms(2345.0), "2.35s");
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let path = write_json("selftest", &vec![1, 2, 3]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains('1'));
+        std::fs::remove_file(path).unwrap();
+    }
+}

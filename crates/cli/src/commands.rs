@@ -1,0 +1,518 @@
+//! The `pmkm` subcommands. Each command is a function from parsed [`Args`]
+//! to an exit outcome, writing human-readable output to the supplied
+//! writer so tests can capture it.
+
+use crate::args::{ArgError, Args};
+use pmkm_compress::compress_cell;
+use pmkm_core::{KMeansConfig, MergeMode, PartialMergeConfig, PartitionSpec, PointSource};
+use pmkm_data::binner::bin_stripes;
+use pmkm_data::{GridBucket, SwathConfig, SwathSimulator};
+use pmkm_stream::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Any command failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// Underlying library failure.
+    Run(String),
+    /// No such subcommand.
+    UnknownCommand(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Run(msg) => write!(f, "{msg}"),
+            CliError::UnknownCommand(c) => {
+                write!(
+                    f,
+                    "unknown command '{c}'; try: generate, bin, inspect, cluster, compress, query"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn run_err<E: std::fmt::Display>(e: E) -> CliError {
+    CliError::Run(e.to_string())
+}
+
+/// Dispatches a subcommand.
+pub fn dispatch<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<(), CliError> {
+    match command {
+        "generate" => generate(args, out),
+        "bin" => bin(args, out),
+        "inspect" => inspect(args, out),
+        "cluster" => cluster(args, out),
+        "compress" => compress(args, out),
+        "query" => query(args, out),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+pmkm — partial/merge k-means over data streams (ICDE 2004 reproduction)
+
+USAGE: pmkm <command> [options] [paths…]
+
+COMMANDS
+  generate  --out=DIR [--orbits=4] [--dim=6] [--seed=0] [--lat=20]
+            [--step=0.05] [--samples=16]
+            Simulate a satellite swath; writes stripe files into DIR.
+  bin       --out=DIR <stripe files…>
+            Sort stripe observations into per-cell grid-bucket files.
+  inspect   <bucket files…>
+            Print each bucket's header and per-dimension statistics.
+  cluster   [--k=40] [--restarts=10] [--seed=0] [--splits=P | --memory=BYTES]
+            [--workers=N] [--adaptive] [--incremental] <bucket files…>
+            Cluster each bucket with partial/merge k-means on the stream
+            engine; prints centroids summary and operator telemetry.
+  compress  [--k=40] [--restarts=10] [--splits=5] [--seed=0] [--out=DIR]
+            <bucket files…>
+            Compress each bucket into a multivariate histogram (JSON).
+  query     --range=DIM:LO:HI [--range=…] [--exact=BUCKET.gb] <histogram.json>
+            Estimate range count/mean from a compressed histogram;
+            --exact compares against the original bucket file.
+";
+
+fn generate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["out", "orbits", "dim", "seed", "lat", "step", "samples"])?;
+    let dir: PathBuf = PathBuf::from(args.get_str("out", "stripes"));
+    let lat: f64 = args.get("lat", 20.0)?;
+    let cfg = SwathConfig {
+        orbits: args.get("orbits", 4usize)?,
+        attrs_dim: args.get("dim", 6usize)?,
+        seed: args.get("seed", 0u64)?,
+        lat_range: (-lat.abs(), lat.abs()),
+        along_track_step_deg: args.get("step", 0.05f64)?,
+        cross_track_samples: args.get("samples", 16usize)?,
+        ..SwathConfig::default()
+    };
+    let mut sim = SwathSimulator::new(cfg).map_err(run_err)?;
+    let stripes = sim.write_stripes(&dir).map_err(run_err)?;
+    writeln!(out, "wrote {} stripe files to {}", stripes.len(), dir.display()).map_err(run_err)?;
+    Ok(())
+}
+
+fn bin<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["out"])?;
+    let dir = PathBuf::from(args.get_str("out", "buckets"));
+    let stripes: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
+    if stripes.is_empty() {
+        return Err(CliError::Run("bin: no stripe files given".into()));
+    }
+    let summary = bin_stripes(&stripes, &dir).map_err(run_err)?;
+    writeln!(
+        out,
+        "binned {} observations into {} buckets under {}",
+        summary.observations,
+        summary.buckets.len(),
+        dir.display()
+    )
+    .map_err(run_err)?;
+    Ok(())
+}
+
+fn inspect<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&[])?;
+    if args.positionals().is_empty() {
+        return Err(CliError::Run("inspect: no bucket files given".into()));
+    }
+    for path in args.positionals() {
+        let bucket = GridBucket::read_from(&PathBuf::from(path)).map_err(run_err)?;
+        let (lat, lon) = bucket.cell.center();
+        writeln!(
+            out,
+            "{path}: cell {} (center {lat:.1}°, {lon:.1}°), {} points × {} dims",
+            bucket.cell.index(),
+            bucket.points.len(),
+            bucket.points.dim()
+        )
+        .map_err(run_err)?;
+        if let Some(stats) = pmkm_data::stats::summarize(&bucket.points) {
+            for (d, s) in stats.iter().enumerate() {
+                writeln!(
+                    out,
+                    "  dim {d}: mean {:.2}, sd {:.2}, range [{:.2}, {:.2}]",
+                    s.mean,
+                    s.variance.sqrt(),
+                    s.min,
+                    s.max
+                )
+                .map_err(run_err)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&[
+        "k", "restarts", "seed", "splits", "memory", "workers", "adaptive", "incremental",
+    ])?;
+    let paths: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
+    if paths.is_empty() {
+        return Err(CliError::Run("cluster: no bucket files given".into()));
+    }
+    let kcfg = KMeansConfig {
+        restarts: args.get("restarts", 10usize)?,
+        ..KMeansConfig::paper(args.get("k", 40usize)?, args.get("seed", 0u64)?)
+    };
+    let mut logical = LogicalPlan::new(paths, kcfg);
+    if args.flag("incremental") {
+        logical.merge_mode = MergeMode::Incremental;
+    }
+    let workers = args.get("workers", 0usize)?;
+    let resources = if workers > 0 {
+        Resources { workers, ..Resources::detect() }
+    } else {
+        Resources::detect()
+    };
+    let plan = match args.get::<usize>("splits", 0)? {
+        0 => {
+            let memory = args.get("memory", resources.chunk_memory_bytes)?;
+            optimize(logical, &Resources { chunk_memory_bytes: memory, ..resources })
+        }
+        splits => {
+            // Resolve splits per the largest bucket so every bucket gets at
+            // most `splits` chunks.
+            let max_points = logical
+                .inputs
+                .iter()
+                .map(|p| pmkm_data::BucketReader::open(p).map(|r| r.count))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(run_err)?
+                .into_iter()
+                .max()
+                .unwrap_or(1);
+            optimize_fixed_split(logical, &resources, max_points.div_ceil(splits).max(1))
+        }
+    };
+    let report = if args.flag("adaptive") {
+        let adaptive = pmkm_stream::execute_adaptive(&plan).map_err(run_err)?;
+        writeln!(
+            out,
+            "adaptive execution: {} partial clones started ({} scale-ups)",
+            adaptive.clones_started,
+            adaptive.scaling_events.len()
+        )
+        .map_err(run_err)?;
+        adaptive.report
+    } else {
+        execute(&plan).map_err(run_err)?
+    };
+    writeln!(out, "clustered {} cells in {:.0} ms", report.cells.len(), report.elapsed.as_secs_f64() * 1e3)
+        .map_err(run_err)?;
+    for cell in &report.cells {
+        let weight: f64 = cell.output.cluster_weights.iter().sum();
+        writeln!(
+            out,
+            "  cell {}: {} chunks, {} centroids, E_pm {:.1}, {} points",
+            cell.cell.index(),
+            cell.chunks.len(),
+            cell.output.centroids.k(),
+            cell.output.epm,
+            weight as u64
+        )
+        .map_err(run_err)?;
+    }
+    for op in &report.op_stats {
+        writeln!(
+            out,
+            "  [op] {} #{}: busy {:.1} ms, {} in / {} out",
+            op.name,
+            op.clone_id,
+            op.busy.as_secs_f64() * 1e3,
+            op.items_in,
+            op.items_out
+        )
+        .map_err(run_err)?;
+    }
+    Ok(())
+}
+
+fn compress<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["k", "restarts", "splits", "seed", "out"])?;
+    let paths: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
+    if paths.is_empty() {
+        return Err(CliError::Run("compress: no bucket files given".into()));
+    }
+    let out_dir = PathBuf::from(args.get_str("out", "histograms"));
+    std::fs::create_dir_all(&out_dir).map_err(run_err)?;
+    let cfg = PartialMergeConfig {
+        kmeans: KMeansConfig {
+            restarts: args.get("restarts", 10usize)?,
+            ..KMeansConfig::paper(args.get("k", 40usize)?, args.get("seed", 0u64)?)
+        },
+        partitions: PartitionSpec::Count(args.get("splits", 5usize)?),
+        ..PartialMergeConfig::paper(40, 5, 0)
+    };
+    for path in &paths {
+        let bucket = GridBucket::read_from(path).map_err(run_err)?;
+        if bucket.points.is_empty() {
+            writeln!(out, "{}: empty, skipped", path.display()).map_err(run_err)?;
+            continue;
+        }
+        let mut cell_cfg = cfg;
+        cell_cfg.kmeans.k = cfg.kmeans.k.min(bucket.points.len());
+        let compressed = compress_cell(&bucket.points, &cell_cfg).map_err(run_err)?;
+        let json_path = out_dir.join(format!("cell_{}.json", bucket.cell.index()));
+        let json = serde_json::to_string_pretty(&compressed.histogram).map_err(run_err)?;
+        std::fs::write(&json_path, json).map_err(run_err)?;
+        writeln!(
+            out,
+            "{}: {} points -> {} buckets, ratio {:.1}x, rms {:.2} -> {}",
+            path.display(),
+            bucket.points.len(),
+            compressed.histogram.k(),
+            compressed.summary.ratio,
+            compressed.summary.mse.sqrt(),
+            json_path.display()
+        )
+        .map_err(run_err)?;
+    }
+    Ok(())
+}
+
+fn parse_ranges(args: &Args, dim: usize) -> Result<pmkm_compress::RangeQuery, CliError> {
+    let mut q = pmkm_compress::RangeQuery::all(dim);
+    for value in args.get_all("range") {
+        let parts: Vec<&str> = value.split(':').collect();
+        if parts.len() != 3 {
+            return Err(CliError::Run(format!("--range={value}: expected DIM:LO:HI")));
+        }
+        let d: usize =
+            parts[0].parse().map_err(|_| CliError::Run(format!("bad dim '{}'", parts[0])))?;
+        let lo: f64 =
+            parts[1].parse().map_err(|_| CliError::Run(format!("bad lo '{}'", parts[1])))?;
+        let hi: f64 =
+            parts[2].parse().map_err(|_| CliError::Run(format!("bad hi '{}'", parts[2])))?;
+        if d >= dim {
+            return Err(CliError::Run(format!("dim {d} out of range for {dim}-d histogram")));
+        }
+        q = q.with(d, lo, hi);
+    }
+    Ok(q)
+}
+
+fn query<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["range", "exact"])?;
+    let paths = args.positionals();
+    if paths.len() != 1 {
+        return Err(CliError::Run("query: give exactly one histogram.json".into()));
+    }
+    let text = std::fs::read_to_string(&paths[0]).map_err(run_err)?;
+    let hist: pmkm_compress::MultivariateHistogram =
+        serde_json::from_str(&text).map_err(run_err)?;
+    let q = parse_ranges(args, hist.dim)?;
+    let est = pmkm_compress::estimate_count(&hist, &q).map_err(run_err)?;
+    writeln!(
+        out,
+        "estimated count: {:.1} of {} ({:.2}% selectivity)",
+        est.count,
+        hist.total_count as u64,
+        est.selectivity * 100.0
+    )
+    .map_err(run_err)?;
+    if let Some(mean) = pmkm_compress::estimate_mean(&hist, &q).map_err(run_err)? {
+        let pretty: Vec<String> = mean.iter().map(|m| format!("{m:.2}")).collect();
+        writeln!(out, "estimated mean: [{}]", pretty.join(", ")).map_err(run_err)?;
+    }
+    let exact_path = args.get_str("exact", "");
+    if !exact_path.is_empty() {
+        let bucket = GridBucket::read_from(&PathBuf::from(&exact_path)).map_err(run_err)?;
+        let exact = pmkm_compress::exact_answer(&bucket.points, &q).map_err(run_err)?;
+        writeln!(
+            out,
+            "exact count:     {} (estimate error {:.2}% of cell)",
+            exact.count,
+            (est.count - exact.count as f64).abs() / bucket.points.len().max(1) as f64 * 100.0
+        )
+        .map_err(run_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmd: &str, argv: &[String]) -> Result<String, CliError> {
+        let args = Args::parse(argv.to_vec());
+        let mut buf = Vec::new();
+        dispatch(cmd, &args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pmkm_cli_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let dir = tmp("flow");
+        let stripes_dir = dir.join("stripes");
+        // generate
+        let out = run(
+            "generate",
+            &[
+                format!("--out={}", stripes_dir.display()),
+                "--orbits=2".into(),
+                "--dim=3".into(),
+                "--lat=3".into(),
+                "--step=0.2".into(),
+                "--samples=6".into(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("2 stripe files"), "{out}");
+
+        // bin
+        let buckets_dir = dir.join("buckets");
+        let mut argv: Vec<String> = vec![format!("--out={}", buckets_dir.display())];
+        for e in std::fs::read_dir(&stripes_dir).unwrap() {
+            argv.push(e.unwrap().path().display().to_string());
+        }
+        let out = run("bin", &argv).unwrap();
+        assert!(out.contains("buckets under"), "{out}");
+
+        // pick the biggest bucket
+        let mut buckets: Vec<PathBuf> =
+            std::fs::read_dir(&buckets_dir).unwrap().map(|e| e.unwrap().path()).collect();
+        buckets.sort_by_key(|p| std::cmp::Reverse(std::fs::metadata(p).unwrap().len()));
+        let biggest = buckets[0].display().to_string();
+
+        // inspect
+        let out = run("inspect", std::slice::from_ref(&biggest)).unwrap();
+        assert!(out.contains("points ×"), "{out}");
+        assert!(out.contains("dim 0"), "{out}");
+
+        // cluster
+        let out = run(
+            "cluster",
+            &["--k=4".into(), "--restarts=2".into(), "--splits=3".into(), biggest.clone()],
+        )
+        .unwrap();
+        assert!(out.contains("clustered 1 cells"), "{out}");
+        assert!(out.contains("E_pm"), "{out}");
+
+        // cluster, adaptive path
+        let out = run(
+            "cluster",
+            &[
+                "--k=4".into(),
+                "--restarts=2".into(),
+                "--splits=3".into(),
+                "--adaptive".into(),
+                biggest.clone(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("adaptive execution"), "{out}");
+
+        // compress
+        let hist_dir = dir.join("hist");
+        let out = run(
+            "compress",
+            &[
+                "--k=4".into(),
+                "--restarts=2".into(),
+                "--splits=3".into(),
+                format!("--out={}", hist_dir.display()),
+                biggest.clone(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("ratio"), "{out}");
+        assert!(std::fs::read_dir(&hist_dir).unwrap().count() == 1);
+
+        // query the compressed form, with exact comparison
+        let hist_json =
+            std::fs::read_dir(&hist_dir).unwrap().next().unwrap().unwrap().path();
+        let out = run(
+            "query",
+            &[
+                "--range=0:-10000:10000".into(),
+                format!("--exact={biggest}"),
+                hist_json.display().to_string(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("estimated count"), "{out}");
+        assert!(out.contains("exact count"), "{out}");
+        // Unbounded range: estimate equals the full cell.
+        assert!(out.contains("100.00% selectivity"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_rejects_malformed_ranges() {
+        let dir = tmp("queryerr");
+        let path = dir.join("h.json");
+        let hist = pmkm_compress::MultivariateHistogram {
+            dim: 2,
+            total_count: 1.0,
+            buckets: vec![pmkm_compress::Bucket {
+                centroid: vec![0.0, 0.0],
+                count: 1.0,
+                spread: vec![1.0, 1.0],
+            }],
+        };
+        std::fs::write(&path, serde_json::to_string(&hist).unwrap()).unwrap();
+        let p = path.display().to_string();
+        assert!(matches!(
+            run("query", &["--range=0:1".into(), p.clone()]),
+            Err(CliError::Run(_))
+        ));
+        assert!(matches!(
+            run("query", &["--range=9:0:1".into(), p.clone()]),
+            Err(CliError::Run(_))
+        ));
+        assert!(run("query", &["--range=1:-5:5".into(), p]).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_bad_args() {
+        assert!(matches!(
+            run("frobnicate", &[]),
+            Err(CliError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            run("cluster", &["--bogus=1".into()]),
+            Err(CliError::Args(ArgError::Unknown(_)))
+        ));
+        assert!(matches!(run("cluster", &[]), Err(CliError::Run(_))));
+        assert!(matches!(run("bin", &[]), Err(CliError::Run(_))));
+        assert!(matches!(run("inspect", &[]), Err(CliError::Run(_))));
+        assert!(matches!(run("compress", &[]), Err(CliError::Run(_))));
+    }
+
+    #[test]
+    fn inspect_rejects_garbage_file() {
+        let dir = tmp("garbage");
+        let path = dir.join("junk.gb");
+        std::fs::write(&path, b"not a bucket").unwrap();
+        assert!(matches!(
+            run("inspect", &[path.display().to_string()]),
+            Err(CliError::Run(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,14 @@
+//! # pmkm-cli — command-line front end
+//!
+//! `pmkm generate | bin | inspect | cluster | compress`: the full
+//! acquisition → binning → clustering → compression workflow of the paper
+//! as a composable command-line tool. See [`commands::USAGE`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{dispatch, CliError, USAGE};

@@ -1,0 +1,178 @@
+//! Multivariate histograms: the compressed representation of a grid cell.
+//!
+//! The motivating application (§1): each 1° × 1° cell is replaced by a
+//! multivariate histogram whose **non-equi-depth buckets** "adapt to the
+//! shape and complexity of the actual data in the high dimensional space".
+//! A bucket is a cluster from partial/merge k-means: its centroid, the
+//! number of points it absorbed, and the per-dimension spread of those
+//! points (so bucket shapes differ bucket to bucket).
+
+use pmkm_core::error::{Error, Result};
+use pmkm_core::{Centroids, PointSource};
+use serde::{Deserialize, Serialize};
+
+/// One histogram bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Bucket representative (cluster centroid).
+    pub centroid: Vec<f64>,
+    /// Points absorbed (the bucket count — non-equi-depth by construction).
+    pub count: f64,
+    /// Per-dimension standard deviation of the absorbed points.
+    pub spread: Vec<f64>,
+}
+
+/// A multivariate histogram for one grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultivariateHistogram {
+    /// Dimensionality of the attribute space.
+    pub dim: usize,
+    /// Total points represented.
+    pub total_count: f64,
+    /// The buckets, in centroid order as produced by the merge step.
+    pub buckets: Vec<Bucket>,
+}
+
+impl MultivariateHistogram {
+    /// Builds a histogram from centroids + per-cluster counts + spreads.
+    pub fn new(
+        centroids: &Centroids,
+        counts: &[f64],
+        spreads: &[Vec<f64>],
+    ) -> Result<Self> {
+        let k = centroids.k();
+        if counts.len() != k || spreads.len() != k {
+            return Err(Error::InvalidConfig(format!(
+                "counts ({}) and spreads ({}) must match k ({k})",
+                counts.len(),
+                spreads.len()
+            )));
+        }
+        let dim = centroids.dim();
+        let mut buckets = Vec::with_capacity(k);
+        for (j, c) in centroids.iter().enumerate() {
+            if spreads[j].len() != dim {
+                return Err(Error::DimensionMismatch { expected: dim, actual: spreads[j].len() });
+            }
+            buckets.push(Bucket {
+                centroid: c.to_vec(),
+                count: counts[j],
+                spread: spreads[j].clone(),
+            });
+        }
+        Ok(Self { dim, total_count: counts.iter().sum(), buckets })
+    }
+
+    /// Number of buckets.
+    pub fn k(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket centroids as a table (for error evaluation).
+    pub fn centroids(&self) -> Result<Centroids> {
+        let flat: Vec<f64> =
+            self.buckets.iter().flat_map(|b| b.centroid.iter().copied()).collect();
+        Centroids::from_flat(self.dim, flat)
+    }
+
+    /// Size of the histogram payload in bytes: per bucket, centroid + count
+    /// + spread as f64 (`(2·dim + 1) × 8`).
+    pub fn payload_bytes(&self) -> usize {
+        self.buckets.len() * (2 * self.dim + 1) * std::mem::size_of::<f64>()
+    }
+
+    /// Weighted mean vector of the represented data (exact if buckets were
+    /// exact cluster means).
+    pub fn mean(&self) -> Vec<f64> {
+        let mut mean = vec![0.0; self.dim];
+        for b in &self.buckets {
+            for (m, c) in mean.iter_mut().zip(&b.centroid) {
+                *m += b.count * c;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= self.total_count.max(f64::MIN_POSITIVE));
+        mean
+    }
+}
+
+/// A [`PointSource`] view of the histogram (buckets as weighted points), so
+/// histograms can be re-clustered or evaluated with the core machinery.
+impl PointSource for MultivariateHistogram {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn len(&self) -> usize {
+        self.buckets.len()
+    }
+    fn coords(&self, i: usize) -> &[f64] {
+        &self.buckets[i].centroid
+    }
+    fn weight(&self, i: usize) -> f64 {
+        self.buckets[i].count
+    }
+    fn total_weight(&self) -> f64 {
+        self.total_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> MultivariateHistogram {
+        let c = Centroids::from_flat(2, vec![0.0, 0.0, 10.0, 10.0]).unwrap();
+        MultivariateHistogram::new(
+            &c,
+            &[30.0, 10.0],
+            &[vec![1.0, 1.0], vec![2.0, 0.5]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let h = hist();
+        assert_eq!(h.k(), 2);
+        assert_eq!(h.total_count, 40.0);
+        assert_eq!(h.buckets[1].centroid, vec![10.0, 10.0]);
+        assert_eq!(h.buckets[1].spread, vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn mean_is_weighted() {
+        let h = hist();
+        // (30·0 + 10·10) / 40 = 2.5 per dimension.
+        assert_eq!(h.mean(), vec![2.5, 2.5]);
+    }
+
+    #[test]
+    fn payload_bytes_formula() {
+        let h = hist();
+        // 2 buckets × (2·2 + 1) floats × 8 B = 80 B.
+        assert_eq!(h.payload_bytes(), 80);
+    }
+
+    #[test]
+    fn point_source_view() {
+        let h = hist();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.coords(0), &[0.0, 0.0]);
+        assert_eq!(h.weight(0), 30.0);
+        assert_eq!(h.total_weight(), 40.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let c = Centroids::from_flat(2, vec![0.0, 0.0]).unwrap();
+        assert!(MultivariateHistogram::new(&c, &[1.0, 2.0], &[vec![0.0, 0.0]]).is_err());
+        assert!(MultivariateHistogram::new(&c, &[1.0], &[vec![0.0]]).is_err());
+    }
+
+    #[test]
+    fn centroids_round_trip() {
+        let h = hist();
+        let c = h.centroids().unwrap();
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.centroid(1), &[10.0, 10.0]);
+    }
+}

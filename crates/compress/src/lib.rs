@@ -1,0 +1,33 @@
+//! # pmkm-compress — the motivating application
+//!
+//! The paper's reason for partial/merge k-means (§1): substituting massive
+//! geospatial data sets with compressed counterparts — one **multivariate
+//! histogram** per 1° × 1° grid cell, whose non-equi-depth buckets are the
+//! merged weighted centroids.
+//!
+//! * [`histogram`] — the bucket representation (+ a [`pmkm_core::PointSource`]
+//!   view so histograms compose with the clustering machinery),
+//! * [`compressor`] — cell → histogram with ratio/distortion accounting,
+//! * [`mod@reconstruct`] — histogram → surrogate point set, distortion metrics,
+//! * [`quality`] — moment (mean/covariance) faithfulness reports,
+//! * [`query`] — approximate range-count / range-mean analytics straight
+//!   off the compressed form, with exact-answer error measurement,
+//! * [`update`] — incremental maintenance: fold newly acquired
+//!   observations into an existing histogram without the original points.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compressor;
+pub mod histogram;
+pub mod quality;
+pub mod query;
+pub mod reconstruct;
+pub mod update;
+
+pub use compressor::{compress_cell, CompressedCell, CompressionSummary};
+pub use query::{estimate_count, estimate_mean, exact_answer, RangeEstimate, RangeQuery};
+pub use histogram::{Bucket, MultivariateHistogram};
+pub use quality::{faithfulness, histogram_covariance, Faithfulness};
+pub use reconstruct::{distortion, reconstruct, Distortion};
+pub use update::{update_histogram, UpdateStats};

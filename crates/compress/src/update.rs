@@ -1,0 +1,258 @@
+//! Incremental histogram maintenance.
+//!
+//! Satellite cells are not static — every repeat pass adds observations
+//! (the paper: a global coverage "between every 2 to 14 days", and its
+//! related work \[17\] is exactly "fast incremental maintenance of
+//! approximate histograms"). This module folds a batch of new observations
+//! into an existing compressed cell *without* the original points: the
+//! histogram's buckets are already weighted centroids, so the new batch is
+//! reduced by one partial k-means and merged with them — the same merge
+//! k-means machinery as the main pipeline, applied across time instead of
+//! across chunks.
+
+use crate::histogram::{Bucket, MultivariateHistogram};
+use pmkm_core::error::{Error, Result};
+use pmkm_core::merge::merge_collective;
+use pmkm_core::partial::partial_kmeans;
+use pmkm_core::point::nearest_centroid;
+use pmkm_core::{Dataset, KMeansConfig, PointSource, WeightedSet};
+
+/// Statistics of one incremental update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStats {
+    /// Observations folded in.
+    pub new_points: usize,
+    /// Total observations now represented.
+    pub total_count: f64,
+    /// `E_pm` of the merge that produced the updated histogram.
+    pub merge_epm: f64,
+}
+
+/// Folds `new_points` into `hist`, returning the updated histogram.
+///
+/// The bucket spreads of surviving structure are re-derived from the merge
+/// inputs (old buckets + new partial centroids) assigned to each new
+/// bucket — an approximation, since the original raw points are gone; the
+/// spread of an input is carried as-is and combined weight-proportionally.
+pub fn update_histogram(
+    hist: &MultivariateHistogram,
+    new_points: &Dataset,
+    cfg: &KMeansConfig,
+) -> Result<(MultivariateHistogram, UpdateStats)> {
+    cfg.validate()?;
+    if new_points.is_empty() {
+        return Err(Error::EmptyDataset);
+    }
+    if new_points.dim() != hist.dim {
+        return Err(Error::DimensionMismatch { expected: hist.dim, actual: new_points.dim() });
+    }
+    let dim = hist.dim;
+
+    // Old representation as a weighted set.
+    let mut old = WeightedSet::new(dim)?;
+    for b in &hist.buckets {
+        old.push(&b.centroid, b.count)?;
+    }
+    // New batch reduced to weighted centroids (with spreads measured from
+    // the raw batch before it is discarded).
+    let partial = partial_kmeans(new_points, cfg)?;
+    let new_spreads = batch_spreads(new_points, &partial.centroids)?;
+
+    // Merge across time: old buckets ∪ new centroids → k buckets.
+    let sets = [old.clone(), partial.centroids.clone()];
+    let merged = merge_collective(&sets, cfg, 1)?;
+
+    // Re-derive per-bucket spreads: every merge input (old bucket or new
+    // centroid) carries a spread; the output bucket's spread is the
+    // weight-proportional RMS combination of its inputs' spreads plus the
+    // scatter of the input centroids around the new bucket centre.
+    let mut inputs: Vec<(Vec<f64>, f64, Vec<f64>)> = Vec::new(); // coords, w, spread
+    for b in &hist.buckets {
+        inputs.push((b.centroid.clone(), b.count, b.spread.clone()));
+    }
+    for (i, (c, w)) in partial.centroids.iter().enumerate() {
+        inputs.push((c.to_vec(), w, new_spreads[i].clone()));
+    }
+    let k = merged.centroids.k();
+    let mut var_acc = vec![0.0f64; k * dim];
+    let mut w_acc = vec![0.0f64; k];
+    for (coords, w, spread) in &inputs {
+        let (j, _) = nearest_centroid(coords, merged.centroids.as_flat(), dim);
+        let center = merged.centroids.centroid(j);
+        for d in 0..dim {
+            let offset = coords[d] - center[d];
+            var_acc[j * dim + d] += w * (spread[d] * spread[d] + offset * offset);
+        }
+        w_acc[j] += w;
+    }
+    let mut buckets = Vec::with_capacity(k);
+    for j in 0..k {
+        let spread: Vec<f64> = (0..dim)
+            .map(|d| {
+                if w_acc[j] > 0.0 {
+                    (var_acc[j * dim + d] / w_acc[j]).max(0.0).sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        buckets.push(Bucket {
+            centroid: merged.centroids.centroid(j).to_vec(),
+            count: merged.cluster_weights[j],
+            spread,
+        });
+    }
+    let total_count: f64 = buckets.iter().map(|b| b.count).sum();
+    let updated = MultivariateHistogram { dim, total_count, buckets };
+    Ok((
+        updated,
+        UpdateStats {
+            new_points: new_points.len(),
+            total_count,
+            merge_epm: merged.epm,
+        },
+    ))
+}
+
+/// Per-cluster, per-dimension standard deviations of the raw batch under
+/// the partial centroids.
+fn batch_spreads(batch: &Dataset, centroids: &WeightedSet) -> Result<Vec<Vec<f64>>> {
+    let dim = batch.dim();
+    let k = centroids.len();
+    let flat: Vec<f64> = centroids.iter().flat_map(|(c, _)| c.iter().copied()).collect();
+    let mut counts = vec![0.0f64; k];
+    let mut sums = vec![0.0f64; k * dim];
+    let mut sqs = vec![0.0f64; k * dim];
+    for p in batch.iter() {
+        let (j, _) = nearest_centroid(p, &flat, dim);
+        counts[j] += 1.0;
+        for d in 0..dim {
+            sums[j * dim + d] += p[d];
+            sqs[j * dim + d] += p[d] * p[d];
+        }
+    }
+    Ok((0..k)
+        .map(|j| {
+            (0..dim)
+                .map(|d| {
+                    if counts[j] > 0.0 {
+                        let mean = sums[j * dim + d] / counts[j];
+                        (sqs[j * dim + d] / counts[j] - mean * mean).max(0.0).sqrt()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::compress_cell;
+    use pmkm_core::PartialMergeConfig;
+
+    fn blob_cell(seed: u64, n_per: usize, centers: &[f64]) -> Dataset {
+        use rand::Rng;
+        let mut rng = pmkm_core::seeding::rng_for(seed, 0);
+        let mut ds = Dataset::new(2).unwrap();
+        for &c in centers {
+            for _ in 0..n_per {
+                ds.push(&[c + rng.gen_range(-1.0..1.0), c + rng.gen_range(-1.0..1.0)])
+                    .unwrap();
+            }
+        }
+        ds
+    }
+
+    fn kcfg(k: usize) -> KMeansConfig {
+        KMeansConfig { restarts: 3, ..KMeansConfig::paper(k, 9) }
+    }
+
+    #[test]
+    fn update_conserves_total_count() {
+        let original = blob_cell(1, 150, &[0.0, 30.0]);
+        let base = compress_cell(&original, &PartialMergeConfig::paper(4, 3, 9)).unwrap();
+        let batch = blob_cell(2, 50, &[0.0, 30.0]);
+        let (updated, stats) =
+            update_histogram(&base.histogram, &batch, &kcfg(4)).unwrap();
+        assert_eq!(stats.new_points, 100);
+        assert!((stats.total_count - 400.0).abs() < 1e-9);
+        assert!((updated.total_count - 400.0).abs() < 1e-9);
+        assert!(updated.k() <= 4);
+    }
+
+    #[test]
+    fn update_tracks_a_new_regime() {
+        // Cell compressed with 3 buckets; the new batch introduces mass at
+        // a previously unseen location — the updated histogram must place a
+        // bucket near it.
+        let original = blob_cell(3, 200, &[0.0, 30.0]);
+        let base = compress_cell(&original, &PartialMergeConfig::paper(3, 3, 5)).unwrap();
+        let novel = blob_cell(4, 300, &[-40.0]);
+        let (updated, _) = update_histogram(&base.histogram, &novel, &kcfg(3)).unwrap();
+        let closest = updated
+            .buckets
+            .iter()
+            .map(|b| ((b.centroid[0] + 40.0).powi(2) + (b.centroid[1] + 40.0).powi(2)).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        assert!(closest < 3.0, "no bucket near the new regime (closest {closest})");
+    }
+
+    #[test]
+    fn update_approximates_recompression() {
+        // Updating incrementally should land near what compressing the
+        // concatenated data from scratch would give (quality-wise).
+        let a = blob_cell(5, 200, &[0.0, 25.0]);
+        let b = blob_cell(6, 200, &[0.0, 25.0]);
+        let mut both = a.clone();
+        both.extend_from(&b).unwrap();
+
+        let base = compress_cell(&a, &PartialMergeConfig::paper(4, 3, 7)).unwrap();
+        let (updated, _) = update_histogram(&base.histogram, &b, &kcfg(4)).unwrap();
+        let scratch = compress_cell(&both, &PartialMergeConfig::paper(4, 3, 7)).unwrap();
+
+        let inc_mse = pmkm_core::metrics::mse_against(&both, &updated.centroids().unwrap())
+            .unwrap();
+        let scratch_mse = pmkm_core::metrics::mse_against(
+            &both,
+            &scratch.histogram.centroids().unwrap(),
+        )
+        .unwrap();
+        assert!(
+            inc_mse < scratch_mse * 2.0 + 1.0,
+            "incremental {inc_mse} vs scratch {scratch_mse}"
+        );
+    }
+
+    #[test]
+    fn spreads_stay_finite_and_positive() {
+        let original = blob_cell(8, 100, &[0.0]);
+        let base = compress_cell(&original, &PartialMergeConfig::paper(2, 2, 1)).unwrap();
+        let batch = blob_cell(9, 100, &[5.0]);
+        let (updated, _) = update_histogram(&base.histogram, &batch, &kcfg(2)).unwrap();
+        for b in &updated.buckets {
+            for s in &b.spread {
+                assert!(s.is_finite() && *s >= 0.0);
+            }
+            assert!(b.count > 0.0);
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let original = blob_cell(1, 20, &[0.0]);
+        let base = compress_cell(&original, &PartialMergeConfig::paper(2, 2, 1)).unwrap();
+        let empty = Dataset::new(2).unwrap();
+        assert!(matches!(
+            update_histogram(&base.histogram, &empty, &kcfg(2)),
+            Err(Error::EmptyDataset)
+        ));
+        let wrong_dim = Dataset::from_rows(&[[1.0]]).unwrap();
+        assert!(matches!(
+            update_histogram(&base.histogram, &wrong_dim, &kcfg(2)),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+}

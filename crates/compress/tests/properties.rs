@@ -1,0 +1,86 @@
+//! Property tests for the compression pipeline's invariants.
+
+use pmkm_compress::{compress_cell, faithfulness, reconstruct, MultivariateHistogram};
+use pmkm_core::{Centroids, Dataset, PartialMergeConfig, PointSource};
+use proptest::prelude::*;
+
+fn arb_cell() -> impl Strategy<Value = Dataset> {
+    (1usize..4, 12usize..80).prop_flat_map(|(dim, n)| {
+        proptest::collection::vec(-200.0..200.0f64, dim * n)
+            .prop_map(move |flat| Dataset::from_flat(dim, flat).unwrap())
+    })
+}
+
+fn arb_histogram() -> impl Strategy<Value = MultivariateHistogram> {
+    (1usize..4, 1usize..8).prop_flat_map(|(dim, k)| {
+        (
+            proptest::collection::vec(-100.0..100.0f64, dim * k),
+            proptest::collection::vec(1.0..50.0f64, k),
+            proptest::collection::vec(0.0..10.0f64, dim * k),
+        )
+            .prop_map(move |(cents, counts, spreads)| {
+                let centroids = Centroids::from_flat(dim, cents).unwrap();
+                let spreads: Vec<Vec<f64>> =
+                    spreads.chunks_exact(dim).map(|c| c.to_vec()).collect();
+                MultivariateHistogram::new(&centroids, &counts, &spreads).unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compression_conserves_count_and_bytes(ds in arb_cell(), seed in any::<u64>()) {
+        let k = 4.min(ds.len());
+        let mut cfg = PartialMergeConfig::paper(k, 3, seed);
+        cfg.kmeans.restarts = 2;
+        let out = compress_cell(&ds, &cfg).unwrap();
+        // Every point lands in exactly one bucket.
+        let total: f64 = out.histogram.buckets.iter().map(|b| b.count).sum();
+        prop_assert!((total - ds.len() as f64).abs() < 1e-9);
+        // Byte accounting is exact.
+        prop_assert_eq!(out.summary.original_bytes, ds.len() * ds.dim() * 8);
+        prop_assert_eq!(
+            out.summary.compressed_bytes,
+            out.histogram.k() * (2 * ds.dim() + 1) * 8
+        );
+        prop_assert!(out.summary.mse.is_finite() && out.summary.mse >= 0.0);
+        // Faithfulness is computable and finite.
+        let f = faithfulness(&ds, &out.histogram).unwrap();
+        prop_assert!(f.mean_rel_error.is_finite());
+        prop_assert!(f.cov_rel_error.is_finite());
+    }
+
+    #[test]
+    fn histogram_mean_lies_in_bucket_hull(h in arb_histogram()) {
+        // The weighted mean is a convex combination of bucket centroids.
+        let mean = h.mean();
+        for (d, m) in mean.iter().enumerate() {
+            let lo = h.buckets.iter().map(|b| b.centroid[d]).fold(f64::INFINITY, f64::min);
+            let hi = h.buckets.iter().map(|b| b.centroid[d]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(*m >= lo - 1e-9 && *m <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn reconstruction_count_and_determinism(h in arb_histogram(), n in 0usize..64, seed in any::<u64>()) {
+        let a = reconstruct(&h, n, seed).unwrap();
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(a.dim(), h.dim);
+        let b = reconstruct(&h, n, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_is_a_valid_point_source(h in arb_histogram()) {
+        prop_assert_eq!(h.len(), h.buckets.len());
+        let total: f64 = (0..h.len()).map(|i| h.weight(i)).sum();
+        prop_assert!((total - h.total_weight()).abs() < 1e-9);
+        // It can be re-clustered directly.
+        let k = 2.min(h.len());
+        let cfg = pmkm_core::KMeansConfig { restarts: 1, ..pmkm_core::KMeansConfig::paper(k, 1) };
+        let out = pmkm_core::kmeans(&h, &cfg).unwrap();
+        prop_assert_eq!(out.best.centroids.k(), k);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type shared by all `pmkm-core` entry points.
+
+use std::fmt;
+
+/// Errors produced by clustering configuration or input validation.
+///
+/// All algorithmic entry points validate their inputs eagerly and return
+/// `Err` instead of panicking, so harnesses can sweep degenerate
+/// configurations (empty cells, k larger than the cell) without crashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input data set contains no points.
+    EmptyDataset,
+    /// `k` was zero.
+    ZeroK,
+    /// `k` exceeds the number of available (distinct) input points.
+    KExceedsPoints {
+        /// The requested number of clusters.
+        k: usize,
+        /// The number of points actually available.
+        points: usize,
+    },
+    /// Two inputs that must share a dimensionality do not.
+    DimensionMismatch {
+        /// Dimensionality required by the receiver.
+        expected: usize,
+        /// Dimensionality of the offending input.
+        actual: usize,
+    },
+    /// A point with a non-finite coordinate was encountered.
+    NonFiniteCoordinate {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A weighted input carried a non-positive or non-finite weight.
+    InvalidWeight {
+        /// Index of the offending weighted point.
+        index: usize,
+    },
+    /// The requested partitioning is impossible (zero partitions or a
+    /// memory budget too small to hold a single point).
+    InvalidPartitioning(String),
+    /// Configuration field out of range (e.g. zero restarts).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyDataset => write!(f, "input data set is empty"),
+            Error::ZeroK => write!(f, "k must be at least 1"),
+            Error::KExceedsPoints { k, points } => {
+                write!(f, "k = {k} exceeds the {points} available input points")
+            }
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            Error::NonFiniteCoordinate { index } => {
+                write!(f, "point {index} has a non-finite coordinate")
+            }
+            Error::InvalidWeight { index } => {
+                write!(f, "weighted point {index} has a non-positive or non-finite weight")
+            }
+            Error::InvalidPartitioning(msg) => write!(f, "invalid partitioning: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = Error::KExceedsPoints { k: 40, points: 7 };
+        assert_eq!(e.to_string(), "k = 40 exceeds the 7 available input points");
+        let e = Error::DimensionMismatch { expected: 6, actual: 3 };
+        assert!(e.to_string().contains("expected 6"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::ZeroK, Error::ZeroK);
+        assert_ne!(Error::ZeroK, Error::EmptyDataset);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::EmptyDataset);
+        assert_eq!(e.to_string(), "input data set is empty");
+    }
+}

@@ -1,0 +1,465 @@
+//! The Lloyd iteration shared by every k-means variant in this crate.
+//!
+//! One generic implementation over [`PointSource`] covers both of the
+//! paper's algorithms:
+//!
+//! * **unweighted k-means** (§2: serial k-means, and the partial step run on
+//!   each chunk) — sources report weight 1.0 per point,
+//! * **weighted merge k-means** (§3.3) — sources are weighted centroid sets
+//!   and the centroid recalculation computes the *weighted* mean
+//!   `µ_j = (Σ w_i c_i) / (Σ w_i)`.
+//!
+//! Convergence follows the paper exactly: iterate until
+//! `MSE(n−1) − MSE(n) ≤ ε` with `ε = 1e-9`, where MSE is the weighted mean
+//! of squared point-to-assigned-centroid distances. A hard iteration cap
+//! protects against pathological inputs; hitting it is reported via
+//! [`LloydRun::converged`].
+
+use crate::config::LloydConfig;
+use crate::dataset::{Centroids, PointSource};
+use crate::error::{Error, Result};
+use crate::point::{nearest_centroid, nearest_centroid_pruned};
+use rayon::prelude::*;
+
+/// Outcome of one converged (or capped) Lloyd run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LloydRun {
+    /// Final centroid table (`k × dim`).
+    pub centroids: Centroids,
+    /// Cluster index of every input point, consistent with `centroids`.
+    pub assignments: Vec<u32>,
+    /// Total input weight assigned to each cluster. For unweighted sources
+    /// these are the cluster point-counts — exactly the weights the partial
+    /// operator attaches to its emitted centroids.
+    pub cluster_weights: Vec<f64>,
+    /// The paper's error function: weighted sum of squared distances
+    /// (`E` for unweighted sources, `E_pm` for weighted ones).
+    pub sse: f64,
+    /// `sse / total_weight` — the quantity whose per-iteration decrease
+    /// drives convergence and that the paper reports as "MSE".
+    pub mse: f64,
+    /// Number of centroid-recalculation iterations performed (`I`).
+    pub iterations: usize,
+    /// False only if the iteration cap was hit before the MSE settled.
+    pub converged: bool,
+}
+
+/// Assignment-phase scratch, reused across iterations to avoid
+/// per-iteration allocation.
+struct Scratch {
+    assignments: Vec<u32>,
+    /// Squared distance of each point to its assigned centroid.
+    d2: Vec<f64>,
+    /// Per-cluster weighted coordinate sums (`k × dim`).
+    sums: Vec<f64>,
+    /// Per-cluster total weight.
+    weights: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(n: usize, k: usize, dim: usize) -> Self {
+        Self {
+            assignments: vec![0; n],
+            d2: vec![0.0; n],
+            sums: vec![0.0; k * dim],
+            weights: vec![0.0; k],
+        }
+    }
+}
+
+/// Runs Lloyd's algorithm from the given initial centroids.
+///
+/// # Errors
+/// * [`Error::EmptyDataset`] for an empty source,
+/// * [`Error::DimensionMismatch`] if `init` and `src` disagree on `dim`,
+/// * [`Error::KExceedsPoints`] if `init.k() > src.len()` (more clusters than
+///   points can never be non-empty).
+pub fn lloyd<S: PointSource + ?Sized>(
+    src: &S,
+    init: &Centroids,
+    cfg: &LloydConfig,
+) -> Result<LloydRun> {
+    cfg.validate()?;
+    if src.is_empty() {
+        return Err(Error::EmptyDataset);
+    }
+    if init.dim() != src.dim() {
+        return Err(Error::DimensionMismatch { expected: src.dim(), actual: init.dim() });
+    }
+    let n = src.len();
+    let k = init.k();
+    if k > n {
+        return Err(Error::KExceedsPoints { k, points: n });
+    }
+    let dim = src.dim();
+    let total_weight = src.total_weight();
+    debug_assert!(total_weight > 0.0);
+
+    let mut centroids = init.clone();
+    let mut scratch = Scratch::new(n, k, dim);
+
+    // Distance calculation against the initial seeds gives MSE(0).
+    let mut prev_mse = assign(src, &centroids, cfg, &mut scratch) / total_weight;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut final_mse = prev_mse;
+
+    while iterations < cfg.max_iters {
+        // Centroid recalculation: µ_j = Σ w_i v_i / Σ w_i, with empty
+        // clusters re-seeded from the points farthest from their centroid.
+        recompute_means(src, &mut centroids, &mut scratch);
+        let mse = assign(src, &centroids, cfg, &mut scratch) / total_weight;
+        iterations += 1;
+        let delta = prev_mse - mse;
+        final_mse = mse;
+        prev_mse = mse;
+        // Plain Lloyd decreases MSE monotonically; a negative delta can only
+        // follow an empty-cluster re-seed, in which case we keep iterating.
+        if delta >= 0.0 && delta <= cfg.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    let sse = final_mse * total_weight;
+    Ok(LloydRun {
+        centroids,
+        assignments: std::mem::take(&mut scratch.assignments),
+        cluster_weights: std::mem::take(&mut scratch.weights),
+        sse,
+        mse: final_mse,
+        iterations,
+        converged,
+    })
+}
+
+/// Distance-calculation step: assigns every point to its nearest centroid,
+/// filling `scratch` (assignments, per-point d², per-cluster sums/weights)
+/// and returning the weighted SSE.
+fn assign<S: PointSource + ?Sized>(
+    src: &S,
+    centroids: &Centroids,
+    cfg: &LloydConfig,
+    scratch: &mut Scratch,
+) -> f64 {
+    let dim = src.dim();
+    let cents = centroids.as_flat();
+    let n = src.len();
+
+    type Search = fn(&[f64], &[f64], usize) -> (usize, f64);
+    let search: Search =
+        if cfg.pruned_assign { nearest_centroid_pruned } else { nearest_centroid };
+    if cfg.parallel_assign && n >= 2048 {
+        // Hot O(n·k·dim) search in parallel; cheap O(n·dim) accumulation
+        // stays serial to avoid a k×dim-sized reduction per worker.
+        scratch
+            .assignments
+            .par_iter_mut()
+            .zip(scratch.d2.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (a, d))| {
+                let (j, d2) = search(src.coords(i), cents, dim);
+                *a = j as u32;
+                *d = d2;
+            });
+    } else {
+        for (i, (a, d)) in
+            scratch.assignments.iter_mut().zip(scratch.d2.iter_mut()).enumerate()
+        {
+            let (j, d2) = search(src.coords(i), cents, dim);
+            *a = j as u32;
+            *d = d2;
+        }
+    }
+
+    scratch.sums.fill(0.0);
+    scratch.weights.fill(0.0);
+    let mut wsse = 0.0;
+    for i in 0..n {
+        let j = scratch.assignments[i] as usize;
+        let w = src.weight(i);
+        let sum = &mut scratch.sums[j * dim..(j + 1) * dim];
+        for (s, c) in sum.iter_mut().zip(src.coords(i)) {
+            *s += w * c;
+        }
+        scratch.weights[j] += w;
+        wsse += w * scratch.d2[i];
+    }
+    wsse
+}
+
+/// Centroid recalculation from the accumulated sums. Clusters that received
+/// no weight are re-seeded to the input points currently farthest from their
+/// assigned centroid (distinct donors for multiple empty clusters); the
+/// paper does not specify an empty-cluster policy, see DESIGN.md §5.
+fn recompute_means<S: PointSource + ?Sized>(
+    src: &S,
+    centroids: &mut Centroids,
+    scratch: &mut Scratch,
+) {
+    let dim = centroids.dim();
+    let k = centroids.k();
+    let mut empties: Vec<usize> = Vec::new();
+    {
+        let flat = centroids.as_flat_mut();
+        for j in 0..k {
+            let w = scratch.weights[j];
+            if w > 0.0 {
+                let dst = &mut flat[j * dim..(j + 1) * dim];
+                let sum = &scratch.sums[j * dim..(j + 1) * dim];
+                for (d, s) in dst.iter_mut().zip(sum) {
+                    *d = s / w;
+                }
+            } else {
+                empties.push(j);
+            }
+        }
+    }
+    if empties.is_empty() {
+        return;
+    }
+    // Rank donor points by their current squared distance, farthest first.
+    let n = src.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        scratch.d2[b].partial_cmp(&scratch.d2[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let flat = centroids.as_flat_mut();
+    for (e, &j) in empties.iter().enumerate() {
+        // With k ≤ n there are always enough donors.
+        let donor = order[e.min(n - 1)];
+        flat[j * dim..(j + 1) * dim].copy_from_slice(src.coords(donor));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SeedMode;
+    use crate::dataset::{Dataset, WeightedSet};
+    use crate::seeding::{rng_for, seed_centroids};
+
+    fn two_blob_dataset() -> Dataset {
+        // Tight blobs around (0,0) and (100,100).
+        let mut ds = Dataset::new(2).unwrap();
+        for i in 0..20 {
+            let o = (i % 5) as f64 * 0.1;
+            ds.push(&[o, -o]).unwrap();
+            ds.push(&[100.0 + o, 100.0 - o]).unwrap();
+        }
+        ds
+    }
+
+    fn cfg() -> LloydConfig {
+        LloydConfig::default()
+    }
+
+    #[test]
+    fn converges_on_two_obvious_blobs() {
+        let ds = two_blob_dataset();
+        let init = Centroids::from_flat(2, vec![1.0, 1.0, 99.0, 99.0]).unwrap();
+        let run = lloyd(&ds, &init, &cfg()).unwrap();
+        assert!(run.converged);
+        assert_eq!(run.cluster_weights, vec![20.0, 20.0]);
+        // Means of the blobs: (0.2, -0.2) and (100.2, 99.8).
+        let c0 = run.centroids.centroid(0);
+        assert!((c0[0] - 0.2).abs() < 1e-12, "c0 = {c0:?}");
+        assert!((c0[1] + 0.2).abs() < 1e-12);
+        let c1 = run.centroids.centroid(1);
+        assert!((c1[0] - 100.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignments_consistent_with_final_centroids() {
+        let ds = two_blob_dataset();
+        let init = Centroids::from_flat(2, vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        let run = lloyd(&ds, &init, &cfg()).unwrap();
+        for (i, &a) in run.assignments.iter().enumerate() {
+            let (nearest, _) = nearest_centroid(ds.coords(i), run.centroids.as_flat(), 2);
+            assert_eq!(a as usize, nearest, "point {i}");
+        }
+    }
+
+    #[test]
+    fn sse_matches_direct_recomputation() {
+        let ds = two_blob_dataset();
+        let init = Centroids::from_flat(2, vec![0.0, 0.0, 50.0, 50.0]).unwrap();
+        let run = lloyd(&ds, &init, &cfg()).unwrap();
+        let mut expect = 0.0;
+        for (i, &a) in run.assignments.iter().enumerate() {
+            expect += crate::point::sq_dist(ds.coords(i), run.centroids.centroid(a as usize));
+        }
+        assert!((run.sse - expect).abs() < 1e-9 * expect.max(1.0));
+        assert!((run.mse - expect / ds.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_one_returns_global_mean() {
+        let ds = Dataset::from_rows(&[[0.0, 0.0], [2.0, 4.0], [4.0, 2.0]]).unwrap();
+        let init = Centroids::from_flat(2, vec![100.0, 100.0]).unwrap();
+        let run = lloyd(&ds, &init, &cfg()).unwrap();
+        assert_eq!(run.centroids.centroid(0), &[2.0, 2.0]);
+        assert!(run.converged);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_error() {
+        let ds = Dataset::from_rows(&[[0.0, 0.0], [5.0, 5.0], [9.0, 1.0]]).unwrap();
+        let init = ds.clone();
+        let init = Centroids::from_flat(2, init.into_flat()).unwrap();
+        let run = lloyd(&ds, &init, &cfg()).unwrap();
+        assert_eq!(run.sse, 0.0);
+        assert_eq!(run.mse, 0.0);
+        assert!(run.converged);
+    }
+
+    #[test]
+    fn weighted_centroid_recalculation_uses_weighted_mean() {
+        // One cluster; weighted mean of {(0, w=1), (10, w=3)} is 7.5.
+        let mut ws = WeightedSet::new(1).unwrap();
+        ws.push(&[0.0], 1.0).unwrap();
+        ws.push(&[10.0], 3.0).unwrap();
+        let init = Centroids::from_flat(1, vec![4.0]).unwrap();
+        let run = lloyd(&ws, &init, &cfg()).unwrap();
+        assert_eq!(run.centroids.centroid(0), &[7.5]);
+        assert_eq!(run.cluster_weights, vec![4.0]);
+        // E_pm = 1·7.5² + 3·2.5² = 75.0; MSE = 75 / 4.
+        assert!((run.sse - 75.0).abs() < 1e-12);
+        assert!((run.mse - 18.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_scaling_does_not_move_centroids() {
+        // Scaling all weights by a constant must leave centroids unchanged.
+        let mut a = WeightedSet::new(2).unwrap();
+        let mut b = WeightedSet::new(2).unwrap();
+        let pts = [[0.0, 1.0], [2.0, 3.0], [10.0, 10.0], [12.0, 9.0]];
+        for (i, p) in pts.iter().enumerate() {
+            a.push(p, 1.0 + i as f64).unwrap();
+            b.push(p, 10.0 * (1.0 + i as f64)).unwrap();
+        }
+        let init = Centroids::from_flat(2, vec![0.0, 0.0, 11.0, 10.0]).unwrap();
+        let ra = lloyd(&a, &init, &cfg()).unwrap();
+        let rb = lloyd(&b, &init, &cfg()).unwrap();
+        assert_eq!(ra.centroids, rb.centroids);
+        assert!((ra.mse - rb.mse).abs() < 1e-12);
+        assert!((rb.sse - 10.0 * ra.sse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cluster_is_reseeded_not_lost() {
+        // Three centroids but the third starts far from all mass: after the
+        // first assignment it is empty and must be re-seeded, and the final
+        // result must keep k = 3 with no NaNs.
+        let ds = two_blob_dataset();
+        let init =
+            Centroids::from_flat(2, vec![0.0, 0.0, 100.0, 100.0, 1e6, 1e6]).unwrap();
+        let run = lloyd(&ds, &init, &cfg()).unwrap();
+        assert_eq!(run.centroids.k(), 3);
+        assert!(run.centroids.as_flat().iter().all(|c| c.is_finite()));
+        // Every point is still assigned and weights sum to n.
+        let total: f64 = run.cluster_weights.iter().sum();
+        assert_eq!(total, ds.len() as f64);
+    }
+
+    #[test]
+    fn multiple_empty_clusters_get_distinct_donors() {
+        // 4 identical-ish points near origin, 4 centroids far away except one.
+        let ds = Dataset::from_rows(&[[0.0], [1.0], [2.0], [3.0]]).unwrap();
+        let init = Centroids::from_flat(1, vec![0.0, 1e9, 2e9, 3e9]).unwrap();
+        let run = lloyd(&ds, &init, &cfg()).unwrap();
+        assert_eq!(run.centroids.k(), 4);
+        // With k = n = 4, the optimum puts one centroid on each point.
+        let mut finals: Vec<f64> = run.centroids.as_flat().to_vec();
+        finals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(finals, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(run.sse, 0.0);
+    }
+
+    #[test]
+    fn iteration_cap_reports_not_converged() {
+        let ds = two_blob_dataset();
+        let init = Centroids::from_flat(2, vec![0.0, 0.0, 0.1, 0.1]).unwrap();
+        let tight = LloydConfig { max_iters: 1, ..LloydConfig::default() };
+        let run = lloyd(&ds, &init, &tight).unwrap();
+        assert_eq!(run.iterations, 1);
+        assert!(!run.converged);
+    }
+
+    #[test]
+    fn parallel_and_serial_assignment_agree() {
+        let mut ds = Dataset::new(3).unwrap();
+        let mut rng = rng_for(11, 0);
+        use rand::Rng;
+        for _ in 0..5000 {
+            ds.push(&[rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0, rng.gen::<f64>()])
+                .unwrap();
+        }
+        let init = seed_centroids(&ds, 8, SeedMode::RandomPoints, &mut rng_for(3, 0)).unwrap();
+        let serial = lloyd(&ds, &init, &LloydConfig::default()).unwrap();
+        let par = lloyd(
+            &ds,
+            &init,
+            &LloydConfig { parallel_assign: true, ..LloydConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(serial.centroids, par.centroids);
+        assert_eq!(serial.assignments, par.assignments);
+        assert_eq!(serial.iterations, par.iterations);
+        assert!((serial.mse - par.mse).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pruned_assignment_is_bit_identical() {
+        let mut ds = Dataset::new(3).unwrap();
+        let mut rng = rng_for(17, 0);
+        use rand::Rng;
+        for _ in 0..3000 {
+            ds.push(&[rng.gen::<f64>() * 50.0, rng.gen::<f64>() * 50.0, rng.gen::<f64>()])
+                .unwrap();
+        }
+        let init = seed_centroids(&ds, 12, SeedMode::RandomPoints, &mut rng_for(5, 0)).unwrap();
+        let plain = lloyd(&ds, &init, &LloydConfig::default()).unwrap();
+        let pruned = lloyd(
+            &ds,
+            &init,
+            &LloydConfig { pruned_assign: true, ..LloydConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(plain.centroids, pruned.centroids);
+        assert_eq!(plain.assignments, pruned.assignments);
+        assert_eq!(plain.iterations, pruned.iterations);
+        assert_eq!(plain.mse, pruned.mse);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let empty = Dataset::new(2).unwrap();
+        let init = Centroids::from_flat(2, vec![0.0, 0.0]).unwrap();
+        assert_eq!(lloyd(&empty, &init, &cfg()), Err(Error::EmptyDataset));
+
+        let ds = Dataset::from_rows(&[[0.0, 0.0]]).unwrap();
+        let init3 = Centroids::from_flat(3, vec![0.0; 3]).unwrap();
+        assert_eq!(
+            lloyd(&ds, &init3, &cfg()),
+            Err(Error::DimensionMismatch { expected: 2, actual: 3 })
+        );
+
+        let init2 = Centroids::from_flat(2, vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        assert_eq!(
+            lloyd(&ds, &init2, &cfg()),
+            Err(Error::KExceedsPoints { k: 2, points: 1 })
+        );
+    }
+
+    #[test]
+    fn zero_iterations_never_happens() {
+        // Even a perfectly seeded run performs one recalculation iteration
+        // to observe the zero delta.
+        let ds = Dataset::from_rows(&[[0.0], [10.0]]).unwrap();
+        let init = Centroids::from_flat(1, vec![0.0, 10.0]).unwrap();
+        let run = lloyd(&ds, &init, &cfg()).unwrap();
+        assert_eq!(run.iterations, 1);
+        assert!(run.converged);
+    }
+}

@@ -1,0 +1,332 @@
+//! The full partial/merge pipeline over an in-memory grid cell.
+//!
+//! This is the library-level entry point (Figure 5 of the paper): deal the
+//! cell into chunks, run the partial k-means on every chunk — serially or on
+//! a worker pool — and merge the weighted centroids. The stream-operator
+//! version that adds queues, backpressure and operator cloning lives in the
+//! `pmkm-stream` crate; both produce identical clusterings for identical
+//! seeds, which the integration tests assert.
+
+use crate::config::PartialMergeConfig;
+use crate::dataset::{Dataset, PointSource};
+use crate::error::Result;
+use crate::merge::{merge, MergeOutput};
+use crate::partial::partial_kmeans;
+use crate::slicing::slice;
+use crate::seeding::derive_seed;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Stream tag separating per-chunk seeds from restart and shuffle streams.
+const CHUNK_STREAM: u64 = 0x4348_554E_4B53_4531; // "CHUNKSE1"
+
+/// Summary of one partition's clustering, kept for Table 2 style reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkStats {
+    /// Partition index (`0..p`).
+    pub chunk: usize,
+    /// Points in the partition (`N_j`).
+    pub points: usize,
+    /// Best-of-R minimum MSE achieved on the partition.
+    pub best_mse: f64,
+    /// Lloyd iterations summed over the partition's restarts.
+    pub total_iterations: usize,
+    /// Wall time of the partition's clustering.
+    pub elapsed: Duration,
+}
+
+/// Result of a full partial/merge run on one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialMergeResult {
+    /// The merged representation (final centroids, `E_pm`, merge timing).
+    pub merge: MergeOutput,
+    /// Per-chunk statistics in chunk order.
+    pub chunks: Vec<ChunkStats>,
+    /// Number of partitions used (`p`).
+    pub partitions: usize,
+    /// Wall time of the partial phase — the paper's `t C0−Ci` column. When
+    /// chunks run serially this is the sum of chunk times; with a worker
+    /// pool it is the elapsed span of the whole phase.
+    pub partial_elapsed: Duration,
+    /// End-to-end wall time (`overall t` minus data generation).
+    pub total_elapsed: Duration,
+}
+
+impl PartialMergeResult {
+    /// Sum of per-chunk clustering times (machine-seconds of partial work,
+    /// independent of how many workers ran it).
+    pub fn partial_cpu_time(&self) -> Duration {
+        self.chunks.iter().map(|c| c.elapsed).sum()
+    }
+
+    /// Total points across all chunks.
+    pub fn total_points(&self) -> usize {
+        self.chunks.iter().map(|c| c.points).sum()
+    }
+}
+
+/// Runs the pipeline with all partial steps on the calling thread — the
+/// paper's "even if all partial k-means steps are run serially on one
+/// machine" configuration used for Table 2.
+pub fn partial_merge(ds: &Dataset, cfg: &PartialMergeConfig) -> Result<PartialMergeResult> {
+    run(ds, cfg, None)
+}
+
+/// Runs the pipeline with partial steps fanned out over `workers` threads
+/// (operator cloning, Option 1 of §3.4: "clone the partial k-means to as
+/// many machines as possible"). `workers == 1` matches [`partial_merge`]
+/// output exactly; seeds are per-chunk, so results are identical for any
+/// worker count.
+pub fn partial_merge_with_workers(
+    ds: &Dataset,
+    cfg: &PartialMergeConfig,
+    workers: usize,
+) -> Result<PartialMergeResult> {
+    run(ds, cfg, Some(workers.max(1)))
+}
+
+/// Runs the pipeline with the ECVQ partial step (§3.3 remarks): every chunk
+/// is quantized with entropy-constrained VQ under `ecvq_cfg` (per-chunk
+/// seeds derived like the k-means path), then the adaptive-size weighted
+/// codebooks are merged with the ordinary weighted merge k-means from
+/// `cfg.kmeans`.
+pub fn partial_merge_ecvq(
+    ds: &Dataset,
+    cfg: &PartialMergeConfig,
+    ecvq_cfg: &crate::ecvq::EcvqConfig,
+) -> Result<PartialMergeResult> {
+    cfg.validate()?;
+    let started = Instant::now();
+    let p = cfg.partitions.resolve(ds.len(), ds.dim())?;
+    let parts = slice(ds, p, cfg.slicing, cfg.kmeans.seed)?;
+    let partial_started = Instant::now();
+    let mut outputs = Vec::new();
+    for (i, chunk) in parts.iter().enumerate().filter(|(_, c)| !c.is_empty()) {
+        let chunk_cfg = crate::ecvq::EcvqConfig {
+            seed: derive_seed(ecvq_cfg.seed, CHUNK_STREAM ^ i as u64),
+            ..*ecvq_cfg
+        };
+        outputs.push((i, crate::partial::partial_ecvq(chunk, &chunk_cfg)?));
+    }
+    let partial_elapsed = partial_started.elapsed();
+    let sets: Vec<crate::dataset::WeightedSet> =
+        outputs.iter().map(|(_, o)| o.centroids.clone()).collect();
+    let merged = merge(&sets, &cfg.kmeans, cfg.merge_mode, cfg.merge_restarts)?;
+    let chunks = outputs
+        .into_iter()
+        .map(|(i, o)| ChunkStats {
+            chunk: i,
+            points: o.points,
+            best_mse: o.best_mse,
+            total_iterations: o.total_iterations,
+            elapsed: o.elapsed,
+        })
+        .collect();
+    Ok(PartialMergeResult {
+        merge: merged,
+        chunks,
+        partitions: p,
+        partial_elapsed,
+        total_elapsed: started.elapsed(),
+    })
+}
+
+fn run(
+    ds: &Dataset,
+    cfg: &PartialMergeConfig,
+    workers: Option<usize>,
+) -> Result<PartialMergeResult> {
+    cfg.validate()?;
+    let started = Instant::now();
+    let p = cfg.partitions.resolve(ds.len(), ds.dim())?;
+    let parts = slice(ds, p, cfg.slicing, cfg.kmeans.seed)?;
+    let nonempty: Vec<(usize, &Dataset)> =
+        parts.iter().enumerate().filter(|(_, c)| !c.is_empty()).collect();
+
+    let partial_started = Instant::now();
+    let outputs: Vec<(usize, crate::partial::PartialOutput)> = match workers {
+        None => {
+            let mut v = Vec::with_capacity(nonempty.len());
+            for &(i, chunk) in &nonempty {
+                v.push((i, partial_kmeans(chunk, &chunk_cfg(cfg, i))?));
+            }
+            v
+        }
+        Some(w) => {
+            use rayon::prelude::*;
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(w)
+                .build()
+                .map_err(|e| crate::error::Error::InvalidConfig(e.to_string()))?;
+            pool.install(|| {
+                nonempty
+                    .par_iter()
+                    .map(|&(i, chunk)| Ok((i, partial_kmeans(chunk, &chunk_cfg(cfg, i))?)))
+                    .collect::<Result<Vec<_>>>()
+            })?
+        }
+    };
+    let partial_elapsed = partial_started.elapsed();
+
+    let sets: Vec<crate::dataset::WeightedSet> =
+        outputs.iter().map(|(_, o)| o.centroids.clone()).collect();
+    let merged = merge(&sets, &cfg.kmeans, cfg.merge_mode, cfg.merge_restarts)?;
+
+    let chunks = outputs
+        .into_iter()
+        .map(|(i, o)| ChunkStats {
+            chunk: i,
+            points: o.points,
+            best_mse: o.best_mse,
+            total_iterations: o.total_iterations,
+            elapsed: o.elapsed,
+        })
+        .collect();
+
+    Ok(PartialMergeResult {
+        merge: merged,
+        chunks,
+        partitions: p,
+        partial_elapsed,
+        total_elapsed: started.elapsed(),
+    })
+}
+
+fn chunk_cfg(cfg: &PartialMergeConfig, chunk: usize) -> crate::config::KMeansConfig {
+    crate::config::KMeansConfig {
+        seed: derive_seed(cfg.kmeans.seed, CHUNK_STREAM ^ chunk as u64),
+        ..cfg.kmeans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MergeMode, PartitionSpec};
+    use crate::metrics;
+
+    fn three_blob_cell(n_per: usize) -> Dataset {
+        let mut ds = Dataset::new(2).unwrap();
+        for i in 0..n_per {
+            let o = (i % 10) as f64 * 0.02;
+            ds.push(&[o, o]).unwrap();
+            ds.push(&[30.0 + o, 30.0 - o]).unwrap();
+            ds.push(&[-30.0 + o, 30.0 + o]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn pipeline_recovers_cluster_structure() {
+        let ds = three_blob_cell(60); // 180 points
+        let cfg = PartialMergeConfig::paper(3, 5, 42);
+        let res = partial_merge(&ds, &cfg).unwrap();
+        assert_eq!(res.partitions, 5);
+        assert_eq!(res.total_points(), 180);
+        assert_eq!(res.merge.centroids.k(), 3);
+        // Final centroids land near the three blob centers.
+        let mut xs: Vec<f64> = res.merge.centroids.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] + 30.0).abs() < 1.0);
+        assert!(xs[1].abs() < 1.0);
+        assert!((xs[2] - 30.0).abs() < 1.0);
+        // Quality against the ORIGINAL points is excellent.
+        let mse = metrics::mse_against(&ds, &res.merge.centroids).unwrap();
+        assert!(mse < 1.0, "mse = {mse}");
+    }
+
+    #[test]
+    fn weight_conservation_end_to_end() {
+        let ds = three_blob_cell(40); // 120 points
+        let cfg = PartialMergeConfig::paper(3, 10, 7);
+        let res = partial_merge(&ds, &cfg).unwrap();
+        let total: f64 = res.merge.cluster_weights.iter().sum();
+        assert!((total - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_and_worker_pool_agree_exactly() {
+        let ds = three_blob_cell(50);
+        let cfg = PartialMergeConfig::paper(3, 6, 99);
+        let serial = partial_merge(&ds, &cfg).unwrap();
+        for workers in [1, 2, 4] {
+            let par = partial_merge_with_workers(&ds, &cfg, workers).unwrap();
+            assert_eq!(serial.merge.centroids, par.merge.centroids, "workers={workers}");
+            assert_eq!(serial.merge.epm, par.merge.epm);
+            assert_eq!(serial.chunks.len(), par.chunks.len());
+            for (a, b) in serial.chunks.iter().zip(&par.chunks) {
+                assert_eq!(a.chunk, b.chunk);
+                assert_eq!(a.best_mse, b.best_mse);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_budget_partitioning_is_respected() {
+        let ds = three_blob_cell(100); // 300 points × 2 dims × 8 B = 4800 B
+        let mut cfg = PartialMergeConfig::paper(3, 1, 5);
+        cfg.partitions = PartitionSpec::MemoryBudget { bytes: 800 }; // 50 pts/chunk
+        let res = partial_merge(&ds, &cfg).unwrap();
+        assert_eq!(res.partitions, 6);
+        for c in &res.chunks {
+            assert!(c.points <= 50);
+        }
+    }
+
+    #[test]
+    fn incremental_mode_runs_end_to_end() {
+        let ds = three_blob_cell(40);
+        let mut cfg = PartialMergeConfig::paper(3, 5, 11);
+        cfg.merge_mode = MergeMode::Incremental;
+        let res = partial_merge(&ds, &cfg).unwrap();
+        assert_eq!(res.merge.centroids.k(), 3);
+        let mse = metrics::mse_against(&ds, &res.merge.centroids).unwrap();
+        assert!(mse < 2.0, "mse = {mse}");
+    }
+
+    #[test]
+    fn more_partitions_than_points_still_works() {
+        let ds = three_blob_cell(2); // 6 points
+        let cfg = PartialMergeConfig::paper(3, 10, 0);
+        let res = partial_merge(&ds, &cfg).unwrap();
+        // Empty chunks are skipped; all 6 points survive to the merge.
+        let total: f64 = res.merge.cluster_weights.iter().sum();
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn single_partition_equals_plain_kmeans_structure() {
+        // p = 1: partial/merge degenerates to k-means on the whole cell plus
+        // a trivial merge of k weighted centroids (passthrough).
+        let ds = three_blob_cell(30);
+        let cfg = PartialMergeConfig::paper(3, 1, 21);
+        let res = partial_merge(&ds, &cfg).unwrap();
+        assert_eq!(res.partitions, 1);
+        assert_eq!(res.merge.centroids.k(), 3);
+        assert_eq!(res.merge.epm, 0.0); // passthrough merge
+    }
+
+    #[test]
+    fn chunk_stats_are_complete() {
+        let ds = three_blob_cell(50);
+        let cfg = PartialMergeConfig::paper(3, 5, 3);
+        let res = partial_merge(&ds, &cfg).unwrap();
+        assert_eq!(res.chunks.len(), 5);
+        for (i, c) in res.chunks.iter().enumerate() {
+            assert_eq!(c.chunk, i);
+            assert!(c.points == 30);
+            assert!(c.total_iterations > 0);
+        }
+        assert!(res.partial_cpu_time() <= res.total_elapsed);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let ds = three_blob_cell(40);
+        let cfg = PartialMergeConfig::paper(3, 5, 1234);
+        let a = partial_merge(&ds, &cfg).unwrap();
+        let b = partial_merge(&ds, &cfg).unwrap();
+        assert_eq!(a.merge.centroids, b.merge.centroids);
+        assert_eq!(a.merge.epm, b.merge.epm);
+    }
+}

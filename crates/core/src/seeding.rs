@@ -1,0 +1,289 @@
+//! Initial-centroid selection.
+//!
+//! Three strategies (see [`SeedMode`]):
+//! * random distinct points — serial and partial k-means (paper §2 step 1),
+//! * heaviest points — merge k-means (paper §3.3 step 1: seeds are the k
+//!   centroids with the largest weights, which "forces the algorithm to take
+//!   into account which data points are likely to represent significant
+//!   cluster centroids already"),
+//! * k-means++ — an ablation extension, not used by the paper.
+
+use crate::config::SeedMode;
+use crate::dataset::{Centroids, PointSource};
+use crate::error::{Error, Result};
+use crate::point::sq_dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step: turns `(base, stream)` into an independent RNG seed.
+///
+/// Used everywhere a base experiment seed must fan out into per-restart,
+/// per-chunk or per-version streams; any two distinct inputs give
+/// uncorrelated outputs, so results do not depend on scheduling order.
+#[inline]
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded standard RNG for the given `(base, stream)` pair.
+pub fn rng_for(base: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(base, stream))
+}
+
+/// Selects `k` initial centroids from `src` according to `mode`.
+///
+/// # Errors
+/// * [`Error::EmptyDataset`] if `src` has no points,
+/// * [`Error::ZeroK`] if `k == 0`,
+/// * [`Error::KExceedsPoints`] if `k > src.len()`.
+pub fn seed_centroids<S: PointSource + ?Sized>(
+    src: &S,
+    k: usize,
+    mode: SeedMode,
+    rng: &mut StdRng,
+) -> Result<Centroids> {
+    if src.is_empty() {
+        return Err(Error::EmptyDataset);
+    }
+    if k == 0 {
+        return Err(Error::ZeroK);
+    }
+    if k > src.len() {
+        return Err(Error::KExceedsPoints { k, points: src.len() });
+    }
+    let indices = match mode {
+        SeedMode::RandomPoints => sample_without_replacement(src.len(), k, rng),
+        SeedMode::HeaviestPoints => heaviest_indices(src, k),
+        SeedMode::PlusPlus => plus_plus_indices(src, k, rng),
+    };
+    let dim = src.dim();
+    let mut flat = Vec::with_capacity(k * dim);
+    for &i in &indices {
+        flat.extend_from_slice(src.coords(i));
+    }
+    Centroids::from_flat(dim, flat)
+}
+
+/// k distinct indices drawn uniformly from `0..n` (Floyd-style via partial
+/// Fisher–Yates on an index vector; O(n) setup, fine for chunk-sized n).
+fn sample_without_replacement(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Indices of the k heaviest points, ties broken toward the lower index.
+fn heaviest_indices<S: PointSource + ?Sized>(src: &S, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..src.len()).collect();
+    // Stable ordering: sort by (weight desc, index asc). `sort_by` is stable
+    // so sorting by weight descending preserves index order among ties.
+    idx.sort_by(|&a, &b| {
+        src.weight(b).partial_cmp(&src.weight(a)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// k-means++ D² sampling, taking point weights into account
+/// (probability ∝ weight × squared distance to the nearest chosen seed).
+fn plus_plus_indices<S: PointSource + ?Sized>(src: &S, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let n = src.len();
+    let mut chosen = Vec::with_capacity(k);
+    // First seed: weight-proportional draw.
+    let total_w = src.total_weight();
+    let mut target = rng.gen_range(0.0..total_w.max(f64::MIN_POSITIVE));
+    let mut first = n - 1;
+    for i in 0..n {
+        target -= src.weight(i);
+        if target <= 0.0 {
+            first = i;
+            break;
+        }
+    }
+    chosen.push(first);
+
+    let mut d2: Vec<f64> = (0..n).map(|i| sq_dist(src.coords(i), src.coords(first))).collect();
+    while chosen.len() < k {
+        let total: f64 = d2.iter().zip(0..n).map(|(d, i)| d * src.weight(i)).sum();
+        let next = if total <= 0.0 {
+            // All remaining mass sits on already-chosen coordinates
+            // (duplicate points); fall back to the first unchosen index.
+            (0..n).find(|i| !chosen.contains(i)).unwrap_or(0)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, d) in d2.iter().enumerate() {
+                target -= d * src.weight(i);
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        chosen.push(next);
+        for (i, slot) in d2.iter_mut().enumerate() {
+            let d = sq_dist(src.coords(i), src.coords(next));
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, WeightedSet};
+
+    fn dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::new(2).unwrap();
+        for i in 0..n {
+            ds.push(&[i as f64, (i * i) as f64]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn derive_seed_distinguishes_streams() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(a, derive_seed(42, 0));
+    }
+
+    #[test]
+    fn random_seeding_yields_k_distinct_points() {
+        let ds = dataset(50);
+        let mut rng = rng_for(1, 0);
+        let c = seed_centroids(&ds, 10, SeedMode::RandomPoints, &mut rng).unwrap();
+        assert_eq!(c.k(), 10);
+        // All seeds are actual dataset points and pairwise distinct
+        // (the dataset has distinct rows).
+        for s in c.iter() {
+            assert!(ds.iter().any(|p| p == s));
+        }
+        for i in 0..c.k() {
+            for j in (i + 1)..c.k() {
+                assert_ne!(c.centroid(i), c.centroid(j));
+            }
+        }
+    }
+
+    #[test]
+    fn random_seeding_is_reproducible() {
+        let ds = dataset(30);
+        let a = seed_centroids(&ds, 5, SeedMode::RandomPoints, &mut rng_for(9, 3)).unwrap();
+        let b = seed_centroids(&ds, 5, SeedMode::RandomPoints, &mut rng_for(9, 3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_seeding_k_equals_n_uses_all_points() {
+        let ds = dataset(6);
+        let c = seed_centroids(&ds, 6, SeedMode::RandomPoints, &mut rng_for(0, 0)).unwrap();
+        let mut seen: Vec<&[f64]> = c.iter().collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expect: Vec<&[f64]> = ds.iter().collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn heaviest_seeding_picks_top_weights() {
+        let mut ws = WeightedSet::new(1).unwrap();
+        for (i, w) in [(0, 5.0), (1, 50.0), (2, 1.0), (3, 20.0), (4, 7.0)] {
+            ws.push(&[i as f64], w).unwrap();
+        }
+        let c = seed_centroids(&ws, 2, SeedMode::HeaviestPoints, &mut rng_for(0, 0)).unwrap();
+        assert_eq!(c.centroid(0), &[1.0]); // weight 50
+        assert_eq!(c.centroid(1), &[3.0]); // weight 20
+    }
+
+    #[test]
+    fn heaviest_seeding_tie_breaks_by_index() {
+        let mut ws = WeightedSet::new(1).unwrap();
+        for i in 0..4 {
+            ws.push(&[i as f64], 2.0).unwrap();
+        }
+        let c = seed_centroids(&ws, 2, SeedMode::HeaviestPoints, &mut rng_for(0, 0)).unwrap();
+        assert_eq!(c.centroid(0), &[0.0]);
+        assert_eq!(c.centroid(1), &[1.0]);
+    }
+
+    #[test]
+    fn plus_plus_prefers_spread_seeds() {
+        // Two tight groups far apart: k-means++ must pick one from each.
+        let mut ds = Dataset::new(1).unwrap();
+        for i in 0..10 {
+            ds.push(&[i as f64 * 0.01]).unwrap();
+        }
+        for i in 0..10 {
+            ds.push(&[1000.0 + i as f64 * 0.01]).unwrap();
+        }
+        for trial in 0..20 {
+            let c = seed_centroids(&ds, 2, SeedMode::PlusPlus, &mut rng_for(trial, 0)).unwrap();
+            let lows = c.iter().filter(|s| s[0] < 500.0).count();
+            assert_eq!(lows, 1, "trial {trial} picked both seeds in one group");
+        }
+    }
+
+    #[test]
+    fn plus_plus_handles_all_duplicate_points() {
+        let mut ds = Dataset::new(2).unwrap();
+        for _ in 0..8 {
+            ds.push(&[3.0, 3.0]).unwrap();
+        }
+        let c = seed_centroids(&ds, 3, SeedMode::PlusPlus, &mut rng_for(5, 0)).unwrap();
+        assert_eq!(c.k(), 3);
+        for s in c.iter() {
+            assert_eq!(s, &[3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn seeding_errors() {
+        let ds = dataset(3);
+        let mut rng = rng_for(0, 0);
+        assert_eq!(
+            seed_centroids(&ds, 0, SeedMode::RandomPoints, &mut rng),
+            Err(Error::ZeroK)
+        );
+        assert_eq!(
+            seed_centroids(&ds, 4, SeedMode::RandomPoints, &mut rng),
+            Err(Error::KExceedsPoints { k: 4, points: 3 })
+        );
+        let empty = Dataset::new(2).unwrap();
+        assert_eq!(
+            seed_centroids(&empty, 1, SeedMode::RandomPoints, &mut rng),
+            Err(Error::EmptyDataset)
+        );
+    }
+
+    #[test]
+    fn sample_without_replacement_is_uniformish() {
+        // Smoke check: over many draws of 1-of-4, each index appears.
+        let mut rng = rng_for(7, 7);
+        let mut counts = [0usize; 4];
+        for _ in 0..400 {
+            let s = sample_without_replacement(4, 1, &mut rng);
+            counts[s[0]] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 40, "index {i} drawn only {c}/400 times");
+        }
+    }
+}

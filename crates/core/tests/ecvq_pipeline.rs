@@ -1,0 +1,106 @@
+//! Tests for the ECVQ partial step and the ECVQ pipeline variant
+//! (§3.3 remarks: adaptive k per partition).
+
+use pmkm_core::ecvq::EcvqConfig;
+use pmkm_core::prelude::*;
+use pmkm_core::{partial_ecvq, partial_merge_ecvq, SliceStrategy};
+
+fn blob_cell(n_per: usize) -> Dataset {
+    let mut ds = Dataset::new(2).unwrap();
+    for i in 0..n_per {
+        let o = (i % 10) as f64 * 0.02;
+        ds.push(&[o, o]).unwrap();
+        ds.push(&[30.0 + o, 30.0 - o]).unwrap();
+        ds.push(&[-30.0 + o, 30.0 + o]).unwrap();
+    }
+    ds
+}
+
+#[test]
+fn partial_ecvq_emits_adaptive_codebook() {
+    let chunk = blob_cell(60); // 180 points, 3 tight blobs
+    let cfg = EcvqConfig { max_k: 12, lambda: 50.0, seed: 3, ..EcvqConfig::default() };
+    let out = partial_ecvq(&chunk, &cfg).unwrap();
+    assert!(out.centroids.len() <= 12);
+    // Strong rate penalty on tight blobs starves codewords.
+    assert!(out.centroids.len() >= 3);
+    let total: f64 = out.centroids.weights().iter().sum();
+    assert_eq!(total, 180.0);
+    assert!(out.best_mse.is_finite());
+}
+
+#[test]
+fn stronger_rate_penalty_starves_more_codewords() {
+    // The adaptive-k mechanism of §3.3: the Lagrangian rate penalty starves
+    // codewords. The same chunk under the same seeds keeps (weakly) fewer
+    // codewords as λ grows from 0 to a dominating value.
+    let chunk = blob_cell(100); // 300 points
+    let free = EcvqConfig { max_k: 20, lambda: 0.0, seed: 1, ..EcvqConfig::default() };
+    let costly = EcvqConfig { max_k: 20, lambda: 1e6, seed: 1, ..EcvqConfig::default() };
+    let f = partial_ecvq(&chunk, &free).unwrap();
+    let c = partial_ecvq(&chunk, &costly).unwrap();
+    assert!(
+        c.centroids.len() < f.centroids.len(),
+        "λ=1e6 kept {} codewords, λ=0 kept {}",
+        c.centroids.len(),
+        f.centroids.len()
+    );
+    // Weight is conserved regardless of starvation.
+    let total: f64 = c.centroids.weights().iter().sum();
+    assert_eq!(total, 300.0);
+}
+
+#[test]
+fn ecvq_pipeline_recovers_structure() {
+    let cell = blob_cell(100); // 300 points
+    // A few merge restarts guard against the heaviest-seed local optimum
+    // (three far-apart blobs, only 3 final centroids).
+    let pm = PartialMergeConfig { merge_restarts: 5, ..PartialMergeConfig::paper(3, 5, 9) };
+    let ecvq = EcvqConfig { max_k: 10, lambda: 5.0, seed: 9, ..EcvqConfig::default() };
+    let out = partial_merge_ecvq(&cell, &pm, &ecvq).unwrap();
+    assert_eq!(out.partitions, 5);
+    assert_eq!(out.merge.centroids.k(), 3);
+    let total: f64 = out.merge.cluster_weights.iter().sum();
+    assert_eq!(total, 300.0);
+    let mse = metrics::mse_against(&cell, &out.merge.centroids).unwrap();
+    assert!(mse < 2.0, "mse = {mse}");
+}
+
+#[test]
+fn ecvq_pipeline_is_deterministic() {
+    let cell = blob_cell(50);
+    let pm = PartialMergeConfig::paper(3, 4, 21);
+    let ecvq = EcvqConfig { max_k: 8, lambda: 1.0, seed: 21, ..EcvqConfig::default() };
+    let a = partial_merge_ecvq(&cell, &pm, &ecvq).unwrap();
+    let b = partial_merge_ecvq(&cell, &pm, &ecvq).unwrap();
+    assert_eq!(a.merge.centroids, b.merge.centroids);
+    assert_eq!(a.merge.epm, b.merge.epm);
+}
+
+#[test]
+fn ecvq_pipeline_chunks_get_distinct_seeds() {
+    // Chunks of identical content still get different ECVQ seeds (derived
+    // per chunk index), so codebooks are not trivially identical.
+    let mut cell = Dataset::new(1).unwrap();
+    for _ in 0..4 {
+        for i in 0..50 {
+            cell.push(&[(i % 10) as f64]).unwrap();
+        }
+    }
+    let pm = PartialMergeConfig { slicing: SliceStrategy::Salami, ..PartialMergeConfig::paper(4, 4, 5) };
+    let ecvq = EcvqConfig { max_k: 6, lambda: 0.5, seed: 5, ..EcvqConfig::default() };
+    let out = partial_merge_ecvq(&cell, &pm, &ecvq).unwrap();
+    assert_eq!(out.chunks.len(), 4);
+    let total: f64 = out.merge.cluster_weights.iter().sum();
+    assert_eq!(total, 200.0);
+}
+
+#[test]
+fn ecvq_pipeline_rejects_invalid_configs() {
+    let cell = blob_cell(20);
+    let pm = PartialMergeConfig::paper(3, 2, 0);
+    let bad = EcvqConfig { max_k: 0, ..EcvqConfig::default() };
+    assert!(partial_merge_ecvq(&cell, &pm, &bad).is_err());
+    let bad = EcvqConfig { lambda: f64::NAN, ..EcvqConfig::default() };
+    assert!(partial_merge_ecvq(&cell, &pm, &bad).is_err());
+}

@@ -1,0 +1,81 @@
+//! Error type for the data substrate (generation, file formats, I/O).
+
+use std::fmt;
+use std::io;
+
+/// Errors from synthetic data generation and the grid-bucket / swath file
+/// formats.
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A file did not match the expected binary format.
+    Format(String),
+    /// Invalid generator or grid parameters.
+    Invalid(String),
+    /// A covariance matrix was not symmetric positive definite.
+    NotPositiveDefinite,
+    /// Payload checksum mismatch — the bucket file is corrupt.
+    ChecksumMismatch {
+        /// Checksum recorded in the file header.
+        expected: u64,
+        /// Checksum computed over the payload actually read.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Format(msg) => write!(f, "file format error: {msg}"),
+            DataError::Invalid(msg) => write!(f, "invalid parameter: {msg}"),
+            DataError::NotPositiveDefinite => {
+                write!(f, "covariance matrix is not symmetric positive definite")
+            }
+            DataError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "payload checksum mismatch: expected {expected:#018x}, got {actual:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::NotPositiveDefinite.to_string().contains("positive definite"));
+        assert!(DataError::Format("bad magic".into()).to_string().contains("bad magic"));
+        let e = DataError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: DataError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

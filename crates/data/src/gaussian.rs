@@ -1,0 +1,234 @@
+//! Gaussian sampling built from scratch: Box–Muller standard normals and
+//! multivariate normals via a hand-rolled Cholesky factorization.
+//!
+//! The paper recreated its MISR-like test cells "using the R statistical
+//! package ... with the same distribution"; this module provides the
+//! equivalent generator so every experiment input is synthesized
+//! deterministically from a seed.
+
+use crate::error::{DataError, Result};
+use rand::Rng;
+
+/// Box–Muller standard-normal sampler. Caches the second variate of each
+/// transform so consecutive calls consume uniforms two at a time.
+#[derive(Debug, Default, Clone)]
+pub struct BoxMuller {
+    cached: Option<f64>,
+}
+
+impl BoxMuller {
+    /// A fresh sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one N(0, 1) variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // u1 ∈ (0, 1] so the log is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// Cholesky factorization of a symmetric positive-definite `n × n` matrix
+/// (row-major). Returns the lower-triangular factor `L` with `L Lᵀ = A`.
+///
+/// # Errors
+/// [`DataError::NotPositiveDefinite`] if a pivot is non-positive (within a
+/// small tolerance), [`DataError::Invalid`] on a shape mismatch.
+pub fn cholesky(a: &[f64], n: usize) -> Result<Vec<f64>> {
+    if a.len() != n * n {
+        return Err(DataError::Invalid(format!(
+            "matrix buffer holds {} values, expected {n}×{n}",
+            a.len()
+        )));
+    }
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 1e-12 {
+                    return Err(DataError::NotPositiveDefinite);
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// A multivariate normal distribution `N(mean, cov)` ready for repeated
+/// sampling (the Cholesky factor is computed once).
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    mean: Vec<f64>,
+    /// Lower-triangular Cholesky factor, row-major `dim × dim`.
+    chol: Vec<f64>,
+    dim: usize,
+}
+
+impl MultivariateNormal {
+    /// Builds the distribution from a mean vector and a row-major covariance
+    /// matrix.
+    pub fn new(mean: Vec<f64>, cov: &[f64]) -> Result<Self> {
+        let dim = mean.len();
+        if dim == 0 {
+            return Err(DataError::Invalid("mean must have at least one entry".into()));
+        }
+        let chol = cholesky(cov, dim)?;
+        Ok(Self { mean, chol, dim })
+    }
+
+    /// An axis-aligned (diagonal-covariance) normal.
+    pub fn diagonal(mean: Vec<f64>, variances: &[f64]) -> Result<Self> {
+        let dim = mean.len();
+        if variances.len() != dim {
+            return Err(DataError::Invalid("variance length must match mean".into()));
+        }
+        let mut cov = vec![0.0; dim * dim];
+        for (i, &v) in variances.iter().enumerate() {
+            cov[i * dim + i] = v;
+        }
+        Self::new(mean, &cov)
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Samples one point into `out` (`out.len() == dim`).
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        normals: &mut BoxMuller,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), self.dim);
+        // z ~ N(0, I), x = mean + L z.
+        let z: Vec<f64> = (0..self.dim).map(|_| normals.sample(rng)).collect();
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut x = self.mean[i];
+            for (j, zj) in z.iter().enumerate().take(i + 1) {
+                x += self.chol[i * self.dim + j] * zj;
+            }
+            *slot = x;
+        }
+    }
+
+    /// Samples one point as a fresh vector.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, normals: &mut BoxMuller) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        self.sample_into(rng, normals, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bm = BoxMuller::new();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| bm.sample(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let l = cholesky(&a, 2).unwrap();
+        assert_eq!(l, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        // A = [[4, 2, 0.5], [2, 3, 1], [0.5, 1, 2]] is SPD.
+        let a = [4.0, 2.0, 0.5, 2.0, 3.0, 1.0, 0.5, 1.0, 2.0];
+        let l = cholesky(&a, 3).unwrap();
+        // Recompute L·Lᵀ.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += l[i * 3 + k] * l[j * 3 + k];
+                }
+                assert!((v - a[i * 3 + j]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = [1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(matches!(cholesky(&a, 2), Err(DataError::NotPositiveDefinite)));
+    }
+
+    #[test]
+    fn cholesky_rejects_bad_shape() {
+        assert!(matches!(cholesky(&[1.0; 5], 2), Err(DataError::Invalid(_))));
+    }
+
+    #[test]
+    fn mvn_sample_moments_match() {
+        // cov = [[2, 0.8], [0.8, 1]]
+        let cov = [2.0, 0.8, 0.8, 1.0];
+        let mvn = MultivariateNormal::new(vec![5.0, -3.0], &cov).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut bm = BoxMuller::new();
+        let n = 100_000;
+        let mut sum = [0.0; 2];
+        let mut ss = [0.0; 3]; // var0, var1, cov01 accumulators (about true mean)
+        for _ in 0..n {
+            let x = mvn.sample(&mut rng, &mut bm);
+            sum[0] += x[0];
+            sum[1] += x[1];
+            ss[0] += (x[0] - 5.0) * (x[0] - 5.0);
+            ss[1] += (x[1] + 3.0) * (x[1] + 3.0);
+            ss[2] += (x[0] - 5.0) * (x[1] + 3.0);
+        }
+        let nf = n as f64;
+        assert!((sum[0] / nf - 5.0).abs() < 0.03);
+        assert!((sum[1] / nf + 3.0).abs() < 0.03);
+        assert!((ss[0] / nf - 2.0).abs() < 0.05, "var0 = {}", ss[0] / nf);
+        assert!((ss[1] / nf - 1.0).abs() < 0.03);
+        assert!((ss[2] / nf - 0.8).abs() < 0.04, "cov = {}", ss[2] / nf);
+    }
+
+    #[test]
+    fn diagonal_constructor_matches_full() {
+        let d = MultivariateNormal::diagonal(vec![0.0, 0.0], &[4.0, 9.0]).unwrap();
+        let f = MultivariateNormal::new(vec![0.0, 0.0], &[4.0, 0.0, 0.0, 9.0]).unwrap();
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let (mut b1, mut b2) = (BoxMuller::new(), BoxMuller::new());
+        assert_eq!(d.sample(&mut r1, &mut b1), f.sample(&mut r2, &mut b2));
+    }
+
+    #[test]
+    fn mvn_rejects_empty_mean() {
+        assert!(MultivariateNormal::new(vec![], &[]).is_err());
+        assert!(MultivariateNormal::diagonal(vec![1.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! The 1° × 1° earth grid (§1: "we partition the data set into 1 degree x
+//! 1 degree grid cells ... 64,800 individual grid cells").
+
+use crate::error::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Number of latitude rows (90°S..90°N in 1° steps).
+pub const LAT_CELLS: u32 = 180;
+/// Number of longitude columns (180°W..180°E in 1° steps).
+pub const LON_CELLS: u32 = 360;
+/// Total cells in a global coverage (64,800).
+pub const TOTAL_CELLS: u32 = LAT_CELLS * LON_CELLS;
+
+/// Identifier of one 1° × 1° grid cell.
+///
+/// `lat_idx 0` is the cell covering `[-90°, -89°)`; `lon_idx 0` covers
+/// `[-180°, -179°)`. The flat [`GridCell::index`] enumerates row-major,
+/// matching the on-disk bucket naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Latitude row, `0..180`.
+    pub lat_idx: u16,
+    /// Longitude column, `0..360`.
+    pub lon_idx: u16,
+}
+
+impl GridCell {
+    /// Builds a cell from indices, validating ranges.
+    pub fn new(lat_idx: u16, lon_idx: u16) -> Result<Self> {
+        if lat_idx as u32 >= LAT_CELLS || lon_idx as u32 >= LON_CELLS {
+            return Err(DataError::Invalid(format!(
+                "cell indices ({lat_idx}, {lon_idx}) out of range {LAT_CELLS}×{LON_CELLS}"
+            )));
+        }
+        Ok(Self { lat_idx, lon_idx })
+    }
+
+    /// The cell containing the given coordinates (degrees). Latitude is
+    /// clamped to [-90, 90]; longitude is wrapped into [-180, 180).
+    pub fn containing(lat_deg: f64, lon_deg: f64) -> Result<Self> {
+        if !lat_deg.is_finite() || !lon_deg.is_finite() {
+            return Err(DataError::Invalid("non-finite coordinates".into()));
+        }
+        let lat = lat_deg.clamp(-90.0, 90.0);
+        let mut lon = (lon_deg + 180.0).rem_euclid(360.0) - 180.0;
+        if lon >= 180.0 {
+            lon -= 360.0;
+        }
+        let lat_idx = (((lat + 90.0).floor() as i64).clamp(0, LAT_CELLS as i64 - 1)) as u16;
+        let lon_idx = (((lon + 180.0).floor() as i64).clamp(0, LON_CELLS as i64 - 1)) as u16;
+        Ok(Self { lat_idx, lon_idx })
+    }
+
+    /// Row-major flat index in `0..64_800`.
+    pub fn index(&self) -> u32 {
+        self.lat_idx as u32 * LON_CELLS + self.lon_idx as u32
+    }
+
+    /// Inverse of [`GridCell::index`].
+    pub fn from_index(index: u32) -> Result<Self> {
+        if index >= TOTAL_CELLS {
+            return Err(DataError::Invalid(format!("cell index {index} >= {TOTAL_CELLS}")));
+        }
+        Ok(Self { lat_idx: (index / LON_CELLS) as u16, lon_idx: (index % LON_CELLS) as u16 })
+    }
+
+    /// Southwest corner of the cell, in degrees.
+    pub fn southwest(&self) -> (f64, f64) {
+        (self.lat_idx as f64 - 90.0, self.lon_idx as f64 - 180.0)
+    }
+
+    /// Center of the cell, in degrees.
+    pub fn center(&self) -> (f64, f64) {
+        let (lat, lon) = self.southwest();
+        (lat + 0.5, lon + 0.5)
+    }
+
+    /// Canonical bucket file name for this cell.
+    pub fn bucket_file_name(&self) -> String {
+        format!("cell_{:03}_{:03}.gb", self.lat_idx, self.lon_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cells_is_64800() {
+        assert_eq!(TOTAL_CELLS, 64_800);
+    }
+
+    #[test]
+    fn containing_maps_corners_correctly() {
+        let c = GridCell::containing(-90.0, -180.0).unwrap();
+        assert_eq!((c.lat_idx, c.lon_idx), (0, 0));
+        let c = GridCell::containing(89.999, 179.999).unwrap();
+        assert_eq!((c.lat_idx, c.lon_idx), (179, 359));
+        // Exactly +90 latitude clamps into the top row.
+        let c = GridCell::containing(90.0, 0.0).unwrap();
+        assert_eq!(c.lat_idx, 179);
+    }
+
+    #[test]
+    fn longitude_wraps() {
+        let a = GridCell::containing(0.5, 181.0).unwrap();
+        let b = GridCell::containing(0.5, -179.0).unwrap();
+        assert_eq!(a, b);
+        let c = GridCell::containing(0.5, 540.5).unwrap(); // 540.5 ≡ 180.5 ≡ -179.5
+        let d = GridCell::containing(0.5, -179.5).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for &(lat, lon) in &[(0u16, 0u16), (179, 359), (90, 180), (45, 7)] {
+            let cell = GridCell::new(lat, lon).unwrap();
+            assert_eq!(GridCell::from_index(cell.index()).unwrap(), cell);
+        }
+        assert!(GridCell::from_index(TOTAL_CELLS).is_err());
+    }
+
+    #[test]
+    fn new_validates_ranges() {
+        assert!(GridCell::new(180, 0).is_err());
+        assert!(GridCell::new(0, 360).is_err());
+        assert!(GridCell::new(179, 359).is_ok());
+    }
+
+    #[test]
+    fn center_is_half_degree_in() {
+        let c = GridCell::new(90, 180).unwrap(); // SW corner (0, 0)
+        assert_eq!(c.southwest(), (0.0, 0.0));
+        assert_eq!(c.center(), (0.5, 0.5));
+    }
+
+    #[test]
+    fn containing_rejects_nan() {
+        assert!(GridCell::containing(f64::NAN, 0.0).is_err());
+        assert!(GridCell::containing(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn bucket_file_name_is_stable() {
+        let c = GridCell::new(7, 42).unwrap();
+        assert_eq!(c.bucket_file_name(), "cell_007_042.gb");
+    }
+
+    #[test]
+    fn containing_agrees_with_southwest() {
+        // A point just inside a cell's SW corner maps back to that cell.
+        for &(lat, lon) in &[(10u16, 20u16), (0, 0), (179, 359)] {
+            let cell = GridCell::new(lat, lon).unwrap();
+            let (slat, slon) = cell.southwest();
+            let back = GridCell::containing(slat + 1e-6, slon + 1e-6).unwrap();
+            assert_eq!(back, cell);
+        }
+    }
+}

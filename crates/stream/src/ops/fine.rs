@@ -1,0 +1,340 @@
+//! Fine-grained operator decomposition of the partial k-means (§3.4,
+//! option 3): "break up the partial k-means into several finer grained
+//! operators such as ChooseRandomSeeds, and SortDataPoint,
+//! ComputeClusterMean, etc. Within the partial k-means, the SortDataPoint
+//! … is the most expensive operation, and could be parallelized."
+//!
+//! One k-means run becomes a small dataflow:
+//!
+//! ```text
+//! ChooseRandomSeeds ─▶ centroids ─▶ SortDataPoint × S ─▶ partial stats ─▶ ComputeClusterMean
+//!        ▲                                                              │
+//!        └────────────────── next-iteration centroids ◀────────────────┘
+//! ```
+//!
+//! `SortDataPoint` clones each own a fixed segment of the chunk (round-robin
+//! deal) and receive the current centroid table each round; the reducer
+//! recomputes weighted means, repairs empty clusters with the same
+//! farthest-point policy as [`pmkm_core::lloyd::lloyd`], and decides convergence on
+//! the MSE delta — so the fine-grained dataflow computes the very same
+//! algorithm, just spread over operators.
+
+use crate::error::{EngineError, Result};
+use crate::queue::SmartQueue;
+use crate::telemetry::{OpMeter, OpStats};
+use pmkm_core::config::SeedMode;
+use pmkm_core::point::nearest_centroid;
+use pmkm_core::seeding::{rng_for, seed_centroids};
+use pmkm_core::{Centroids, Dataset, KMeansConfig, PointSource};
+use std::sync::Arc;
+
+/// Accumulated round statistics: (sums, weights, sse, donors).
+type RoundStats = (Vec<f64>, Vec<f64>, f64, Vec<(f64, usize, Vec<f64>)>);
+
+/// Partial statistics one `SortDataPoint` clone reports per round.
+#[derive(Debug, Clone)]
+struct SortStats {
+    sums: Vec<f64>,
+    weights: Vec<f64>,
+    sse: f64,
+    /// Top-k donor candidates (d², global index, coords), farthest first.
+    donors: Vec<(f64, usize, Vec<f64>)>,
+}
+
+/// Result of a fine-grained k-means run.
+#[derive(Debug, Clone)]
+pub struct FineRun {
+    /// Final centroids.
+    pub centroids: Centroids,
+    /// Weight captured per cluster.
+    pub cluster_weights: Vec<f64>,
+    /// Final MSE.
+    pub mse: f64,
+    /// Iterations to converge.
+    pub iterations: usize,
+    /// Whether the MSE delta criterion was met before the cap.
+    pub converged: bool,
+    /// Telemetry: one entry per operator instance
+    /// (`choose-random-seeds`, S × `sort-data-point`, `compute-cluster-mean`).
+    pub op_stats: Vec<OpStats>,
+}
+
+/// The `ChooseRandomSeeds` operator: deterministic seed selection for one
+/// `(chunk, restart)` pair.
+pub fn choose_random_seeds(
+    chunk: &Dataset,
+    cfg: &KMeansConfig,
+    restart: usize,
+) -> Result<(Centroids, OpStats)> {
+    let mut meter = OpMeter::new("choose-random-seeds", restart);
+    let mut rng = rng_for(cfg.seed, restart as u64);
+    let init = meter.work(|| seed_centroids(chunk, cfg.k, SeedMode::RandomPoints, &mut rng))?;
+    meter.item_out();
+    Ok((init, meter.finish()))
+}
+
+/// Runs one k-means as the fine-grained dataflow with `sorters`
+/// `SortDataPoint` clones. Single restart (`cfg.restarts` is ignored here;
+/// callers loop restarts and keep the best, exactly like the coarse path).
+pub fn fine_kmeans(chunk: &Dataset, cfg: &KMeansConfig, sorters: usize) -> Result<FineRun> {
+    cfg.validate()?;
+    if chunk.is_empty() {
+        return Err(pmkm_core::Error::EmptyDataset.into());
+    }
+    if cfg.k > chunk.len() {
+        return Err(pmkm_core::Error::KExceedsPoints { k: cfg.k, points: chunk.len() }.into());
+    }
+    let sorters = sorters.max(1);
+    let dim = chunk.dim();
+    let k = cfg.k;
+    let n = chunk.len();
+
+    let (init, seed_stats) = choose_random_seeds(chunk, cfg, 0)?;
+    // Segment the chunk round-robin: global index of segment s, position p
+    // is p·sorters + s.
+    let segments: Vec<Dataset> = chunk.split_round_robin(sorters)?;
+
+    // Queues: one broadcast queue per sorter (each round gets every
+    // sorter's copy of the centroids), one shared stats queue back.
+    let cmd_queues: Vec<SmartQueue<Option<Arc<Centroids>>>> = (0..sorters)
+        .map(|s| SmartQueue::new(format!("seeds→sort{s}"), 2))
+        .collect();
+    let stats_queue: SmartQueue<SortStats> = SmartQueue::new("sort→mean", sorters.max(2));
+
+    let run = crossbeam::thread::scope(|scope| -> Result<FineRun> {
+        let mut handles = Vec::new();
+        for (s, segment) in segments.iter().enumerate() {
+            let cmds = cmd_queues[s].consumer();
+            let out = stats_queue.producer();
+            handles.push(scope.spawn(move |_| -> Result<OpStats> {
+                let mut meter = OpMeter::new("sort-data-point", s);
+                while let Some(cmd) = cmds.recv() {
+                    let Some(centroids) = cmd else { break };
+                    meter.item_in();
+                    let stats = meter.work(|| sort_segment(segment, &centroids, s, sorters, k));
+                    meter.item_out();
+                    out.send(stats)
+                        .map_err(|_| EngineError::Disconnected("sort→mean"))?;
+                }
+                Ok(meter.finish())
+            }));
+        }
+        let cmd_producers: Vec<_> = cmd_queues.iter().map(|q| q.producer()).collect();
+        for q in &cmd_queues {
+            q.seal();
+        }
+        let stats_in = stats_queue.consumer();
+        stats_queue.seal();
+
+        // ComputeClusterMean: the reducer loop, on this thread.
+        let mut meter = OpMeter::new("compute-cluster-mean", 0);
+        let mut centroids = init;
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        let broadcast = |c: &Centroids| -> Result<()> {
+            let shared = Arc::new(c.clone());
+            for p in &cmd_producers {
+                p.send(Some(Arc::clone(&shared)))
+                    .map_err(|_| EngineError::Disconnected("seeds→sort"))?;
+            }
+            Ok(())
+        };
+        let collect = |meter: &mut OpMeter| -> Result<RoundStats> {
+            let mut sums = vec![0.0; k * dim];
+            let mut weights = vec![0.0; k];
+            let mut sse = 0.0;
+            let mut donors = Vec::new();
+            for _ in 0..sorters {
+                let s = stats_in
+                    .recv()
+                    .ok_or(EngineError::Disconnected("sort→mean"))?;
+                meter.item_in();
+                meter.work(|| {
+                    for (a, b) in sums.iter_mut().zip(&s.sums) {
+                        *a += b;
+                    }
+                    for (a, b) in weights.iter_mut().zip(&s.weights) {
+                        *a += b;
+                    }
+                    sse += s.sse;
+                    donors.extend(s.donors);
+                });
+            }
+            donors.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+            });
+            Ok((sums, weights, sse, donors))
+        };
+
+        broadcast(&centroids)?;
+        let (mut sums, mut weights, sse0, mut donors) = collect(&mut meter)?;
+        let mut prev_mse = sse0 / n as f64;
+        let mut final_mse = prev_mse;
+
+        while iterations < cfg.lloyd.max_iters {
+            // Recompute means (empty clusters jump to farthest donors).
+            meter.work(|| {
+                let mut flat = centroids.as_flat().to_vec();
+                let mut donor_iter = donors.iter();
+                for j in 0..k {
+                    if weights[j] > 0.0 {
+                        for d in 0..dim {
+                            flat[j * dim + d] = sums[j * dim + d] / weights[j];
+                        }
+                    } else if let Some((_, _, coords)) = donor_iter.next() {
+                        flat[j * dim..(j + 1) * dim].copy_from_slice(coords);
+                    }
+                }
+                centroids = Centroids::from_flat(dim, flat).expect("valid shape");
+            });
+            broadcast(&centroids)?;
+            let (s, w, sse, d) = collect(&mut meter)?;
+            sums = s;
+            weights = w;
+            donors = d;
+            let mse = sse / n as f64;
+            iterations += 1;
+            let delta = prev_mse - mse;
+            final_mse = mse;
+            prev_mse = mse;
+            if delta >= 0.0 && delta <= cfg.lloyd.epsilon {
+                converged = true;
+                break;
+            }
+        }
+        // Stop the sorters and collect their telemetry.
+        for p in &cmd_producers {
+            p.send(None).map_err(|_| EngineError::Disconnected("seeds→sort"))?;
+        }
+        drop(cmd_producers);
+        let mut op_stats = vec![seed_stats.clone()];
+        for h in handles {
+            match h.join() {
+                Ok(Ok(stats)) => op_stats.push(stats),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(EngineError::OperatorPanic("sort-data-point".into())),
+            }
+        }
+        op_stats.push(meter.finish());
+        Ok(FineRun {
+            centroids,
+            cluster_weights: weights,
+            mse: final_mse,
+            iterations,
+            converged,
+            op_stats,
+        })
+    })
+    .map_err(|_| EngineError::OperatorPanic("fine-kmeans scope".into()))??;
+    Ok(run)
+}
+
+fn sort_segment(
+    segment: &Dataset,
+    centroids: &Centroids,
+    seg_idx: usize,
+    sorters: usize,
+    k: usize,
+) -> SortStats {
+    let dim = centroids.dim();
+    let kc = centroids.k();
+    let mut sums = vec![0.0; kc * dim];
+    let mut weights = vec![0.0; kc];
+    let mut sse = 0.0;
+    let mut donors: Vec<(f64, usize, Vec<f64>)> = Vec::with_capacity(segment.len());
+    for (pos, p) in segment.iter().enumerate() {
+        let (j, d2) = nearest_centroid(p, centroids.as_flat(), dim);
+        for (s, c) in sums[j * dim..(j + 1) * dim].iter_mut().zip(p) {
+            *s += c;
+        }
+        weights[j] += 1.0;
+        sse += d2;
+        donors.push((d2, pos * sorters + seg_idx, p.to_vec()));
+    }
+    donors.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+    });
+    donors.truncate(k);
+    SortStats { sums, weights, sse, donors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmkm_core::lloyd::lloyd;
+
+    fn blob_chunk(seed: u64, n: usize) -> Dataset {
+        use rand::Rng;
+        let mut rng = rng_for(seed, 0);
+        let mut ds = Dataset::new(2).unwrap();
+        for _ in 0..n {
+            let b = if rng.gen_bool(0.5) { 0.0 } else { 25.0 };
+            ds.push(&[b + rng.gen_range(-1.0..1.0), b + rng.gen_range(-1.0..1.0)]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn single_sorter_matches_core_lloyd_exactly() {
+        let chunk = blob_chunk(1, 150);
+        let cfg = KMeansConfig { restarts: 1, ..KMeansConfig::paper(3, 7) };
+        let mut rng = rng_for(7, 0);
+        let init = seed_centroids(&chunk, 3, SeedMode::RandomPoints, &mut rng).unwrap();
+        let reference = lloyd(&chunk, &init, &cfg.lloyd).unwrap();
+        let fine = fine_kmeans(&chunk, &cfg, 1).unwrap();
+        assert_eq!(fine.centroids, reference.centroids);
+        assert_eq!(fine.iterations, reference.iterations);
+        assert!((fine.mse - reference.mse).abs() < 1e-15);
+        assert!(fine.converged);
+    }
+
+    #[test]
+    fn multiple_sorters_agree_within_rounding() {
+        let chunk = blob_chunk(2, 200);
+        let cfg = KMeansConfig { restarts: 1, ..KMeansConfig::paper(4, 11) };
+        let one = fine_kmeans(&chunk, &cfg, 1).unwrap();
+        for sorters in [2usize, 3, 4] {
+            let multi = fine_kmeans(&chunk, &cfg, sorters).unwrap();
+            assert_eq!(multi.iterations, one.iterations, "sorters={sorters}");
+            for (a, b) in multi.centroids.as_flat().iter().zip(one.centroids.as_flat()) {
+                assert!((a - b).abs() < 1e-9, "sorters={sorters}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_covers_every_operator() {
+        let chunk = blob_chunk(3, 100);
+        let cfg = KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 5) };
+        let run = fine_kmeans(&chunk, &cfg, 3).unwrap();
+        let names: Vec<&str> = run.op_stats.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.iter().filter(|n| **n == "sort-data-point").count(), 3);
+        assert!(names.contains(&"choose-random-seeds"));
+        assert!(names.contains(&"compute-cluster-mean"));
+        // Every sorter processed every round.
+        let rounds = run.iterations as u64 + 1;
+        for s in run.op_stats.iter().filter(|s| s.name == "sort-data-point") {
+            assert_eq!(s.items_in, rounds);
+            assert_eq!(s.items_out, rounds);
+        }
+    }
+
+    #[test]
+    fn weight_conservation() {
+        let chunk = blob_chunk(4, 120);
+        let cfg = KMeansConfig { restarts: 1, ..KMeansConfig::paper(3, 9) };
+        let run = fine_kmeans(&chunk, &cfg, 2).unwrap();
+        let total: f64 = run.cluster_weights.iter().sum();
+        assert_eq!(total, 120.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        let empty = Dataset::new(2).unwrap();
+        let cfg = KMeansConfig::paper(2, 0);
+        assert!(fine_kmeans(&empty, &cfg, 2).is_err());
+        let tiny = Dataset::from_rows(&[[0.0, 0.0]]).unwrap();
+        assert!(fine_kmeans(&tiny, &KMeansConfig::paper(2, 0), 2).is_err());
+    }
+}

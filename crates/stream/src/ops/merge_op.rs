@@ -1,0 +1,253 @@
+//! The merge k-means operator: per-cell consumer of the partial results.
+//!
+//! Tracks, per cell, the partial outputs received so far and the expected
+//! chunk count announced by the chunker's [`MergeMsg::CellPlan`]; once a
+//! cell is complete its weighted centroid sets are merged (in chunk-id
+//! order, so results are independent of arrival order) and the final
+//! clustering is emitted downstream.
+
+use crate::error::{EngineError, Result};
+use crate::item::{CellClustering, MergeMsg};
+use crate::queue::{QueueConsumer, QueueProducer};
+use crate::telemetry::{OpMeter, OpStats};
+use pmkm_core::merge::merge;
+use pmkm_core::partial::PartialOutput;
+use pmkm_core::pipeline::ChunkStats;
+use pmkm_core::{KMeansConfig, MergeMode, WeightedSet};
+use pmkm_data::GridCell;
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Default)]
+struct CellProgress {
+    partials: BTreeMap<usize, PartialOutput>,
+    expected: Option<usize>,
+}
+
+impl CellProgress {
+    fn complete(&self) -> bool {
+        self.expected == Some(self.partials.len())
+    }
+}
+
+/// The merge operator.
+pub struct MergeKMeansOp {
+    input: QueueConsumer<MergeMsg>,
+    out: QueueProducer<CellClustering>,
+    kmeans: KMeansConfig,
+    mode: MergeMode,
+    merge_restarts: usize,
+}
+
+impl MergeKMeansOp {
+    /// Creates the operator.
+    pub fn new(
+        input: QueueConsumer<MergeMsg>,
+        out: QueueProducer<CellClustering>,
+        kmeans: KMeansConfig,
+        mode: MergeMode,
+        merge_restarts: usize,
+    ) -> Self {
+        Self { input, out, kmeans, mode, merge_restarts }
+    }
+
+    /// Runs until the partial stream ends; errors if any cell is left
+    /// incomplete (lost messages — a broken pipeline).
+    pub fn run(self) -> Result<OpStats> {
+        let mut meter = OpMeter::new("merge", 0);
+        let mut cells: HashMap<GridCell, CellProgress> = HashMap::new();
+        while let Some(msg) = self.input.recv() {
+            meter.item_in();
+            let cell = match msg {
+                MergeMsg::Partial { cell, chunk_id, output } => {
+                    let progress = cells.entry(cell).or_default();
+                    if progress.partials.insert(chunk_id, output).is_some() {
+                        return Err(EngineError::InvalidPlan(format!(
+                            "duplicate chunk {chunk_id} for cell {}",
+                            cell.index()
+                        )));
+                    }
+                    cell
+                }
+                MergeMsg::CellPlan { cell, chunks } => {
+                    let progress = cells.entry(cell).or_default();
+                    if progress.expected.replace(chunks).is_some() {
+                        return Err(EngineError::InvalidPlan(format!(
+                            "duplicate cell plan for cell {}",
+                            cell.index()
+                        )));
+                    }
+                    cell
+                }
+            };
+            if cells.get(&cell).is_some_and(CellProgress::complete) {
+                let progress = cells.remove(&cell).expect("checked above");
+                if progress.partials.is_empty() {
+                    continue; // empty bucket: nothing to emit
+                }
+                let result = meter.work(|| self.merge_cell(cell, progress))?;
+                meter.item_out();
+                self.out
+                    .send(result)
+                    .map_err(|_| EngineError::Disconnected("merge→results"))?;
+            }
+        }
+        if !cells.is_empty() {
+            let cell = cells.keys().next().expect("non-empty");
+            return Err(EngineError::InvalidPlan(format!(
+                "stream ended with {} incomplete cell(s), e.g. cell {}",
+                cells.len(),
+                cell.index()
+            )));
+        }
+        Ok(meter.finish())
+    }
+
+    fn merge_cell(&self, cell: GridCell, progress: CellProgress) -> Result<CellClustering> {
+        let sets: Vec<WeightedSet> =
+            progress.partials.values().map(|p| p.centroids.clone()).collect();
+        let output = merge(&sets, &self.kmeans, self.mode, self.merge_restarts)?;
+        let chunks = progress
+            .partials
+            .into_iter()
+            .map(|(chunk_id, p)| ChunkStats {
+                chunk: chunk_id,
+                points: p.points,
+                best_mse: p.best_mse,
+                total_iterations: p.total_iterations,
+                elapsed: p.elapsed,
+            })
+            .collect();
+        Ok(CellClustering { cell, output, chunks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::SmartQueue;
+    use pmkm_core::partial::partial_kmeans;
+    use pmkm_core::Dataset;
+
+    fn cell(i: u16) -> GridCell {
+        GridCell::new(i, 0).unwrap()
+    }
+
+    fn partial(n: usize, offset: f64) -> PartialOutput {
+        let mut ds = Dataset::new(1).unwrap();
+        for i in 0..n {
+            ds.push(&[offset + (i % 3) as f64 * 0.1]).unwrap();
+        }
+        partial_kmeans(&ds, &KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 3) }).unwrap()
+    }
+
+    fn run_merge(msgs: Vec<MergeMsg>) -> Result<Vec<CellClustering>> {
+        let q_in: SmartQueue<MergeMsg> = SmartQueue::new("merge", 64);
+        let q_out: SmartQueue<CellClustering> = SmartQueue::new("results", 64);
+        let p = q_in.producer();
+        let op = MergeKMeansOp::new(
+            q_in.consumer(),
+            q_out.producer(),
+            KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 3) },
+            MergeMode::Collective,
+            1,
+        );
+        let c = q_out.consumer();
+        q_in.seal();
+        q_out.seal();
+        for m in msgs {
+            p.send(m).unwrap();
+        }
+        drop(p);
+        op.run()?;
+        Ok(std::iter::from_fn(|| c.recv()).collect())
+    }
+
+    #[test]
+    fn merges_when_all_chunks_arrive() {
+        let c0 = cell(1);
+        let out = run_merge(vec![
+            MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(10, 0.0) },
+            MergeMsg::Partial { cell: c0, chunk_id: 1, output: partial(10, 50.0) },
+            MergeMsg::CellPlan { cell: c0, chunks: 2 },
+        ])
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cell, c0);
+        assert_eq!(out[0].chunks.len(), 2);
+        let total: f64 = out[0].output.cluster_weights.iter().sum();
+        assert_eq!(total, 20.0);
+    }
+
+    #[test]
+    fn plan_before_partials_also_completes() {
+        let c0 = cell(2);
+        let out = run_merge(vec![
+            MergeMsg::CellPlan { cell: c0, chunks: 1 },
+            MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(8, 0.0) },
+        ])
+        .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn arrival_order_does_not_change_result() {
+        let c0 = cell(3);
+        let msgs = |flip: bool| {
+            let a = MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(12, 0.0) };
+            let b = MergeMsg::Partial { cell: c0, chunk_id: 1, output: partial(12, 9.0) };
+            let plan = MergeMsg::CellPlan { cell: c0, chunks: 2 };
+            if flip {
+                vec![b, plan, a]
+            } else {
+                vec![a, b, plan]
+            }
+        };
+        let x = run_merge(msgs(false)).unwrap();
+        let y = run_merge(msgs(true)).unwrap();
+        assert_eq!(x[0].output.centroids, y[0].output.centroids);
+        assert_eq!(x[0].output.epm, y[0].output.epm);
+    }
+
+    #[test]
+    fn interleaved_cells_emit_separately() {
+        let (a, b) = (cell(4), cell(5));
+        let out = run_merge(vec![
+            MergeMsg::Partial { cell: a, chunk_id: 0, output: partial(6, 0.0) },
+            MergeMsg::Partial { cell: b, chunk_id: 0, output: partial(7, 1.0) },
+            MergeMsg::CellPlan { cell: b, chunks: 1 },
+            MergeMsg::CellPlan { cell: a, chunks: 1 },
+        ])
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let cells: std::collections::HashSet<GridCell> =
+            out.iter().map(|r| r.cell).collect();
+        assert!(cells.contains(&a) && cells.contains(&b));
+    }
+
+    #[test]
+    fn empty_cell_plan_emits_nothing() {
+        let out = run_merge(vec![MergeMsg::CellPlan { cell: cell(6), chunks: 0 }]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn incomplete_cell_is_an_error() {
+        let err = run_merge(vec![MergeMsg::Partial {
+            cell: cell(7),
+            chunk_id: 0,
+            output: partial(5, 0.0),
+        }]);
+        assert!(matches!(err, Err(EngineError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn duplicate_chunk_is_an_error() {
+        let c0 = cell(8);
+        let err = run_merge(vec![
+            MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(5, 0.0) },
+            MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(5, 0.0) },
+            MergeMsg::CellPlan { cell: c0, chunks: 2 },
+        ]);
+        assert!(matches!(err, Err(EngineError::InvalidPlan(_))));
+    }
+}

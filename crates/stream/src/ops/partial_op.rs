@@ -1,0 +1,163 @@
+//! The partial k-means operator — "by far the most expensive computation"
+//! (§3.4) and therefore the operator the optimizer clones.
+//!
+//! Every clone consumes chunks from the shared chunk queue (MPMC work
+//! stealing) and emits the chunk's weighted centroids. Per-chunk RNG seeds
+//! derive from `(base seed, cell, chunk_id)`, so the clustering of a chunk
+//! is identical no matter which clone processes it — cloning changes
+//! wall-clock time, never results.
+
+use crate::error::{EngineError, Result};
+use crate::item::{ChunkMsg, MergeMsg};
+use crate::queue::{QueueConsumer, QueueProducer};
+use crate::telemetry::{OpMeter, OpStats};
+use pmkm_core::partial::partial_kmeans;
+use pmkm_core::seeding::derive_seed;
+use pmkm_core::KMeansConfig;
+
+/// Stream tag for per-(cell, chunk) seeds.
+const STREAM_CHUNK: u64 = 0x5354_4348_554E_4B00; // "STCHUNK"
+
+/// The seed used to cluster `(cell, chunk_id)` under `base`. Public so the
+/// in-memory pipeline and tests can reproduce engine results exactly.
+pub fn chunk_seed(base: u64, cell_index: u32, chunk_id: usize) -> u64 {
+    derive_seed(base, STREAM_CHUNK ^ ((cell_index as u64) << 20) ^ chunk_id as u64)
+}
+
+/// One clone of the partial k-means operator.
+pub struct PartialKMeansOp {
+    input: QueueConsumer<ChunkMsg>,
+    out: QueueProducer<MergeMsg>,
+    kmeans: KMeansConfig,
+    clone_id: usize,
+}
+
+impl PartialKMeansOp {
+    /// Creates one clone.
+    pub fn new(
+        input: QueueConsumer<ChunkMsg>,
+        out: QueueProducer<MergeMsg>,
+        kmeans: KMeansConfig,
+        clone_id: usize,
+    ) -> Self {
+        Self { input, out, kmeans, clone_id }
+    }
+
+    /// Runs until the chunk stream ends.
+    pub fn run(self) -> Result<OpStats> {
+        let mut meter = OpMeter::new("partial-kmeans", self.clone_id);
+        while let Some(ChunkMsg { cell, chunk_id, points }) = self.input.recv() {
+            meter.item_in();
+            let cfg = KMeansConfig {
+                seed: chunk_seed(self.kmeans.seed, cell.index(), chunk_id),
+                ..self.kmeans
+            };
+            let output = meter.work(|| partial_kmeans(&points, &cfg))?;
+            meter.item_out();
+            self.out
+                .send(MergeMsg::Partial { cell, chunk_id, output })
+                .map_err(|_| EngineError::Disconnected("partial→merge"))?;
+        }
+        Ok(meter.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::SmartQueue;
+    use pmkm_core::Dataset;
+    use pmkm_data::GridCell;
+
+    fn chunk(cell_i: u16, chunk_id: usize, n: usize) -> ChunkMsg {
+        let mut points = Dataset::new(2).unwrap();
+        for i in 0..n {
+            let o = (i % 4) as f64 * 0.1;
+            points.push(&[o + if i % 2 == 0 { 0.0 } else { 20.0 }, o]).unwrap();
+        }
+        ChunkMsg { cell: GridCell::new(cell_i, 0).unwrap(), chunk_id, points }
+    }
+
+    #[test]
+    fn clusters_each_chunk_and_forwards() {
+        let q_in: SmartQueue<ChunkMsg> = SmartQueue::new("chunks", 16);
+        let q_out: SmartQueue<MergeMsg> = SmartQueue::new("merge", 16);
+        let p = q_in.producer();
+        let op = PartialKMeansOp::new(
+            q_in.consumer(),
+            q_out.producer(),
+            KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 5) },
+            0,
+        );
+        let c = q_out.consumer();
+        q_in.seal();
+        q_out.seal();
+        p.send(chunk(1, 0, 30)).unwrap();
+        p.send(chunk(1, 1, 30)).unwrap();
+        drop(p);
+        let stats = op.run().unwrap();
+        assert_eq!(stats.items_in, 2);
+        assert_eq!(stats.items_out, 2);
+        let results: Vec<MergeMsg> = std::iter::from_fn(|| c.recv()).collect();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            match r {
+                MergeMsg::Partial { output, .. } => {
+                    assert_eq!(output.points, 30);
+                    let total: f64 = output.centroids.weights().iter().sum();
+                    assert_eq!(total, 30.0);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_seed_is_unique_per_cell_and_chunk() {
+        let mut seen = std::collections::HashSet::new();
+        for cell in 0..50u32 {
+            for chunk in 0..50usize {
+                assert!(seen.insert(chunk_seed(7, cell, chunk)));
+            }
+        }
+    }
+
+    #[test]
+    fn result_independent_of_which_clone_processes() {
+        // Two separate single-clone runs over permuted chunk orders produce
+        // identical per-chunk outputs.
+        let run = |order: Vec<ChunkMsg>| {
+            let q_in: SmartQueue<ChunkMsg> = SmartQueue::new("chunks", 16);
+            let q_out: SmartQueue<MergeMsg> = SmartQueue::new("merge", 16);
+            let p = q_in.producer();
+            let op = PartialKMeansOp::new(
+                q_in.consumer(),
+                q_out.producer(),
+                KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 9) },
+                0,
+            );
+            let c = q_out.consumer();
+            q_in.seal();
+            q_out.seal();
+            for m in order {
+                p.send(m).unwrap();
+            }
+            drop(p);
+            op.run().unwrap();
+            let mut out: Vec<(usize, pmkm_core::WeightedSet)> =
+                std::iter::from_fn(|| c.recv())
+                    .map(|m| match m {
+                        MergeMsg::Partial { chunk_id, output, .. } => {
+                            (chunk_id, output.centroids)
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    })
+                    .collect();
+            out.sort_by_key(|(id, _)| *id);
+            out
+        };
+        let a = run(vec![chunk(1, 0, 24), chunk(1, 1, 24)]);
+        let b = run(vec![chunk(1, 1, 24), chunk(1, 0, 24)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! The scan operator: grid-bucket files → point batches.
+
+use crate::error::{EngineError, Result};
+use crate::item::ScanMsg;
+use crate::queue::QueueProducer;
+use crate::telemetry::{OpMeter, OpStats};
+use pmkm_data::BucketReader;
+use std::path::PathBuf;
+
+/// Streams every bucket file as a sequence of bounded point batches,
+/// followed by a [`ScanMsg::CellEnd`] marker per cell. Data is read once,
+/// in batches, so the operator's state never exceeds one batch — the
+/// "one look at the data" discipline of §3.
+pub struct ScanOp {
+    paths: Vec<PathBuf>,
+    batch_points: usize,
+    out: QueueProducer<ScanMsg>,
+}
+
+impl ScanOp {
+    /// Creates the operator.
+    pub fn new(paths: Vec<PathBuf>, batch_points: usize, out: QueueProducer<ScanMsg>) -> Self {
+        Self { paths, batch_points: batch_points.max(1), out }
+    }
+
+    /// Runs to completion, returning telemetry.
+    pub fn run(self) -> Result<OpStats> {
+        let mut meter = OpMeter::new("scan", 0);
+        for path in &self.paths {
+            let mut reader = meter.work(|| BucketReader::open(path))?;
+            let cell = reader.cell;
+            loop {
+                let batch = meter.work(|| reader.next_batch(self.batch_points))?;
+                match batch {
+                    Some(points) => {
+                        meter.item_out();
+                        self.out
+                            .send(ScanMsg::Batch { cell, points })
+                            .map_err(|_| EngineError::Disconnected("scan→chunker"))?;
+                    }
+                    None => break,
+                }
+            }
+            meter.item_out();
+            self.out
+                .send(ScanMsg::CellEnd { cell })
+                .map_err(|_| EngineError::Disconnected("scan→chunker"))?;
+        }
+        Ok(meter.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::SmartQueue;
+    use pmkm_core::{Dataset, PointSource};
+    use pmkm_data::{GridBucket, GridCell};
+
+    fn write_bucket(dir: &std::path::Path, cell: GridCell, n: usize) -> PathBuf {
+        let mut points = Dataset::new(2).unwrap();
+        for i in 0..n {
+            points.push(&[i as f64, cell.index() as f64]).unwrap();
+        }
+        let path = dir.join(cell.bucket_file_name());
+        GridBucket { cell, points }.write_to(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn scans_cells_in_order_with_end_markers() {
+        let dir = std::env::temp_dir().join(format!("pmkm_scan_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let c1 = GridCell::new(1, 1).unwrap();
+        let c2 = GridCell::new(2, 2).unwrap();
+        let paths = vec![write_bucket(&dir, c1, 25), write_bucket(&dir, c2, 5)];
+
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 64);
+        let op = ScanOp::new(paths, 10, q.producer());
+        let c = q.consumer();
+        q.seal();
+        let stats = op.run().unwrap();
+        // 25 points at batch 10 → 3 batches + end; 5 points → 1 batch + end.
+        assert_eq!(stats.items_out, 3 + 1 + 1 + 1);
+
+        let msgs: Vec<ScanMsg> = std::iter::from_fn(|| c.recv()).collect();
+        assert_eq!(msgs.len(), 6);
+        let mut c1_points = 0;
+        match &msgs[3] {
+            ScanMsg::CellEnd { cell } => assert_eq!(*cell, c1),
+            other => panic!("expected CellEnd, got {other:?}"),
+        }
+        for m in &msgs[..3] {
+            match m {
+                ScanMsg::Batch { cell, points } => {
+                    assert_eq!(*cell, c1);
+                    c1_points += points.len();
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(c1_points, 25);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 4);
+        let op = ScanOp::new(vec![PathBuf::from("/nonexistent/x.gb")], 10, q.producer());
+        let _c = q.consumer();
+        q.seal();
+        assert!(matches!(op.run(), Err(EngineError::Data(_))));
+    }
+}

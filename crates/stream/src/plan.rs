@@ -1,0 +1,135 @@
+//! Logical and physical query plans.
+//!
+//! Mirrors the paper's Conquest workflow (§3.4, §4): the user states a
+//! *logical* dataflow ("cluster these grid buckets with k = 40"), the
+//! optimizer turns it into a *physical* plan by choosing the partition size
+//! from the memory budget and the clone degree of the partial operator from
+//! the available processors.
+
+use crate::error::{EngineError, Result};
+use crate::ops::ChunkPolicy;
+use pmkm_core::{KMeansConfig, MergeMode};
+use std::path::PathBuf;
+
+/// The logical dataflow: what to cluster and how.
+#[derive(Debug, Clone)]
+pub struct LogicalPlan {
+    /// Grid-bucket files to cluster, one output clustering per cell.
+    pub inputs: Vec<PathBuf>,
+    /// k-means parameters for the partial runs (k, restarts, ε).
+    pub kmeans: KMeansConfig,
+    /// Merge strategy.
+    pub merge_mode: MergeMode,
+    /// Restarts of the merge k-means.
+    pub merge_restarts: usize,
+}
+
+impl LogicalPlan {
+    /// A plan with the paper's algorithm defaults over the given buckets.
+    pub fn new(inputs: Vec<PathBuf>, kmeans: KMeansConfig) -> Self {
+        Self { inputs, kmeans, merge_mode: MergeMode::Collective, merge_restarts: 1 }
+    }
+
+    /// Validates the plan.
+    pub fn validate(&self) -> Result<()> {
+        if self.inputs.is_empty() {
+            return Err(EngineError::InvalidPlan("no input buckets".into()));
+        }
+        self.kmeans.validate()?;
+        if self.merge_restarts == 0 {
+            return Err(EngineError::InvalidPlan("merge_restarts must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The physical plan: the logical plan plus every execution knob the
+/// optimizer fixed.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// The logical plan being executed.
+    pub logical: LogicalPlan,
+    /// Number of partial k-means clones (≥ 1).
+    pub partial_clones: usize,
+    /// Chunk sizing policy handed to the chunker.
+    pub chunk_policy: ChunkPolicy,
+    /// Capacity of every inter-operator queue.
+    pub queue_capacity: usize,
+    /// Points per scan batch.
+    pub scan_batch: usize,
+    /// Number of scan-operator clones; input buckets are dealt round-robin
+    /// across them (cloning is generic in the engine — §3's "the model
+    /// allows to automatically clone operators").
+    pub scan_clones: usize,
+}
+
+impl PhysicalPlan {
+    /// Validates the physical knobs (and the nested logical plan).
+    pub fn validate(&self) -> Result<()> {
+        self.logical.validate()?;
+        if self.partial_clones == 0 {
+            return Err(EngineError::InvalidPlan("partial_clones must be >= 1".into()));
+        }
+        if self.queue_capacity == 0 || self.scan_batch == 0 {
+            return Err(EngineError::InvalidPlan(
+                "queue_capacity and scan_batch must be >= 1".into(),
+            ));
+        }
+        if self.scan_clones == 0 {
+            return Err(EngineError::InvalidPlan("scan_clones must be >= 1".into()));
+        }
+        match self.chunk_policy {
+            ChunkPolicy::FixedPoints(0) => {
+                Err(EngineError::InvalidPlan("fixed chunk size must be >= 1".into()))
+            }
+            ChunkPolicy::MemoryBudget { bytes: 0 } => {
+                Err(EngineError::InvalidPlan("memory budget must be >= 1 byte".into()))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logical() -> LogicalPlan {
+        LogicalPlan::new(vec![PathBuf::from("a.gb")], KMeansConfig::paper(4, 0))
+    }
+
+    #[test]
+    fn logical_defaults_match_paper() {
+        let p = logical();
+        assert_eq!(p.merge_mode, MergeMode::Collective);
+        assert_eq!(p.merge_restarts, 1);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn logical_rejects_empty_inputs() {
+        let p = LogicalPlan::new(vec![], KMeansConfig::paper(4, 0));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn physical_validation() {
+        let ok = PhysicalPlan {
+            logical: logical(),
+            partial_clones: 2,
+            chunk_policy: ChunkPolicy::FixedPoints(100),
+            queue_capacity: 8,
+            scan_batch: 64,
+            scan_clones: 1,
+        };
+        ok.validate().unwrap();
+        let bad = PhysicalPlan { scan_clones: 0, ..ok.clone() };
+        assert!(bad.validate().is_err());
+        let bad = PhysicalPlan { partial_clones: 0, ..ok.clone() };
+        assert!(bad.validate().is_err());
+        let bad = PhysicalPlan { chunk_policy: ChunkPolicy::FixedPoints(0), ..ok.clone() };
+        assert!(bad.validate().is_err());
+        let bad = PhysicalPlan { queue_capacity: 0, ..ok };
+        assert!(bad.validate().is_err());
+    }
+}

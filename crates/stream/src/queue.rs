@@ -1,0 +1,315 @@
+//! Smart queues: the bounded, telemetry-bearing edges between operators.
+//!
+//! "Producer operator(s) and consumer operator(s) are connected via smart
+//! queues to avoid buffer overflow or underflow" (§3.4). Concretely: a
+//! bounded MPMC channel — blocking sends give backpressure (no overflow),
+//! blocking receives give pipelining (no busy underflow) — plus counters
+//! that let the engine report throughput and contention per edge. The MPMC
+//! receive side is what makes *operator cloning* trivial: every clone of a
+//! consumer holds a receiver on the same queue and the clones steal work
+//! from each other.
+
+use crossbeam::channel::{bounded, Receiver, SendError, Sender, TryRecvError, TrySendError};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Snapshot of one queue's telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Edge name (e.g. `"chunks"`).
+    pub name: String,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Items pushed.
+    pub sends: u64,
+    /// Items popped.
+    pub recvs: u64,
+    /// Sends that found the queue full and had to block (backpressure
+    /// events — the producer outpacing the consumer).
+    pub full_blocks: u64,
+    /// Receives that found the queue empty and had to block (underflow
+    /// events — the consumer outpacing the producer).
+    pub empty_blocks: u64,
+    /// Total time producers spent blocked on a full queue.
+    pub blocked_send: Duration,
+    /// Total time consumers spent blocked on an empty queue.
+    pub blocked_recv: Duration,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    sends: AtomicU64,
+    recvs: AtomicU64,
+    full_blocks: AtomicU64,
+    empty_blocks: AtomicU64,
+    blocked_send_nanos: AtomicU64,
+    blocked_recv_nanos: AtomicU64,
+}
+
+/// A named, bounded MPMC queue.
+///
+/// Cheap to clone on both ends; the channel closes when every sender (or
+/// every receiver) is dropped, which is how end-of-stream propagates through
+/// a pipeline without explicit EOS messages on most edges.
+pub struct SmartQueue<T> {
+    name: String,
+    capacity: usize,
+    counters: Arc<Counters>,
+    sender: Mutex<Option<Sender<T>>>,
+    receiver: Receiver<T>,
+}
+
+impl<T> SmartQueue<T> {
+    /// Creates a queue with the given capacity (min 1).
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let (tx, rx) = bounded(capacity);
+        Self {
+            name: name.into(),
+            capacity,
+            counters: Arc::new(Counters::default()),
+            sender: Mutex::new(Some(tx)),
+            receiver: rx,
+        }
+    }
+
+    /// A producer handle. Call once per producer clone, **before**
+    /// [`SmartQueue::seal`].
+    pub fn producer(&self) -> QueueProducer<T> {
+        let guard = self.sender.lock();
+        let tx = guard.as_ref().expect("queue already sealed").clone();
+        QueueProducer { tx, counters: Arc::clone(&self.counters) }
+    }
+
+    /// A consumer handle. Call once per consumer clone.
+    pub fn consumer(&self) -> QueueConsumer<T> {
+        QueueConsumer { rx: self.receiver.clone(), counters: Arc::clone(&self.counters) }
+    }
+
+    /// Drops the queue's internal sender so the channel closes once all
+    /// handed-out producers finish. Must be called after wiring, before
+    /// waiting for the pipeline, or consumers never see end-of-stream.
+    pub fn seal(&self) {
+        self.sender.lock().take();
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            name: self.name.clone(),
+            capacity: self.capacity,
+            sends: self.counters.sends.load(Ordering::Relaxed),
+            recvs: self.counters.recvs.load(Ordering::Relaxed),
+            full_blocks: self.counters.full_blocks.load(Ordering::Relaxed),
+            empty_blocks: self.counters.empty_blocks.load(Ordering::Relaxed),
+            blocked_send: Duration::from_nanos(
+                self.counters.blocked_send_nanos.load(Ordering::Relaxed),
+            ),
+            blocked_recv: Duration::from_nanos(
+                self.counters.blocked_recv_nanos.load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+/// Sending half; dropped ⇒ one fewer producer on the edge.
+pub struct QueueProducer<T> {
+    tx: Sender<T>,
+    counters: Arc<Counters>,
+}
+
+impl<T> QueueProducer<T> {
+    /// Blocking send with backpressure accounting. `Err` means every
+    /// consumer hung up (broken pipeline).
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        match self.tx.try_send(item) {
+            Ok(()) => {
+                self.counters.sends.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(item)) => {
+                self.counters.full_blocks.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                let res = self.tx.send(item);
+                self.counters
+                    .blocked_send_nanos
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if res.is_ok() {
+                    self.counters.sends.fetch_add(1, Ordering::Relaxed);
+                }
+                res
+            }
+            Err(TrySendError::Disconnected(item)) => Err(SendError(item)),
+        }
+    }
+}
+
+impl<T> Clone for QueueProducer<T> {
+    fn clone(&self) -> Self {
+        Self { tx: self.tx.clone(), counters: Arc::clone(&self.counters) }
+    }
+}
+
+/// Receiving half; clones share the queue (work stealing between operator
+/// clones).
+pub struct QueueConsumer<T> {
+    rx: Receiver<T>,
+    counters: Arc<Counters>,
+}
+
+impl<T> QueueConsumer<T> {
+    /// Blocking receive with underflow accounting. `None` means the stream
+    /// ended (all producers dropped and the queue drained).
+    pub fn recv(&self) -> Option<T> {
+        match self.rx.try_recv() {
+            Ok(item) => {
+                self.counters.recvs.fetch_add(1, Ordering::Relaxed);
+                Some(item)
+            }
+            Err(TryRecvError::Empty) => {
+                self.counters.empty_blocks.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                let res = self.rx.recv().ok();
+                self.counters
+                    .blocked_recv_nanos
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if res.is_some() {
+                    self.counters.recvs.fetch_add(1, Ordering::Relaxed);
+                }
+                res
+            }
+            Err(TryRecvError::Disconnected) => None,
+        }
+    }
+}
+
+impl<T> Clone for QueueConsumer<T> {
+    fn clone(&self) -> Self {
+        Self { rx: self.rx.clone(), counters: Arc::clone(&self.counters) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_single_producer_consumer() {
+        let q: SmartQueue<u32> = SmartQueue::new("t", 4);
+        let p = q.producer();
+        let c = q.consumer();
+        q.seal();
+        for i in 0..4 {
+            p.send(i).unwrap();
+        }
+        drop(p);
+        let got: Vec<u32> = std::iter::from_fn(|| c.recv()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn end_of_stream_after_all_producers_drop() {
+        let q: SmartQueue<u32> = SmartQueue::new("t", 2);
+        let p1 = q.producer();
+        let p2 = q.producer();
+        let c = q.consumer();
+        q.seal();
+        p1.send(1).unwrap();
+        drop(p1);
+        p2.send(2).unwrap();
+        drop(p2);
+        assert!(c.recv().is_some());
+        assert!(c.recv().is_some());
+        assert!(c.recv().is_none());
+    }
+
+    #[test]
+    fn backpressure_blocks_and_is_counted() {
+        let q: SmartQueue<u32> = SmartQueue::new("t", 1);
+        let p = q.producer();
+        let c = q.consumer();
+        q.seal();
+        p.send(0).unwrap();
+        let handle = thread::spawn(move || {
+            p.send(1).unwrap(); // must block until the consumer drains
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(c.recv(), Some(0));
+        handle.join().unwrap();
+        assert_eq!(c.recv(), Some(1));
+        let s = q.stats();
+        assert_eq!(s.sends, 2);
+        assert_eq!(s.recvs, 2);
+        assert!(s.full_blocks >= 1);
+        assert!(s.blocked_send >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn cloned_consumers_partition_the_stream() {
+        let q: SmartQueue<u64> = SmartQueue::new("t", 8);
+        let p = q.producer();
+        let c1 = q.consumer();
+        let c2 = q.consumer();
+        q.seal();
+        let n = 1000u64;
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                p.send(i).unwrap();
+            }
+        });
+        let worker = |c: QueueConsumer<u64>| {
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = c.recv() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        let h1 = worker(c1);
+        let h2 = worker(c2);
+        producer.join().unwrap();
+        let mut all = h1.join().unwrap();
+        all.extend(h2.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_when_consumers_gone() {
+        let q: SmartQueue<u32> = SmartQueue::new("t", 1);
+        let p = q.producer();
+        let c = q.consumer();
+        q.seal();
+        drop(c);
+        // Note: the SmartQueue itself holds a receiver; a real pipeline
+        // hands it out and drops the queue. Simulate by dropping the queue.
+        drop(q);
+        assert!(p.send(1).is_err());
+    }
+
+    #[test]
+    fn empty_block_counted() {
+        let q: SmartQueue<u32> = SmartQueue::new("t", 2);
+        let p = q.producer();
+        let c = q.consumer();
+        q.seal();
+        let h = thread::spawn(move || c.recv());
+        thread::sleep(Duration::from_millis(20));
+        p.send(7).unwrap();
+        assert_eq!(h.join().unwrap(), Some(7));
+        let s = q.stats();
+        assert!(s.empty_blocks >= 1);
+        assert!(s.blocked_recv >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn capacity_minimum_is_one() {
+        let q: SmartQueue<u32> = SmartQueue::new("t", 0);
+        assert_eq!(q.stats().capacity, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-operator telemetry.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Runtime statistics of one operator instance (one clone).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Operator name (`"scan"`, `"chunker"`, `"partial-kmeans"`, `"merge"`).
+    pub name: String,
+    /// Clone index for cloned operators, 0 otherwise.
+    pub clone_id: usize,
+    /// Items consumed from the input edge.
+    pub items_in: u64,
+    /// Items produced on the output edge.
+    pub items_out: u64,
+    /// Time spent doing work (excludes time blocked on queues).
+    pub busy: Duration,
+    /// Wall-clock lifetime of the operator.
+    pub lifetime: Duration,
+}
+
+impl OpStats {
+    /// Fraction of its lifetime the operator spent busy (0 when unknown).
+    pub fn utilization(&self) -> f64 {
+        if self.lifetime.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / self.lifetime.as_secs_f64()
+        }
+    }
+}
+
+/// Builder used inside operator run loops.
+#[derive(Debug)]
+pub struct OpMeter {
+    name: String,
+    clone_id: usize,
+    items_in: u64,
+    items_out: u64,
+    busy: Duration,
+    started: Instant,
+}
+
+impl OpMeter {
+    /// Starts metering an operator.
+    pub fn new(name: impl Into<String>, clone_id: usize) -> Self {
+        Self {
+            name: name.into(),
+            clone_id,
+            items_in: 0,
+            items_out: 0,
+            busy: Duration::ZERO,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one consumed item.
+    pub fn item_in(&mut self) {
+        self.items_in += 1;
+    }
+
+    /// Records one produced item.
+    pub fn item_out(&mut self) {
+        self.items_out += 1;
+    }
+
+    /// Times a unit of work and adds it to the busy total.
+    pub fn work<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.busy += start.elapsed();
+        out
+    }
+
+    /// Finishes metering.
+    pub fn finish(self) -> OpStats {
+        OpStats {
+            name: self.name,
+            clone_id: self.clone_id,
+            items_in: self.items_in,
+            items_out: self.items_out,
+            busy: self.busy,
+            lifetime: self.started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates() {
+        let mut m = OpMeter::new("op", 2);
+        m.item_in();
+        m.item_in();
+        let v = m.work(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        m.item_out();
+        let s = m.finish();
+        assert_eq!(s.name, "op");
+        assert_eq!(s.clone_id, 2);
+        assert_eq!(s.items_in, 2);
+        assert_eq!(s.items_out, 1);
+        assert!(s.busy >= Duration::from_millis(4));
+        assert!(s.lifetime >= s.busy);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let m = OpMeter::new("idle", 0);
+        let s = m.finish();
+        let u = s.utilization();
+        assert!((0.0..=1.0).contains(&u));
+    }
+}

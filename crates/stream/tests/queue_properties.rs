@@ -1,0 +1,87 @@
+//! Property tests for the smart-queue substrate and fine-grained operators.
+
+use pmkm_core::{Dataset, KMeansConfig, PointSource};
+use pmkm_stream::ops::fine_kmeans;
+use pmkm_stream::SmartQueue;
+use proptest::prelude::*;
+use std::thread;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_item_delivered_exactly_once(
+        items in proptest::collection::vec(any::<u64>(), 0..256),
+        consumers in 1usize..5,
+        capacity in 1usize..32,
+    ) {
+        let q: SmartQueue<u64> = SmartQueue::new("prop", capacity);
+        let p = q.producer();
+        let handles: Vec<_> = (0..consumers)
+            .map(|_| {
+                let c = q.consumer();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = c.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        q.seal();
+        for &v in &items {
+            p.send(v).unwrap();
+        }
+        drop(p);
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        let mut want = items.clone();
+        want.sort_unstable();
+        prop_assert_eq!(all, want);
+        let s = q.stats();
+        prop_assert_eq!(s.sends, items.len() as u64);
+        prop_assert_eq!(s.recvs, items.len() as u64);
+    }
+
+    #[test]
+    fn single_consumer_preserves_order(
+        items in proptest::collection::vec(any::<u32>(), 0..128),
+        capacity in 1usize..16,
+    ) {
+        let q: SmartQueue<u32> = SmartQueue::new("order", capacity);
+        let p = q.producer();
+        let c = q.consumer();
+        q.seal();
+        let want = items.clone();
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = c.recv() {
+                got.push(v);
+            }
+            got
+        });
+        for v in items {
+            p.send(v).unwrap();
+        }
+        drop(p);
+        prop_assert_eq!(consumer.join().unwrap(), want);
+    }
+
+    #[test]
+    fn fine_kmeans_conserves_weight_any_input(
+        flat in proptest::collection::vec(-100.0..100.0f64, 2 * 8..2 * 48),
+        sorters in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let n2 = flat.len() - flat.len() % 2;
+        let ds = Dataset::from_flat(2, flat[..n2].to_vec()).unwrap();
+        let k = 2.min(ds.len());
+        let cfg = KMeansConfig { restarts: 1, ..KMeansConfig::paper(k, seed) };
+        let run = fine_kmeans(&ds, &cfg, sorters).unwrap();
+        let total: f64 = run.cluster_weights.iter().sum();
+        prop_assert!((total - ds.len() as f64).abs() < 1e-9);
+        prop_assert!(run.mse.is_finite() && run.mse >= 0.0);
+        prop_assert_eq!(run.centroids.k(), k);
+    }
+}

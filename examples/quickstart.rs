@@ -1,0 +1,52 @@
+//! Quickstart: cluster one MISR-like grid cell with partial/merge k-means.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pmkm_core::prelude::*;
+use pmkm_data::CellConfig;
+
+fn main() -> Result<()> {
+    // 1. A synthetic 1°×1° grid cell: 20,000 six-dimensional points (the
+    //    paper's "typical monthly summary" size).
+    let cell = pmkm_data::generator::generate_cell(&CellConfig::paper(20_000, 42))
+        .expect("generator is infallible for valid configs");
+    println!("cell: {} points × {} attributes", cell.len(), cell.dim());
+
+    // 2. Paper defaults: k = 40, best-of-10 restarts, ε = 1e-9, points
+    //    dealt randomly into 10 memory-sized chunks, collective merge.
+    let cfg = PartialMergeConfig::paper(/*k=*/ 40, /*partitions=*/ 10, /*seed=*/ 7);
+    let result = partial_merge(&cell, &cfg)?;
+
+    // 3. What came back.
+    println!(
+        "partial phase: {} chunks, {:.0} ms total",
+        result.partitions,
+        result.partial_elapsed.as_secs_f64() * 1e3
+    );
+    for c in result.chunks.iter().take(3) {
+        println!(
+            "  chunk {}: {} points, best MSE {:.1}, {} Lloyd iterations",
+            c.chunk, c.points, c.best_mse, c.total_iterations
+        );
+    }
+    println!("  …");
+    println!(
+        "merge phase: {} weighted centroids -> {} final, E_pm = {:.1}, {:.1} ms",
+        result.merge.input_centroids,
+        result.merge.centroids.k(),
+        result.merge.epm,
+        result.merge.elapsed.as_secs_f64() * 1e3
+    );
+
+    // 4. Quality against the original points.
+    let mse = metrics::mse_against(&cell, &result.merge.centroids)?;
+    println!("data-space MSE of the final representation: {mse:.1}");
+
+    // 5. The final centroids are weighted: weights sum to the cell size.
+    let total: f64 = result.merge.cluster_weights.iter().sum();
+    assert_eq!(total, cell.len() as f64);
+    println!("weight conservation: {} points accounted for", total as usize);
+    Ok(())
+}
