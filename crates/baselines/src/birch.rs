@@ -57,11 +57,7 @@ impl ClusteringFeature {
 
     /// Squared distance between two CF centroids.
     fn centroid_sq_dist(&self, other: &ClusteringFeature) -> f64 {
-        self.centroid()
-            .iter()
-            .zip(other.centroid())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
+        self.centroid().iter().zip(other.centroid()).map(|(a, b)| (a - b) * (a - b)).sum()
     }
 }
 
@@ -323,11 +319,8 @@ fn farthest_pair(centroids: Vec<Vec<f64>>) -> (usize, usize) {
     let (mut bi, mut bj, mut best) = (0, m.saturating_sub(1), -1.0);
     for i in 0..m {
         for j in (i + 1)..m {
-            let d: f64 = centroids[i]
-                .iter()
-                .zip(&centroids[j])
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d: f64 =
+                centroids[i].iter().zip(&centroids[j]).map(|(a, b)| (a - b) * (a - b)).sum();
             if d > best {
                 best = d;
                 bi = i;

@@ -256,11 +256,7 @@ mod tests {
         let out = clarans(&ds, &cfg(2)).unwrap();
         let mut expect = 0.0;
         for p in ds.iter() {
-            expect += out
-                .medoids
-                .iter()
-                .map(|m| dist(p, m))
-                .fold(f64::INFINITY, f64::min);
+            expect += out.medoids.iter().map(|m| dist(p, m)).fold(f64::INFINITY, f64::min);
         }
         assert!((out.cost - expect).abs() < 1e-9, "{} vs {expect}", out.cost);
     }
@@ -321,16 +317,11 @@ mod tests {
     #[test]
     fn more_search_never_worse() {
         let ds = blob_cell(25);
-        let quick = clarans(
-            &ds,
-            &ClaransConfig { k: 3, num_local: 1, max_neighbors: 5, seed: 9 },
-        )
-        .unwrap();
-        let thorough = clarans(
-            &ds,
-            &ClaransConfig { k: 3, num_local: 4, max_neighbors: 200, seed: 9 },
-        )
-        .unwrap();
+        let quick =
+            clarans(&ds, &ClaransConfig { k: 3, num_local: 1, max_neighbors: 5, seed: 9 }).unwrap();
+        let thorough =
+            clarans(&ds, &ClaransConfig { k: 3, num_local: 4, max_neighbors: 200, seed: 9 })
+                .unwrap();
         assert!(thorough.cost <= quick.cost + 1e-9);
         assert!(thorough.neighbors_examined >= quick.neighbors_examined);
     }

@@ -29,9 +29,7 @@ pub mod stream_lsearch;
 
 pub use birch::{birch, BirchConfig, BirchResult, CfTree, ClusteringFeature};
 pub use clarans::{clarans, ClaransConfig, ClaransResult};
+pub use methods::{method_a, method_b, method_c, MethodAResult, MethodBResult, MethodCResult};
 pub use minibatch::{minibatch_kmeans, MiniBatchConfig, MiniBatchResult};
-pub use methods::{
-    method_a, method_b, method_c, MethodAResult, MethodBResult, MethodCResult,
-};
 pub use serial::{serial_kmeans, SerialResult};
 pub use stream_lsearch::{stream_lsearch, StreamLs, StreamLsConfig, StreamLsResult};

@@ -84,10 +84,8 @@ pub fn minibatch_kmeans(ds: &Dataset, cfg: &MiniBatchConfig) -> Result<MiniBatch
             *slot = rng.gen_range(0..n);
         }
         // Assign the batch against the *frozen* centroids, then update.
-        let assigned: Vec<usize> = batch
-            .iter()
-            .map(|&i| nearest_centroid(ds.coords(i), &centroids, dim).0)
-            .collect();
+        let assigned: Vec<usize> =
+            batch.iter().map(|&i| nearest_centroid(ds.coords(i), &centroids, dim).0).collect();
         for (&i, &j) in batch.iter().zip(&assigned) {
             counts[j] += 1;
             let eta = 1.0 / counts[j] as f64;
@@ -139,16 +137,12 @@ mod tests {
     #[test]
     fn more_steps_do_not_hurt_much() {
         let ds = blob_cell(150);
-        let short = minibatch_kmeans(
-            &ds,
-            &MiniBatchConfig { k: 2, batch_size: 32, steps: 20, seed: 7 },
-        )
-        .unwrap();
-        let long = minibatch_kmeans(
-            &ds,
-            &MiniBatchConfig { k: 2, batch_size: 32, steps: 400, seed: 7 },
-        )
-        .unwrap();
+        let short =
+            minibatch_kmeans(&ds, &MiniBatchConfig { k: 2, batch_size: 32, steps: 20, seed: 7 })
+                .unwrap();
+        let long =
+            minibatch_kmeans(&ds, &MiniBatchConfig { k: 2, batch_size: 32, steps: 400, seed: 7 })
+                .unwrap();
         assert!(long.mse <= short.mse * 1.5 + 1.0);
     }
 
@@ -176,9 +170,7 @@ mod tests {
         ));
         let ds = blob_cell(10);
         assert!(minibatch_kmeans(&ds, &MiniBatchConfig { k: 0, ..Default::default() }).is_err());
-        assert!(
-            minibatch_kmeans(&ds, &MiniBatchConfig { batch_size: 0, ..Default::default() })
-                .is_err()
-        );
+        assert!(minibatch_kmeans(&ds, &MiniBatchConfig { batch_size: 0, ..Default::default() })
+            .is_err());
     }
 }

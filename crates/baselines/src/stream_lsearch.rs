@@ -77,8 +77,7 @@ impl StreamLsResult {
     /// The centers as a plain centroid table (for SSE comparisons against
     /// k-means outputs).
     pub fn centroids(&self) -> Result<Centroids> {
-        let flat: Vec<f64> =
-            self.centers.iter().flat_map(|(c, _)| c.iter().copied()).collect();
+        let flat: Vec<f64> = self.centers.iter().flat_map(|(c, _)| c.iter().copied()).collect();
         Centroids::from_flat(self.centers.dim(), flat)
     }
 }
@@ -159,7 +158,11 @@ impl StreamLs {
 }
 
 /// One-shot convenience: stream a cell through in `p` chunks.
-pub fn stream_lsearch(cell: &Dataset, chunks: usize, cfg: StreamLsConfig) -> Result<StreamLsResult> {
+pub fn stream_lsearch(
+    cell: &Dataset,
+    chunks: usize,
+    cfg: StreamLsConfig,
+) -> Result<StreamLsResult> {
     cfg.validate()?;
     if cell.is_empty() {
         return Err(Error::EmptyDataset);
@@ -241,9 +244,7 @@ fn kmedian_cost(points: &WeightedSet, centers: &[Vec<f64>]) -> f64 {
         let p = points.coords(i);
         let d: f64 = centers
             .iter()
-            .map(|c| {
-                p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
-            })
+            .map(|c| p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt())
             .fold(f64::INFINITY, f64::min);
         cost += points.weight(i) * d;
     }

@@ -21,9 +21,7 @@ fn bench_algorithms(c: &mut Criterion) {
     let cell = make_cell(10_000);
     let kcfg = KMeansConfig { restarts: 1, ..KMeansConfig::paper(40, 5) };
 
-    group.bench_function("kmeans", |b| {
-        b.iter(|| pmkm_core::kmeans(&cell, &kcfg).unwrap())
-    });
+    group.bench_function("kmeans", |b| b.iter(|| pmkm_core::kmeans(&cell, &kcfg).unwrap()));
     group.bench_function("elkan_kmeans", |b| {
         let init = pmkm_core::seeding::seed_centroids(
             &cell,
@@ -45,9 +43,7 @@ fn bench_algorithms(c: &mut Criterion) {
     group.bench_function("fine_kmeans_2sorters", |b| {
         b.iter(|| fine_kmeans(&cell, &kcfg, 2).unwrap())
     });
-    group.bench_function("method_c_2slaves", |b| {
-        b.iter(|| method_c(&cell, &kcfg, 2).unwrap())
-    });
+    group.bench_function("method_c_2slaves", |b| b.iter(|| method_c(&cell, &kcfg, 2).unwrap()));
     group.bench_function("birch_t60", |b| {
         let cfg = BirchConfig { k: 40, threshold: 60.0, restarts: 1, ..BirchConfig::default() };
         b.iter(|| birch(&cell, &cfg).unwrap())
@@ -65,12 +61,8 @@ fn bench_algorithms(c: &mut Criterion) {
         b.iter(|| minibatch_kmeans(&cell, &cfg).unwrap())
     });
     group.bench_function("ecvq_lambda100", |b| {
-        let cfg = pmkm_core::ecvq::EcvqConfig {
-            max_k: 40,
-            lambda: 100.0,
-            seed: 5,
-            ..Default::default()
-        };
+        let cfg =
+            pmkm_core::ecvq::EcvqConfig { max_k: 40, lambda: 100.0, seed: 5, ..Default::default() };
         b.iter(|| pmkm_core::ecvq::ecvq(&cell, &cfg).unwrap())
     });
     group.finish();

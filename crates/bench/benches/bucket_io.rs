@@ -7,8 +7,7 @@ use pmkm_data::{BucketReader, CellConfig, GridBucket, GridCell};
 fn bench_bucket_io(c: &mut Criterion) {
     let mut group = c.benchmark_group("bucket_io");
     let n = 20_000usize;
-    let points =
-        pmkm_data::generator::generate_cell(&CellConfig::paper(n, 9)).expect("generator");
+    let points = pmkm_data::generator::generate_cell(&CellConfig::paper(n, 9)).expect("generator");
     let bucket = GridBucket { cell: GridCell::new(90, 180).unwrap(), points };
     let dir = std::env::temp_dir().join(format!("pmkm_bench_io_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -17,9 +16,7 @@ fn bench_bucket_io(c: &mut Criterion) {
     let bytes = (n * 6 * 8) as u64;
 
     group.throughput(Throughput::Bytes(bytes));
-    group.bench_function(BenchmarkId::new("encode", n), |b| {
-        b.iter(|| bucket.to_bytes())
-    });
+    group.bench_function(BenchmarkId::new("encode", n), |b| b.iter(|| bucket.to_bytes()));
     let encoded = bucket.to_bytes();
     group.bench_function(BenchmarkId::new("decode", n), |b| {
         b.iter(|| GridBucket::from_bytes(&encoded).unwrap())

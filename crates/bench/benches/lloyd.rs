@@ -15,8 +15,7 @@ fn bench_lloyd(c: &mut Criterion) {
     let mut group = c.benchmark_group("lloyd");
     for &n in &[1_000usize, 10_000] {
         let cell = make_cell(n);
-        let init =
-            seed_centroids(&cell, 40, SeedMode::RandomPoints, &mut rng_for(7, 0)).unwrap();
+        let init = seed_centroids(&cell, 40, SeedMode::RandomPoints, &mut rng_for(7, 0)).unwrap();
         // Bounded iterations so the bench measures per-iteration cost, not
         // data-dependent convergence length.
         let cfg = LloydConfig { max_iters: 5, epsilon: 0.0, ..LloydConfig::default() };

@@ -34,11 +34,9 @@ fn bench_queues(c: &mut Criterion) {
     let items = 100_000u64;
     group.throughput(Throughput::Elements(items));
     for consumers in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("spmc", consumers),
-            &consumers,
-            |b, &consumers| b.iter(|| pump(consumers, items)),
-        );
+        group.bench_with_input(BenchmarkId::new("spmc", consumers), &consumers, |b, &consumers| {
+            b.iter(|| pump(consumers, items))
+        });
     }
     group.finish();
 }

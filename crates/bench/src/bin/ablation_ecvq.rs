@@ -69,8 +69,7 @@ fn main() {
     let arms = ["fixed-k", "ecvq λ=10", "ecvq λ=100", "ecvq λ=1000"];
     for &n in &sizes {
         for arm in arms {
-            let group: Vec<&EcvqRow> =
-                rows.iter().filter(|r| r.n == n && r.arm == arm).collect();
+            let group: Vec<&EcvqRow> = rows.iter().filter(|r| r.n == n && r.arm == arm).collect();
             if group.is_empty() {
                 continue;
             }

@@ -5,9 +5,7 @@
 
 use pmkm_bench::experiments::SweepConfig;
 use pmkm_bench::report::{grouped, print_table, write_json};
-use pmkm_core::{
-    metrics, partial_merge, MergeMode, PartialMergeConfig, PartitionSpec,
-};
+use pmkm_core::{metrics, partial_merge, MergeMode, PartialMergeConfig, PartitionSpec};
 use serde::Serialize;
 
 #[derive(Serialize)]

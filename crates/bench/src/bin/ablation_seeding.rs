@@ -31,8 +31,7 @@ fn main() {
             let kcfg = cfg.kmeans_for(n, version);
             // Shared partial phase: the seeding ablation only varies the
             // merge, so all three arms see identical weighted centroids.
-            let chunks =
-                partition_random(&cell, splits, kcfg.seed, true).expect("partitioning");
+            let chunks = partition_random(&cell, splits, kcfg.seed, true).expect("partitioning");
             let mut gathered = WeightedSet::new(6).expect("dim 6");
             for (i, chunk) in chunks.iter().enumerate() {
                 if chunk.is_empty() {

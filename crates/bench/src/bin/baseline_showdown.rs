@@ -4,8 +4,8 @@
 //! evaluated against the original points for a fair quality axis).
 
 use pmkm_baselines::{
-    birch, clarans, minibatch_kmeans, serial_kmeans, stream_lsearch, BirchConfig,
-    ClaransConfig, MiniBatchConfig, StreamLsConfig,
+    birch, clarans, minibatch_kmeans, serial_kmeans, stream_lsearch, BirchConfig, ClaransConfig,
+    MiniBatchConfig, StreamLsConfig,
 };
 use pmkm_bench::experiments::SweepConfig;
 use pmkm_bench::report::{grouped, ms, print_table, write_json};
@@ -119,12 +119,8 @@ fn main() {
             });
 
             // CLARANS (bounded neighbor search so large N stays tractable).
-            let ccfg = ClaransConfig {
-                k: cfg.k,
-                num_local: 2,
-                max_neighbors: 250,
-                seed: kcfg.seed,
-            };
+            let ccfg =
+                ClaransConfig { k: cfg.k, num_local: 2, max_neighbors: 250, seed: kcfg.seed };
             let t = std::time::Instant::now();
             let c = clarans(&cell, &ccfg).expect("clarans");
             let dmse = metrics::mse_against(&cell, &c.medoids).expect("eval");
@@ -143,7 +139,8 @@ fn main() {
     let mut sizes = cfg.sizes.clone();
     sizes.sort_unstable();
     for &n in &sizes {
-        for algo in ["serial-kmeans", "partial/merge", "birch", "stream-ls", "clarans", "minibatch"] {
+        for algo in ["serial-kmeans", "partial/merge", "birch", "stream-ls", "clarans", "minibatch"]
+        {
             let group: Vec<&ShowdownRow> =
                 rows.iter().filter(|r| r.n == n && r.algo == algo).collect();
             if group.is_empty() {

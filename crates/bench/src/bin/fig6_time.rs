@@ -51,4 +51,19 @@ fn main() {
         })
         .collect();
     write_json("fig6_time_series", &series).expect("write JSON");
+
+    // One small observed partial/merge run documents where the time goes
+    // (per-chunk timings, Lloyd iteration counters) alongside the figure.
+    if let Some(&n) = sizes.first() {
+        let cell = cfg.cell(n, 0);
+        let pm = pmkm_core::PartialMergeConfig {
+            kmeans: cfg.kmeans_for(n, 0),
+            partitions: pmkm_core::PartitionSpec::Count(5),
+            ..pmkm_core::PartialMergeConfig::paper(cfg.k, 5, cfg.seed)
+        };
+        let rec = pmkm_obs::Recorder::new();
+        let (_, run_report) =
+            pmkm_core::partial_merge_observed(&cell, &pm, None, Some(&rec)).expect("observed run");
+        write_json("fig6_run_report", &run_report).expect("write run report");
+    }
 }

@@ -49,14 +49,26 @@ fn main() {
                 sizes
                     .iter()
                     .filter_map(|&n| {
-                        means
-                            .iter()
-                            .find(|m| m.n == n && m.algo == *algo)
-                            .map(|m| (n, m.min_mse))
+                        means.iter().find(|m| m.n == n && m.algo == *algo).map(|m| (n, m.min_mse))
                     })
                     .collect(),
             )
         })
         .collect();
     write_json("fig7_mse_series", &series).expect("write JSON");
+
+    // One small observed partial/merge run records the per-chunk MSE
+    // trajectories behind the figure's quality numbers.
+    if let Some(&n) = sizes.first() {
+        let cell = cfg.cell(n, 0);
+        let pm = pmkm_core::PartialMergeConfig {
+            kmeans: cfg.kmeans_for(n, 0),
+            partitions: pmkm_core::PartitionSpec::Count(5),
+            ..pmkm_core::PartialMergeConfig::paper(cfg.k, 5, cfg.seed)
+        };
+        let rec = pmkm_obs::Recorder::new();
+        let (_, run_report) =
+            pmkm_core::partial_merge_observed(&cell, &pm, None, Some(&rec)).expect("observed run");
+        write_json("fig7_run_report", &run_report).expect("write run report");
+    }
 }

@@ -11,8 +11,7 @@
 use pmkm_bench::experiments::SweepConfig;
 use pmkm_bench::report::{grouped, print_table, write_json};
 use pmkm_core::{
-    metrics, partial_merge, Dataset, PartialMergeConfig, PartitionSpec, PointSource,
-    SliceStrategy,
+    metrics, partial_merge, Dataset, PartialMergeConfig, PartitionSpec, PointSource, SliceStrategy,
 };
 use serde::Serialize;
 
@@ -60,8 +59,7 @@ fn main() {
                         slicing: strategy,
                     };
                     let out = partial_merge(cell, &pm).expect("slicing case");
-                    let data_mse =
-                        metrics::mse_against(cell, &out.merge.centroids).expect("eval");
+                    let data_mse = metrics::mse_against(cell, &out.merge.centroids).expect("eval");
                     rows.push(SliceRow {
                         n,
                         scenario: scenario.into(),

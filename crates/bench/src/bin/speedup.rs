@@ -63,11 +63,7 @@ fn main() {
         let pool_ms = res.total_elapsed.as_secs_f64() * 1e3;
 
         let logical = LogicalPlan::new(vec![bucket_path.clone()], kcfg);
-        let plan = optimize_fixed_split(
-            logical,
-            &Resources::fixed(64 << 20, w),
-            points_per_chunk,
-        );
+        let plan = optimize_fixed_split(logical, &Resources::fixed(64 << 20, w), points_per_chunk);
         let report = execute(&plan).expect("engine run");
         let engine_ms = report.elapsed.as_secs_f64() * 1e3;
 
@@ -84,6 +80,19 @@ fn main() {
         });
         eprintln!("[speedup] workers={w} pool={pool_ms:.0}ms engine={engine_ms:.0}ms");
     }
+
+    // One extra observed run at the widest clone count, outside the timed
+    // loop, leaves a structured RunReport behind (per-clone busy/blocked
+    // split, queue-depth histograms) without perturbing the measurements.
+    let w = *worker_counts.last().unwrap();
+    let plan = optimize_fixed_split(
+        LogicalPlan::new(vec![bucket_path.clone()], kcfg),
+        &Resources::fixed(64 << 20, w),
+        points_per_chunk,
+    );
+    let rec = std::sync::Arc::new(pmkm_obs::Recorder::new());
+    let observed = pmkm_stream::execute_observed(&plan, Some(rec.clone())).expect("observed run");
+    write_json("speedup_run_report", &observed.run_report(Some(&rec))).expect("write run report");
     std::fs::remove_dir_all(&dir).ok();
 
     let printable: Vec<Vec<String>> = rows

@@ -6,9 +6,7 @@
 //! five data versions per configuration).
 
 use pmkm_baselines::serial_kmeans;
-use pmkm_core::{
-    metrics, partial_merge, Dataset, KMeansConfig, MergeMode, PartialMergeConfig,
-};
+use pmkm_core::{metrics, partial_merge, Dataset, KMeansConfig, MergeMode, PartialMergeConfig};
 use pmkm_data::generator::{paper_cell, version_seed, PAPER_K, PAPER_SWEEP};
 use serde::{Deserialize, Serialize};
 
@@ -31,13 +29,7 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// The paper's full experimental grid.
     pub fn paper() -> Self {
-        Self {
-            k: PAPER_K,
-            restarts: 10,
-            versions: 5,
-            sizes: PAPER_SWEEP.to_vec(),
-            seed: 0xC0FFEE,
-        }
+        Self { k: PAPER_K, restarts: 10, versions: 5, sizes: PAPER_SWEEP.to_vec(), seed: 0xC0FFEE }
     }
 
     /// A reduced grid for quick regeneration (same sizes, fewer repeats).
@@ -64,10 +56,8 @@ impl SweepConfig {
             } else if let Some(v) = arg.strip_prefix("--seed=") {
                 cfg.seed = v.parse().expect("--seed=<u64>");
             } else if let Some(v) = arg.strip_prefix("--sizes=") {
-                cfg.sizes = v
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("--sizes=<n,n,...>"))
-                    .collect();
+                cfg.sizes =
+                    v.split(',').map(|s| s.trim().parse().expect("--sizes=<n,n,...>")).collect();
             } else {
                 eprintln!(
                     "unknown argument '{arg}'; supported: --full --k= --restarts= \
@@ -153,8 +143,8 @@ pub fn run_split(cfg: &SweepConfig, n: usize, version: u32, splits: usize) -> Ca
     };
     let out = partial_merge(&cell, &pm_cfg).expect("partial/merge case");
     let data_mse = metrics::mse_against(&cell, &out.merge.centroids).expect("evaluation");
-    let iters: usize = out.chunks.iter().map(|c| c.total_iterations).sum::<usize>()
-        + out.merge.iterations;
+    let iters: usize =
+        out.chunks.iter().map(|c| c.total_iterations).sum::<usize>() + out.merge.iterations;
     CaseRow {
         n,
         algo: format!("{splits}split"),
@@ -201,8 +191,7 @@ pub fn mean_rows(rows: &[CaseRow]) -> Vec<MeanRow> {
     order
         .into_iter()
         .map(|(n, algo)| {
-            let group: Vec<&CaseRow> =
-                rows.iter().filter(|r| r.n == n && r.algo == algo).collect();
+            let group: Vec<&CaseRow> = rows.iter().filter(|r| r.n == n && r.algo == algo).collect();
             let m = group.len() as f64;
             MeanRow {
                 n,
@@ -267,13 +256,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> SweepConfig {
-        SweepConfig {
-            k: 5,
-            restarts: 2,
-            versions: 2,
-            sizes: vec![120],
-            seed: 3,
-        }
+        SweepConfig { k: 5, restarts: 2, versions: 2, sizes: vec![120], seed: 3 }
     }
 
     #[test]

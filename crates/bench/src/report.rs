@@ -34,8 +34,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Writes `value` as pretty JSON to `target/experiments/<name>.json`,
 /// returning the path.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let mut f = std::fs::File::create(&path)?;

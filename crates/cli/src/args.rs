@@ -114,11 +114,7 @@ impl Args {
 
     /// Every value given for a repeatable option, in order.
     pub fn get_all(&self, key: &str) -> Vec<&str> {
-        self.occurrences
-            .iter()
-            .filter(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-            .collect()
+        self.occurrences.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
     }
 
     /// The positional arguments.

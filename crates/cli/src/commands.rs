@@ -77,9 +77,12 @@ COMMANDS
   inspect   <bucket files…>
             Print each bucket's header and per-dimension statistics.
   cluster   [--k=40] [--restarts=10] [--seed=0] [--splits=P | --memory=BYTES]
-            [--workers=N] [--adaptive] [--incremental] <bucket files…>
+            [--workers=N] [--adaptive] [--incremental]
+            [--metrics-out=REPORT.json] [--trace=TRACE.jsonl] <bucket files…>
             Cluster each bucket with partial/merge k-means on the stream
             engine; prints centroids summary and operator telemetry.
+            --metrics-out writes a structured RunReport (JSON); --trace
+            streams structured events as JSON lines.
   compress  [--k=40] [--restarts=10] [--splits=5] [--seed=0] [--out=DIR]
             <bucket files…>
             Compress each bucket into a multivariate histogram (JSON).
@@ -161,7 +164,16 @@ fn inspect<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
 
 fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     args.expect_only(&[
-        "k", "restarts", "seed", "splits", "memory", "workers", "adaptive", "incremental",
+        "k",
+        "restarts",
+        "seed",
+        "splits",
+        "memory",
+        "workers",
+        "adaptive",
+        "incremental",
+        "metrics-out",
+        "trace",
     ])?;
     let paths: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
     if paths.is_empty() {
@@ -201,6 +213,18 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             optimize_fixed_split(logical, &resources, max_points.div_ceil(splits).max(1))
         }
     };
+    let metrics_out = args.get_str("metrics-out", "");
+    let trace_out = args.get_str("trace", "");
+    let recorder = if metrics_out.is_empty() && trace_out.is_empty() {
+        None
+    } else {
+        let mut rec = pmkm_obs::Recorder::new();
+        if !trace_out.is_empty() {
+            let sink = pmkm_obs::JsonlSink::create(&trace_out).map_err(run_err)?;
+            rec = rec.with_sink(std::sync::Arc::new(sink));
+        }
+        Some(std::sync::Arc::new(rec))
+    };
     let report = if args.flag("adaptive") {
         let adaptive = pmkm_stream::execute_adaptive(&plan).map_err(run_err)?;
         writeln!(
@@ -212,10 +236,15 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         .map_err(run_err)?;
         adaptive.report
     } else {
-        execute(&plan).map_err(run_err)?
+        pmkm_stream::execute_observed(&plan, recorder.clone()).map_err(run_err)?
     };
-    writeln!(out, "clustered {} cells in {:.0} ms", report.cells.len(), report.elapsed.as_secs_f64() * 1e3)
-        .map_err(run_err)?;
+    writeln!(
+        out,
+        "clustered {} cells in {:.0} ms",
+        report.cells.len(),
+        report.elapsed.as_secs_f64() * 1e3
+    )
+    .map_err(run_err)?;
     for cell in &report.cells {
         let weight: f64 = cell.output.cluster_weights.iter().sum();
         writeln!(
@@ -232,14 +261,28 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     for op in &report.op_stats {
         writeln!(
             out,
-            "  [op] {} #{}: busy {:.1} ms, {} in / {} out",
+            "  [op] {} #{}: busy {:.1} ms, blocked {:.1} ms, util {:.0}%, {} in / {} out",
             op.name,
             op.clone_id,
             op.busy.as_secs_f64() * 1e3,
+            op.blocked.as_secs_f64() * 1e3,
+            op.utilization() * 100.0,
             op.items_in,
             op.items_out
         )
         .map_err(run_err)?;
+    }
+    if let Some(rec) = &recorder {
+        rec.flush();
+    }
+    if !metrics_out.is_empty() {
+        let run_report = report.run_report(recorder.as_deref());
+        let json = serde_json::to_string_pretty(&run_report).map_err(run_err)?;
+        std::fs::write(&metrics_out, json).map_err(run_err)?;
+        writeln!(out, "wrote run report to {metrics_out}").map_err(run_err)?;
+    }
+    if !trace_out.is_empty() {
+        writeln!(out, "wrote trace to {trace_out}").map_err(run_err)?;
     }
     Ok(())
 }
@@ -442,8 +485,7 @@ mod tests {
         assert!(std::fs::read_dir(&hist_dir).unwrap().count() == 1);
 
         // query the compressed form, with exact comparison
-        let hist_json =
-            std::fs::read_dir(&hist_dir).unwrap().next().unwrap().unwrap().path();
+        let hist_json = std::fs::read_dir(&hist_dir).unwrap().next().unwrap().unwrap().path();
         let out = run(
             "query",
             &[
@@ -457,6 +499,61 @@ mod tests {
         assert!(out.contains("exact count"), "{out}");
         // Unbounded range: estimate equals the full cell.
         assert!(out.contains("100.00% selectivity"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_metrics_out_round_trips_losslessly() {
+        let dir = tmp("metrics");
+        // Build a small bucket directly.
+        let mut points = pmkm_core::Dataset::new(2).unwrap();
+        let mut x = 0.32_f64;
+        for i in 0..180 {
+            // Deterministic pseudo-random points around two separated blobs.
+            x = (x * 997.13 + 0.7).fract();
+            let blob = if i % 2 == 0 { 0.0 } else { 30.0 };
+            points.push(&[blob + x, blob + (1.0 - x)]).unwrap();
+        }
+        let cell = pmkm_data::GridCell::new(21, 21).unwrap();
+        let bucket_path = dir.join(cell.bucket_file_name());
+        pmkm_data::GridBucket { cell, points }.write_to(&bucket_path).unwrap();
+
+        let report_path = dir.join("report.json");
+        let trace_path = dir.join("trace.jsonl");
+        let out = run(
+            "cluster",
+            &[
+                "--k=2".into(),
+                "--restarts=2".into(),
+                "--splits=3".into(),
+                format!("--metrics-out={}", report_path.display()),
+                format!("--trace={}", trace_path.display()),
+                bucket_path.display().to_string(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("wrote run report"), "{out}");
+        assert!(out.contains("wrote trace"), "{out}");
+        assert!(out.contains("util"), "{out}");
+
+        // The written report parses, matches the dataset, and survives a
+        // serialize → deserialize → serialize cycle without loss.
+        let text = std::fs::read_to_string(&report_path).unwrap();
+        let report: pmkm_obs::RunReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(report.schema_version, pmkm_obs::report::SCHEMA_VERSION);
+        assert_eq!(report.total_points(), 180);
+        assert_eq!(report.cells.len(), 1);
+        assert!(!report.metrics.counters.is_empty());
+        let again = serde_json::to_string_pretty(&report).unwrap();
+        let report2: pmkm_obs::RunReport = serde_json::from_str(&again).unwrap();
+        assert_eq!(report, report2);
+
+        // The trace is valid JSONL with at least one event per operator.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let events: Vec<serde::Value> =
+            trace.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert!(events.len() >= 4, "only {} events", events.len());
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -476,10 +573,7 @@ mod tests {
         };
         std::fs::write(&path, serde_json::to_string(&hist).unwrap()).unwrap();
         let p = path.display().to_string();
-        assert!(matches!(
-            run("query", &["--range=0:1".into(), p.clone()]),
-            Err(CliError::Run(_))
-        ));
+        assert!(matches!(run("query", &["--range=0:1".into(), p.clone()]), Err(CliError::Run(_))));
         assert!(matches!(
             run("query", &["--range=9:0:1".into(), p.clone()]),
             Err(CliError::Run(_))
@@ -490,10 +584,7 @@ mod tests {
 
     #[test]
     fn unknown_command_and_bad_args() {
-        assert!(matches!(
-            run("frobnicate", &[]),
-            Err(CliError::UnknownCommand(_))
-        ));
+        assert!(matches!(run("frobnicate", &[]), Err(CliError::UnknownCommand(_))));
         assert!(matches!(
             run("cluster", &["--bogus=1".into()]),
             Err(CliError::Args(ArgError::Unknown(_)))
@@ -509,10 +600,7 @@ mod tests {
         let dir = tmp("garbage");
         let path = dir.join("junk.gb");
         std::fs::write(&path, b"not a bucket").unwrap();
-        assert!(matches!(
-            run("inspect", &[path.display().to_string()]),
-            Err(CliError::Run(_))
-        ));
+        assert!(matches!(run("inspect", &[path.display().to_string()]), Err(CliError::Run(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -165,12 +165,7 @@ mod tests {
         let stats = pmkm_data::stats::summarize(&ds).unwrap();
         let hmean = out.histogram.mean();
         for (d, s) in stats.iter().enumerate() {
-            assert!(
-                (hmean[d] - s.mean).abs() < 0.5,
-                "dim {d}: {} vs {}",
-                hmean[d],
-                s.mean
-            );
+            assert!((hmean[d] - s.mean).abs() < 0.5, "dim {d}: {} vs {}", hmean[d], s.mean);
         }
     }
 }

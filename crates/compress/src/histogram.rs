@@ -35,11 +35,7 @@ pub struct MultivariateHistogram {
 
 impl MultivariateHistogram {
     /// Builds a histogram from centroids + per-cluster counts + spreads.
-    pub fn new(
-        centroids: &Centroids,
-        counts: &[f64],
-        spreads: &[Vec<f64>],
-    ) -> Result<Self> {
+    pub fn new(centroids: &Centroids, counts: &[f64], spreads: &[Vec<f64>]) -> Result<Self> {
         let k = centroids.k();
         if counts.len() != k || spreads.len() != k {
             return Err(Error::InvalidConfig(format!(
@@ -70,8 +66,7 @@ impl MultivariateHistogram {
 
     /// The bucket centroids as a table (for error evaluation).
     pub fn centroids(&self) -> Result<Centroids> {
-        let flat: Vec<f64> =
-            self.buckets.iter().flat_map(|b| b.centroid.iter().copied()).collect();
+        let flat: Vec<f64> = self.buckets.iter().flat_map(|b| b.centroid.iter().copied()).collect();
         Centroids::from_flat(self.dim, flat)
     }
 
@@ -121,12 +116,7 @@ mod tests {
 
     fn hist() -> MultivariateHistogram {
         let c = Centroids::from_flat(2, vec![0.0, 0.0, 10.0, 10.0]).unwrap();
-        MultivariateHistogram::new(
-            &c,
-            &[30.0, 10.0],
-            &[vec![1.0, 1.0], vec![2.0, 0.5]],
-        )
-        .unwrap()
+        MultivariateHistogram::new(&c, &[30.0, 10.0], &[vec![1.0, 1.0], vec![2.0, 0.5]]).unwrap()
     }
 
     #[test]

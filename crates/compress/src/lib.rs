@@ -26,8 +26,8 @@ pub mod reconstruct;
 pub mod update;
 
 pub use compressor::{compress_cell, CompressedCell, CompressionSummary};
-pub use query::{estimate_count, estimate_mean, exact_answer, RangeEstimate, RangeQuery};
 pub use histogram::{Bucket, MultivariateHistogram};
 pub use quality::{faithfulness, histogram_covariance, Faithfulness};
+pub use query::{estimate_count, estimate_mean, exact_answer, RangeEstimate, RangeQuery};
 pub use reconstruct::{distortion, reconstruct, Distortion};
 pub use update::{update_histogram, UpdateStats};

@@ -57,22 +57,14 @@ pub fn faithfulness(original: &Dataset, hist: &MultivariateHistogram) -> Result<
     let hmean = hist.mean();
     let hcov = histogram_covariance(hist);
 
-    let mean_abs_errors: Vec<f64> = data_stats
-        .iter()
-        .enumerate()
-        .map(|(d, s)| (hmean[d] - s.mean).abs())
-        .collect();
-    let data_mean_norm: f64 =
-        data_stats.iter().map(|s| s.mean * s.mean).sum::<f64>().sqrt();
+    let mean_abs_errors: Vec<f64> =
+        data_stats.iter().enumerate().map(|(d, s)| (hmean[d] - s.mean).abs()).collect();
+    let data_mean_norm: f64 = data_stats.iter().map(|s| s.mean * s.mean).sum::<f64>().sqrt();
     let mean_err_norm: f64 = mean_abs_errors.iter().map(|e| e * e).sum::<f64>().sqrt();
     let mean_rel_error = mean_err_norm / (data_mean_norm + 1e-12);
 
-    let cov_err: f64 = data_cov
-        .iter()
-        .zip(&hcov)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt();
+    let cov_err: f64 =
+        data_cov.iter().zip(&hcov).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
     let cov_norm: f64 = data_cov.iter().map(|a| a * a).sum::<f64>().sqrt();
     let cov_rel_error = cov_err / (cov_norm + 1e-12);
 
@@ -121,12 +113,10 @@ mod tests {
         use pmkm_core::Centroids;
         // Two equal buckets at ±1 with zero spread: variance 1, no cross.
         let c = Centroids::from_flat(1, vec![-1.0, 1.0]).unwrap();
-        let h = MultivariateHistogram::new(&c, &[5.0, 5.0], &[vec![0.0], vec![0.0]])
-            .unwrap();
+        let h = MultivariateHistogram::new(&c, &[5.0, 5.0], &[vec![0.0], vec![0.0]]).unwrap();
         assert_eq!(histogram_covariance(&h), vec![1.0]);
         // Adding within-bucket spread 2 adds 4 to the variance.
-        let h = MultivariateHistogram::new(&c, &[5.0, 5.0], &[vec![2.0], vec![2.0]])
-            .unwrap();
+        let h = MultivariateHistogram::new(&c, &[5.0, 5.0], &[vec![2.0], vec![2.0]]).unwrap();
         assert_eq!(histogram_covariance(&h), vec![5.0]);
     }
 

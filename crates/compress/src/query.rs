@@ -75,11 +75,7 @@ fn phi(z: f64) -> f64 {
 
 /// Fraction of a bucket's mass inside the query box under the
 /// independent-Gaussian within-bucket model `N(centroid, diag(spread²))`.
-fn bucket_fraction(
-    query: &RangeQuery,
-    centroid: &[f64],
-    spread: &[f64],
-) -> f64 {
+fn bucket_fraction(query: &RangeQuery, centroid: &[f64], spread: &[f64]) -> f64 {
     let mut frac = 1.0;
     for (d, b) in query.bounds.iter().enumerate() {
         let Some((lo, hi)) = b else { continue };
@@ -117,19 +113,13 @@ pub fn estimate_count(hist: &MultivariateHistogram, query: &RangeQuery) -> Resul
     for b in &hist.buckets {
         count += b.count * bucket_fraction(query, &b.centroid, &b.spread);
     }
-    Ok(RangeEstimate {
-        count,
-        selectivity: count / hist.total_count.max(f64::MIN_POSITIVE),
-    })
+    Ok(RangeEstimate { count, selectivity: count / hist.total_count.max(f64::MIN_POSITIVE) })
 }
 
 /// Estimates the mean vector of the observations matching `query`
 /// (bucket centroids weighted by their in-box mass). `None` when the
 /// estimated count is ~zero.
-pub fn estimate_mean(
-    hist: &MultivariateHistogram,
-    query: &RangeQuery,
-) -> Result<Option<Vec<f64>>> {
+pub fn estimate_mean(hist: &MultivariateHistogram, query: &RangeQuery) -> Result<Option<Vec<f64>>> {
     query.validate(hist.dim)?;
     let mut mass = 0.0;
     let mut mean = vec![0.0; hist.dim];
@@ -186,12 +176,7 @@ mod tests {
 
     fn two_bucket_hist() -> MultivariateHistogram {
         let c = Centroids::from_flat(2, vec![0.0, 0.0, 100.0, 100.0]).unwrap();
-        MultivariateHistogram::new(
-            &c,
-            &[60.0, 40.0],
-            &[vec![1.0, 1.0], vec![1.0, 1.0]],
-        )
-        .unwrap()
+        MultivariateHistogram::new(&c, &[60.0, 40.0], &[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap()
     }
 
     #[test]
@@ -253,8 +238,7 @@ mod tests {
             cell.push(&[o, o * 0.5]).unwrap();
             cell.push(&[30.0 + o, 15.0 + o * 0.5]).unwrap();
         }
-        let out =
-            compress_cell(&cell, &PartialMergeConfig::paper(8, 4, 3)).unwrap();
+        let out = compress_cell(&cell, &PartialMergeConfig::paper(8, 4, 3)).unwrap();
         for hi in [5.0, 20.0, 40.0] {
             let q = RangeQuery::all(2).with(0, -10.0, hi);
             let est = estimate_count(&out.histogram, &q).unwrap();

@@ -57,11 +57,7 @@ pub struct Distortion {
 /// Measures quantization distortion of `original` under `hist`.
 pub fn distortion(original: &Dataset, hist: &MultivariateHistogram) -> Result<Distortion> {
     let ev = metrics::evaluate(original, &hist.centroids()?)?;
-    Ok(Distortion {
-        quantization_mse: ev.mse,
-        rms: ev.mse.sqrt(),
-        max_sq_error: ev.max_sq_dist,
-    })
+    Ok(Distortion { quantization_mse: ev.mse, rms: ev.mse.sqrt(), max_sq_error: ev.max_sq_dist })
 }
 
 #[cfg(test)]
@@ -72,12 +68,7 @@ mod tests {
 
     fn hist() -> MultivariateHistogram {
         let c = Centroids::from_flat(2, vec![0.0, 0.0, 100.0, 100.0]).unwrap();
-        MultivariateHistogram::new(
-            &c,
-            &[75.0, 25.0],
-            &[vec![1.0, 2.0], vec![3.0, 0.5]],
-        )
-        .unwrap()
+        MultivariateHistogram::new(&c, &[75.0, 25.0], &[vec![1.0, 2.0], vec![3.0, 0.5]]).unwrap()
     }
 
     #[test]

@@ -104,14 +104,7 @@ pub fn update_histogram(
     }
     let total_count: f64 = buckets.iter().map(|b| b.count).sum();
     let updated = MultivariateHistogram { dim, total_count, buckets };
-    Ok((
-        updated,
-        UpdateStats {
-            new_points: new_points.len(),
-            total_count,
-            merge_epm: merged.epm,
-        },
-    ))
+    Ok((updated, UpdateStats { new_points: new_points.len(), total_count, merge_epm: merged.epm }))
 }
 
 /// Per-cluster, per-dimension standard deviations of the raw batch under
@@ -159,8 +152,7 @@ mod tests {
         let mut ds = Dataset::new(2).unwrap();
         for &c in centers {
             for _ in 0..n_per {
-                ds.push(&[c + rng.gen_range(-1.0..1.0), c + rng.gen_range(-1.0..1.0)])
-                    .unwrap();
+                ds.push(&[c + rng.gen_range(-1.0..1.0), c + rng.gen_range(-1.0..1.0)]).unwrap();
             }
         }
         ds
@@ -175,8 +167,7 @@ mod tests {
         let original = blob_cell(1, 150, &[0.0, 30.0]);
         let base = compress_cell(&original, &PartialMergeConfig::paper(4, 3, 9)).unwrap();
         let batch = blob_cell(2, 50, &[0.0, 30.0]);
-        let (updated, stats) =
-            update_histogram(&base.histogram, &batch, &kcfg(4)).unwrap();
+        let (updated, stats) = update_histogram(&base.histogram, &batch, &kcfg(4)).unwrap();
         assert_eq!(stats.new_points, 100);
         assert!((stats.total_count - 400.0).abs() < 1e-9);
         assert!((updated.total_count - 400.0).abs() < 1e-9);
@@ -213,13 +204,11 @@ mod tests {
         let (updated, _) = update_histogram(&base.histogram, &b, &kcfg(4)).unwrap();
         let scratch = compress_cell(&both, &PartialMergeConfig::paper(4, 3, 7)).unwrap();
 
-        let inc_mse = pmkm_core::metrics::mse_against(&both, &updated.centroids().unwrap())
-            .unwrap();
-        let scratch_mse = pmkm_core::metrics::mse_against(
-            &both,
-            &scratch.histogram.centroids().unwrap(),
-        )
-        .unwrap();
+        let inc_mse =
+            pmkm_core::metrics::mse_against(&both, &updated.centroids().unwrap()).unwrap();
+        let scratch_mse =
+            pmkm_core::metrics::mse_against(&both, &scratch.histogram.centroids().unwrap())
+                .unwrap();
         assert!(
             inc_mse < scratch_mse * 2.0 + 1.0,
             "incremental {inc_mse} vs scratch {scratch_mse}"

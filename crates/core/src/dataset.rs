@@ -237,11 +237,7 @@ impl WeightedSet {
 
     /// Treats every point of a plain dataset as weight-1.
     pub fn from_dataset(ds: &Dataset) -> Self {
-        Self {
-            dim: ds.dim(),
-            coords: ds.as_flat().to_vec(),
-            weights: vec![1.0; ds.len()],
-        }
+        Self { dim: ds.dim(), coords: ds.as_flat().to_vec(), weights: vec![1.0; ds.len()] }
     }
 }
 
@@ -339,10 +335,7 @@ mod tests {
     #[test]
     fn dataset_rejects_wrong_dim() {
         let mut ds = Dataset::new(2).unwrap();
-        assert_eq!(
-            ds.push(&[1.0]),
-            Err(Error::DimensionMismatch { expected: 2, actual: 1 })
-        );
+        assert_eq!(ds.push(&[1.0]), Err(Error::DimensionMismatch { expected: 2, actual: 1 }));
     }
 
     #[test]

@@ -185,8 +185,7 @@ pub fn ecvq<S: PointSource + ?Sized>(src: &S, cfg: &EcvqConfig) -> Result<EcvqRe
     // Rebuild final stats against the last assignment (weights vector from
     // the last iteration still indexes the pre-discard codebook; surviving
     // entries are those with positive weight, in order).
-    let survivors: Vec<usize> =
-        (0..last.k).filter(|&j| last.weights[j] > 0.0).collect();
+    let survivors: Vec<usize> = (0..last.k).filter(|&j| last.weights[j] > 0.0).collect();
     let cluster_weights: Vec<f64> = survivors.iter().map(|&j| last.weights[j]).collect();
     let probabilities: Vec<f64> = cluster_weights.iter().map(|w| w / total_w).collect();
     let rate_bits = last.rate_w / total_w;
@@ -293,10 +292,7 @@ mod tests {
         assert!(ecvq(&ds, &EcvqConfig { max_k: 0, ..EcvqConfig::default() }).is_err());
         assert!(ecvq(&ds, &EcvqConfig { lambda: -1.0, ..EcvqConfig::default() }).is_err());
         let empty = Dataset::new(1).unwrap();
-        assert_eq!(
-            ecvq(&empty, &EcvqConfig::default()),
-            Err(Error::EmptyDataset)
-        );
+        assert_eq!(ecvq(&empty, &EcvqConfig::default()), Err(Error::EmptyDataset));
     }
 
     #[test]

@@ -184,7 +184,9 @@ pub fn elkan<S: PointSource + ?Sized>(
             // Full re-scan.
             let (mut best, mut best_d, mut second_d) = (0usize, f64::INFINITY, f64::INFINITY);
             for (j, c) in centroids.chunks_exact(dim).enumerate() {
-                let d = if j == a { d_own } else {
+                let d = if j == a {
+                    d_own
+                } else {
                     distance_evals += 1;
                     sq_dist(p, c).sqrt()
                 };
@@ -231,6 +233,39 @@ pub fn elkan<S: PointSource + ?Sized>(
         converged,
         distance_evals,
     })
+}
+
+/// [`elkan`] with observability hooks: when `rec` is `Some`, the finished
+/// run emits one `elkan.run` event comparing the distance evaluations
+/// actually performed against what the naive `n · k` scan would have done,
+/// and bumps the `elkan_*` counters accordingly.
+pub fn elkan_observed<S: PointSource + ?Sized>(
+    src: &S,
+    init: &Centroids,
+    cfg: &LloydConfig,
+    rec: Option<&pmkm_obs::Recorder>,
+) -> Result<ElkanRun> {
+    let run = elkan(src, init, cfg)?;
+    if let Some(rec) = rec {
+        // Naive Lloyd evaluates n·k distances per distance-calculation step
+        // (the initial assignment plus one per iteration).
+        let naive_evals = (src.len() as u64) * (init.k() as u64) * (run.iterations as u64 + 1);
+        let pruned = naive_evals.saturating_sub(run.distance_evals);
+        let reg = rec.registry();
+        reg.counter("elkan_distance_evals_total").add(run.distance_evals);
+        reg.counter("elkan_pruned_evals_total").add(pruned);
+        rec.event(
+            "elkan.run",
+            &[
+                ("iterations", run.iterations.into()),
+                ("mse", run.mse.into()),
+                ("distance_evals", run.distance_evals.into()),
+                ("naive_evals", naive_evals.into()),
+                ("converged", run.converged.into()),
+            ],
+        );
+    }
+    Ok(run)
 }
 
 /// Exact weighted MSE of the current assignment against the current
@@ -295,8 +330,7 @@ mod tests {
     #[test]
     fn actually_prunes_distance_evaluations() {
         let ds = random_cell(3, 2_000, 4);
-        let init =
-            seed_centroids(&ds, 16, SeedMode::RandomPoints, &mut rng_for(3, 1)).unwrap();
+        let init = seed_centroids(&ds, 16, SeedMode::RandomPoints, &mut rng_for(3, 1)).unwrap();
         let cfg = LloydConfig::default();
         let naive_evals = {
             let run = lloyd(&ds, &init, &cfg).unwrap();
@@ -351,10 +385,7 @@ mod tests {
     fn input_validation() {
         let empty = Dataset::new(2).unwrap();
         let init = Centroids::from_flat(2, vec![0.0, 0.0]).unwrap();
-        assert!(matches!(
-            elkan(&empty, &init, &LloydConfig::default()),
-            Err(Error::EmptyDataset)
-        ));
+        assert!(matches!(elkan(&empty, &init, &LloydConfig::default()), Err(Error::EmptyDataset)));
         let ds = Dataset::from_rows(&[[0.0, 0.0]]).unwrap();
         let init2 = Centroids::from_flat(2, vec![0.0, 0.0, 1.0, 1.0]).unwrap();
         assert!(matches!(

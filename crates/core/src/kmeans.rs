@@ -7,8 +7,9 @@
 use crate::config::{KMeansConfig, SeedMode};
 use crate::dataset::PointSource;
 use crate::error::Result;
-use crate::lloyd::{lloyd, LloydRun};
+use crate::lloyd::{lloyd_observed, LloydRun};
 use crate::seeding::{rng_for, seed_centroids};
+use pmkm_obs::Recorder;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -64,6 +65,19 @@ impl KMeansOutcome {
 /// first restart uses it; later restarts fall back to random points (this is
 /// what makes `merge_restarts > 1` meaningful).
 pub fn kmeans<S: PointSource + ?Sized>(src: &S, cfg: &KMeansConfig) -> Result<KMeansOutcome> {
+    kmeans_observed(src, cfg, None)
+}
+
+/// [`kmeans`] with observability hooks: when `rec` is `Some`, every restart
+/// emits a `kmeans.restart` event (MSE, iterations, whether it became the
+/// best so far) and the recorder's `kmeans_restarts_total` counter is
+/// bumped. Iteration-level events come from the underlying
+/// [`lloyd_observed`] runs.
+pub fn kmeans_observed<S: PointSource + ?Sized>(
+    src: &S,
+    cfg: &KMeansConfig,
+    rec: Option<&Recorder>,
+) -> Result<KMeansOutcome> {
     cfg.validate()?;
     let started = Instant::now();
     let mut best: Option<(usize, LloydRun)> = None;
@@ -76,7 +90,7 @@ pub fn kmeans<S: PointSource + ?Sized>(src: &S, cfg: &KMeansConfig) -> Result<KM
         };
         let mut rng = rng_for(cfg.seed, r as u64);
         let init = seed_centroids(src, cfg.k, mode, &mut rng)?;
-        let run = lloyd(src, &init, &cfg.lloyd)?;
+        let run = lloyd_observed(src, &init, &cfg.lloyd, rec)?;
         restarts.push(RestartStats {
             restart: r,
             mse: run.mse,
@@ -87,6 +101,19 @@ pub fn kmeans<S: PointSource + ?Sized>(src: &S, cfg: &KMeansConfig) -> Result<KM
             None => true,
             Some((_, b)) => run.mse < b.mse,
         };
+        if let Some(rec) = rec {
+            rec.registry().counter("kmeans_restarts_total").inc();
+            rec.event(
+                "kmeans.restart",
+                &[
+                    ("restart", r.into()),
+                    ("mse", run.mse.into()),
+                    ("iterations", run.iterations.into()),
+                    ("converged", run.converged.into()),
+                    ("best", better.into()),
+                ],
+            );
+        }
         if better {
             best = Some((r, run));
         }
@@ -140,8 +167,8 @@ mod tests {
         let b = kmeans(&ds, &KMeansConfig { restarts: 1, ..KMeansConfig::paper(3, 2) }).unwrap();
         // Same data, same k: both converge to a solution; the *trajectories*
         // (iteration counts or centroid order) almost surely differ.
-        let differs = a.best.centroids != b.best.centroids
-            || a.best.iterations != b.best.iterations;
+        let differs =
+            a.best.centroids != b.best.centroids || a.best.iterations != b.best.iterations;
         assert!(differs);
     }
 

@@ -79,17 +79,19 @@ pub use config::{
     DEFAULT_MAX_ITERS, PAPER_EPSILON,
 };
 pub use dataset::{Centroids, Dataset, PointSource, WeightedSet};
-pub use elkan::{elkan, ElkanRun};
+pub use elkan::{elkan, elkan_observed, ElkanRun};
 pub use error::{Error, Result};
-pub use kmeans::{kmeans, KMeansOutcome, RestartStats};
-pub use lloyd::{lloyd, LloydRun};
+pub use kmeans::{kmeans, kmeans_observed, KMeansOutcome, RestartStats};
+pub use lloyd::{lloyd, lloyd_observed, LloydRun};
 pub use merge::{merge, merge_collective, merge_incremental, MergeOutput};
-pub use partial::{partial_ecvq, partial_kmeans, partition_random, PartialOutput};
-pub use slicing::{slice, SliceStrategy};
-pub use pipeline::{
-    partial_merge, partial_merge_ecvq, partial_merge_with_workers, ChunkStats,
-    PartialMergeResult,
+pub use partial::{
+    partial_ecvq, partial_kmeans, partial_kmeans_observed, partition_random, PartialOutput,
 };
+pub use pipeline::{
+    partial_merge, partial_merge_ecvq, partial_merge_observed, partial_merge_with_workers,
+    ChunkStats, PartialMergeResult,
+};
+pub use slicing::{slice, SliceStrategy};
 
 /// Convenience prelude: `use pmkm_core::prelude::*;`.
 pub mod prelude {

@@ -18,7 +18,10 @@
 use crate::config::LloydConfig;
 use crate::dataset::{Centroids, PointSource};
 use crate::error::{Error, Result};
-use crate::point::{nearest_centroid, nearest_centroid_pruned};
+use crate::point::{
+    nearest_centroid, nearest_centroid_pruned, nearest_centroid_pruned_counted, PruneStats,
+};
+use pmkm_obs::Recorder;
 use rayon::prelude::*;
 
 /// Outcome of one converged (or capped) Lloyd run.
@@ -42,6 +45,11 @@ pub struct LloydRun {
     pub iterations: usize,
     /// False only if the iteration cap was hit before the MSE settled.
     pub converged: bool,
+    /// MSE after each distance calculation, starting with `MSE(0)` against
+    /// the seeds — `mse_trajectory.len() == iterations + 1`. Monotonically
+    /// non-increasing for plain Lloyd steps (empty-cluster re-seeds are the
+    /// only way a value can tick up).
+    pub mse_trajectory: Vec<f64>,
 }
 
 /// Assignment-phase scratch, reused across iterations to avoid
@@ -79,6 +87,19 @@ pub fn lloyd<S: PointSource + ?Sized>(
     init: &Centroids,
     cfg: &LloydConfig,
 ) -> Result<LloydRun> {
+    lloyd_observed(src, init, cfg, None)
+}
+
+/// [`lloyd`] with observability hooks: when `rec` is `Some`, every
+/// iteration emits a `lloyd.iteration` event (MSE, convergence delta,
+/// reassignment count) and pruned assignment tallies its hit rate into the
+/// recorder's registry. `None` takes the exact same code path as [`lloyd`].
+pub fn lloyd_observed<S: PointSource + ?Sized>(
+    src: &S,
+    init: &Centroids,
+    cfg: &LloydConfig,
+    rec: Option<&Recorder>,
+) -> Result<LloydRun> {
     cfg.validate()?;
     if src.is_empty() {
         return Err(Error::EmptyDataset);
@@ -97,28 +118,70 @@ pub fn lloyd<S: PointSource + ?Sized>(
 
     let mut centroids = init.clone();
     let mut scratch = Scratch::new(n, k, dim);
+    // Pruning tallies are only kept when a recorder is attached; `None`
+    // keeps `assign` on its unobserved (and parallelizable) path.
+    let mut prune_stats =
+        if rec.is_some() && cfg.pruned_assign { Some(PruneStats::default()) } else { None };
+    // Previous iteration's assignments, kept only to count reassignments.
+    let mut prev_assign: Vec<u32> = if rec.is_some() { vec![0; n] } else { Vec::new() };
 
     // Distance calculation against the initial seeds gives MSE(0).
-    let mut prev_mse = assign(src, &centroids, cfg, &mut scratch) / total_weight;
+    let mut prev_mse =
+        assign(src, &centroids, cfg, &mut scratch, prune_stats.as_mut()) / total_weight;
     let mut iterations = 0usize;
     let mut converged = false;
     let mut final_mse = prev_mse;
+    let mut mse_trajectory = Vec::with_capacity(cfg.max_iters.min(64) + 1);
+    mse_trajectory.push(prev_mse);
 
     while iterations < cfg.max_iters {
+        if rec.is_some() {
+            prev_assign.copy_from_slice(&scratch.assignments);
+        }
         // Centroid recalculation: µ_j = Σ w_i v_i / Σ w_i, with empty
         // clusters re-seeded from the points farthest from their centroid.
         recompute_means(src, &mut centroids, &mut scratch);
-        let mse = assign(src, &centroids, cfg, &mut scratch) / total_weight;
+        let mse = assign(src, &centroids, cfg, &mut scratch, prune_stats.as_mut()) / total_weight;
         iterations += 1;
         let delta = prev_mse - mse;
         final_mse = mse;
         prev_mse = mse;
+        mse_trajectory.push(mse);
+        if let Some(rec) = rec {
+            let reassigned =
+                prev_assign.iter().zip(scratch.assignments.iter()).filter(|(a, b)| a != b).count()
+                    as u64;
+            rec.registry().counter("lloyd_iterations_total").inc();
+            rec.registry().counter("lloyd_reassignments_total").add(reassigned);
+            rec.event(
+                "lloyd.iteration",
+                &[
+                    ("iter", iterations.into()),
+                    ("mse", mse.into()),
+                    ("delta", delta.into()),
+                    ("reassigned", reassigned.into()),
+                ],
+            );
+        }
         // Plain Lloyd decreases MSE monotonically; a negative delta can only
         // follow an empty-cluster re-seed, in which case we keep iterating.
         if delta >= 0.0 && delta <= cfg.epsilon {
             converged = true;
             break;
         }
+    }
+
+    if let (Some(rec), Some(stats)) = (rec, prune_stats) {
+        rec.registry().counter("prune_candidates_total").add(stats.candidates);
+        rec.registry().counter("prune_hits_total").add(stats.pruned);
+        rec.event(
+            "lloyd.pruning",
+            &[
+                ("candidates", stats.candidates.into()),
+                ("pruned", stats.pruned.into()),
+                ("hit_rate", stats.hit_rate().into()),
+            ],
+        );
     }
 
     let sse = final_mse * total_weight;
@@ -130,6 +193,7 @@ pub fn lloyd<S: PointSource + ?Sized>(
         mse: final_mse,
         iterations,
         converged,
+        mse_trajectory,
     })
 }
 
@@ -141,31 +205,34 @@ fn assign<S: PointSource + ?Sized>(
     centroids: &Centroids,
     cfg: &LloydConfig,
     scratch: &mut Scratch,
+    prune: Option<&mut PruneStats>,
 ) -> f64 {
     let dim = src.dim();
     let cents = centroids.as_flat();
     let n = src.len();
 
     type Search = fn(&[f64], &[f64], usize) -> (usize, f64);
-    let search: Search =
-        if cfg.pruned_assign { nearest_centroid_pruned } else { nearest_centroid };
-    if cfg.parallel_assign && n >= 2048 {
+    let search: Search = if cfg.pruned_assign { nearest_centroid_pruned } else { nearest_centroid };
+    if let Some(stats) = prune {
+        // Observed pruned assignment: same decisions, serial so the tallies
+        // need no atomics. Only reachable with a recorder attached.
+        for (i, (a, d)) in scratch.assignments.iter_mut().zip(scratch.d2.iter_mut()).enumerate() {
+            let (j, d2) = nearest_centroid_pruned_counted(src.coords(i), cents, dim, stats);
+            *a = j as u32;
+            *d = d2;
+        }
+    } else if cfg.parallel_assign && n >= 2048 {
         // Hot O(n·k·dim) search in parallel; cheap O(n·dim) accumulation
         // stays serial to avoid a k×dim-sized reduction per worker.
-        scratch
-            .assignments
-            .par_iter_mut()
-            .zip(scratch.d2.par_iter_mut())
-            .enumerate()
-            .for_each(|(i, (a, d))| {
+        scratch.assignments.par_iter_mut().zip(scratch.d2.par_iter_mut()).enumerate().for_each(
+            |(i, (a, d))| {
                 let (j, d2) = search(src.coords(i), cents, dim);
                 *a = j as u32;
                 *d = d2;
-            });
+            },
+        );
     } else {
-        for (i, (a, d)) in
-            scratch.assignments.iter_mut().zip(scratch.d2.iter_mut()).enumerate()
-        {
+        for (i, (a, d)) in scratch.assignments.iter_mut().zip(scratch.d2.iter_mut()).enumerate() {
             let (j, d2) = search(src.coords(i), cents, dim);
             *a = j as u32;
             *d = d2;
@@ -352,8 +419,7 @@ mod tests {
         // first assignment it is empty and must be re-seeded, and the final
         // result must keep k = 3 with no NaNs.
         let ds = two_blob_dataset();
-        let init =
-            Centroids::from_flat(2, vec![0.0, 0.0, 100.0, 100.0, 1e6, 1e6]).unwrap();
+        let init = Centroids::from_flat(2, vec![0.0, 0.0, 100.0, 100.0, 1e6, 1e6]).unwrap();
         let run = lloyd(&ds, &init, &cfg()).unwrap();
         assert_eq!(run.centroids.k(), 3);
         assert!(run.centroids.as_flat().iter().all(|c| c.is_finite()));
@@ -392,17 +458,13 @@ mod tests {
         let mut rng = rng_for(11, 0);
         use rand::Rng;
         for _ in 0..5000 {
-            ds.push(&[rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0, rng.gen::<f64>()])
-                .unwrap();
+            ds.push(&[rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0, rng.gen::<f64>()]).unwrap();
         }
         let init = seed_centroids(&ds, 8, SeedMode::RandomPoints, &mut rng_for(3, 0)).unwrap();
         let serial = lloyd(&ds, &init, &LloydConfig::default()).unwrap();
-        let par = lloyd(
-            &ds,
-            &init,
-            &LloydConfig { parallel_assign: true, ..LloydConfig::default() },
-        )
-        .unwrap();
+        let par =
+            lloyd(&ds, &init, &LloydConfig { parallel_assign: true, ..LloydConfig::default() })
+                .unwrap();
         assert_eq!(serial.centroids, par.centroids);
         assert_eq!(serial.assignments, par.assignments);
         assert_eq!(serial.iterations, par.iterations);
@@ -415,17 +477,13 @@ mod tests {
         let mut rng = rng_for(17, 0);
         use rand::Rng;
         for _ in 0..3000 {
-            ds.push(&[rng.gen::<f64>() * 50.0, rng.gen::<f64>() * 50.0, rng.gen::<f64>()])
-                .unwrap();
+            ds.push(&[rng.gen::<f64>() * 50.0, rng.gen::<f64>() * 50.0, rng.gen::<f64>()]).unwrap();
         }
         let init = seed_centroids(&ds, 12, SeedMode::RandomPoints, &mut rng_for(5, 0)).unwrap();
         let plain = lloyd(&ds, &init, &LloydConfig::default()).unwrap();
-        let pruned = lloyd(
-            &ds,
-            &init,
-            &LloydConfig { pruned_assign: true, ..LloydConfig::default() },
-        )
-        .unwrap();
+        let pruned =
+            lloyd(&ds, &init, &LloydConfig { pruned_assign: true, ..LloydConfig::default() })
+                .unwrap();
         assert_eq!(plain.centroids, pruned.centroids);
         assert_eq!(plain.assignments, pruned.assignments);
         assert_eq!(plain.iterations, pruned.iterations);
@@ -446,10 +504,51 @@ mod tests {
         );
 
         let init2 = Centroids::from_flat(2, vec![0.0, 0.0, 1.0, 1.0]).unwrap();
-        assert_eq!(
-            lloyd(&ds, &init2, &cfg()),
-            Err(Error::KExceedsPoints { k: 2, points: 1 })
-        );
+        assert_eq!(lloyd(&ds, &init2, &cfg()), Err(Error::KExceedsPoints { k: 2, points: 1 }));
+    }
+
+    #[test]
+    fn mse_trajectory_tracks_every_iteration() {
+        let ds = two_blob_dataset();
+        let init = Centroids::from_flat(2, vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        let run = lloyd(&ds, &init, &cfg()).unwrap();
+        assert_eq!(run.mse_trajectory.len(), run.iterations + 1);
+        assert_eq!(*run.mse_trajectory.last().unwrap(), run.mse);
+        for w in run.mse_trajectory.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "trajectory rose: {:?}", run.mse_trajectory);
+        }
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_emits_events() {
+        use pmkm_obs::RingBufferSink;
+        use std::sync::Arc;
+        let ds = two_blob_dataset();
+        let init = Centroids::from_flat(2, vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        let plain = lloyd(&ds, &init, &cfg()).unwrap();
+
+        let ring = Arc::new(RingBufferSink::new(256));
+        let rec = pmkm_obs::Recorder::new().with_sink(ring.clone());
+        let observed_cfg = LloydConfig { pruned_assign: true, ..cfg() };
+        let observed = lloyd_observed(&ds, &init, &observed_cfg, Some(&rec)).unwrap();
+
+        assert_eq!(plain.centroids, observed.centroids);
+        assert_eq!(plain.mse, observed.mse);
+        assert_eq!(plain.mse_trajectory, observed.mse_trajectory);
+
+        let events = ring.events();
+        let iters = events.iter().filter(|e| e.name == "lloyd.iteration").count();
+        assert_eq!(iters, observed.iterations);
+        assert_eq!(events.iter().filter(|e| e.name == "lloyd.pruning").count(), 1);
+        let snap = rec.registry().snapshot();
+        let candidates = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "prune_candidates_total")
+            .map(|c| c.value)
+            .unwrap();
+        // One candidate per point × centroid pair per distance calculation.
+        assert_eq!(candidates, (ds.len() * 2 * (observed.iterations + 1)) as u64);
     }
 
     #[test]

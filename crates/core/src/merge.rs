@@ -57,11 +57,7 @@ pub fn merge(
 }
 
 fn gather(sets: &[WeightedSet]) -> Result<WeightedSet> {
-    let dim = sets
-        .iter()
-        .find(|s| !s.is_empty())
-        .map(|s| s.dim())
-        .ok_or(Error::EmptyDataset)?;
+    let dim = sets.iter().find(|s| !s.is_empty()).map(|s| s.dim()).ok_or(Error::EmptyDataset)?;
     let mut all = WeightedSet::new(dim)?;
     for s in sets {
         all.extend_from(s)?;
@@ -156,10 +152,8 @@ pub fn merge_incremental(
         }
         running = next;
     }
-    let centroids = Centroids::from_flat(
-        dim,
-        running.iter().flat_map(|(c, _)| c.iter().copied()).collect(),
-    )?;
+    let centroids =
+        Centroids::from_flat(dim, running.iter().flat_map(|(c, _)| c.iter().copied()).collect())?;
     // Evaluate the final representation against ALL original input
     // centroids so incremental and collective E_pm are comparable.
     let ev = metrics::evaluate(&all, &centroids)?;
@@ -318,11 +312,7 @@ mod tests {
         }
         let out = merge_collective(&[s], &cfg(2), 1).unwrap();
         // One final centroid sits (almost) exactly on the heavy point.
-        let closest = out
-            .centroids
-            .iter()
-            .map(|c| c[0].abs())
-            .fold(f64::INFINITY, f64::min);
+        let closest = out.centroids.iter().map(|c| c[0].abs()).fold(f64::INFINITY, f64::min);
         assert!(closest < 1e-9, "heavy centroid lost: {closest}");
     }
 }

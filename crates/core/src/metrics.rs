@@ -34,7 +34,10 @@ pub struct Evaluation {
 /// Weighted SSE of `src` against `centroids` (each point charged to its
 /// nearest centroid). This is the paper's `E` for unit weights and `E_pm`
 /// for weighted centroid sets.
-pub fn weighted_sse_against<S: PointSource + ?Sized>(src: &S, centroids: &Centroids) -> Result<f64> {
+pub fn weighted_sse_against<S: PointSource + ?Sized>(
+    src: &S,
+    centroids: &Centroids,
+) -> Result<f64> {
     Ok(evaluate(src, centroids)?.sse)
 }
 
@@ -68,13 +71,7 @@ pub fn evaluate<S: PointSource + ?Sized>(src: &S, centroids: &Centroids) -> Resu
     }
     let total = src.total_weight();
     let empty_clusters = cluster_weights.iter().filter(|&&w| w == 0.0).count();
-    Ok(Evaluation {
-        sse,
-        mse: sse / total,
-        cluster_weights,
-        empty_clusters,
-        max_sq_dist: max_sq,
-    })
+    Ok(Evaluation { sse, mse: sse / total, cluster_weights, empty_clusters, max_sq_dist: max_sq })
 }
 
 #[cfg(test)]

@@ -10,8 +10,9 @@ use crate::config::KMeansConfig;
 use crate::dataset::{Dataset, PointSource, WeightedSet};
 use crate::ecvq::{ecvq, EcvqConfig};
 use crate::error::{Error, Result};
-use crate::kmeans::{kmeans, RestartStats};
+use crate::kmeans::{kmeans_observed, RestartStats};
 use crate::seeding::{derive_seed, rng_for};
+use pmkm_obs::Recorder;
 use rand::Rng;
 use std::time::{Duration, Instant};
 
@@ -35,6 +36,9 @@ pub struct PartialOutput {
     pub total_iterations: usize,
     /// Wall time of this partition's clustering.
     pub elapsed: Duration,
+    /// Per-iteration MSE of the winning restart (starting with `MSE(0)`).
+    /// Empty for the tiny-chunk passthrough and for ECVQ partitions.
+    pub best_trajectory: Vec<f64>,
 }
 
 /// Runs best-of-R k-means on one partition and emits weighted centroids.
@@ -53,6 +57,18 @@ pub struct PartialOutput {
 /// weight-1 centroid — the exact representation with zero error, which is
 /// what a k-means with `k ≥ n` would converge to anyway.
 pub fn partial_kmeans(chunk: &Dataset, cfg: &KMeansConfig) -> Result<PartialOutput> {
+    partial_kmeans_observed(chunk, cfg, None)
+}
+
+/// [`partial_kmeans`] with observability hooks: when `rec` is `Some`, the
+/// chunk emits a `partial.chunk` event (points in, weighted centroids out,
+/// best MSE) and bumps the `partial_*` counters, on top of the restart- and
+/// iteration-level events from the inner best-of-R search.
+pub fn partial_kmeans_observed(
+    chunk: &Dataset,
+    cfg: &KMeansConfig,
+    rec: Option<&Recorder>,
+) -> Result<PartialOutput> {
     cfg.validate()?;
     if chunk.is_empty() {
         return Err(Error::EmptyDataset);
@@ -63,6 +79,7 @@ pub fn partial_kmeans(chunk: &Dataset, cfg: &KMeansConfig) -> Result<PartialOutp
         for p in chunk.iter() {
             ws.push(p, 1.0)?;
         }
+        record_chunk(rec, chunk.len(), ws.len(), 0.0);
         return Ok(PartialOutput {
             centroids: ws,
             points: chunk.len(),
@@ -70,9 +87,10 @@ pub fn partial_kmeans(chunk: &Dataset, cfg: &KMeansConfig) -> Result<PartialOutp
             restarts: Vec::new(),
             total_iterations: 0,
             elapsed: started.elapsed(),
+            best_trajectory: Vec::new(),
         });
     }
-    let out = kmeans(chunk, cfg)?;
+    let mut out = kmeans_observed(chunk, cfg, rec)?;
     let mut ws = WeightedSet::new(chunk.dim())?;
     for (j, c) in out.best.centroids.iter().enumerate() {
         let w = out.best.cluster_weights[j];
@@ -80,6 +98,7 @@ pub fn partial_kmeans(chunk: &Dataset, cfg: &KMeansConfig) -> Result<PartialOutp
             ws.push(c, w)?;
         }
     }
+    record_chunk(rec, chunk.len(), ws.len(), out.best.mse);
     Ok(PartialOutput {
         centroids: ws,
         points: chunk.len(),
@@ -87,7 +106,25 @@ pub fn partial_kmeans(chunk: &Dataset, cfg: &KMeansConfig) -> Result<PartialOutp
         total_iterations: out.total_iterations(),
         restarts: out.restarts,
         elapsed: started.elapsed(),
+        best_trajectory: std::mem::take(&mut out.best.mse_trajectory),
     })
+}
+
+fn record_chunk(rec: Option<&Recorder>, points: usize, centroids: usize, best_mse: f64) {
+    if let Some(rec) = rec {
+        let reg = rec.registry();
+        reg.counter("partial_chunks_total").inc();
+        reg.counter("partial_points_total").add(points as u64);
+        reg.counter("partial_weighted_centroids_total").add(centroids as u64);
+        rec.event(
+            "partial.chunk",
+            &[
+                ("points", points.into()),
+                ("weighted_centroids", centroids.into()),
+                ("best_mse", best_mse.into()),
+            ],
+        );
+    }
 }
 
 /// Runs entropy-constrained VQ on one partition instead of fixed-k
@@ -109,6 +146,7 @@ pub fn partial_ecvq(chunk: &Dataset, cfg: &EcvqConfig) -> Result<PartialOutput> 
         restarts: Vec::new(),
         total_iterations: res.iterations,
         elapsed: started.elapsed(),
+        best_trajectory: Vec::new(),
     })
 }
 
@@ -184,10 +222,7 @@ mod tests {
     #[test]
     fn empty_chunk_is_error() {
         let chunk = Dataset::new(2).unwrap();
-        assert_eq!(
-            partial_kmeans(&chunk, &KMeansConfig::paper(4, 0)),
-            Err(Error::EmptyDataset)
-        );
+        assert_eq!(partial_kmeans(&chunk, &KMeansConfig::paper(4, 0)), Err(Error::EmptyDataset));
     }
 
     #[test]
@@ -209,10 +244,8 @@ mod tests {
         assert_eq!(total, 66);
         // Multiset equality: sort all points from both sides.
         let mut orig: Vec<Vec<f64>> = ds.iter().map(|p| p.to_vec()).collect();
-        let mut got: Vec<Vec<f64>> = parts
-            .iter()
-            .flat_map(|c| c.iter().map(|p| p.to_vec()).collect::<Vec<_>>())
-            .collect();
+        let mut got: Vec<Vec<f64>> =
+            parts.iter().flat_map(|c| c.iter().map(|p| p.to_vec()).collect::<Vec<_>>()).collect();
         orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
         got.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(orig, got);

@@ -11,11 +11,16 @@ use crate::config::PartialMergeConfig;
 use crate::dataset::{Dataset, PointSource};
 use crate::error::Result;
 use crate::merge::{merge, MergeOutput};
-use crate::partial::partial_kmeans;
-use crate::slicing::slice;
+use crate::partial::partial_kmeans_observed;
 use crate::seeding::derive_seed;
+use crate::slicing::slice;
+use pmkm_obs::{CellReport, ChunkReport, MergeReport, Recorder, RunReport};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
+
+/// Chunk-size histogram bounds (points per chunk), shared with the stream
+/// engine's chunker so the two pipelines report comparable distributions.
+pub const CHUNK_SIZE_BOUNDS: [f64; 7] = [64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0];
 
 /// Stream tag separating per-chunk seeds from restart and shuffle streams.
 const CHUNK_STREAM: u64 = 0x4348_554E_4B53_4531; // "CHUNKSE1"
@@ -69,7 +74,66 @@ impl PartialMergeResult {
 /// paper's "even if all partial k-means steps are run serially on one
 /// machine" configuration used for Table 2.
 pub fn partial_merge(ds: &Dataset, cfg: &PartialMergeConfig) -> Result<PartialMergeResult> {
-    run(ds, cfg, None)
+    Ok(run(ds, cfg, None, None)?.0)
+}
+
+/// Runs the pipeline with full observability: chunk sizes, per-iteration
+/// MSE, restart outcomes and pruning rates flow into `rec` (when given),
+/// and the call returns a [`RunReport`] for the cell alongside the normal
+/// result. `workers = None` runs the partial steps serially, `Some(w)`
+/// fans them out exactly like [`partial_merge_with_workers`].
+pub fn partial_merge_observed(
+    ds: &Dataset,
+    cfg: &PartialMergeConfig,
+    workers: Option<usize>,
+    rec: Option<&Recorder>,
+) -> Result<(PartialMergeResult, RunReport)> {
+    let started = Instant::now();
+    let (res, trajectories) = run(ds, cfg, workers.map(|w| w.max(1)), rec)?;
+    if let Some(rec) = rec {
+        rec.event(
+            "merge.done",
+            &[
+                ("input_centroids", res.merge.input_centroids.into()),
+                ("epm", res.merge.epm.into()),
+                ("mse", res.merge.mse.into()),
+                ("iterations", res.merge.iterations.into()),
+                ("converged", res.merge.converged.into()),
+            ],
+        );
+    }
+    let chunks = res
+        .chunks
+        .iter()
+        .zip(trajectories)
+        .map(|(c, mse_trajectory)| ChunkReport {
+            chunk: c.chunk,
+            points: c.points,
+            best_mse: c.best_mse,
+            iterations: c.total_iterations,
+            elapsed: c.elapsed,
+            mse_trajectory,
+        })
+        .collect();
+    let report = RunReport {
+        elapsed: started.elapsed(),
+        cells: vec![CellReport {
+            cell: "in-memory".to_string(),
+            total_points: res.total_points(),
+            chunks,
+            merge: MergeReport {
+                input_centroids: res.merge.input_centroids,
+                epm: res.merge.epm,
+                mse: res.merge.mse,
+                iterations: res.merge.iterations,
+                converged: res.merge.converged,
+                elapsed: res.merge.elapsed,
+            },
+        }],
+        metrics: rec.map(|r| r.registry().snapshot()).unwrap_or_default(),
+        ..RunReport::new()
+    };
+    Ok((res, report))
 }
 
 /// Runs the pipeline with partial steps fanned out over `workers` threads
@@ -82,7 +146,7 @@ pub fn partial_merge_with_workers(
     cfg: &PartialMergeConfig,
     workers: usize,
 ) -> Result<PartialMergeResult> {
-    run(ds, cfg, Some(workers.max(1)))
+    Ok(run(ds, cfg, Some(workers.max(1)), None)?.0)
 }
 
 /// Runs the pipeline with the ECVQ partial step (§3.3 remarks): every chunk
@@ -135,20 +199,27 @@ fn run(
     ds: &Dataset,
     cfg: &PartialMergeConfig,
     workers: Option<usize>,
-) -> Result<PartialMergeResult> {
+    rec: Option<&Recorder>,
+) -> Result<(PartialMergeResult, Vec<Vec<f64>>)> {
     cfg.validate()?;
     let started = Instant::now();
     let p = cfg.partitions.resolve(ds.len(), ds.dim())?;
     let parts = slice(ds, p, cfg.slicing, cfg.kmeans.seed)?;
     let nonempty: Vec<(usize, &Dataset)> =
         parts.iter().enumerate().filter(|(_, c)| !c.is_empty()).collect();
+    if let Some(rec) = rec {
+        let hist = rec.registry().histogram("chunk_points", &CHUNK_SIZE_BOUNDS);
+        for &(_, chunk) in &nonempty {
+            hist.observe(chunk.len() as f64);
+        }
+    }
 
     let partial_started = Instant::now();
     let outputs: Vec<(usize, crate::partial::PartialOutput)> = match workers {
         None => {
             let mut v = Vec::with_capacity(nonempty.len());
             for &(i, chunk) in &nonempty {
-                v.push((i, partial_kmeans(chunk, &chunk_cfg(cfg, i))?));
+                v.push((i, partial_kmeans_observed(chunk, &chunk_cfg(cfg, i), rec)?));
             }
             v
         }
@@ -158,10 +229,14 @@ fn run(
                 .num_threads(w)
                 .build()
                 .map_err(|e| crate::error::Error::InvalidConfig(e.to_string()))?;
+            // `Recorder` is `Sync`: sinks and registry are internally
+            // locked, so the workers can share `rec` directly.
             pool.install(|| {
                 nonempty
                     .par_iter()
-                    .map(|&(i, chunk)| Ok((i, partial_kmeans(chunk, &chunk_cfg(cfg, i))?)))
+                    .map(|&(i, chunk)| {
+                        Ok((i, partial_kmeans_observed(chunk, &chunk_cfg(cfg, i), rec)?))
+                    })
                     .collect::<Result<Vec<_>>>()
             })?
         }
@@ -172,24 +247,29 @@ fn run(
         outputs.iter().map(|(_, o)| o.centroids.clone()).collect();
     let merged = merge(&sets, &cfg.kmeans, cfg.merge_mode, cfg.merge_restarts)?;
 
-    let chunks = outputs
-        .into_iter()
-        .map(|(i, o)| ChunkStats {
+    let mut chunks = Vec::with_capacity(outputs.len());
+    let mut trajectories = Vec::with_capacity(outputs.len());
+    for (i, o) in outputs {
+        chunks.push(ChunkStats {
             chunk: i,
             points: o.points,
             best_mse: o.best_mse,
             total_iterations: o.total_iterations,
             elapsed: o.elapsed,
-        })
-        .collect();
+        });
+        trajectories.push(o.best_trajectory);
+    }
 
-    Ok(PartialMergeResult {
-        merge: merged,
-        chunks,
-        partitions: p,
-        partial_elapsed,
-        total_elapsed: started.elapsed(),
-    })
+    Ok((
+        PartialMergeResult {
+            merge: merged,
+            chunks,
+            partitions: p,
+            partial_elapsed,
+            total_elapsed: started.elapsed(),
+        },
+        trajectories,
+    ))
 }
 
 fn chunk_cfg(cfg: &PartialMergeConfig, chunk: usize) -> crate::config::KMeansConfig {

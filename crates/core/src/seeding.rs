@@ -258,10 +258,7 @@ mod tests {
     fn seeding_errors() {
         let ds = dataset(3);
         let mut rng = rng_for(0, 0);
-        assert_eq!(
-            seed_centroids(&ds, 0, SeedMode::RandomPoints, &mut rng),
-            Err(Error::ZeroK)
-        );
+        assert_eq!(seed_centroids(&ds, 0, SeedMode::RandomPoints, &mut rng), Err(Error::ZeroK));
         assert_eq!(
             seed_centroids(&ds, 4, SeedMode::RandomPoints, &mut rng),
             Err(Error::KExceedsPoints { k: 4, points: 3 })

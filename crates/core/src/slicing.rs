@@ -80,9 +80,7 @@ fn salami(ds: &Dataset, p: usize) -> Result<Vec<Dataset>> {
 fn attribute_range(ds: &Dataset, p: usize, dim: usize) -> Result<Vec<Dataset>> {
     let mut order: Vec<usize> = (0..ds.len()).collect();
     order.sort_by(|&a, &b| {
-        ds.coords(a)[dim]
-            .partial_cmp(&ds.coords(b)[dim])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        ds.coords(a)[dim].partial_cmp(&ds.coords(b)[dim]).unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut sorted = Dataset::with_capacity(ds.dim(), ds.len())?;
     for &i in &order {
@@ -105,10 +103,8 @@ mod tests {
     }
 
     fn multiset(parts: &[Dataset]) -> Vec<Vec<f64>> {
-        let mut all: Vec<Vec<f64>> = parts
-            .iter()
-            .flat_map(|c| c.iter().map(|p| p.to_vec()).collect::<Vec<_>>())
-            .collect();
+        let mut all: Vec<Vec<f64>> =
+            parts.iter().flat_map(|c| c.iter().map(|p| p.to_vec()).collect::<Vec<_>>()).collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         all
     }

@@ -53,8 +53,8 @@ fn stronger_rate_penalty_starves_more_codewords() {
 #[test]
 fn ecvq_pipeline_recovers_structure() {
     let cell = blob_cell(100); // 300 points
-    // A few merge restarts guard against the heaviest-seed local optimum
-    // (three far-apart blobs, only 3 final centroids).
+                               // A few merge restarts guard against the heaviest-seed local optimum
+                               // (three far-apart blobs, only 3 final centroids).
     let pm = PartialMergeConfig { merge_restarts: 5, ..PartialMergeConfig::paper(3, 5, 9) };
     let ecvq = EcvqConfig { max_k: 10, lambda: 5.0, seed: 9, ..EcvqConfig::default() };
     let out = partial_merge_ecvq(&cell, &pm, &ecvq).unwrap();
@@ -87,7 +87,8 @@ fn ecvq_pipeline_chunks_get_distinct_seeds() {
             cell.push(&[(i % 10) as f64]).unwrap();
         }
     }
-    let pm = PartialMergeConfig { slicing: SliceStrategy::Salami, ..PartialMergeConfig::paper(4, 4, 5) };
+    let pm =
+        PartialMergeConfig { slicing: SliceStrategy::Salami, ..PartialMergeConfig::paper(4, 4, 5) };
     let ecvq = EcvqConfig { max_k: 6, lambda: 0.5, seed: 5, ..EcvqConfig::default() };
     let out = partial_merge_ecvq(&cell, &pm, &ecvq).unwrap();
     assert_eq!(out.chunks.len(), 4);

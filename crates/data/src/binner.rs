@@ -25,10 +25,7 @@ pub struct BinSummary {
 /// Groups observations by grid cell (attributes only — the position is what
 /// routes the point; the clustered vector is the attribute vector, as in the
 /// paper's 6-attribute cells).
-pub fn bin_observations(
-    obs: &[Observation],
-    dim: usize,
-) -> Result<BTreeMap<GridCell, Dataset>> {
+pub fn bin_observations(obs: &[Observation], dim: usize) -> Result<BTreeMap<GridCell, Dataset>> {
     let mut cells: BTreeMap<GridCell, Dataset> = BTreeMap::new();
     for o in obs {
         if o.attrs.len() != dim {
@@ -40,9 +37,9 @@ pub fn bin_observations(
         let cell = GridCell::containing(o.lat, o.lon)?;
         let ds = match cells.entry(cell) {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::btree_map::Entry::Vacant(e) => e.insert(
-                Dataset::new(dim).map_err(|e| DataError::Invalid(e.to_string()))?,
-            ),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(Dataset::new(dim).map_err(|e| DataError::Invalid(e.to_string()))?)
+            }
         };
         ds.push(&o.attrs).map_err(|e| DataError::Invalid(e.to_string()))?;
     }
@@ -76,9 +73,7 @@ pub fn bin_stripes(stripes: &[PathBuf], out_dir: &Path) -> Result<BinSummary> {
         for (cell, ds) in bin_observations(&obs, d)? {
             match merged.entry(cell) {
                 std::collections::btree_map::Entry::Occupied(mut e) => {
-                    e.get_mut()
-                        .extend_from(&ds)
-                        .map_err(|e| DataError::Invalid(e.to_string()))?;
+                    e.get_mut().extend_from(&ds).map_err(|e| DataError::Invalid(e.to_string()))?;
                 }
                 std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(ds);
@@ -166,17 +161,10 @@ mod tests {
         let s1 = dir.join("a.sw");
         let s2 = dir.join("b.sw");
         write_stripe(&s1, 2, &[obs(0.0, 0.0, 1.0)]).unwrap();
-        write_stripe(
-            &s2,
-            3,
-            &[Observation { lat: 0.0, lon: 0.0, attrs: vec![1.0, 2.0, 3.0] }],
-        )
-        .unwrap();
+        write_stripe(&s2, 3, &[Observation { lat: 0.0, lon: 0.0, attrs: vec![1.0, 2.0, 3.0] }])
+            .unwrap();
         let out = dir.join("out");
-        assert!(matches!(
-            bin_stripes(&[s1, s2], &out),
-            Err(DataError::Format(_))
-        ));
+        assert!(matches!(bin_stripes(&[s1, s2], &out), Err(DataError::Format(_))));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

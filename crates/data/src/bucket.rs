@@ -108,8 +108,7 @@ impl GridBucket {
         while buf.has_remaining() {
             flat.push(buf.get_f64_le());
         }
-        let points =
-            Dataset::from_flat(dim, flat).map_err(|e| DataError::Format(e.to_string()))?;
+        let points = Dataset::from_flat(dim, flat).map_err(|e| DataError::Format(e.to_string()))?;
         Ok(Self { cell, points })
     }
 
@@ -202,8 +201,8 @@ impl BucketReader {
         while cur.has_remaining() {
             flat.push(cur.get_f64_le());
         }
-        let ds = Dataset::from_flat(self.dim, flat)
-            .map_err(|e| DataError::Format(e.to_string()))?;
+        let ds =
+            Dataset::from_flat(self.dim, flat).map_err(|e| DataError::Format(e.to_string()))?;
         Ok(Some(ds))
     }
 }
@@ -273,10 +272,7 @@ mod tests {
         let mut bytes = b.to_bytes().to_vec();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
-        assert!(matches!(
-            GridBucket::from_bytes(&bytes),
-            Err(DataError::ChecksumMismatch { .. })
-        ));
+        assert!(matches!(GridBucket::from_bytes(&bytes), Err(DataError::ChecksumMismatch { .. })));
     }
 
     #[test]

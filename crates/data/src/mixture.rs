@@ -79,8 +79,8 @@ impl Mixture {
     pub fn sample_dataset(&self, n: usize, seed: u64) -> Result<Dataset> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut bm = BoxMuller::new();
-        let mut ds = Dataset::with_capacity(self.dim, n)
-            .map_err(|e| DataError::Invalid(e.to_string()))?;
+        let mut ds =
+            Dataset::with_capacity(self.dim, n).map_err(|e| DataError::Invalid(e.to_string()))?;
         let mut buf = vec![0.0; self.dim];
         for _ in 0..n {
             self.sample_into(&mut rng, &mut bm, &mut buf);
@@ -141,11 +141,8 @@ mod tests {
     fn two_component_1d() -> Mixture {
         let a = MultivariateNormal::diagonal(vec![0.0], &[1.0]).unwrap();
         let b = MultivariateNormal::diagonal(vec![100.0], &[1.0]).unwrap();
-        Mixture::new(vec![
-            Component { weight: 1.0, dist: a },
-            Component { weight: 3.0, dist: b },
-        ])
-        .unwrap()
+        Mixture::new(vec![Component { weight: 1.0, dist: a }, Component { weight: 3.0, dist: b }])
+            .unwrap()
     }
 
     #[test]

@@ -159,8 +159,8 @@ impl SwathSimulator {
                     s as f64 / (cfg.cross_track_samples - 1) as f64
                 };
                 // Cross-track offset plus a little pointing jitter.
-                let lon = track_lon + (frac - 0.5) * cfg.swath_width_deg
-                    + rng.gen_range(-0.01..0.01);
+                let lon =
+                    track_lon + (frac - 0.5) * cfg.swath_width_deg + rng.gen_range(-0.01..0.01);
                 let jlat = lat + rng.gen_range(-0.01..0.01);
                 let cell = GridCell::containing(jlat, lon)?;
                 let mixture = self.cell_mixture(cell)?;
@@ -285,8 +285,7 @@ mod tests {
         let mut sim = SwathSimulator::new(small_cfg()).unwrap();
         let a = sim.simulate_orbit(0).unwrap();
         let b = sim.simulate_orbit(1).unwrap();
-        let mean_lon =
-            |v: &[Observation]| v.iter().map(|o| o.lon).sum::<f64>() / v.len() as f64;
+        let mean_lon = |v: &[Observation]| v.iter().map(|o| o.lon).sum::<f64>() / v.len() as f64;
         let shift = mean_lon(&b) - mean_lon(&a);
         assert!((shift - 24.7).abs() < 0.5, "shift = {shift}");
     }
@@ -351,15 +350,9 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(SwathSimulator::new(SwathConfig { orbits: 0, ..small_cfg() }).is_err());
-        assert!(SwathSimulator::new(SwathConfig {
-            along_track_step_deg: 0.0,
-            ..small_cfg()
-        })
-        .is_err());
-        assert!(SwathSimulator::new(SwathConfig {
-            lat_range: (5.0, -5.0),
-            ..small_cfg()
-        })
-        .is_err());
+        assert!(
+            SwathSimulator::new(SwathConfig { along_track_step_deg: 0.0, ..small_cfg() }).is_err()
+        );
+        assert!(SwathSimulator::new(SwathConfig { lat_range: (5.0, -5.0), ..small_cfg() }).is_err());
     }
 }

@@ -1,0 +1,44 @@
+//! # pmkm-obs — observability for the partial/merge pipeline
+//!
+//! Three small layers, each usable on its own:
+//!
+//! 1. [`metrics`] — a lock-cheap metrics [`Registry`] of named
+//!    [`Counter`]s, [`Gauge`]s and fixed-bucket [`Histogram`]s, with a
+//!    Prometheus text renderer ([`Registry::render_prometheus`]).
+//! 2. [`trace`] — a structured [`Recorder`] that stamps [`Event`]s with
+//!    monotonic microsecond timestamps and fans them out to pluggable
+//!    [`TraceSink`]s (an in-memory [`RingBufferSink`], a [`JsonlSink`]
+//!    file writer).
+//! 3. [`report`] — plain-data [`RunReport`] types (serde round-trippable)
+//!    that the pipeline and the stream engine fill in per run.
+//!
+//! The instrumented code paths in `pmkm-core` and `pmkm-stream` thread an
+//! `Option<&Recorder>` through; `None` keeps the hooks zero-cost (no
+//! allocation, no locking, no timestamping), which is the contract the
+//! `lloyd` benches guard.
+//!
+//! ```
+//! use pmkm_obs::{Recorder, RingBufferSink};
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(RingBufferSink::new(64));
+//! let rec = Recorder::new().with_sink(ring.clone());
+//! rec.registry().counter("chunks_total").add(3);
+//! rec.event("partial.chunk", &[("points", 500u64.into())]);
+//! assert_eq!(ring.events().len(), 1);
+//! assert!(rec.registry().render_prometheus().contains("chunks_total 3"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use report::{
+    CellReport, ChunkReport, CounterSample, GaugeSample, HistogramSample, HistogramSnapshot,
+    MergeReport, MetricsSnapshot, OperatorReport, QueueReport, RunReport,
+};
+pub use trace::{Event, FieldValue, JsonlSink, Recorder, RingBufferSink, Span, TraceSink};

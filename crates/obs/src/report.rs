@@ -1,0 +1,304 @@
+//! Plain-data run reports.
+//!
+//! Everything here derives `Serialize`/`Deserialize` and round-trips
+//! losslessly through `serde_json` (asserted by the integration tests):
+//! floats are printed shortest-round-trip, `Duration` as `{secs, nanos}`.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Schema version stamped into every [`RunReport`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A plain-data copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1` (last is +Inf).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// One named counter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One named gauge value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value.
+    pub value: f64,
+}
+
+/// One named histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// The histogram's state.
+    pub histogram: HistogramSnapshot,
+}
+
+/// A point-in-time copy of a whole registry, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSample>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+/// Per-operator-clone accounting with a busy-vs-blocked split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorReport {
+    /// Operator name (e.g. `"partial-kmeans"`).
+    pub name: String,
+    /// Clone index among clones of the same operator.
+    pub clone_id: usize,
+    /// Items consumed.
+    pub items_in: u64,
+    /// Items produced.
+    pub items_out: u64,
+    /// Time spent doing useful work.
+    pub busy: Duration,
+    /// Time spent blocked on queue sends/receives.
+    pub blocked: Duration,
+    /// Wall-clock lifetime of the clone.
+    pub lifetime: Duration,
+    /// `busy / lifetime`, clamped to `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Per-queue accounting, including a depth histogram sampled at send time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueReport {
+    /// Queue name (e.g. `"chunker→partial"`).
+    pub name: String,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Successful sends.
+    pub sends: u64,
+    /// Successful receives.
+    pub recvs: u64,
+    /// Sends that found the queue full (backpressure events).
+    pub full_blocks: u64,
+    /// Receives that found the queue empty.
+    pub empty_blocks: u64,
+    /// Total time producers spent blocked sending.
+    pub blocked_send: Duration,
+    /// Total time consumers spent blocked receiving.
+    pub blocked_recv: Duration,
+    /// Queue depth observed at each successful send.
+    pub depth: HistogramSnapshot,
+}
+
+/// Per-chunk partial-k-means outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkReport {
+    /// Chunk index within its cell.
+    pub chunk: usize,
+    /// Points in the chunk.
+    pub points: usize,
+    /// Best MSE over the restarts.
+    pub best_mse: f64,
+    /// Total Lloyd iterations across restarts.
+    pub iterations: usize,
+    /// Wall-clock time for the chunk.
+    pub elapsed: Duration,
+    /// Per-iteration MSE of the winning restart (monotonically
+    /// non-increasing). Empty for passthrough/ECVQ chunks.
+    pub mse_trajectory: Vec<f64>,
+}
+
+/// The merge phase of one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergeReport {
+    /// Weighted centroids fed into the merge.
+    pub input_centroids: usize,
+    /// Error-per-mass of the merged clustering.
+    pub epm: f64,
+    /// Weighted MSE of the merged clustering.
+    pub mse: f64,
+    /// Lloyd iterations in the merge run.
+    pub iterations: usize,
+    /// Whether the merge run converged.
+    pub converged: bool,
+    /// Wall-clock time for the merge.
+    pub elapsed: Duration,
+}
+
+/// Everything that happened to one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Cell label (grid index, or `"in-memory"` for the core pipeline).
+    pub cell: String,
+    /// Points clustered in the cell.
+    pub total_points: usize,
+    /// Per-chunk outcomes, chunk order.
+    pub chunks: Vec<ChunkReport>,
+    /// The merge phase.
+    pub merge: MergeReport,
+}
+
+/// The top-level report for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Report schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Per-cell outcomes.
+    pub cells: Vec<CellReport>,
+    /// Per-operator-clone accounting (empty for in-process runs).
+    pub operators: Vec<OperatorReport>,
+    /// Per-queue accounting (empty for in-process runs).
+    pub queues: Vec<QueueReport>,
+    /// Snapshot of the recorder's metrics registry.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// An empty report with the current schema version.
+    pub fn new() -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            elapsed: Duration::ZERO,
+            cells: Vec::new(),
+            operators: Vec::new(),
+            queues: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Total points across every cell.
+    pub fn total_points(&self) -> usize {
+        self.cells.iter().map(|c| c.total_points).sum()
+    }
+}
+
+impl Default for RunReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            elapsed: Duration::from_micros(12_345),
+            cells: vec![CellReport {
+                cell: "0".to_string(),
+                total_points: 1000,
+                chunks: vec![ChunkReport {
+                    chunk: 0,
+                    points: 1000,
+                    best_mse: 0.125,
+                    iterations: 7,
+                    elapsed: Duration::from_micros(431),
+                    mse_trajectory: vec![0.5, 0.25, 0.125],
+                }],
+                merge: MergeReport {
+                    input_centroids: 10,
+                    epm: 0.02,
+                    mse: 0.1,
+                    iterations: 3,
+                    converged: true,
+                    elapsed: Duration::from_micros(99),
+                },
+            }],
+            operators: vec![OperatorReport {
+                name: "partial-kmeans".to_string(),
+                clone_id: 1,
+                items_in: 4,
+                items_out: 4,
+                busy: Duration::from_millis(3),
+                blocked: Duration::from_millis(1),
+                lifetime: Duration::from_millis(5),
+                utilization: 0.6,
+            }],
+            queues: vec![QueueReport {
+                name: "chunker→partial".to_string(),
+                capacity: 8,
+                sends: 4,
+                recvs: 4,
+                full_blocks: 1,
+                empty_blocks: 2,
+                blocked_send: Duration::from_micros(10),
+                blocked_recv: Duration::from_micros(20),
+                depth: HistogramSnapshot {
+                    bounds: vec![0.0, 1.0],
+                    counts: vec![2, 1, 1],
+                    count: 4,
+                    sum: 5.0,
+                },
+            }],
+            metrics: MetricsSnapshot {
+                counters: vec![CounterSample { name: "chunks_total".into(), value: 4 }],
+                gauges: vec![GaugeSample { name: "depth".into(), value: 1.5 }],
+                histograms: vec![HistogramSample {
+                    name: "sizes".into(),
+                    histogram: HistogramSnapshot {
+                        bounds: vec![10.0],
+                        counts: vec![1, 0],
+                        count: 1,
+                        sum: 3.0,
+                    },
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn run_report_round_trips_losslessly() {
+        let report = sample_report();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn total_points_sums_cells() {
+        let mut report = sample_report();
+        report.cells.push(CellReport {
+            cell: "1".to_string(),
+            total_points: 250,
+            chunks: Vec::new(),
+            merge: MergeReport {
+                input_centroids: 0,
+                epm: 0.0,
+                mse: 0.0,
+                iterations: 0,
+                converged: false,
+                elapsed: Duration::ZERO,
+            },
+        });
+        assert_eq!(report.total_points(), 1250);
+    }
+
+    #[test]
+    fn empty_report_has_schema_version() {
+        let report = RunReport::new();
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.total_points(), 0);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

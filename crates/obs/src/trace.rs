@@ -1,0 +1,348 @@
+//! Structured tracing: events, spans, and pluggable sinks.
+
+use crate::metrics::Registry;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One typed field value on an [`Event`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Microseconds since the owning [`Recorder`] was created (monotonic).
+    pub ts_us: u64,
+    /// Event name, dotted by convention (`"lloyd.iteration"`).
+    pub name: String,
+    /// Named field values, in emission order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// Where emitted events go. Implementations must be safe to share across
+/// operator threads.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// An in-memory ring buffer keeping the newest `capacity` events.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { capacity, buf: Mutex::new(VecDeque::with_capacity(capacity)) }
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&self, event: &Event) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// A sink appending one JSON object per line (JSONL) to a file.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and writes events to it as JSONL.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self { out: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &Event) {
+        if let Ok(line) = serde_json::to_string(event) {
+            let mut out = self.out.lock();
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.write_all(b"\n");
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+/// The event recorder: a monotonic clock, a set of sinks, and a metrics
+/// [`Registry`].
+///
+/// Instrumented code takes `Option<&Recorder>`; `None` short-circuits every
+/// hook before any timestamp or allocation happens, so disabled tracing
+/// costs one branch.
+pub struct Recorder {
+    epoch: Instant,
+    sinks: Vec<Arc<dyn TraceSink>>,
+    registry: Registry,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder with no sinks (metrics still work; events go nowhere).
+    pub fn new() -> Self {
+        Self { epoch: Instant::now(), sinks: Vec::new(), registry: Registry::new() }
+    }
+
+    /// Adds a sink (builder style).
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// The recorder's metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Microseconds since the recorder was created.
+    pub fn elapsed_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Emits one event to every sink.
+    pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        let event = Event {
+            ts_us: self.elapsed_us(),
+            name: name.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        for sink in &self.sinks {
+            sink.record(&event);
+        }
+    }
+
+    /// Starts a span; dropping the guard emits `<name>` with a
+    /// `duration_us` field (plus any fields given at close).
+    pub fn span<'r>(&'r self, name: &'r str) -> Span<'r> {
+        Span { recorder: self, name, started: Instant::now(), fields: Vec::new() }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("sinks", &self.sinks.len()).finish()
+    }
+}
+
+/// Guard returned by [`Recorder::span`].
+pub struct Span<'r> {
+    recorder: &'r Recorder,
+    name: &'r str,
+    started: Instant,
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl Span<'_> {
+    /// Attaches a field to the closing event.
+    pub fn field(&mut self, key: &str, value: FieldValue) {
+        self.fields.push((key.to_string(), value));
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let mut fields: Vec<(String, FieldValue)> =
+            vec![("duration_us".to_string(), (self.started.elapsed().as_micros() as u64).into())];
+        fields.append(&mut self.fields);
+        let event =
+            Event { ts_us: self.recorder.elapsed_us(), name: self.name.to_string(), fields };
+        for sink in &self.recorder.sinks {
+            sink.record(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_monotonic_timestamps_and_fields() {
+        let ring = Arc::new(RingBufferSink::new(8));
+        let rec = Recorder::new().with_sink(ring.clone());
+        rec.event("a", &[("n", 1u64.into())]);
+        rec.event("b", &[("x", 2.5.into()), ("ok", true.into())]);
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].ts_us <= events[1].ts_us);
+        assert_eq!(events[1].fields[0], ("x".to_string(), FieldValue::F64(2.5)));
+        assert_eq!(events[1].fields[1], ("ok".to_string(), FieldValue::Bool(true)));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let ring = Arc::new(RingBufferSink::new(3));
+        let rec = Recorder::new().with_sink(ring.clone());
+        for i in 0..5u64 {
+            rec.event("e", &[("i", i.into())]);
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].fields[0].1, FieldValue::U64(2));
+        assert_eq!(events[2].fields[0].1, FieldValue::U64(4));
+    }
+
+    #[test]
+    fn span_emits_duration_on_drop() {
+        let ring = Arc::new(RingBufferSink::new(4));
+        let rec = Recorder::new().with_sink(ring.clone());
+        {
+            let mut span = rec.span("work");
+            span.field("items", 7u64.into());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "work");
+        match events[0].fields[0] {
+            (ref k, FieldValue::U64(us)) => {
+                assert_eq!(k, "duration_us");
+                assert!(us >= 1_000);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(events[0].fields[1], ("items".to_string(), FieldValue::U64(7)));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("pmkm_obs_trace_{}.jsonl", std::process::id()));
+        {
+            let sink = Arc::new(JsonlSink::create(&path).unwrap());
+            let rec = Recorder::new().with_sink(sink);
+            rec.event("one", &[("v", 1u64.into())]);
+            rec.event("two", &[("s", "hi".into())]);
+            rec.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let back: Event = serde_json::from_str(line).unwrap();
+            assert!(back.name == "one" || back.name == "two");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let e = Event {
+            ts_us: 123,
+            name: "x.y".into(),
+            fields: vec![
+                ("a".into(), FieldValue::I64(-4)),
+                ("b".into(), FieldValue::Str("s".into())),
+            ],
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

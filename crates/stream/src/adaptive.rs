@@ -56,8 +56,7 @@ pub fn execute_adaptive(plan: &PhysicalPlan) -> Result<AdaptiveReport> {
     let started = Instant::now();
     let cap = plan.queue_capacity;
     let q_scan: SmartQueue<ScanMsg> = SmartQueue::new("scan→chunker", cap);
-    let q_chunks: Arc<SmartQueue<ChunkMsg>> =
-        Arc::new(SmartQueue::new("chunker→partial", cap));
+    let q_chunks: Arc<SmartQueue<ChunkMsg>> = Arc::new(SmartQueue::new("chunker→partial", cap));
     let q_merge: SmartQueue<MergeMsg> = SmartQueue::new("partial→merge", cap);
     let q_results: SmartQueue<CellClustering> = SmartQueue::new("merge→sink", cap);
 
@@ -183,8 +182,7 @@ pub fn execute_adaptive(plan: &PhysicalPlan) -> Result<AdaptiveReport> {
     }
 
     cells.sort_by_key(|c| c.cell.index());
-    let queue_stats =
-        vec![q_scan.stats(), q_chunks.stats(), q_merge.stats(), q_results.stats()];
+    let queue_stats = vec![q_scan.stats(), q_chunks.stats(), q_merge.stats(), q_results.stats()];
     Ok(AdaptiveReport {
         report: EngineReport { cells, op_stats, queue_stats, elapsed: started.elapsed() },
         clones_started,
@@ -208,9 +206,7 @@ mod tests {
         let mut points = Dataset::new(2).unwrap();
         for _ in 0..n {
             let b = if rng.gen_bool(0.5) { 0.0 } else { 30.0 };
-            points
-                .push(&[b + rng.gen_range(-1.0..1.0), b + rng.gen_range(-1.0..1.0)])
-                .unwrap();
+            points.push(&[b + rng.gen_range(-1.0..1.0), b + rng.gen_range(-1.0..1.0)]).unwrap();
         }
         let cell = GridCell::new(idx, idx).unwrap();
         let path = dir.join(cell.bucket_file_name());
@@ -219,8 +215,7 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let d =
-            std::env::temp_dir().join(format!("pmkm_adapt_{tag}_{}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("pmkm_adapt_{tag}_{}", std::process::id()));
         std::fs::create_dir_all(&d).unwrap();
         d
     }
@@ -230,21 +225,14 @@ mod tests {
         let dir = tmpdir("basic");
         let paths = vec![write_cell(&dir, 1, 2_000), write_cell(&dir, 2, 1_000)];
         let plan = optimize_fixed_split(
-            LogicalPlan::new(
-                paths,
-                KMeansConfig { restarts: 2, ..KMeansConfig::paper(3, 9) },
-            ),
+            LogicalPlan::new(paths, KMeansConfig { restarts: 2, ..KMeansConfig::paper(3, 9) }),
             &Resources::fixed(1 << 20, 4),
             100, // many small chunks to give the monitor something to see
         );
         let out = execute_adaptive(&plan).unwrap();
         assert_eq!(out.report.cells.len(), 2);
-        let totals: Vec<f64> = out
-            .report
-            .cells
-            .iter()
-            .map(|c| c.output.cluster_weights.iter().sum())
-            .collect();
+        let totals: Vec<f64> =
+            out.report.cells.iter().map(|c| c.output.cluster_weights.iter().sum()).collect();
         assert_eq!(totals, vec![2_000.0, 1_000.0]);
         assert!(out.clones_started >= 1 && out.clones_started <= 4);
         assert_eq!(out.scaling_events.len(), out.clones_started - 1);
@@ -257,20 +245,14 @@ mod tests {
         let paths = vec![write_cell(&dir, 5, 1_500)];
         let mk = |paths: Vec<PathBuf>| {
             optimize_fixed_split(
-                LogicalPlan::new(
-                    paths,
-                    KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 3) },
-                ),
+                LogicalPlan::new(paths, KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 3) }),
                 &Resources::fixed(1 << 20, 3),
                 150,
             )
         };
         let adaptive = execute_adaptive(&mk(paths.clone())).unwrap();
         let statics = crate::executor::execute(&mk(paths)).unwrap();
-        assert_eq!(
-            adaptive.report.cells[0].output.centroids,
-            statics.cells[0].output.centroids
-        );
+        assert_eq!(adaptive.report.cells[0].output.centroids, statics.cells[0].output.centroids);
         assert_eq!(adaptive.report.cells[0].output.epm, statics.cells[0].output.epm);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -280,10 +262,7 @@ mod tests {
         let dir = tmpdir("one");
         let paths = vec![write_cell(&dir, 8, 500)];
         let plan = optimize_fixed_split(
-            LogicalPlan::new(
-                paths,
-                KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 1) },
-            ),
+            LogicalPlan::new(paths, KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 1) }),
             &Resources::fixed(1 << 20, 1),
             50,
         );
@@ -296,10 +275,7 @@ mod tests {
     #[test]
     fn adaptive_propagates_errors() {
         let plan = optimize_fixed_split(
-            LogicalPlan::new(
-                vec![PathBuf::from("/nonexistent/x.gb")],
-                KMeansConfig::paper(2, 0),
-            ),
+            LogicalPlan::new(vec![PathBuf::from("/nonexistent/x.gb")], KMeansConfig::paper(2, 0)),
             &Resources::fixed(1 << 20, 2),
             50,
         );

@@ -9,6 +9,8 @@ use crate::ops::{ChunkerOp, MergeKMeansOp, PartialKMeansOp, ScanOp};
 use crate::plan::PhysicalPlan;
 use crate::queue::{QueueStats, SmartQueue};
 use crate::telemetry::OpStats;
+use pmkm_obs::{CellReport, ChunkReport, MergeReport, Recorder, RunReport};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Everything a finished pipeline run reports.
@@ -28,16 +30,58 @@ impl EngineReport {
     /// Total wall time the cloned partial operators spent busy — the
     /// engine-level equivalent of Table 2's `t C0−Ci` column.
     pub fn partial_busy(&self) -> Duration {
-        self.op_stats
-            .iter()
-            .filter(|s| s.name == "partial-kmeans")
-            .map(|s| s.busy)
-            .sum()
+        self.op_stats.iter().filter(|s| s.name == "partial-kmeans").map(|s| s.busy).sum()
     }
 
     /// Busy time of the merge operator (`t merge`).
     pub fn merge_busy(&self) -> Duration {
         self.op_stats.iter().filter(|s| s.name == "merge").map(|s| s.busy).sum()
+    }
+
+    /// Converts the engine telemetry into the observability layer's
+    /// [`RunReport`]. When a recorder is supplied, its metrics registry is
+    /// snapshotted into the report as well.
+    pub fn run_report(&self, rec: Option<&Recorder>) -> RunReport {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                let chunks = c
+                    .chunks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ch)| ChunkReport {
+                        chunk: ch.chunk,
+                        points: ch.points,
+                        best_mse: ch.best_mse,
+                        iterations: ch.total_iterations,
+                        elapsed: ch.elapsed,
+                        mse_trajectory: c.trajectories.get(i).cloned().unwrap_or_default(),
+                    })
+                    .collect();
+                CellReport {
+                    cell: c.cell.index().to_string(),
+                    total_points: c.output.cluster_weights.iter().sum::<f64>().round() as usize,
+                    chunks,
+                    merge: MergeReport {
+                        input_centroids: c.output.input_centroids,
+                        epm: c.output.epm,
+                        mse: c.output.mse,
+                        iterations: c.output.iterations,
+                        converged: c.output.converged,
+                        elapsed: c.output.elapsed,
+                    },
+                }
+            })
+            .collect();
+        RunReport {
+            elapsed: self.elapsed,
+            cells,
+            operators: self.op_stats.iter().map(OpStats::to_report).collect(),
+            queues: self.queue_stats.iter().map(QueueStats::to_report).collect(),
+            metrics: rec.map(|r| r.registry().snapshot()).unwrap_or_default(),
+            ..RunReport::new()
+        }
     }
 }
 
@@ -47,6 +91,13 @@ impl EngineReport {
 /// merge, with the final results drained on the calling thread. Operator
 /// panics and errors abort the run and surface as [`EngineError`].
 pub fn execute(plan: &PhysicalPlan) -> Result<EngineReport> {
+    execute_observed(plan, None)
+}
+
+/// [`execute`] with an optional trace/metrics recorder attached to every
+/// operator instance. With `None` this is exactly `execute` — no events,
+/// no metrics, no extra work on the hot path.
+pub fn execute_observed(plan: &PhysicalPlan, rec: Option<Arc<Recorder>>) -> Result<EngineReport> {
     plan.validate()?;
     let started = Instant::now();
     let cap = plan.queue_capacity;
@@ -63,17 +114,21 @@ pub fn execute(plan: &PhysicalPlan) -> Result<EngineReport> {
     }
     let scans: Vec<ScanOp> = scan_inputs
         .into_iter()
-        .map(|paths| ScanOp::new(paths, plan.scan_batch, q_scan.producer()))
+        .map(|paths| {
+            ScanOp::new(paths, plan.scan_batch, q_scan.producer()).with_recorder(rec.clone())
+        })
         .collect();
     let chunker = ChunkerOp::new(
         q_scan.consumer(),
         q_chunks.producer(),
         q_merge.producer(),
         plan.chunk_policy,
-    );
+    )
+    .with_recorder(rec.clone());
     let partials: Vec<PartialKMeansOp> = (0..plan.partial_clones)
         .map(|i| {
             PartialKMeansOp::new(q_chunks.consumer(), q_merge.producer(), plan.logical.kmeans, i)
+                .with_recorder(rec.clone())
         })
         .collect();
     let merge = MergeKMeansOp::new(
@@ -82,7 +137,8 @@ pub fn execute(plan: &PhysicalPlan) -> Result<EngineReport> {
         plan.logical.kmeans,
         plan.logical.merge_mode,
         plan.logical.merge_restarts,
-    );
+    )
+    .with_recorder(rec.clone());
     let results = q_results.consumer();
     q_scan.seal();
     q_chunks.seal();
@@ -136,8 +192,7 @@ pub fn execute(plan: &PhysicalPlan) -> Result<EngineReport> {
     .map_err(|_| EngineError::OperatorPanic("scope".into()))??;
 
     cells.sort_by_key(|c| c.cell.index());
-    let queue_stats =
-        vec![q_scan.stats(), q_chunks.stats(), q_merge.stats(), q_results.stats()];
+    let queue_stats = vec![q_scan.stats(), q_chunks.stats(), q_merge.stats(), q_results.stats()];
     Ok(EngineReport { cells, op_stats, queue_stats, elapsed: started.elapsed() })
 }
 
@@ -157,7 +212,8 @@ mod tests {
         let mut points = Dataset::new(2).unwrap();
         for _ in 0..n {
             let blob = if rng.gen_bool(0.5) { 0.0 } else { 40.0 };
-            points.push(&[blob + rng.gen_range(-1.0..1.0), blob + rng.gen_range(-1.0..1.0)])
+            points
+                .push(&[blob + rng.gen_range(-1.0..1.0), blob + rng.gen_range(-1.0..1.0)])
                 .unwrap();
         }
         let cell = GridCell::new(idx, idx).unwrap();
@@ -180,10 +236,8 @@ mod tests {
             write_cell(&dir, 2, 150, 7),
             write_cell(&dir, 3, 80, 7),
         ];
-        let logical = LogicalPlan::new(
-            paths,
-            KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 11) },
-        );
+        let logical =
+            LogicalPlan::new(paths, KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 11) });
         let plan = optimize_fixed_split(logical, &Resources::fixed(1 << 20, 3), 64);
         let report = execute(&plan).unwrap();
         assert_eq!(report.cells.len(), 3);
@@ -198,10 +252,7 @@ mod tests {
             assert!(xs[0] < 5.0 && xs[xs.len() - 1] > 35.0);
         }
         // Telemetry exists for every operator.
-        assert_eq!(
-            report.op_stats.iter().filter(|s| s.name == "partial-kmeans").count(),
-            3
-        );
+        assert_eq!(report.op_stats.iter().filter(|s| s.name == "partial-kmeans").count(), 3);
         assert_eq!(report.queue_stats.len(), 4);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -236,10 +287,8 @@ mod tests {
         // blob structure with equal weight totals.
         let dir = tmpdir("parity");
         let paths = vec![write_cell(&dir, 8, 200, 21)];
-        let logical = LogicalPlan::new(
-            paths,
-            KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 5) },
-        );
+        let logical =
+            LogicalPlan::new(paths, KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 5) });
         let plan = optimize_fixed_split(logical, &Resources::fixed(1 << 20, 2), 40);
         let report = execute(&plan).unwrap();
         let engine_out = &report.cells[0].output;
@@ -253,10 +302,8 @@ mod tests {
     fn memory_budget_policy_resolves_chunks() {
         let dir = tmpdir("budget");
         let paths = vec![write_cell(&dir, 9, 100, 2)];
-        let logical = LogicalPlan::new(
-            paths,
-            KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 5) },
-        );
+        let logical =
+            LogicalPlan::new(paths, KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 5) });
         // dim-2 points are 16 B; 400 B budget → 25 points/chunk → 4 chunks.
         let plan = optimize(logical, &Resources::fixed(400, 2));
         let report = execute(&plan).unwrap();
@@ -308,6 +355,58 @@ mod tests {
         );
         let plan = optimize(logical, &Resources::fixed(1 << 20, 2));
         assert!(matches!(execute(&plan), Err(EngineError::Data(_))));
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_builds_run_report() {
+        use pmkm_obs::RingBufferSink;
+        let dir = tmpdir("observed");
+        let paths = vec![write_cell(&dir, 6, 250, 17), write_cell(&dir, 7, 90, 17)];
+        let mk_plan = || {
+            optimize_fixed_split(
+                LogicalPlan::new(
+                    paths.clone(),
+                    KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 13) },
+                ),
+                &Resources::fixed(1 << 20, 2),
+                60,
+            )
+        };
+        let plain = execute(&mk_plan()).unwrap();
+
+        let ring = Arc::new(RingBufferSink::new(4096));
+        let rec = Arc::new(Recorder::new().with_sink(ring.clone()));
+        let observed = execute_observed(&mk_plan(), Some(rec.clone())).unwrap();
+
+        // Observation must not change the results.
+        assert_eq!(plain.cells.len(), observed.cells.len());
+        for (a, b) in plain.cells.iter().zip(&observed.cells) {
+            assert_eq!(a.output.centroids, b.output.centroids);
+            assert_eq!(a.output.epm, b.output.epm);
+        }
+        // Events flowed: at least one per cell from scan and merge.
+        assert!(ring.len() >= 4, "expected trace events, got {}", ring.len());
+        // Trajectories were captured per chunk.
+        for c in &observed.cells {
+            assert_eq!(c.trajectories.len(), c.chunks.len());
+        }
+
+        let report = observed.run_report(Some(&rec));
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.total_points(), 340);
+        assert_eq!(report.operators.len(), observed.op_stats.len());
+        assert_eq!(report.queues.len(), 4);
+        // Queue depth histograms account for every send.
+        for q in &report.queues {
+            let bucketed: u64 = q.depth.counts.iter().sum();
+            assert_eq!(bucketed, q.sends, "queue {}", q.name);
+        }
+        assert!(!report.metrics.counters.is_empty());
+        // The report round-trips losslessly through JSON.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

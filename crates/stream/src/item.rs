@@ -66,4 +66,7 @@ pub struct CellClustering {
     pub output: MergeOutput,
     /// Per-chunk statistics, in chunk order.
     pub chunks: Vec<ChunkStats>,
+    /// Per-chunk MSE trajectories of the winning restarts, aligned with
+    /// `chunks` (empty vectors for tiny-chunk passthroughs).
+    pub trajectories: Vec<Vec<f64>>,
 }

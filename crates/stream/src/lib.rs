@@ -57,7 +57,7 @@ pub mod telemetry;
 
 pub use adaptive::{execute_adaptive, AdaptiveReport, ScalingEvent};
 pub use error::{EngineError, Result};
-pub use executor::{execute, EngineReport};
+pub use executor::{execute, execute_observed, EngineReport};
 pub use item::{CellClustering, ChunkMsg, MergeMsg, ScanMsg};
 pub use optimizer::{optimize, optimize_fixed_split};
 pub use plan::{LogicalPlan, PhysicalPlan};
@@ -67,7 +67,7 @@ pub use telemetry::OpStats;
 
 /// Convenience prelude.
 pub mod prelude {
-    pub use crate::executor::{execute, EngineReport};
+    pub use crate::executor::{execute, execute_observed, EngineReport};
     pub use crate::optimizer::{optimize, optimize_fixed_split};
     pub use crate::plan::{LogicalPlan, PhysicalPlan};
     pub use crate::resources::Resources;

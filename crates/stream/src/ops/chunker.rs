@@ -13,7 +13,9 @@ use crate::queue::{QueueConsumer, QueueProducer};
 use crate::telemetry::{OpMeter, OpStats};
 use pmkm_core::{Dataset, PointSource};
 use pmkm_data::GridCell;
+use pmkm_obs::Recorder;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How partition sizes are decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +57,7 @@ pub struct ChunkerOp {
     chunks_out: QueueProducer<ChunkMsg>,
     plan_out: QueueProducer<MergeMsg>,
     policy: ChunkPolicy,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl ChunkerOp {
@@ -65,14 +68,28 @@ impl ChunkerOp {
         plan_out: QueueProducer<MergeMsg>,
         policy: ChunkPolicy,
     ) -> Self {
-        Self { input, chunks_out, plan_out, policy }
+        Self { input, chunks_out, plan_out, policy, recorder: None }
+    }
+
+    /// Attaches an observability recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Option<Arc<Recorder>>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    fn observe_chunk(&self, points: usize) {
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.registry()
+                .histogram("chunk_points", &pmkm_core::pipeline::CHUNK_SIZE_BOUNDS)
+                .observe(points as f64);
+        }
     }
 
     /// Runs to completion.
     pub fn run(self) -> Result<OpStats> {
         let mut meter = OpMeter::new("chunker", 0);
         let mut cells: HashMap<GridCell, CellState> = HashMap::new();
-        while let Some(msg) = self.input.recv() {
+        while let Some(msg) = meter.wait(|| self.input.recv()) {
             meter.item_in();
             match msg {
                 ScanMsg::Batch { cell, points } => {
@@ -94,12 +111,12 @@ impl ChunkerOp {
                     state.buffer.extend_from(&points)?;
                     while state.buffer.len() >= state.points_per_chunk {
                         let chunk = split_front(&mut state.buffer, state.points_per_chunk)?;
-                        let msg =
-                            ChunkMsg { cell, chunk_id: state.next_chunk, points: chunk };
+                        self.observe_chunk(chunk.len());
+                        let msg = ChunkMsg { cell, chunk_id: state.next_chunk, points: chunk };
                         state.next_chunk += 1;
                         meter.item_out();
-                        self.chunks_out
-                            .send(msg)
+                        meter
+                            .wait(|| self.chunks_out.send(msg))
                             .map_err(|_| EngineError::Disconnected("chunker→partial"))?;
                     }
                 }
@@ -111,12 +128,12 @@ impl ChunkerOp {
                                     &mut state.buffer,
                                     Dataset::new(1).expect("dim 1 is valid"),
                                 );
-                                let msg =
-                                    ChunkMsg { cell, chunk_id: state.next_chunk, points };
+                                self.observe_chunk(points.len());
+                                let msg = ChunkMsg { cell, chunk_id: state.next_chunk, points };
                                 state.next_chunk += 1;
                                 meter.item_out();
-                                self.chunks_out
-                                    .send(msg)
+                                meter
+                                    .wait(|| self.chunks_out.send(msg))
                                     .map_err(|_| EngineError::Disconnected("chunker→partial"))?;
                             }
                             state.next_chunk
@@ -124,8 +141,16 @@ impl ChunkerOp {
                         None => 0, // empty bucket: zero chunks
                     };
                     meter.item_out();
-                    self.plan_out
-                        .send(MergeMsg::CellPlan { cell, chunks })
+                    if let Some(rec) = self.recorder.as_deref() {
+                        rec.event(
+                            "chunker.cell_plan",
+                            &[("cell", cell.index().into()), ("chunks", chunks.into())],
+                        );
+                    }
+                    meter
+                        .wait(|| {
+                            self.plan_out.send(MergeMsg::CellPlan { cell, chunks }).map_err(drop)
+                        })
                         .map_err(|_| EngineError::Disconnected("chunker→merge"))?;
                 }
             }
@@ -236,10 +261,8 @@ mod tests {
     #[test]
     fn empty_cell_reports_zero_chunks() {
         let c = cell(9);
-        let (chunks, merges) = drive(
-            vec![ScanMsg::CellEnd { cell: c }],
-            ChunkPolicy::FixedPoints(5),
-        );
+        let (chunks, merges) =
+            drive(vec![ScanMsg::CellEnd { cell: c }], ChunkPolicy::FixedPoints(5));
         assert!(chunks.is_empty());
         assert_eq!(merges, vec![MergeMsg::CellPlan { cell: c, chunks: 0 }]);
     }

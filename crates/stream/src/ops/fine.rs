@@ -96,9 +96,8 @@ pub fn fine_kmeans(chunk: &Dataset, cfg: &KMeansConfig, sorters: usize) -> Resul
 
     // Queues: one broadcast queue per sorter (each round gets every
     // sorter's copy of the centroids), one shared stats queue back.
-    let cmd_queues: Vec<SmartQueue<Option<Arc<Centroids>>>> = (0..sorters)
-        .map(|s| SmartQueue::new(format!("seeds→sort{s}"), 2))
-        .collect();
+    let cmd_queues: Vec<SmartQueue<Option<Arc<Centroids>>>> =
+        (0..sorters).map(|s| SmartQueue::new(format!("seeds→sort{s}"), 2)).collect();
     let stats_queue: SmartQueue<SortStats> = SmartQueue::new("sort→mean", sorters.max(2));
 
     let run = crossbeam::thread::scope(|scope| -> Result<FineRun> {
@@ -113,8 +112,7 @@ pub fn fine_kmeans(chunk: &Dataset, cfg: &KMeansConfig, sorters: usize) -> Resul
                     meter.item_in();
                     let stats = meter.work(|| sort_segment(segment, &centroids, s, sorters, k));
                     meter.item_out();
-                    out.send(stats)
-                        .map_err(|_| EngineError::Disconnected("sort→mean"))?;
+                    out.send(stats).map_err(|_| EngineError::Disconnected("sort→mean"))?;
                 }
                 Ok(meter.finish())
             }));
@@ -146,9 +144,7 @@ pub fn fine_kmeans(chunk: &Dataset, cfg: &KMeansConfig, sorters: usize) -> Resul
             let mut sse = 0.0;
             let mut donors = Vec::new();
             for _ in 0..sorters {
-                let s = stats_in
-                    .recv()
-                    .ok_or(EngineError::Disconnected("sort→mean"))?;
+                let s = stats_in.recv().ok_or(EngineError::Disconnected("sort→mean"))?;
                 meter.item_in();
                 meter.work(|| {
                     for (a, b) in sums.iter_mut().zip(&s.sums) {

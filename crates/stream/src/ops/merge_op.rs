@@ -15,7 +15,9 @@ use pmkm_core::partial::PartialOutput;
 use pmkm_core::pipeline::ChunkStats;
 use pmkm_core::{KMeansConfig, MergeMode, WeightedSet};
 use pmkm_data::GridCell;
+use pmkm_obs::Recorder;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 #[derive(Default)]
 struct CellProgress {
@@ -36,6 +38,7 @@ pub struct MergeKMeansOp {
     kmeans: KMeansConfig,
     mode: MergeMode,
     merge_restarts: usize,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl MergeKMeansOp {
@@ -47,7 +50,13 @@ impl MergeKMeansOp {
         mode: MergeMode,
         merge_restarts: usize,
     ) -> Self {
-        Self { input, out, kmeans, mode, merge_restarts }
+        Self { input, out, kmeans, mode, merge_restarts, recorder: None }
+    }
+
+    /// Attaches an observability recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Option<Arc<Recorder>>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Runs until the partial stream ends; errors if any cell is left
@@ -55,7 +64,7 @@ impl MergeKMeansOp {
     pub fn run(self) -> Result<OpStats> {
         let mut meter = OpMeter::new("merge", 0);
         let mut cells: HashMap<GridCell, CellProgress> = HashMap::new();
-        while let Some(msg) = self.input.recv() {
+        while let Some(msg) = meter.wait(|| self.input.recv()) {
             meter.item_in();
             let cell = match msg {
                 MergeMsg::Partial { cell, chunk_id, output } => {
@@ -85,9 +94,23 @@ impl MergeKMeansOp {
                     continue; // empty bucket: nothing to emit
                 }
                 let result = meter.work(|| self.merge_cell(cell, progress))?;
+                if let Some(rec) = self.recorder.as_deref() {
+                    rec.registry().counter("merge_cells_total").inc();
+                    rec.event(
+                        "merge.done",
+                        &[
+                            ("cell", cell.index().into()),
+                            ("input_centroids", result.output.input_centroids.into()),
+                            ("epm", result.output.epm.into()),
+                            ("mse", result.output.mse.into()),
+                            ("iterations", result.output.iterations.into()),
+                            ("converged", result.output.converged.into()),
+                        ],
+                    );
+                }
                 meter.item_out();
-                self.out
-                    .send(result)
+                meter
+                    .wait(|| self.out.send(result).map_err(drop))
                     .map_err(|_| EngineError::Disconnected("merge→results"))?;
             }
         }
@@ -106,18 +129,19 @@ impl MergeKMeansOp {
         let sets: Vec<WeightedSet> =
             progress.partials.values().map(|p| p.centroids.clone()).collect();
         let output = merge(&sets, &self.kmeans, self.mode, self.merge_restarts)?;
-        let chunks = progress
-            .partials
-            .into_iter()
-            .map(|(chunk_id, p)| ChunkStats {
+        let mut chunks = Vec::with_capacity(progress.partials.len());
+        let mut trajectories = Vec::with_capacity(progress.partials.len());
+        for (chunk_id, p) in progress.partials {
+            chunks.push(ChunkStats {
                 chunk: chunk_id,
                 points: p.points,
                 best_mse: p.best_mse,
                 total_iterations: p.total_iterations,
                 elapsed: p.elapsed,
-            })
-            .collect();
-        Ok(CellClustering { cell, output, chunks })
+            });
+            trajectories.push(p.best_trajectory);
+        }
+        Ok(CellClustering { cell, output, chunks, trajectories })
     }
 }
 
@@ -219,8 +243,7 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(out.len(), 2);
-        let cells: std::collections::HashSet<GridCell> =
-            out.iter().map(|r| r.cell).collect();
+        let cells: std::collections::HashSet<GridCell> = out.iter().map(|r| r.cell).collect();
         assert!(cells.contains(&a) && cells.contains(&b));
     }
 

@@ -11,9 +11,11 @@ use crate::error::{EngineError, Result};
 use crate::item::{ChunkMsg, MergeMsg};
 use crate::queue::{QueueConsumer, QueueProducer};
 use crate::telemetry::{OpMeter, OpStats};
-use pmkm_core::partial::partial_kmeans;
+use pmkm_core::partial::partial_kmeans_observed;
 use pmkm_core::seeding::derive_seed;
 use pmkm_core::KMeansConfig;
+use pmkm_obs::Recorder;
+use std::sync::Arc;
 
 /// Stream tag for per-(cell, chunk) seeds.
 const STREAM_CHUNK: u64 = 0x5354_4348_554E_4B00; // "STCHUNK"
@@ -30,6 +32,7 @@ pub struct PartialKMeansOp {
     out: QueueProducer<MergeMsg>,
     kmeans: KMeansConfig,
     clone_id: usize,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl PartialKMeansOp {
@@ -40,25 +43,43 @@ impl PartialKMeansOp {
         kmeans: KMeansConfig,
         clone_id: usize,
     ) -> Self {
-        Self { input, out, kmeans, clone_id }
+        Self { input, out, kmeans, clone_id, recorder: None }
+    }
+
+    /// Attaches an observability recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Option<Arc<Recorder>>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Runs until the chunk stream ends.
     pub fn run(self) -> Result<OpStats> {
         let mut meter = OpMeter::new("partial-kmeans", self.clone_id);
-        while let Some(ChunkMsg { cell, chunk_id, points }) = self.input.recv() {
+        let rec = self.recorder.as_deref();
+        while let Some(ChunkMsg { cell, chunk_id, points }) = meter.wait(|| self.input.recv()) {
             meter.item_in();
             let cfg = KMeansConfig {
                 seed: chunk_seed(self.kmeans.seed, cell.index(), chunk_id),
                 ..self.kmeans
             };
-            let output = meter.work(|| partial_kmeans(&points, &cfg))?;
+            let output = meter.work(|| partial_kmeans_observed(&points, &cfg, rec))?;
             meter.item_out();
-            self.out
-                .send(MergeMsg::Partial { cell, chunk_id, output })
+            meter
+                .wait(|| self.out.send(MergeMsg::Partial { cell, chunk_id, output }).map_err(drop))
                 .map_err(|_| EngineError::Disconnected("partial→merge"))?;
         }
-        Ok(meter.finish())
+        let stats = meter.finish();
+        if let Some(rec) = rec {
+            rec.event(
+                "op.finish",
+                &[
+                    ("op", "partial-kmeans".into()),
+                    ("clone", stats.clone_id.into()),
+                    ("items_in", stats.items_in.into()),
+                ],
+            );
+        }
+        Ok(stats)
     }
 }
 
@@ -144,15 +165,12 @@ mod tests {
             }
             drop(p);
             op.run().unwrap();
-            let mut out: Vec<(usize, pmkm_core::WeightedSet)> =
-                std::iter::from_fn(|| c.recv())
-                    .map(|m| match m {
-                        MergeMsg::Partial { chunk_id, output, .. } => {
-                            (chunk_id, output.centroids)
-                        }
-                        other => panic!("unexpected {other:?}"),
-                    })
-                    .collect();
+            let mut out: Vec<(usize, pmkm_core::WeightedSet)> = std::iter::from_fn(|| c.recv())
+                .map(|m| match m {
+                    MergeMsg::Partial { chunk_id, output, .. } => (chunk_id, output.centroids),
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
             out.sort_by_key(|(id, _)| *id);
             out
         };

@@ -5,7 +5,9 @@ use crate::item::ScanMsg;
 use crate::queue::QueueProducer;
 use crate::telemetry::{OpMeter, OpStats};
 use pmkm_data::BucketReader;
+use pmkm_obs::Recorder;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Streams every bucket file as a sequence of bounded point batches,
 /// followed by a [`ScanMsg::CellEnd`] marker per cell. Data is read once,
@@ -15,12 +17,19 @@ pub struct ScanOp {
     paths: Vec<PathBuf>,
     batch_points: usize,
     out: QueueProducer<ScanMsg>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl ScanOp {
     /// Creates the operator.
     pub fn new(paths: Vec<PathBuf>, batch_points: usize, out: QueueProducer<ScanMsg>) -> Self {
-        Self { paths, batch_points: batch_points.max(1), out }
+        Self { paths, batch_points: batch_points.max(1), out, recorder: None }
+    }
+
+    /// Attaches an observability recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Option<Arc<Recorder>>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Runs to completion, returning telemetry.
@@ -34,19 +43,34 @@ impl ScanOp {
                 match batch {
                     Some(points) => {
                         meter.item_out();
-                        self.out
-                            .send(ScanMsg::Batch { cell, points })
+                        meter
+                            .wait(|| self.out.send(ScanMsg::Batch { cell, points }))
                             .map_err(|_| EngineError::Disconnected("scan→chunker"))?;
                     }
                     None => break,
                 }
             }
             meter.item_out();
-            self.out
-                .send(ScanMsg::CellEnd { cell })
+            meter
+                .wait(|| self.out.send(ScanMsg::CellEnd { cell }))
                 .map_err(|_| EngineError::Disconnected("scan→chunker"))?;
+            if let Some(rec) = self.recorder.as_deref() {
+                rec.registry().counter("scan_cells_total").inc();
+                rec.event("scan.cell", &[("cell", cell.index().into())]);
+            }
         }
-        Ok(meter.finish())
+        let stats = meter.finish();
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.event(
+                "op.finish",
+                &[
+                    ("op", "scan".into()),
+                    ("clone", stats.clone_id.into()),
+                    ("items_out", stats.items_out.into()),
+                ],
+            );
+        }
+        Ok(stats)
     }
 }
 

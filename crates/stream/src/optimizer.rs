@@ -21,9 +21,7 @@ pub fn optimize(logical: LogicalPlan, resources: &Resources) -> PhysicalPlan {
     PhysicalPlan {
         logical,
         partial_clones: resources.workers.max(1),
-        chunk_policy: ChunkPolicy::MemoryBudget {
-            bytes: resources.chunk_memory_bytes.max(1),
-        },
+        chunk_policy: ChunkPolicy::MemoryBudget { bytes: resources.chunk_memory_bytes.max(1) },
         queue_capacity: resources.queue_capacity.max(1),
         scan_batch: resources.scan_batch.max(1),
         // One scanner per two workers, capped by the input count: the scan

@@ -11,10 +11,32 @@
 
 use crossbeam::channel::{bounded, Receiver, SendError, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
+use pmkm_obs::{HistogramSnapshot, QueueReport};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Number of depth-histogram buckets: depths 0, 1, 2–3, 4–7, 8–15, 16–31,
+/// 32–63, and 64+. Power-of-two ranges keep the sampling a handful of
+/// compares regardless of capacity.
+const DEPTH_BUCKETS: usize = 8;
+
+/// Inclusive upper bounds of the finite depth buckets (the 8th is +Inf).
+const DEPTH_BOUNDS: [f64; DEPTH_BUCKETS - 1] = [0.0, 1.0, 3.0, 7.0, 15.0, 31.0, 63.0];
+
+fn depth_bucket(depth: usize) -> usize {
+    match depth {
+        0 => 0,
+        1 => 1,
+        2..=3 => 2,
+        4..=7 => 3,
+        8..=15 => 4,
+        16..=31 => 5,
+        32..=63 => 6,
+        _ => 7,
+    }
+}
 
 /// Snapshot of one queue's telemetry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +59,34 @@ pub struct QueueStats {
     pub blocked_send: Duration,
     /// Total time consumers spent blocked on an empty queue.
     pub blocked_recv: Duration,
+    /// Queue-depth histogram sampled after each successful send: counts for
+    /// depths 0, 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64+. The counts sum to
+    /// `sends`.
+    pub depth_counts: Vec<u64>,
+}
+
+impl QueueStats {
+    /// Converts into the observability layer's report row.
+    pub fn to_report(&self) -> QueueReport {
+        let count: u64 = self.depth_counts.iter().sum();
+        QueueReport {
+            name: self.name.clone(),
+            capacity: self.capacity,
+            sends: self.sends,
+            recvs: self.recvs,
+            full_blocks: self.full_blocks,
+            empty_blocks: self.empty_blocks,
+            blocked_send: self.blocked_send,
+            blocked_recv: self.blocked_recv,
+            depth: HistogramSnapshot {
+                bounds: DEPTH_BOUNDS.to_vec(),
+                counts: self.depth_counts.clone(),
+                count,
+                // Exact depths are bucketed away; the sum is not tracked.
+                sum: 0.0,
+            },
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -47,6 +97,13 @@ struct Counters {
     empty_blocks: AtomicU64,
     blocked_send_nanos: AtomicU64,
     blocked_recv_nanos: AtomicU64,
+    depth: [AtomicU64; DEPTH_BUCKETS],
+}
+
+impl Counters {
+    fn observe_depth(&self, depth: usize) {
+        self.depth[depth_bucket(depth)].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A named, bounded MPMC queue.
@@ -111,6 +168,7 @@ impl<T> SmartQueue<T> {
             blocked_recv: Duration::from_nanos(
                 self.counters.blocked_recv_nanos.load(Ordering::Relaxed),
             ),
+            depth_counts: self.counters.depth.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
         }
     }
 }
@@ -128,6 +186,7 @@ impl<T> QueueProducer<T> {
         match self.tx.try_send(item) {
             Ok(()) => {
                 self.counters.sends.fetch_add(1, Ordering::Relaxed);
+                self.counters.observe_depth(self.tx.len());
                 Ok(())
             }
             Err(TrySendError::Full(item)) => {
@@ -139,6 +198,7 @@ impl<T> QueueProducer<T> {
                     .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 if res.is_ok() {
                     self.counters.sends.fetch_add(1, Ordering::Relaxed);
+                    self.counters.observe_depth(self.tx.len());
                 }
                 res
             }
@@ -311,5 +371,46 @@ mod tests {
     fn capacity_minimum_is_one() {
         let q: SmartQueue<u32> = SmartQueue::new("t", 0);
         assert_eq!(q.stats().capacity, 1);
+    }
+
+    #[test]
+    fn depth_histogram_counts_sum_to_sends() {
+        let q: SmartQueue<u32> = SmartQueue::new("t", 16);
+        let p = q.producer();
+        let c = q.consumer();
+        q.seal();
+        // Fill to varying depths with interleaved drains.
+        for i in 0..10 {
+            p.send(i).unwrap();
+        }
+        for _ in 0..5 {
+            c.recv().unwrap();
+        }
+        for i in 10..20 {
+            p.send(i).unwrap();
+        }
+        let s = q.stats();
+        assert_eq!(s.sends, 20);
+        assert_eq!(s.depth_counts.len(), DEPTH_BUCKETS);
+        assert_eq!(s.depth_counts.iter().sum::<u64>(), s.sends);
+        // Depths above capacity are impossible: cap 16 ⇒ 64+ bucket empty.
+        assert_eq!(s.depth_counts[7], 0);
+
+        let report = s.to_report();
+        assert_eq!(report.depth.count, 20);
+        assert_eq!(report.depth.counts, s.depth_counts);
+        assert_eq!(report.depth.bounds.len() + 1, report.depth.counts.len());
+    }
+
+    #[test]
+    fn depth_bucket_boundaries() {
+        assert_eq!(depth_bucket(0), 0);
+        assert_eq!(depth_bucket(1), 1);
+        assert_eq!(depth_bucket(2), 2);
+        assert_eq!(depth_bucket(3), 2);
+        assert_eq!(depth_bucket(4), 3);
+        assert_eq!(depth_bucket(63), 6);
+        assert_eq!(depth_bucket(64), 7);
+        assert_eq!(depth_bucket(100_000), 7);
     }
 }

@@ -7,8 +7,8 @@
 //! ```
 
 use pmkm_baselines::{
-    birch, clarans, method_b, method_c, serial_kmeans, stream_lsearch, BirchConfig,
-    ClaransConfig, StreamLsConfig,
+    birch, clarans, method_b, method_c, serial_kmeans, stream_lsearch, BirchConfig, ClaransConfig,
+    StreamLsConfig,
 };
 use pmkm_core::{metrics, partial_merge, KMeansConfig, PartialMergeConfig, PointSource};
 use pmkm_data::CellConfig;
@@ -77,10 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // CLARANS (k-medoid; medoids are actual observations).
     let t = Instant::now();
-    let cl = clarans(
-        &cell,
-        &ClaransConfig { k, num_local: 2, max_neighbors: 250, seed: 17 },
-    )?;
+    let cl = clarans(&cell, &ClaransConfig { k, num_local: 2, max_neighbors: 250, seed: 17 })?;
     let mse = metrics::mse_against(&cell, &cl.medoids)?;
     report(
         &format!("CLARANS ({} swaps tried)", cl.neighbors_examined),

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(_, path)| GridBucket::read_from(path))
         .collect::<Result<_, _>>()?;
     buckets.sort_by_key(|b| std::cmp::Reverse(b.points.len()));
-    println!("\n{:>10} {:>7} {:>8} {:>9} {:>10} {:>9}", "cell", "points", "buckets", "ratio", "RMS err", "cov err");
+    println!(
+        "\n{:>10} {:>7} {:>8} {:>9} {:>10} {:>9}",
+        "cell", "points", "buckets", "ratio", "RMS err", "cov err"
+    );
     for bucket in buckets.iter().take(5) {
         let k = 20.min(bucket.points.len() / 8).max(1);
         let cfg = PartialMergeConfig::paper(k, 4, 7);

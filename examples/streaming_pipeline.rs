@@ -26,10 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Logical plan: cluster each bucket with k = 40, best-of-3 restarts.
-    let logical = LogicalPlan::new(
-        paths,
-        KMeansConfig { restarts: 3, ..KMeansConfig::paper(40, 11) },
-    );
+    let logical =
+        LogicalPlan::new(paths, KMeansConfig { restarts: 3, ..KMeansConfig::paper(40, 11) });
 
     // The optimizer sizes chunks from the memory budget and clones the
     // partial operator across the detected processors. A small 256 KiB

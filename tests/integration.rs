@@ -45,14 +45,11 @@ fn swath_to_engine_end_to_end() {
         .map(|(_, p)| (GridBucket::read_from(p).unwrap().points.len(), p))
         .collect();
     sizes.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
-    let paths: Vec<std::path::PathBuf> =
-        sizes.iter().take(5).map(|(_, p)| (*p).clone()).collect();
+    let paths: Vec<std::path::PathBuf> = sizes.iter().take(5).map(|(_, p)| (*p).clone()).collect();
     let expected: Vec<usize> = sizes.iter().take(5).map(|(n, _)| *n).collect();
 
-    let logical = LogicalPlan::new(
-        paths,
-        KMeansConfig { restarts: 2, ..KMeansConfig::paper(8, 5) },
-    );
+    let logical =
+        LogicalPlan::new(paths, KMeansConfig { restarts: 2, ..KMeansConfig::paper(8, 5) });
     let plan = optimize_fixed_split(logical, &Resources::fixed(1 << 20, 2), 64);
     let report = execute(&plan).unwrap();
     assert_eq!(report.cells.len(), 5);
@@ -81,7 +78,10 @@ fn engine_and_core_pipeline_agree_structurally() {
     let path = dir.join(gc.bucket_file_name());
     GridBucket { cell: gc, points: cell.clone() }.write_to(&path).unwrap();
 
-    let kcfg = KMeansConfig { restarts: 2, ..KMeansConfig::paper(20, 9) };
+    // Best-of-2 at k=20 is high-variance: a single unlucky seeding on either
+    // path can push the MSE ratio outside the shared-regime band. Four
+    // restarts keep both paths near good optima regardless of RNG stream.
+    let kcfg = KMeansConfig { restarts: 4, ..KMeansConfig::paper(20, 9) };
     let plan = optimize_fixed_split(
         LogicalPlan::new(vec![path], kcfg),
         &Resources::fixed(16 << 20, 2),
@@ -143,13 +143,7 @@ fn paper_claim_partial_merge_wins_at_large_n() {
     // §5.2: "at N = 12,500, partial/merge breaks even, and the MSE and
     // execution time … is significantly better than a serial k-means."
     // At reduced restart counts the time advantage is already decisive.
-    let cfg = SweepConfig {
-        k: 40,
-        restarts: 2,
-        versions: 1,
-        sizes: vec![25_000],
-        seed: 0xBEEF,
-    };
+    let cfg = SweepConfig { k: 40, restarts: 2, versions: 1, sizes: vec![25_000], seed: 0xBEEF };
     let serial = pmkm_bench::experiments::run_serial(&cfg, 25_000, 0);
     let split10 = run_split(&cfg, 25_000, 0, 10);
     assert!(
@@ -171,13 +165,7 @@ fn paper_claim_partial_merge_wins_at_large_n() {
 fn paper_claim_small_n_serial_is_fine() {
     // §5.2: for very small cells the serial algorithm is at least as good
     // and much faster (partial/merge pays overhead for nothing).
-    let cfg = SweepConfig {
-        k: 40,
-        restarts: 2,
-        versions: 1,
-        sizes: vec![250],
-        seed: 0xF00D,
-    };
+    let cfg = SweepConfig { k: 40, restarts: 2, versions: 1, sizes: vec![250], seed: 0xF00D };
     let serial = pmkm_bench::experiments::run_serial(&cfg, 250, 0);
     let split10 = run_split(&cfg, 250, 0, 10);
     // Quality: serial sees all points at once; it must not be (much) worse.
@@ -271,10 +259,107 @@ fn engine_error_names_the_root_cause() {
     );
     match pmkm_stream::execute(&plan) {
         Err(pmkm_stream::EngineError::Data(e)) => {
-            assert!(e.to_string().contains("magic") || e.to_string().contains("format"),
-                "unexpected data error: {e}");
+            assert!(
+                e.to_string().contains("magic") || e.to_string().contains("format"),
+                "unexpected data error: {e}"
+            );
         }
         other => panic!("expected Data error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn observed_partial_merge_reports_dataset_and_monotone_trajectories() {
+    // The observability satellite's core invariant: an observed
+    // partial/merge run yields a RunReport whose total point count matches
+    // the dataset exactly and whose per-chunk MSE trajectories — Lloyd's
+    // objective after every assign step — are monotonically non-increasing.
+    let points = pmkm_data::generator::generate_cell(&CellConfig::paper(3_000, 5)).unwrap();
+    let cfg = PartialMergeConfig {
+        kmeans: KMeansConfig { restarts: 3, ..KMeansConfig::paper(8, 5) },
+        partitions: PartitionSpec::Count(4),
+        ..PartialMergeConfig::paper(8, 4, 5)
+    };
+    let rec = pmkm_obs::Recorder::new();
+    let (result, report) =
+        pmkm_core::partial_merge_observed(&points, &cfg, None, Some(&rec)).unwrap();
+
+    assert_eq!(report.total_points(), points.len());
+    assert_eq!(report.cells.len(), 1);
+    assert_eq!(report.cells[0].chunks.len(), result.chunks.len());
+    for chunk in &report.cells[0].chunks {
+        let t = &chunk.mse_trajectory;
+        assert!(t.len() >= 2, "chunk {} trajectory too short: {t:?}", chunk.chunk);
+        for w in t.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "chunk {} trajectory increased: {} -> {}",
+                chunk.chunk,
+                w[0],
+                w[1]
+            );
+        }
+        assert!((t[t.len() - 1] - chunk.best_mse).abs() <= 1e-9 * chunk.best_mse.max(1.0));
+    }
+
+    // The counters agree with the report's own accounting.
+    let snap = report.metrics;
+    let counter =
+        |name: &str| snap.counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or(0);
+    assert_eq!(counter("partial_points_total"), points.len() as u64);
+    assert_eq!(counter("partial_chunks_total"), result.chunks.len() as u64);
+    assert!(counter("lloyd_iterations_total") > 0);
+
+    // Observation must not change the clustering itself.
+    let unobserved = partial_merge(&points, &cfg).unwrap();
+    assert_eq!(unobserved.merge.centroids, result.merge.centroids);
+    assert_eq!(unobserved.merge.epm, result.merge.epm);
+}
+
+#[test]
+fn observed_engine_run_report_round_trips_and_balances() {
+    // Engine-level observability: the RunReport survives JSON round trips
+    // losslessly, and its queue-depth histograms account for every send.
+    let dir = tmpdir("obs_engine");
+    let cell_id = GridCell::new(33, 44).unwrap();
+    let points = pmkm_data::generator::generate_cell(&CellConfig::paper(2_500, 9)).unwrap();
+    let n = points.len();
+    let path = dir.join(cell_id.bucket_file_name());
+    GridBucket { cell: cell_id, points }.write_to(&path).unwrap();
+
+    let plan = optimize_fixed_split(
+        LogicalPlan::new(vec![path], KMeansConfig { restarts: 2, ..KMeansConfig::paper(6, 3) }),
+        &Resources::fixed(1 << 20, 2),
+        500,
+    );
+    let rec = std::sync::Arc::new(pmkm_obs::Recorder::new());
+    let engine = pmkm_stream::execute_observed(&plan, Some(rec.clone())).unwrap();
+    let report = engine.run_report(Some(&rec));
+
+    assert_eq!(report.total_points(), n);
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    let back: pmkm_obs::RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+
+    for q in &report.queues {
+        assert_eq!(
+            q.depth.counts.iter().sum::<u64>(),
+            q.sends,
+            "queue {} depth histogram does not balance",
+            q.name
+        );
+    }
+    // Busy + blocked never exceeds lifetime by more than timer noise.
+    for op in &report.operators {
+        let spent = op.busy + op.blocked;
+        assert!(
+            spent <= op.lifetime + std::time::Duration::from_millis(50),
+            "operator {} clone {}: busy+blocked {spent:?} > lifetime {:?}",
+            op.name,
+            op.clone_id,
+            op.lifetime
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

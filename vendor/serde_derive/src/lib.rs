@@ -1,0 +1,395 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The container has no `syn`/`quote`, so the item is parsed directly from
+//! the raw `proc_macro::TokenStream`: attributes and visibility are
+//! skipped, the field/variant shape is extracted, and the impl is emitted
+//! as source text and re-parsed. Supported shapes are exactly what the
+//! workspace uses: non-generic named-field structs, unit structs, tuple
+//! structs, and enums with unit / tuple / struct variants. `#[serde(...)]`
+//! attributes are not supported (none exist in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tok: &TokenTree, word: &str) -> bool {
+    matches!(tok, TokenTree::Ident(id) if id.to_string() == word)
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_meta(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // '#' then the bracket group
+        } else if i < toks.len() && is_ident(&toks[i], "pub") {
+            i += 1;
+            if i < toks.len()
+                && matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+/// Counts the comma-separated segments of a tuple field list at angle depth 0.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1usize;
+    let mut last_was_comma = false;
+    for tok in &toks {
+        last_was_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Parses `name: Type,` sequences, returning the field names in order.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        i = skip_meta(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found `{other}`"),
+        };
+        i += 1;
+        if i >= toks.len() || !is_punct(&toks[i], ':') {
+            panic!("serde_derive shim: expected `:` after field `{name}`");
+        }
+        i += 1;
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        i = skip_meta(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&toks, 0);
+    let is_enum = loop {
+        if i >= toks.len() {
+            panic!("serde_derive shim: no struct or enum found");
+        }
+        if is_ident(&toks[i], "struct") {
+            break false;
+        }
+        if is_ident(&toks[i], "enum") {
+            break true;
+        }
+        i += 1;
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let kind = if is_enum {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive shim: malformed enum `{name}`"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(tok) if is_punct(tok, ';') => ItemKind::Unit,
+            _ => panic!("serde_derive shim: malformed struct `{name}`"),
+        }
+    };
+    Item { name, kind }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl serde::Serialize for {name} {{ \
+         fn to_value(&self) -> serde::Value {{ "
+    );
+    match &item.kind {
+        ItemKind::Unit => {
+            let _ = write!(out, "serde::Value::Null");
+        }
+        ItemKind::Tuple(n) => {
+            let _ = write!(out, "serde::Value::Seq(vec![");
+            for idx in 0..*n {
+                let _ = write!(out, "serde::Serialize::to_value(&self.{idx}),");
+            }
+            let _ = write!(out, "])");
+        }
+        ItemKind::Named(fields) => {
+            let _ = write!(out, "serde::Value::Map(vec![");
+            for f in fields {
+                let _ =
+                    write!(out, "(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})),");
+            }
+            let _ = write!(out, "])");
+        }
+        ItemKind::Enum(variants) => {
+            let _ = write!(out, "match self {{ ");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn}(__f0) => serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                             serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let _ = write!(
+                            out,
+                            "{name}::{vn}({}) => serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                             serde::Value::Seq(vec![",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            let _ = write!(out, "serde::Serialize::to_value({b}),");
+                        }
+                        let _ = write!(out, "]))]),");
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                             serde::Value::Map(vec![",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "(String::from(\"{f}\"), serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        let _ = write!(out, "]))]),");
+                    }
+                }
+            }
+            let _ = write!(out, "}}");
+        }
+    }
+    let _ = write!(out, "}} }}");
+    out.parse().expect("serde_derive shim: generated Serialize impl did not parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl<'de> serde::Deserialize<'de> for {name} {{ \
+         fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{ "
+    );
+    match &item.kind {
+        ItemKind::Unit => {
+            let _ = write!(out, "let _ = __v; Ok({name})");
+        }
+        ItemKind::Tuple(n) => {
+            let _ = write!(
+                out,
+                "match __v {{ serde::Value::Seq(__items) if __items.len() == {n} => Ok({name}("
+            );
+            for idx in 0..*n {
+                let _ = write!(out, "serde::Deserialize::from_value(&__items[{idx}])?,");
+            }
+            let _ = write!(
+                out,
+                ")), _ => Err(serde::DeError(String::from(\"expected {n}-element sequence for {name}\"))) }}"
+            );
+        }
+        ItemKind::Named(fields) => {
+            let _ = write!(out, "Ok({name} {{ ");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "{f}: serde::Deserialize::from_value(serde::__field(__v, \"{name}\", \"{f}\")?)?,"
+                );
+            }
+            let _ = write!(out, "}})");
+        }
+        ItemKind::Enum(variants) => {
+            let _ = write!(
+                out,
+                "match __v {{ \
+                 serde::Value::Str(__s) => match __s.as_str() {{ "
+            );
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    let _ = write!(out, "\"{vn}\" => Ok({name}::{vn}),");
+                }
+            }
+            let _ = write!(
+                out,
+                "__other => Err(serde::DeError(format!(\"unknown unit variant `{{}}` for {name}\", __other))), }}, \
+                 serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                 let (__tag, __iv) = &__m[0]; let _ = __iv; \
+                 match __tag.as_str() {{ "
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(__iv)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => match __iv {{ serde::Value::Seq(__items) if __items.len() == {n} => Ok({name}::{vn}("
+                        );
+                        for idx in 0..*n {
+                            let _ =
+                                write!(out, "serde::Deserialize::from_value(&__items[{idx}])?,");
+                        }
+                        let _ = write!(
+                            out,
+                            ")), _ => Err(serde::DeError(String::from(\"bad tuple variant {vn} for {name}\"))) }},"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = write!(out, "\"{vn}\" => Ok({name}::{vn} {{ ");
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "{f}: serde::Deserialize::from_value(serde::__field(__iv, \"{name}::{vn}\", \"{f}\")?)?,"
+                            );
+                        }
+                        let _ = write!(out, "}}),");
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "__other => Err(serde::DeError(format!(\"unknown variant `{{}}` for {name}\", __other))), }} }}, \
+                 __other => Err(serde::DeError(format!(\"expected variant of {name}, found {{:?}}\", __other))), }}"
+            );
+        }
+    }
+    let _ = write!(out, "}} }}");
+    out.parse().expect("serde_derive shim: generated Deserialize impl did not parse")
+}
