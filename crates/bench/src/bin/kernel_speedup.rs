@@ -1,0 +1,187 @@
+//! Records the fused-kernel acceptance number for PR 2: assignment-step
+//! speedup over the naive scalar search on the paper's 6-D fig. 6 workload
+//! (MISR-like cells, k = 40), plus end-to-end bounded-Lloyd timings for
+//! every selectable [`KernelKind`].
+//!
+//! Writes `BENCH_kernels.json` at the repository root (median-of-reps
+//! timings, speedups, and the fused kernel's rescue rate) and exits
+//! non-zero if the fused assignment step is not ≥ 1.5× the scalar one.
+
+use pmkm_bench::report::print_table;
+use pmkm_core::kernel::FusedLayout;
+use pmkm_core::point::nearest_centroid;
+use pmkm_core::seeding::{rng_for, seed_centroids};
+use pmkm_core::{lloyd, Dataset, KernelKind, KernelStats, LloydConfig, PointSource, SeedMode};
+use pmkm_data::CellConfig;
+use serde::Serialize;
+use std::io::Write;
+use std::time::Instant;
+
+const K: usize = 40;
+const REPS: usize = 9;
+
+#[derive(Serialize)]
+struct AssignRow {
+    n: usize,
+    scalar_ms: f64,
+    fused_ms: f64,
+    speedup: f64,
+    rescues_per_point: f64,
+}
+
+#[derive(Serialize)]
+struct LloydRow {
+    kernel: &'static str,
+    n: usize,
+    iters: usize,
+    ms: f64,
+    speedup_vs_scalar: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    workload: &'static str,
+    dim: usize,
+    k: usize,
+    reps: usize,
+    assign: Vec<AssignRow>,
+    lloyd_5iters: Vec<LloydRow>,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// Median wall time of `f` over [`REPS`] runs, in milliseconds.
+fn time_ms<F: FnMut() -> f64>(mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(REPS);
+    let mut sink = 0.0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        sink += f();
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    assert!(sink.is_finite());
+    median(samples)
+}
+
+fn main() {
+    let mut assign = Vec::new();
+    let mut lloyd_rows = Vec::new();
+    let mut worst_speedup = f64::INFINITY;
+
+    for &n in &[10_000usize, 50_000] {
+        let cell: Dataset =
+            pmkm_data::generator::generate_cell(&CellConfig::paper(n, 42)).expect("generator");
+        let dim = cell.dim();
+        let init = seed_centroids(&cell, K, SeedMode::RandomPoints, &mut rng_for(7, 0)).unwrap();
+        let cents = init.as_flat().to_vec();
+
+        let scalar_ms = time_ms(|| {
+            let mut acc = 0.0;
+            for i in 0..cell.len() {
+                acc += nearest_centroid(cell.coords(i), &cents, dim).1;
+            }
+            acc
+        });
+        let mut stats = KernelStats::default();
+        let fused_ms = time_ms(|| {
+            let layout = FusedLayout::new(&cents, dim);
+            let mut scratch = vec![0.0; layout.scratch_len()];
+            let mut acc = 0.0;
+            for i in 0..cell.len() {
+                acc += layout.nearest_counted(cell.coords(i), &mut scratch, &mut stats).1;
+            }
+            acc
+        });
+
+        let speedup = scalar_ms / fused_ms;
+        worst_speedup = worst_speedup.min(speedup);
+        assign.push(AssignRow {
+            n,
+            scalar_ms,
+            fused_ms,
+            speedup,
+            rescues_per_point: stats.rescues_per_point(),
+        });
+
+        if n == 10_000 {
+            let mut scalar_lloyd = 0.0;
+            for kernel in
+                [KernelKind::Scalar, KernelKind::PrunedScalar, KernelKind::Fused, KernelKind::Elkan]
+            {
+                let cfg =
+                    LloydConfig { max_iters: 5, epsilon: 0.0, kernel, ..LloydConfig::default() };
+                let mut iters = 0;
+                let ms = time_ms(|| {
+                    let run = lloyd::lloyd(&cell, &init, &cfg).unwrap();
+                    iters = run.iterations;
+                    run.mse
+                });
+                if kernel == KernelKind::Scalar {
+                    scalar_lloyd = ms;
+                }
+                lloyd_rows.push(LloydRow {
+                    kernel: kernel.label(),
+                    n,
+                    iters,
+                    ms,
+                    speedup_vs_scalar: scalar_lloyd / ms,
+                });
+            }
+        }
+    }
+
+    print_table(
+        "Fused kernel vs scalar — assignment step (6-D, k=40, median of 9)",
+        &["N", "scalar ms", "fused ms", "speedup", "rescues/pt"],
+        &assign
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    format!("{:.2}", r.scalar_ms),
+                    format!("{:.2}", r.fused_ms),
+                    format!("{:.2}x", r.speedup),
+                    format!("{:.3}", r.rescues_per_point),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Bounded Lloyd (5 iters, k=40, N=10k) per kernel",
+        &["kernel", "ms", "vs scalar"],
+        &lloyd_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.kernel.to_string(),
+                    format!("{:.2}", r.ms),
+                    format!("{:.2}x", r.speedup_vs_scalar),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let report = Report {
+        workload: "fig6 paper cells (6-D MISR-like, CellConfig::paper(n, 42))",
+        dim: 6,
+        k: K,
+        reps: REPS,
+        assign,
+        lloyd_5iters: lloyd_rows,
+    };
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_kernels.json");
+    f.write_all(serde_json::to_string_pretty(&report).expect("serialize").as_bytes()).unwrap();
+    f.write_all(b"\n").unwrap();
+    println!("\n[written] {}", path.display());
+
+    if worst_speedup < 1.5 {
+        eprintln!("FAIL: fused assignment speedup {worst_speedup:.2}x < 1.5x acceptance bar");
+        std::process::exit(1);
+    }
+    println!("OK: fused assignment speedup ≥ 1.5x (worst {worst_speedup:.2}x)");
+}

@@ -77,12 +77,14 @@ COMMANDS
   inspect   <bucket files…>
             Print each bucket's header and per-dimension statistics.
   cluster   [--k=40] [--restarts=10] [--seed=0] [--splits=P | --memory=BYTES]
-            [--workers=N] [--adaptive] [--incremental]
+            [--workers=N] [--kernel=auto] [--adaptive] [--incremental]
             [--metrics-out=REPORT.json] [--trace=TRACE.jsonl] <bucket files…>
             Cluster each bucket with partial/merge k-means on the stream
             engine; prints centroids summary and operator telemetry.
-            --metrics-out writes a structured RunReport (JSON); --trace
-            streams structured events as JSON lines.
+            --kernel picks the assignment strategy (auto, scalar,
+            pruned_scalar, fused, elkan); --metrics-out writes a structured
+            RunReport (JSON); --trace streams structured events as JSON
+            lines.
   compress  [--k=40] [--restarts=10] [--splits=5] [--seed=0] [--out=DIR]
             <bucket files…>
             Compress each bucket into a multivariate histogram (JSON).
@@ -170,6 +172,7 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "splits",
         "memory",
         "workers",
+        "kernel",
         "adaptive",
         "incremental",
         "metrics-out",
@@ -179,10 +182,17 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     if paths.is_empty() {
         return Err(CliError::Run("cluster: no bucket files given".into()));
     }
-    let kcfg = KMeansConfig {
+    let kernel_name = args.get_str("kernel", "auto");
+    let kernel = pmkm_core::KernelKind::parse(&kernel_name).ok_or_else(|| {
+        CliError::Run(format!(
+            "cluster: unknown kernel '{kernel_name}' (auto, scalar, pruned_scalar, fused, elkan)"
+        ))
+    })?;
+    let mut kcfg = KMeansConfig {
         restarts: args.get("restarts", 10usize)?,
         ..KMeansConfig::paper(args.get("k", 40usize)?, args.get("seed", 0u64)?)
     };
+    kcfg.lloyd.kernel = kernel;
     let mut logical = LogicalPlan::new(paths, kcfg);
     if args.flag("incremental") {
         logical.merge_mode = MergeMode::Incremental;
@@ -453,6 +463,23 @@ mod tests {
         .unwrap();
         assert!(out.contains("clustered 1 cells"), "{out}");
         assert!(out.contains("E_pm"), "{out}");
+
+        // cluster with an explicit assignment kernel
+        let out = run(
+            "cluster",
+            &[
+                "--k=4".into(),
+                "--restarts=2".into(),
+                "--splits=3".into(),
+                "--kernel=fused".into(),
+                biggest.clone(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("clustered 1 cells"), "{out}");
+        let err =
+            run("cluster", &["--k=4".into(), "--kernel=warp".into(), biggest.clone()]).unwrap_err();
+        assert!(err.to_string().contains("unknown kernel 'warp'"), "{err}");
 
         // cluster, adaptive path
         let out = run(

@@ -12,6 +12,63 @@ pub const PAPER_EPSILON: f64 = 1e-9;
 /// results record whether it was hit.
 pub const DEFAULT_MAX_ITERS: usize = 10_000;
 
+/// Which nearest-centroid strategy drives the Lloyd assignment step.
+///
+/// Every kind is **exact**: they all produce the same assignments (and,
+/// except [`KernelKind::Elkan`] runs that reseed empty clusters, the same
+/// bit-level distances) as the naive scalar scan — the differential test
+/// suite in `tests/kernel_differential.rs` pins this. They differ only in
+/// how much arithmetic they spend getting there; DESIGN.md §9 discusses
+/// when each wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Pick automatically: the fused SoA kernel, unless the legacy
+    /// `pruned_assign` flag asks for the pruned scalar scan.
+    #[default]
+    Auto,
+    /// The naive AoS scalar scan ([`crate::point::nearest_centroid`]) —
+    /// the paper's §4 prototype behaviour, kept for timing mirrors.
+    Scalar,
+    /// Scalar scan with partial-distance pruning
+    /// ([`crate::point::nearest_centroid_pruned`]).
+    PrunedScalar,
+    /// The fused, cache-blocked SoA kernel ([`crate::kernel::FusedLayout`]):
+    /// `‖x−c‖²` via the norm expansion over 8-lane centroid blocks, with an
+    /// exact rescue pass, and the weighted accumulator updates fused into
+    /// the same per-point loop.
+    Fused,
+    /// Hamerly/Elkan triangle-inequality bounds ([`crate::elkan::elkan`]):
+    /// skips whole points across iterations rather than vectorizing the
+    /// scan. Wins when clusters separate early and k is large.
+    Elkan,
+}
+
+impl KernelKind {
+    /// Human-readable label used in metric names and trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelKind::Auto => "auto",
+            KernelKind::Scalar => "scalar",
+            KernelKind::PrunedScalar => "pruned_scalar",
+            KernelKind::Fused => "fused",
+            KernelKind::Elkan => "elkan",
+        }
+    }
+
+    /// Inverse of [`Self::label`], for CLI/config parsing. Returns `None`
+    /// for unknown names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(KernelKind::Auto),
+            "scalar" => Some(KernelKind::Scalar),
+            "pruned_scalar" => Some(KernelKind::PrunedScalar),
+            "fused" => Some(KernelKind::Fused),
+            "elkan" => Some(KernelKind::Elkan),
+            _ => None,
+        }
+    }
+}
+
 /// Controls a single Lloyd (k-means) run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LloydConfig {
@@ -26,10 +83,15 @@ pub struct LloydConfig {
     /// so per-run timings mirror the paper's single-threaded operators.
     pub parallel_assign: bool,
     /// Use partial-distance pruning in the nearest-centroid search. Exact
-    /// (bit-identical assignments), usually faster for larger k; off by
-    /// default because the paper's prototype deliberately omits improved
-    /// search mechanisms (§4) and the timing harnesses mirror that.
+    /// (bit-identical assignments), usually faster for larger k than the
+    /// plain scalar scan. Subsumed by `kernel`: the flag is honoured when
+    /// `kernel` is [`KernelKind::Auto`] and kept for configuration
+    /// backward-compatibility.
     pub pruned_assign: bool,
+    /// Assignment-step strategy. [`KernelKind::Auto`] (the default)
+    /// resolves to the fused SoA kernel — bit-identical results, just
+    /// faster — or to the pruned scalar scan when `pruned_assign` is set.
+    pub kernel: KernelKind,
 }
 
 impl Default for LloydConfig {
@@ -39,6 +101,7 @@ impl Default for LloydConfig {
             max_iters: DEFAULT_MAX_ITERS,
             parallel_assign: false,
             pruned_assign: false,
+            kernel: KernelKind::Auto,
         }
     }
 }
@@ -53,6 +116,16 @@ impl LloydConfig {
             return Err(Error::InvalidConfig("max_iters must be at least 1".into()));
         }
         Ok(())
+    }
+
+    /// The concrete strategy a run will use: resolves [`KernelKind::Auto`]
+    /// against the legacy `pruned_assign` flag; never returns `Auto`.
+    pub fn resolved_kernel(&self) -> KernelKind {
+        match self.kernel {
+            KernelKind::Auto if self.pruned_assign => KernelKind::PrunedScalar,
+            KernelKind::Auto => KernelKind::Fused,
+            k => k,
+        }
     }
 }
 

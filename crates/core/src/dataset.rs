@@ -10,7 +10,7 @@
 //! * [`Centroids`] — a bare `k × dim` centroid table, the algorithm output.
 
 use crate::error::{Error, Result};
-use crate::point::all_finite;
+use crate::point::{all_finite, first_non_finite};
 use serde::{Deserialize, Serialize};
 
 /// Read access to a (possibly weighted) collection of D-dimensional points.
@@ -64,13 +64,18 @@ impl Dataset {
         Ok(ds)
     }
 
-    /// Wraps an existing flat buffer. `data.len()` must be a multiple of `dim`.
+    /// Wraps an existing flat buffer. `data.len()` must be a multiple of
+    /// `dim` and every coordinate must be finite — a NaN or ±inf smuggled in
+    /// here would silently poison every centroid it ever touches.
     pub fn from_flat(dim: usize, data: Vec<f64>) -> Result<Self> {
         if dim == 0 {
             return Err(Error::InvalidConfig("dimension must be at least 1".into()));
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim });
+        }
+        if let Some(bad) = first_non_finite(&data) {
+            return Err(Error::NonFiniteCoordinate { index: bad / dim });
         }
         Ok(Self { dim, data })
     }
@@ -267,17 +272,20 @@ pub struct Centroids {
 }
 
 impl Centroids {
-    /// Wraps a flat `k × dim` buffer.
+    /// Wraps a flat `k × dim` buffer. Every coordinate must be finite.
     pub fn from_flat(dim: usize, data: Vec<f64>) -> Result<Self> {
         if dim == 0 {
             return Err(Error::InvalidConfig("dimension must be at least 1".into()));
         }
-        if data.is_empty() || data.len() % dim != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(dim) {
             return Err(Error::InvalidConfig(format!(
                 "centroid buffer of {} floats is not a non-empty multiple of dim {}",
                 data.len(),
                 dim
             )));
+        }
+        if let Some(bad) = first_non_finite(&data) {
+            return Err(Error::NonFiniteCoordinate { index: bad / dim });
         }
         Ok(Self { dim, data })
     }

@@ -40,6 +40,14 @@ pub struct ElkanRun {
     /// Full distance evaluations performed (the naive algorithm does
     /// `n · k` per iteration; the saving is what this algorithm is for).
     pub distance_evals: u64,
+    /// MSE after each distance calculation, starting with `MSE(0)` against
+    /// the seeds — same shape and convergence sequence as
+    /// [`crate::lloyd::LloydRun::mse_trajectory`].
+    pub mse_trajectory: Vec<f64>,
+    /// Empty clusters re-seeded across the run (donor *ranking* uses the
+    /// maintained upper bounds, so reseed positions can differ from the
+    /// naive Lloyd's; `0` means the runs are bit-comparable).
+    pub reseeds: usize,
 }
 
 /// Runs Hamerly/Elkan-style accelerated Lloyd from the given seeds.
@@ -98,6 +106,9 @@ pub fn elkan<S: PointSource + ?Sized>(
     let mut prev_mse = exact_mse(src, &assignments, &centroids, dim, total_weight);
     let mut iterations = 0usize;
     let mut converged = false;
+    let mut reseeds = 0usize;
+    let mut mse_trajectory = Vec::with_capacity(cfg.max_iters.min(64) + 1);
+    mse_trajectory.push(prev_mse);
 
     // Half the distance from each centroid to its nearest other centroid:
     // if upper[i] ≤ s[a(i)], the assignment cannot change (Elkan lemma 1).
@@ -119,6 +130,7 @@ pub fn elkan<S: PointSource + ?Sized>(
         let mut moves = vec![0.0f64; k];
         {
             let empties: Vec<usize> = (0..k).filter(|&j| weights[j] == 0.0).collect();
+            reseeds += empties.len();
             let mut donor_order: Vec<usize> = Vec::new();
             if !empties.is_empty() {
                 let mut order: Vec<usize> = (0..n).collect();
@@ -207,6 +219,7 @@ pub fn elkan<S: PointSource + ?Sized>(
         iterations += 1;
         let delta = prev_mse - mse;
         prev_mse = mse;
+        mse_trajectory.push(mse);
         if delta >= 0.0 && delta <= cfg.epsilon {
             converged = true;
             break;
@@ -232,6 +245,8 @@ pub fn elkan<S: PointSource + ?Sized>(
         iterations,
         converged,
         distance_evals,
+        mse_trajectory,
+        reseeds,
     })
 }
 

@@ -1,0 +1,708 @@
+//! Fused SoA assignment kernels for the Lloyd hot path.
+//!
+//! The assignment step is the `O(n · k · dim)` core every experiment in the
+//! paper stands on. The naive scan ([`crate::point::nearest_centroid`])
+//! walks centroids one at a time in AoS order, so the compiler must
+//! serialize the per-candidate accumulation. This module restructures the
+//! search around the norm expansion
+//!
+//! ```text
+//! ‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²
+//! ```
+//!
+//! with the centroid table transposed into **coordinate-major planes**:
+//! plane `d` holds coordinate `d` of *all* centroids contiguously (padded
+//! to a multiple of [`LANES`]). The screen then runs `d` as the *outer*
+//! loop — one broadcast of `x[d]` per plane and a contiguous
+//! multiply-accumulate sweep across all centroids — so every SIMD lane
+//! carries an independent accumulator chain and the loop is
+//! throughput-bound instead of latency-bound. (The earlier shape, blocks
+//! of 8 centroids with `d` innermost, serializes each block behind a
+//! `dim`-deep FMA dependency chain.) `‖c‖²` is computed once per layout
+//! (once per Lloyd iteration), `‖x‖²` once per point.
+//!
+//! ## Exactness: the rescue pass
+//!
+//! The expansion is algebraically equal to the squared distance but not
+//! bit-equal in floating point, and a k-means assignment must not silently
+//! flip near-ties: the differential test suite (and the paper's
+//! determinism story) requires the fused kernel to make **the same
+//! decision as the scalar scan on every input**. The kernel therefore
+//! treats the expanded values as a *screen*, not an answer:
+//!
+//! 1. compute `approx_j = ‖x‖² − 2·x·c_j + ‖c_j‖²` for every centroid,
+//! 2. bound the worst-case disagreement between `approx_j` and the
+//!    scalar-computed `sq_dist(x, c_j)` by
+//!    `margin = 16 (dim + 4) ε (‖x‖² + max_j ‖c_j‖²)` — a standard
+//!    summation-error bound (each of the two computations errs by at most
+//!    `~(dim+2) ε` relative to magnitudes bounded by `‖x‖² + ‖c_j‖²`),
+//!    widened by a safety factor,
+//! 3. **rescue**: recompute the exact [`crate::point::sq_dist`] for every
+//!    candidate within `2·margin` of the best screened value and pick the
+//!    winner among those by the scalar's own values and tie-break
+//!    (lowest index).
+//!
+//! Any candidate outside the rescue window is strictly worse than the
+//! rescued winner under the scalar's arithmetic, so the returned index
+//! *and* the returned squared distance are bit-identical to
+//! [`crate::point::nearest_centroid`]. On real data the window almost
+//! never admits more than one candidate (the tallies are surfaced through
+//! [`KernelStats`] and the `pmkm-obs` recorder), so the exactness costs
+//! one `O(dim)` recomputation per point — noise against the `O(k · dim)`
+//! screen.
+//!
+//! Ties and duplicate centroids are exact by construction: identical
+//! centroid coordinates produce identical `approx` values and identical
+//! rescued distances, and both layers break ties toward the lower index.
+//! The per-centroid dot product is accumulated in ascending-`d` order in
+//! both layouts, so transposing the table does not reorder the summation.
+//!
+//! The strategy is selected per run via [`KernelKind`] on
+//! [`crate::config::LloydConfig`]; see DESIGN.md §9 for when each wins.
+//!
+//! This module is the crate's sole `unsafe` exception (the crate denies
+//! `unsafe_code` elsewhere): the AVX2/AVX-512 screen sweeps use raw
+//! `std::arch` intrinsics. Every pointer access is in bounds by
+//! construction — `k_pad` is a multiple of [`LANES`] and all loads/stores
+//! stay below `k_pad` — and each `#[target_feature]` function is only
+//! reachable through a [`ScreenIsa`] variant constructed after
+//! `is_x86_feature_detected!` confirmed the features.
+#![allow(unsafe_code)]
+
+use crate::point::sq_dist;
+
+pub use crate::config::KernelKind;
+
+/// Padding granularity of the centroid planes: eight f64 lanes span one
+/// AVX-512 (or two AVX2, or four SSE2) vectors, so the finalize/min loop
+/// can be written over fixed-size `[f64; LANES]` chunks.
+pub const LANES: usize = 8;
+
+/// Safety factor applied to the analytic FP-error bound of the norm
+/// expansion (see the module docs). Loose on purpose: widening the rescue
+/// window only costs a few extra exact recomputations.
+const MARGIN_SCALE: f64 = 16.0;
+
+/// Work tallies of the fused kernel, reported through the observability
+/// recorder when one is attached to the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Points assigned through the fused path.
+    pub points: u64,
+    /// Candidates whose exact distance was recomputed in the rescue pass
+    /// (at least one per point — the screened winner itself).
+    pub rescued: u64,
+}
+
+impl KernelStats {
+    /// Mean rescued candidates per point (`1.0` is the floor; values near
+    /// it mean the screen almost always decides alone).
+    pub fn rescues_per_point(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.rescued as f64 / self.points as f64
+        }
+    }
+}
+
+/// Instruction set the screen sweep dispatches to, detected once per
+/// layout. The screen is a *bound*, not an answer (the rescue pass
+/// re-derives exact scalar distances), so the wider paths may use FMA —
+/// fused rounding only shrinks the screen's error, never the margin's
+/// validity — and every path returns the same rescued result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScreenIsa {
+    /// Autovectorized fallback (SSE2 on baseline x86-64 builds).
+    Portable,
+    /// 4-wide `__m256d` with FMA, runtime-detected.
+    #[cfg(target_arch = "x86_64")]
+    Avx2Fma,
+    /// 8-wide `__m512d` with FMA, runtime-detected.
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+fn detect_isa() -> ScreenIsa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return ScreenIsa::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return ScreenIsa::Avx2Fma;
+        }
+    }
+    ScreenIsa::Portable
+}
+
+/// Centroids laid out for the fused kernel: coordinate-major planes for
+/// the vectorized screen, plus the original AoS table for the exact
+/// rescue pass. Built once per Lloyd iteration (`O(k · dim)`).
+#[derive(Debug, Clone)]
+pub struct FusedLayout {
+    dim: usize,
+    k: usize,
+    /// `k` rounded up to a whole number of [`LANES`]; the stride of one
+    /// plane and the length of `cnorm2` / the screen scratch.
+    k_pad: usize,
+    /// `dim` planes of `k_pad` values each: `planes[d·k_pad + j]` is
+    /// coordinate `d` of centroid `j`. Padding lanes hold zeros.
+    planes: Vec<f64>,
+    /// `‖c_j‖²` per centroid, padded with `+inf` so padding lanes can
+    /// never win the screen.
+    cnorm2: Vec<f64>,
+    /// The original row-major `k × dim` table, for the rescue pass.
+    aos: Vec<f64>,
+    /// `max_j ‖c_j‖²`, one term of the per-point error margin.
+    max_cnorm2: f64,
+    isa: ScreenIsa,
+}
+
+impl FusedLayout {
+    /// Transposes a flat row-major `k × dim` centroid table into
+    /// coordinate-major planes. `centroids.len()` must be a non-zero
+    /// multiple of `dim`.
+    pub fn new(centroids: &[f64], dim: usize) -> Self {
+        debug_assert!(dim > 0 && !centroids.is_empty() && centroids.len().is_multiple_of(dim));
+        let k = centroids.len() / dim;
+        let k_pad = k.div_ceil(LANES) * LANES;
+        let mut planes = vec![0.0; dim * k_pad];
+        let mut cnorm2 = vec![f64::INFINITY; k_pad];
+        let mut max_cnorm2 = 0.0f64;
+        for (j, c) in centroids.chunks_exact(dim).enumerate() {
+            for (d, &v) in c.iter().enumerate() {
+                planes[d * k_pad + j] = v;
+            }
+            let n2 = c.iter().map(|v| v * v).sum::<f64>();
+            cnorm2[j] = n2;
+            max_cnorm2 = max_cnorm2.max(n2);
+        }
+        Self {
+            dim,
+            k,
+            k_pad,
+            planes,
+            cnorm2,
+            aos: centroids.to_vec(),
+            max_cnorm2,
+            isa: detect_isa(),
+        }
+    }
+
+    /// Label of the screen path this layout dispatches to
+    /// (`"avx512f"`, `"avx2+fma"`, or `"portable"`).
+    pub fn isa_label(&self) -> &'static str {
+        match self.isa {
+            ScreenIsa::Portable => "portable",
+            #[cfg(target_arch = "x86_64")]
+            ScreenIsa::Avx2Fma => "avx2+fma",
+            #[cfg(target_arch = "x86_64")]
+            ScreenIsa::Avx512 => "avx512f",
+        }
+    }
+
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Required length of the caller-provided screen scratch buffer
+    /// (`k` rounded up to a whole number of [`LANES`]).
+    pub fn scratch_len(&self) -> usize {
+        self.k_pad
+    }
+
+    /// Nearest centroid to `x`: index and **scalar-exact** squared
+    /// distance, bit-identical to [`crate::point::nearest_centroid`].
+    ///
+    /// `scratch` must be at least [`Self::scratch_len`] long; it holds the
+    /// screened distances and carries no state between calls.
+    #[inline]
+    pub fn nearest(&self, x: &[f64], scratch: &mut [f64]) -> (usize, f64) {
+        let mut stats = KernelStats::default();
+        self.nearest_counted(x, scratch, &mut stats)
+    }
+
+    /// [`Self::nearest`] with work tallies accumulated into `stats`.
+    #[inline]
+    pub fn nearest_counted(
+        &self,
+        x: &[f64],
+        scratch: &mut [f64],
+        stats: &mut KernelStats,
+    ) -> (usize, f64) {
+        debug_assert_eq!(x.len(), self.dim);
+        debug_assert!(scratch.len() >= self.k_pad);
+        let approx = &mut scratch[..self.k_pad];
+
+        // --- Screen: ‖x‖² − 2·x·c + ‖c‖² for every centroid -----------
+        let px2 = x.iter().map(|v| v * v).sum::<f64>();
+        let best_a = match self.isa {
+            ScreenIsa::Portable => self.screen_portable(x, px2, approx),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the variant is only constructed after
+            // `is_x86_feature_detected!` confirmed the features.
+            ScreenIsa::Avx2Fma => unsafe { self.screen_avx2(x, px2, approx) },
+            #[cfg(target_arch = "x86_64")]
+            ScreenIsa::Avx512 => unsafe { self.screen_avx512(x, px2, approx) },
+        };
+
+        // --- Rescue: exact distances within the error window ----------
+        // Both the screen and the scalar sum err by at most
+        // ~(dim + 2)·ε relative to ‖x‖² + ‖c‖², so 2·margin separates
+        // "provably worse under scalar arithmetic" from "must check".
+        let margin =
+            MARGIN_SCALE * (self.dim as f64 + 4.0) * f64::EPSILON * (px2 + self.max_cnorm2);
+        let window = best_a + 2.0 * margin;
+        let mut win = usize::MAX;
+        let mut win_d = f64::INFINITY;
+        // A scalar `a <= window` sweep over k candidates costs more than
+        // the vectorized screen itself, so the SIMD paths compress the
+        // window test into a compare-mask pass first. Candidate indices
+        // come out ascending either way, preserving the tie-break.
+        let mut candidates = [0u32; MAX_WINDOW_CANDIDATES];
+        let found = match self.isa {
+            ScreenIsa::Portable => None,
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: variant constructed only after feature detection.
+            ScreenIsa::Avx2Fma => unsafe { collect_window_avx2(approx, window, &mut candidates) },
+            #[cfg(target_arch = "x86_64")]
+            ScreenIsa::Avx512 => unsafe { collect_window_avx512(approx, window, &mut candidates) },
+        };
+        match found {
+            Some(count) => {
+                // Padding lanes can slip into the mask when the window
+                // overflowed to +inf; they are not real candidates.
+                for &j in candidates[..count].iter().filter(|&&j| (j as usize) < self.k) {
+                    let j = j as usize;
+                    let d = sq_dist(x, &self.aos[j * self.dim..(j + 1) * self.dim]);
+                    stats.rescued += 1;
+                    if d < win_d {
+                        win_d = d;
+                        win = j;
+                    }
+                }
+            }
+            // Portable path, or more window candidates than the fixed
+            // buffer holds (degenerate near-ties): plain scalar sweep.
+            None => {
+                for (j, &a) in approx[..self.k].iter().enumerate() {
+                    if a <= window {
+                        let d = sq_dist(x, &self.aos[j * self.dim..(j + 1) * self.dim]);
+                        stats.rescued += 1;
+                        if d < win_d {
+                            win_d = d;
+                            win = j;
+                        }
+                    }
+                }
+            }
+        }
+        stats.points += 1;
+        if win == usize::MAX {
+            // Unreachable with finite inputs (the screen winner is always
+            // inside the window), but an overflowed screen (inf/NaN approx
+            // values) must degrade to the exact scan, never to a bogus index.
+            let (j, d) = crate::point::nearest_centroid(x, &self.aos, self.dim);
+            stats.rescued += self.k as u64;
+            return (j, d);
+        }
+        (win, win_d)
+    }
+
+    /// Screen sweep alone (no rescue): fills `scratch` with the expanded
+    /// values and returns the minimum. Exposed for the bench harness and
+    /// diagnostics; everything else should call [`Self::nearest`].
+    #[doc(hidden)]
+    #[inline]
+    pub fn screen_only(&self, x: &[f64], scratch: &mut [f64]) -> f64 {
+        let px2 = x.iter().map(|v| v * v).sum::<f64>();
+        let approx = &mut scratch[..self.k_pad];
+        match self.isa {
+            ScreenIsa::Portable => self.screen_portable(x, px2, approx),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: variant constructed only after feature detection.
+            ScreenIsa::Avx2Fma => unsafe { self.screen_avx2(x, px2, approx) },
+            #[cfg(target_arch = "x86_64")]
+            ScreenIsa::Avx512 => unsafe { self.screen_avx512(x, px2, approx) },
+        }
+    }
+
+    /// Autovectorized screen sweep: dot products accumulate plane by
+    /// plane (ascending `d`) into `approx` — one broadcast of `x[d]` per
+    /// plane, then a contiguous mul-add sweep whose lanes are independent
+    /// accumulator chains — after which a second sweep finalizes the
+    /// expansion in place and folds the running minimum in lane-wise.
+    /// Returns the minimum screened value.
+    fn screen_portable(&self, x: &[f64], px2: f64, approx: &mut [f64]) -> f64 {
+        approx.fill(0.0);
+        for (d, &xd) in x.iter().enumerate() {
+            let plane = &self.planes[d * self.k_pad..(d + 1) * self.k_pad];
+            for (a, &p) in approx.iter_mut().zip(plane) {
+                *a += xd * p;
+            }
+        }
+        // Eight independent lane minima reduce once at the end: a serial
+        // k-deep min chain over the finished buffer costs more than the
+        // screen itself.
+        let mut mins = [f64::INFINITY; LANES];
+        for (out, cn) in approx.chunks_exact_mut(LANES).zip(self.cnorm2.chunks_exact(LANES)) {
+            let out: &mut [f64; LANES] = out.try_into().expect("approx block");
+            let cn: &[f64; LANES] = cn.try_into().expect("cnorm2 block");
+            for l in 0..LANES {
+                out[l] = px2 - 2.0 * out[l] + cn[l];
+            }
+            for l in 0..LANES {
+                // Select form (not f64::min) so NaN keeps the old minimum
+                // and the loop lowers to a plain vector compare + blend.
+                mins[l] = if out[l] < mins[l] { out[l] } else { mins[l] };
+            }
+        }
+        reduce_min8(&mins)
+    }
+
+    /// AVX-512 screen sweep: panels of 32 centroids (four `__m512d`
+    /// accumulators, so the `dim`-deep FMA chains of four vectors
+    /// interleave instead of serializing) with an 8-wide tail; `x[d]`
+    /// broadcast once per plane per panel.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx512f` CPU feature.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn screen_avx512(&self, x: &[f64], px2: f64, approx: &mut [f64]) -> f64 {
+        use std::arch::x86_64::*;
+        let pl = self.planes.as_ptr();
+        let cn = self.cnorm2.as_ptr();
+        let out = approx.as_mut_ptr();
+        let k_pad = self.k_pad;
+        let two = _mm512_set1_pd(2.0);
+        let px2v = _mm512_set1_pd(px2);
+        // vminpd returns its *second* operand when either is NaN, so
+        // `min(fresh, mins)` keeps the running minimum NaN-free.
+        let mut mins = _mm512_set1_pd(f64::INFINITY);
+        let mut jb = 0usize;
+        while jb + 32 <= k_pad {
+            let mut a0 = _mm512_setzero_pd();
+            let mut a1 = _mm512_setzero_pd();
+            let mut a2 = _mm512_setzero_pd();
+            let mut a3 = _mm512_setzero_pd();
+            for (d, &xd) in x.iter().enumerate() {
+                let v = _mm512_set1_pd(xd);
+                let base = pl.add(d * k_pad + jb);
+                a0 = _mm512_fmadd_pd(v, _mm512_loadu_pd(base), a0);
+                a1 = _mm512_fmadd_pd(v, _mm512_loadu_pd(base.add(8)), a1);
+                a2 = _mm512_fmadd_pd(v, _mm512_loadu_pd(base.add(16)), a2);
+                a3 = _mm512_fmadd_pd(v, _mm512_loadu_pd(base.add(24)), a3);
+            }
+            // out = (px2 − 2·dot) + cn, same association as the portable
+            // sweep.
+            let t0 = _mm512_add_pd(_mm512_fnmadd_pd(two, a0, px2v), _mm512_loadu_pd(cn.add(jb)));
+            let t1 =
+                _mm512_add_pd(_mm512_fnmadd_pd(two, a1, px2v), _mm512_loadu_pd(cn.add(jb + 8)));
+            let t2 =
+                _mm512_add_pd(_mm512_fnmadd_pd(two, a2, px2v), _mm512_loadu_pd(cn.add(jb + 16)));
+            let t3 =
+                _mm512_add_pd(_mm512_fnmadd_pd(two, a3, px2v), _mm512_loadu_pd(cn.add(jb + 24)));
+            _mm512_storeu_pd(out.add(jb), t0);
+            _mm512_storeu_pd(out.add(jb + 8), t1);
+            _mm512_storeu_pd(out.add(jb + 16), t2);
+            _mm512_storeu_pd(out.add(jb + 24), t3);
+            mins = _mm512_min_pd(t0, mins);
+            mins = _mm512_min_pd(t1, mins);
+            mins = _mm512_min_pd(t2, mins);
+            mins = _mm512_min_pd(t3, mins);
+            jb += 32;
+        }
+        while jb < k_pad {
+            let mut a0 = _mm512_setzero_pd();
+            for (d, &xd) in x.iter().enumerate() {
+                let v = _mm512_set1_pd(xd);
+                a0 = _mm512_fmadd_pd(v, _mm512_loadu_pd(pl.add(d * k_pad + jb)), a0);
+            }
+            let t0 = _mm512_add_pd(_mm512_fnmadd_pd(two, a0, px2v), _mm512_loadu_pd(cn.add(jb)));
+            _mm512_storeu_pd(out.add(jb), t0);
+            mins = _mm512_min_pd(t0, mins);
+            jb += 8;
+        }
+        let mut lanes = [0.0f64; LANES];
+        _mm512_storeu_pd(lanes.as_mut_ptr(), mins);
+        reduce_min8(&lanes)
+    }
+
+    /// AVX2+FMA screen sweep: panels of 16 centroids (four `__m256d`
+    /// accumulators) with a 4-wide tail. Same contract as
+    /// [`Self::screen_avx512`].
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx2` and `fma` CPU features.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn screen_avx2(&self, x: &[f64], px2: f64, approx: &mut [f64]) -> f64 {
+        use std::arch::x86_64::*;
+        let pl = self.planes.as_ptr();
+        let cn = self.cnorm2.as_ptr();
+        let out = approx.as_mut_ptr();
+        let k_pad = self.k_pad;
+        let two = _mm256_set1_pd(2.0);
+        let px2v = _mm256_set1_pd(px2);
+        let mut mins = _mm256_set1_pd(f64::INFINITY);
+        let mut jb = 0usize;
+        while jb + 16 <= k_pad {
+            let mut a0 = _mm256_setzero_pd();
+            let mut a1 = _mm256_setzero_pd();
+            let mut a2 = _mm256_setzero_pd();
+            let mut a3 = _mm256_setzero_pd();
+            for (d, &xd) in x.iter().enumerate() {
+                let v = _mm256_set1_pd(xd);
+                let base = pl.add(d * k_pad + jb);
+                a0 = _mm256_fmadd_pd(v, _mm256_loadu_pd(base), a0);
+                a1 = _mm256_fmadd_pd(v, _mm256_loadu_pd(base.add(4)), a1);
+                a2 = _mm256_fmadd_pd(v, _mm256_loadu_pd(base.add(8)), a2);
+                a3 = _mm256_fmadd_pd(v, _mm256_loadu_pd(base.add(12)), a3);
+            }
+            let t0 = _mm256_add_pd(_mm256_fnmadd_pd(two, a0, px2v), _mm256_loadu_pd(cn.add(jb)));
+            let t1 =
+                _mm256_add_pd(_mm256_fnmadd_pd(two, a1, px2v), _mm256_loadu_pd(cn.add(jb + 4)));
+            let t2 =
+                _mm256_add_pd(_mm256_fnmadd_pd(two, a2, px2v), _mm256_loadu_pd(cn.add(jb + 8)));
+            let t3 =
+                _mm256_add_pd(_mm256_fnmadd_pd(two, a3, px2v), _mm256_loadu_pd(cn.add(jb + 12)));
+            _mm256_storeu_pd(out.add(jb), t0);
+            _mm256_storeu_pd(out.add(jb + 4), t1);
+            _mm256_storeu_pd(out.add(jb + 8), t2);
+            _mm256_storeu_pd(out.add(jb + 12), t3);
+            mins = _mm256_min_pd(t0, mins);
+            mins = _mm256_min_pd(t1, mins);
+            mins = _mm256_min_pd(t2, mins);
+            mins = _mm256_min_pd(t3, mins);
+            jb += 16;
+        }
+        while jb < k_pad {
+            let mut a0 = _mm256_setzero_pd();
+            for (d, &xd) in x.iter().enumerate() {
+                let v = _mm256_set1_pd(xd);
+                a0 = _mm256_fmadd_pd(v, _mm256_loadu_pd(pl.add(d * k_pad + jb)), a0);
+            }
+            let t0 = _mm256_add_pd(_mm256_fnmadd_pd(two, a0, px2v), _mm256_loadu_pd(cn.add(jb)));
+            _mm256_storeu_pd(out.add(jb), t0);
+            mins = _mm256_min_pd(t0, mins);
+            jb += 4;
+        }
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), mins);
+        let m01 = if lanes[1] < lanes[0] { lanes[1] } else { lanes[0] };
+        let m23 = if lanes[3] < lanes[2] { lanes[3] } else { lanes[2] };
+        if m23 < m01 {
+            m23
+        } else {
+            m01
+        }
+    }
+}
+
+/// Capacity of the fixed rescue-candidate buffer the masked window scan
+/// fills. On real data the window admits one candidate; overflowing the
+/// buffer (pathological near-tie pile-ups) falls back to the scalar sweep.
+const MAX_WINDOW_CANDIDATES: usize = 64;
+
+/// Masked window scan, AVX-512: compare all screened values (including
+/// padding) against `window` eight at a time and collect qualifying
+/// indices in ascending order. Returns `None` when `out` would overflow.
+///
+/// # Safety
+///
+/// Requires the `avx512f` CPU feature; `approx.len()` must be a multiple
+/// of [`LANES`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn collect_window_avx512(
+    approx: &[f64],
+    window: f64,
+    out: &mut [u32; MAX_WINDOW_CANDIDATES],
+) -> Option<usize> {
+    use std::arch::x86_64::*;
+    let w = _mm512_set1_pd(window);
+    let p = approx.as_ptr();
+    let mut count = 0usize;
+    let mut jb = 0usize;
+    while jb < approx.len() {
+        // LE_OQ: NaN compares false, so poisoned lanes never qualify.
+        let mut m = _mm512_cmp_pd_mask::<_CMP_LE_OQ>(_mm512_loadu_pd(p.add(jb)), w) as u32;
+        while m != 0 {
+            if count == MAX_WINDOW_CANDIDATES {
+                return None;
+            }
+            out[count] = jb as u32 + m.trailing_zeros();
+            count += 1;
+            m &= m - 1;
+        }
+        jb += 8;
+    }
+    Some(count)
+}
+
+/// Masked window scan, AVX2: same contract as
+/// [`collect_window_avx512`], four lanes at a time.
+///
+/// # Safety
+///
+/// Requires the `avx2` CPU feature; `approx.len()` must be a multiple of
+/// [`LANES`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn collect_window_avx2(
+    approx: &[f64],
+    window: f64,
+    out: &mut [u32; MAX_WINDOW_CANDIDATES],
+) -> Option<usize> {
+    use std::arch::x86_64::*;
+    let w = _mm256_set1_pd(window);
+    let p = approx.as_ptr();
+    let mut count = 0usize;
+    let mut jb = 0usize;
+    while jb < approx.len() {
+        let cmp = _mm256_cmp_pd::<_CMP_LE_OQ>(_mm256_loadu_pd(p.add(jb)), w);
+        let mut m = _mm256_movemask_pd(cmp) as u32;
+        while m != 0 {
+            if count == MAX_WINDOW_CANDIDATES {
+                return None;
+            }
+            out[count] = jb as u32 + m.trailing_zeros();
+            count += 1;
+            m &= m - 1;
+        }
+        jb += 4;
+    }
+    Some(count)
+}
+
+/// Tree-reduce eight lane minima with the NaN-keeps-old select form.
+#[inline]
+fn reduce_min8(mins: &[f64; LANES]) -> f64 {
+    let m01 = if mins[1] < mins[0] { mins[1] } else { mins[0] };
+    let m23 = if mins[3] < mins[2] { mins[3] } else { mins[2] };
+    let m45 = if mins[5] < mins[4] { mins[5] } else { mins[4] };
+    let m67 = if mins[7] < mins[6] { mins[7] } else { mins[6] };
+    let m0123 = if m23 < m01 { m23 } else { m01 };
+    let m4567 = if m67 < m45 { m67 } else { m45 };
+    if m4567 < m0123 {
+        m4567
+    } else {
+        m0123
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::nearest_centroid;
+    use crate::seeding::rng_for;
+    use rand::Rng;
+
+    #[test]
+    fn matches_scalar_bit_for_bit_on_random_inputs() {
+        let mut rng = rng_for(21, 0);
+        for _ in 0..400 {
+            let dim = rng.gen_range(1usize..12);
+            let k = rng.gen_range(1usize..40);
+            let cents: Vec<f64> = (0..k * dim).map(|_| rng.gen_range(-100.0..100.0)).collect();
+            let layout = FusedLayout::new(&cents, dim);
+            let mut scratch = vec![0.0; layout.scratch_len()];
+            let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect();
+            let naive = nearest_centroid(&x, &cents, dim);
+            let fused = layout.nearest(&x, &mut scratch);
+            assert_eq!(fused.0, naive.0, "index (dim={dim}, k={k})");
+            assert_eq!(fused.1.to_bits(), naive.1.to_bits(), "distance bits");
+        }
+    }
+
+    #[test]
+    fn duplicate_centroids_tie_break_to_lowest_index() {
+        // Centroids 0 and 1 are identical; 2 is the true nearest's double.
+        let cents = [1.0, 1.0, 1.0, 1.0, 2.0, 2.0];
+        let layout = FusedLayout::new(&cents, 2);
+        let mut scratch = vec![0.0; layout.scratch_len()];
+        let (j, d) = layout.nearest(&[1.0, 1.0], &mut scratch);
+        assert_eq!((j, d), (0, 0.0));
+        let naive = nearest_centroid(&[1.0, 1.0], &cents, 2);
+        assert_eq!((j, d), naive);
+    }
+
+    #[test]
+    fn exact_tie_between_mirrored_centroids() {
+        // (0,0) is exactly equidistant from (−1,0) and (1,0); both layers
+        // must settle on index 0.
+        let cents = [-1.0, 0.0, 1.0, 0.0];
+        let layout = FusedLayout::new(&cents, 2);
+        let mut scratch = vec![0.0; layout.scratch_len()];
+        assert_eq!(layout.nearest(&[0.0, 0.0], &mut scratch), (0, 1.0));
+    }
+
+    #[test]
+    fn single_centroid_and_k_not_multiple_of_lanes() {
+        for k in [1usize, 7, 8, 9, 17] {
+            let cents: Vec<f64> = (0..k * 3).map(|i| i as f64 * 0.25).collect();
+            let layout = FusedLayout::new(&cents, 3);
+            assert_eq!(layout.k(), k);
+            let mut scratch = vec![0.0; layout.scratch_len()];
+            let x = [50.0, -3.0, 0.125];
+            assert_eq!(layout.nearest(&x, &mut scratch), nearest_centroid(&x, &cents, 3));
+        }
+    }
+
+    #[test]
+    fn stats_tally_points_and_rescues() {
+        let cents = [0.0, 0.0, 10.0, 10.0];
+        let layout = FusedLayout::new(&cents, 2);
+        let mut scratch = vec![0.0; layout.scratch_len()];
+        let mut stats = KernelStats::default();
+        for i in 0..10 {
+            layout.nearest_counted(&[i as f64, 0.5], &mut scratch, &mut stats);
+        }
+        assert_eq!(stats.points, 10);
+        // Every point rescues at least its screened winner.
+        assert!(stats.rescued >= 10);
+        assert!(stats.rescues_per_point() >= 1.0);
+    }
+
+    #[test]
+    fn simd_and_portable_dispatch_agree() {
+        let mut rng = rng_for(22, 0);
+        for _ in 0..200 {
+            let dim = rng.gen_range(1usize..10);
+            let k = rng.gen_range(1usize..70);
+            let cents: Vec<f64> = (0..k * dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+            let simd = FusedLayout::new(&cents, dim);
+            let mut portable = simd.clone();
+            portable.isa = ScreenIsa::Portable;
+            let mut s1 = vec![0.0; simd.scratch_len()];
+            let mut s2 = vec![0.0; simd.scratch_len()];
+            let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+            let a = simd.nearest(&x, &mut s1);
+            let b = portable.nearest(&x, &mut s2);
+            assert_eq!(a.0, b.0, "index ({}, dim={dim}, k={k})", simd.isa_label());
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "distance bits ({})", simd.isa_label());
+        }
+    }
+
+    #[test]
+    fn huge_magnitude_gaps_stay_exact() {
+        // Mixed scales stress the margin: ‖c‖² spans 24 orders of magnitude.
+        let cents = [1e-6, 0.0, 1e6, 0.0, -1e6, 0.0];
+        let layout = FusedLayout::new(&cents, 2);
+        let mut scratch = vec![0.0; layout.scratch_len()];
+        for x in [[0.0, 0.0], [5e5, 1.0], [-5e5 - 1.0, 0.0], [1e-6, 0.0]] {
+            assert_eq!(layout.nearest(&x, &mut scratch), nearest_centroid(&x, &cents, 2));
+        }
+    }
+}

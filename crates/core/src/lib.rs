@@ -42,6 +42,7 @@
 //! | module | paper section | contents |
 //! |---|---|---|
 //! | [`point`] | §2 | distance primitives |
+//! | [`mod@kernel`] | §4 ("improved search") | fused SoA assignment kernels |
 //! | [`dataset`] | — | flat point containers, [`dataset::PointSource`] |
 //! | [`seeding`] | §2/§3.3 | random / heaviest / k-means++ seeding, seed derivation |
 //! | [`mod@lloyd`] | §2 | the shared (weighted) Lloyd iteration |
@@ -57,13 +58,18 @@
 //! drives these same primitives.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Denied rather than forbidden: the one sanctioned exception is the
+// runtime-dispatched SIMD screen in [`mod@kernel`], which carries its own
+// `#[allow(unsafe_code)]` and safety proofs (in-bounds by construction,
+// CPU features checked before dispatch).
+#![deny(unsafe_code)]
 
 pub mod config;
 pub mod dataset;
 pub mod ecvq;
 pub mod elkan;
 pub mod error;
+pub mod kernel;
 pub mod kmeans;
 pub mod lloyd;
 pub mod merge;
@@ -75,12 +81,13 @@ pub mod seeding;
 pub mod slicing;
 
 pub use config::{
-    KMeansConfig, LloydConfig, MergeMode, PartialMergeConfig, PartitionSpec, SeedMode,
+    KMeansConfig, KernelKind, LloydConfig, MergeMode, PartialMergeConfig, PartitionSpec, SeedMode,
     DEFAULT_MAX_ITERS, PAPER_EPSILON,
 };
 pub use dataset::{Centroids, Dataset, PointSource, WeightedSet};
 pub use elkan::{elkan, elkan_observed, ElkanRun};
 pub use error::{Error, Result};
+pub use kernel::{FusedLayout, KernelStats};
 pub use kmeans::{kmeans, kmeans_observed, KMeansOutcome, RestartStats};
 pub use lloyd::{lloyd, lloyd_observed, LloydRun};
 pub use merge::{merge, merge_collective, merge_incremental, MergeOutput};
@@ -96,7 +103,8 @@ pub use slicing::{slice, SliceStrategy};
 /// Convenience prelude: `use pmkm_core::prelude::*;`.
 pub mod prelude {
     pub use crate::config::{
-        KMeansConfig, LloydConfig, MergeMode, PartialMergeConfig, PartitionSpec, SeedMode,
+        KMeansConfig, KernelKind, LloydConfig, MergeMode, PartialMergeConfig, PartitionSpec,
+        SeedMode,
     };
     pub use crate::dataset::{Centroids, Dataset, PointSource, WeightedSet};
     pub use crate::error::{Error, Result};

@@ -15,9 +15,10 @@
 //! protects against pathological inputs; hitting it is reported via
 //! [`LloydRun::converged`].
 
-use crate::config::LloydConfig;
+use crate::config::{KernelKind, LloydConfig};
 use crate::dataset::{Centroids, PointSource};
 use crate::error::{Error, Result};
+use crate::kernel::{FusedLayout, KernelStats};
 use crate::point::{
     nearest_centroid, nearest_centroid_pruned, nearest_centroid_pruned_counted, PruneStats,
 };
@@ -50,6 +51,10 @@ pub struct LloydRun {
     /// non-increasing for plain Lloyd steps (empty-cluster re-seeds are the
     /// only way a value can tick up).
     pub mse_trajectory: Vec<f64>,
+    /// Empty clusters re-seeded across the whole run. `0` certifies that
+    /// `mse_trajectory` is monotone non-increasing (up to FP round-off) —
+    /// the property tests lean on this.
+    pub reseeds: usize,
 }
 
 /// Assignment-phase scratch, reused across iterations to avoid
@@ -62,6 +67,9 @@ struct Scratch {
     sums: Vec<f64>,
     /// Per-cluster total weight.
     weights: Vec<f64>,
+    /// Screened-distance buffer for the fused kernel (`k` padded to whole
+    /// SoA blocks), unused by the scalar paths.
+    screen: Vec<f64>,
 }
 
 impl Scratch {
@@ -71,6 +79,7 @@ impl Scratch {
             d2: vec![0.0; n],
             sums: vec![0.0; k * dim],
             weights: vec![0.0; k],
+            screen: Vec::new(),
         }
     }
 }
@@ -101,6 +110,22 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
     rec: Option<&Recorder>,
 ) -> Result<LloydRun> {
     cfg.validate()?;
+    // Elkan is a whole-algorithm strategy (bounds carried across
+    // iterations), not a per-iteration search: delegate the entire run.
+    if cfg.resolved_kernel() == KernelKind::Elkan {
+        let run = crate::elkan::elkan_observed(src, init, cfg, rec)?;
+        return Ok(LloydRun {
+            centroids: run.centroids,
+            assignments: run.assignments,
+            cluster_weights: run.cluster_weights,
+            sse: run.sse,
+            mse: run.mse,
+            iterations: run.iterations,
+            converged: run.converged,
+            mse_trajectory: run.mse_trajectory,
+            reseeds: run.reseeds,
+        });
+    }
     if src.is_empty() {
         return Err(Error::EmptyDataset);
     }
@@ -116,21 +141,30 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
     let total_weight = src.total_weight();
     debug_assert!(total_weight > 0.0);
 
+    let kernel = cfg.resolved_kernel();
     let mut centroids = init.clone();
     let mut scratch = Scratch::new(n, k, dim);
     // Pruning tallies are only kept when a recorder is attached; `None`
     // keeps `assign` on its unobserved (and parallelizable) path.
-    let mut prune_stats =
-        if rec.is_some() && cfg.pruned_assign { Some(PruneStats::default()) } else { None };
+    let mut prune_stats = if rec.is_some() && kernel == KernelKind::PrunedScalar {
+        Some(PruneStats::default())
+    } else {
+        None
+    };
+    // Fused-kernel tallies are two integer bumps per point — cheap enough
+    // to keep unconditionally without forking the code path.
+    let mut kernel_stats = KernelStats::default();
     // Previous iteration's assignments, kept only to count reassignments.
     let mut prev_assign: Vec<u32> = if rec.is_some() { vec![0; n] } else { Vec::new() };
 
     // Distance calculation against the initial seeds gives MSE(0).
     let mut prev_mse =
-        assign(src, &centroids, cfg, &mut scratch, prune_stats.as_mut()) / total_weight;
+        assign(src, &centroids, cfg, kernel, &mut scratch, prune_stats.as_mut(), &mut kernel_stats)
+            / total_weight;
     let mut iterations = 0usize;
     let mut converged = false;
     let mut final_mse = prev_mse;
+    let mut reseeds = 0usize;
     let mut mse_trajectory = Vec::with_capacity(cfg.max_iters.min(64) + 1);
     mse_trajectory.push(prev_mse);
 
@@ -140,8 +174,16 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
         }
         // Centroid recalculation: µ_j = Σ w_i v_i / Σ w_i, with empty
         // clusters re-seeded from the points farthest from their centroid.
-        recompute_means(src, &mut centroids, &mut scratch);
-        let mse = assign(src, &centroids, cfg, &mut scratch, prune_stats.as_mut()) / total_weight;
+        reseeds += recompute_means(src, &mut centroids, &mut scratch);
+        let mse = assign(
+            src,
+            &centroids,
+            cfg,
+            kernel,
+            &mut scratch,
+            prune_stats.as_mut(),
+            &mut kernel_stats,
+        ) / total_weight;
         iterations += 1;
         let delta = prev_mse - mse;
         final_mse = mse;
@@ -183,6 +225,22 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
             ],
         );
     }
+    if let Some(rec) = rec {
+        if kernel_stats.points > 0 {
+            rec.registry().counter("kernel_fused_points_total").add(kernel_stats.points);
+            rec.registry().counter("kernel_fused_rescued_total").add(kernel_stats.rescued);
+        }
+        rec.event(
+            "lloyd.kernel",
+            &[
+                ("kind", kernel.label().into()),
+                ("points", kernel_stats.points.into()),
+                ("rescued", kernel_stats.rescued.into()),
+                ("rescues_per_point", kernel_stats.rescues_per_point().into()),
+                ("reseeds", reseeds.into()),
+            ],
+        );
+    }
 
     let sse = final_mse * total_weight;
     Ok(LloydRun {
@@ -194,25 +252,62 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
         iterations,
         converged,
         mse_trajectory,
+        reseeds,
     })
 }
 
 /// Distance-calculation step: assigns every point to its nearest centroid,
 /// filling `scratch` (assignments, per-point d², per-cluster sums/weights)
 /// and returning the weighted SSE.
+///
+/// Every strategy produces bit-identical contents of `scratch` (the fused
+/// kernel's rescue pass recomputes the winning distance with the scalar
+/// `sq_dist`, and the accumulation visits points in the same order), so
+/// iteration counts, trajectories, and final centroids never depend on the
+/// kernel choice.
+#[allow(clippy::too_many_arguments)]
 fn assign<S: PointSource + ?Sized>(
     src: &S,
     centroids: &Centroids,
     cfg: &LloydConfig,
+    kernel: KernelKind,
     scratch: &mut Scratch,
     prune: Option<&mut PruneStats>,
+    kernel_stats: &mut KernelStats,
 ) -> f64 {
     let dim = src.dim();
     let cents = centroids.as_flat();
     let n = src.len();
 
+    if kernel == KernelKind::Fused && !(cfg.parallel_assign && n >= 2048) {
+        // Fused path: one pass over the points does the SoA screen, the
+        // exact rescue, and the weighted accumulator updates.
+        let layout = FusedLayout::new(cents, dim);
+        scratch.screen.resize(layout.scratch_len(), 0.0);
+        scratch.sums.fill(0.0);
+        scratch.weights.fill(0.0);
+        let mut wsse = 0.0;
+        for i in 0..n {
+            let x = src.coords(i);
+            let (j, d2) = layout.nearest_counted(x, &mut scratch.screen, kernel_stats);
+            scratch.assignments[i] = j as u32;
+            scratch.d2[i] = d2;
+            let w = src.weight(i);
+            let sum = &mut scratch.sums[j * dim..(j + 1) * dim];
+            for (s, c) in sum.iter_mut().zip(x) {
+                *s += w * c;
+            }
+            scratch.weights[j] += w;
+            wsse += w * d2;
+        }
+        return wsse;
+    }
+
     type Search = fn(&[f64], &[f64], usize) -> (usize, f64);
-    let search: Search = if cfg.pruned_assign { nearest_centroid_pruned } else { nearest_centroid };
+    // The rayon path always uses a stateless scalar search (the fused
+    // kernel wants a per-worker screen buffer); results are identical.
+    let search: Search =
+        if kernel == KernelKind::PrunedScalar { nearest_centroid_pruned } else { nearest_centroid };
     if let Some(stats) = prune {
         // Observed pruned assignment: same decisions, serial so the tallies
         // need no atomics. Only reachable with a recorder attached.
@@ -259,11 +354,12 @@ fn assign<S: PointSource + ?Sized>(
 /// no weight are re-seeded to the input points currently farthest from their
 /// assigned centroid (distinct donors for multiple empty clusters); the
 /// paper does not specify an empty-cluster policy, see DESIGN.md §5.
+/// Returns how many clusters were re-seeded.
 fn recompute_means<S: PointSource + ?Sized>(
     src: &S,
     centroids: &mut Centroids,
     scratch: &mut Scratch,
-) {
+) -> usize {
     let dim = centroids.dim();
     let k = centroids.k();
     let mut empties: Vec<usize> = Vec::new();
@@ -283,7 +379,7 @@ fn recompute_means<S: PointSource + ?Sized>(
         }
     }
     if empties.is_empty() {
-        return;
+        return 0;
     }
     // Rank donor points by their current squared distance, farthest first.
     let n = src.len();
@@ -297,6 +393,7 @@ fn recompute_means<S: PointSource + ?Sized>(
         let donor = order[e.min(n - 1)];
         flat[j * dim..(j + 1) * dim].copy_from_slice(src.coords(donor));
     }
+    empties.len()
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ pub fn dist(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn nearest_centroid(point: &[f64], centroids: &[f64], dim: usize) -> (usize, f64) {
     debug_assert_eq!(point.len(), dim);
-    debug_assert!(!centroids.is_empty() && centroids.len() % dim == 0);
+    debug_assert!(!centroids.is_empty() && centroids.len().is_multiple_of(dim));
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
     for (j, c) in centroids.chunks_exact(dim).enumerate() {
@@ -59,7 +59,7 @@ pub fn nearest_centroid(point: &[f64], centroids: &[f64], dim: usize) -> (usize,
 #[inline]
 pub fn nearest_centroid_pruned(point: &[f64], centroids: &[f64], dim: usize) -> (usize, f64) {
     debug_assert_eq!(point.len(), dim);
-    debug_assert!(!centroids.is_empty() && centroids.len() % dim == 0);
+    debug_assert!(!centroids.is_empty() && centroids.len().is_multiple_of(dim));
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
     for (j, c) in centroids.chunks_exact(dim).enumerate() {
@@ -114,7 +114,7 @@ pub fn nearest_centroid_pruned_counted(
     stats: &mut PruneStats,
 ) -> (usize, f64) {
     debug_assert_eq!(point.len(), dim);
-    debug_assert!(!centroids.is_empty() && centroids.len() % dim == 0);
+    debug_assert!(!centroids.is_empty() && centroids.len().is_multiple_of(dim));
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
     for (j, c) in centroids.chunks_exact(dim).enumerate() {
@@ -143,6 +143,12 @@ pub fn nearest_centroid_pruned_counted(
 #[inline]
 pub fn all_finite(coords: &[f64]) -> bool {
     coords.iter().all(|c| c.is_finite())
+}
+
+/// Position of the first non-finite coordinate, if any.
+#[inline]
+pub fn first_non_finite(coords: &[f64]) -> Option<usize> {
+    coords.iter().position(|c| !c.is_finite())
 }
 
 #[cfg(test)]

@@ -1,0 +1,206 @@
+//! Differential tests: the fused SoA kernel vs the naive scalar search.
+//!
+//! The fused kernel ([`FusedLayout`]) screens with the expanded form
+//! ‖x−c‖² = ‖x‖² − 2·x·c + ‖c‖² and then *rescues* every candidate inside
+//! the floating-point error window with the exact scalar distance, so it
+//! promises **bit-identical** results to [`nearest_centroid`] — same index
+//! (same lowest-index tie-break) and same distance bits — not merely
+//! approximately equal ones. These tests hold it to that promise across
+//! dim ∈ [1, 32] and k ∈ [1, 64], including duplicate centroids, exact
+//! ties, and degenerate all-equal inputs, and then check that threading the
+//! kernel through full Lloyd runs leaves assignments identical and the MSE
+//! within 1e-9 relative of the scalar path.
+
+use pmkm_core::kernel::FusedLayout;
+use pmkm_core::point::nearest_centroid;
+use pmkm_core::prelude::*;
+use pmkm_core::seeding::{rng_for, seed_centroids};
+use pmkm_core::{lloyd, KernelStats};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Flat centroid buffer with optional duplicates: with `dup_from` supplied,
+/// roughly half the centroids are copies of earlier ones, so ties between
+/// identical centroids are common rather than accidental.
+fn arb_centroids(max_dim: usize, max_k: usize) -> impl Strategy<Value = (usize, usize, Vec<f64>)> {
+    (1..=max_dim, 1..=max_k).prop_flat_map(|(dim, k)| {
+        (
+            proptest::collection::vec(-100.0..100.0f64, dim * k),
+            proptest::collection::vec(any::<u16>(), k),
+        )
+            .prop_map(move |(mut flat, dups)| {
+                for (j, &d) in dups.iter().enumerate().skip(1) {
+                    if d % 2 == 0 {
+                        let src = (d as usize) % j;
+                        let (a, b) = flat.split_at_mut(j * dim);
+                        b[..dim].copy_from_slice(&a[src * dim..src * dim + dim]);
+                    }
+                }
+                (dim, k, flat)
+            })
+    })
+}
+
+fn assert_bit_identical(
+    dim: usize,
+    cents: &[f64],
+    points: &[Vec<f64>],
+) -> std::result::Result<(), TestCaseError> {
+    let layout = FusedLayout::new(cents, dim);
+    let mut scratch = vec![0.0; layout.scratch_len()];
+    let mut stats = KernelStats::default();
+    for x in points {
+        let (fj, fd) = layout.nearest_counted(x, &mut scratch, &mut stats);
+        let (sj, sd) = nearest_centroid(x, cents, dim);
+        prop_assert_eq!(fj, sj, "index diverged for x = {:?}", x);
+        prop_assert_eq!(fd.to_bits(), sd.to_bits(), "distance bits diverged: {} vs {}", fd, sd);
+    }
+    prop_assert_eq!(stats.points, points.len() as u64);
+    prop_assert!(stats.rescued >= stats.points, "each point rescues at least its winner");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // The headline differential: random centroid tables (with forced
+    // duplicates) and random query points across the full supported shape
+    // range. Index AND distance must match the scalar search bit for bit.
+    #[test]
+    fn kernel_matches_scalar_search(
+        (dim, k, cents) in arb_centroids(32, 64),
+        raw in proptest::collection::vec(-100.0..100.0f64, 32 * 16),
+        n in 1usize..16,
+    ) {
+        let _ = k;
+        let points: Vec<Vec<f64>> =
+            (0..n).map(|i| raw[i * dim..(i + 1) * dim].to_vec()).collect();
+        assert_bit_identical(dim, &cents, &points)?;
+    }
+
+    // Exact-tie stress: every query point IS one of the centroids (distance
+    // 0 to it and to all its duplicates), so the lowest-index tie-break is
+    // exercised on every lookup.
+    #[test]
+    fn kernel_matches_on_centroid_queries(
+        (dim, k, cents) in arb_centroids(16, 48),
+        pick in proptest::collection::vec(any::<usize>(), 8),
+    ) {
+        let points: Vec<Vec<f64>> = pick
+            .iter()
+            .map(|&p| {
+                let j = p % k;
+                cents[j * dim..(j + 1) * dim].to_vec()
+            })
+            .collect();
+        assert_bit_identical(dim, &cents, &points)?;
+    }
+
+    // Degenerate inputs: all centroids identical (k-way tie on every query)
+    // and zero vectors (‖x‖² = ‖c‖² = 0 cancels the screen to exact zero).
+    #[test]
+    fn kernel_matches_on_degenerate_tables(
+        dim in 1usize..33,
+        k in 1usize..65,
+        v in -10.0..10.0f64,
+    ) {
+        let cents = vec![v; dim * k];
+        let points = vec![vec![v; dim], vec![0.0; dim], vec![-v; dim]];
+        assert_bit_identical(dim, &cents, &points)?;
+    }
+
+    // Threaded through full Lloyd runs: the fused path must reproduce the
+    // scalar path's assignments exactly and its MSE to ≤ 1e-9 relative —
+    // the acceptance bar — on both unweighted and weighted sources.
+    #[test]
+    fn fused_lloyd_matches_scalar_lloyd(
+        flat in proptest::collection::vec(-1000.0..1000.0f64, 6..360),
+        dim in 1usize..7,
+        k in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let n = flat.len() / dim;
+        prop_assume!(n >= 1);
+        let ds = Dataset::from_flat(dim, flat[..n * dim].to_vec()).unwrap();
+        prop_assume!(k <= ds.len());
+        let mut rng = rng_for(seed, 7);
+        let init = seed_centroids(&ds, k, SeedMode::RandomPoints, &mut rng).unwrap();
+
+        let scalar_cfg = LloydConfig { kernel: KernelKind::Scalar, ..LloydConfig::default() };
+        let fused_cfg = LloydConfig { kernel: KernelKind::Fused, ..LloydConfig::default() };
+        let s = lloyd::lloyd(&ds, &init, &scalar_cfg).unwrap();
+        let f = lloyd::lloyd(&ds, &init, &fused_cfg).unwrap();
+
+        prop_assert_eq!(&f.assignments, &s.assignments, "assignments diverged");
+        prop_assert_eq!(f.iterations, s.iterations);
+        let rel = (f.mse - s.mse).abs() / s.mse.abs().max(1.0);
+        prop_assert!(rel <= 1e-9, "relative MSE gap {} > 1e-9 ({} vs {})", rel, f.mse, s.mse);
+        prop_assert_eq!(f.mse.to_bits(), s.mse.to_bits(), "expected bit-identical MSE");
+    }
+
+    // Same bar for weighted sources (the merge step's input) — including
+    // k > distinct points, which forces empty clusters and reseeding.
+    #[test]
+    fn fused_weighted_lloyd_matches_scalar(
+        flat in proptest::collection::vec(-50.0..50.0f64, 4..120),
+        weights_raw in proptest::collection::vec(0.5..20.0f64, 60),
+        dim in 1usize..5,
+        k in 1usize..13,
+        seed in any::<u64>(),
+    ) {
+        let n = flat.len() / dim;
+        prop_assume!(n >= 1 && k <= n);
+        let mut ws = WeightedSet::new(dim).unwrap();
+        for i in 0..n {
+            ws.push(&flat[i * dim..(i + 1) * dim], weights_raw[i % weights_raw.len()]).unwrap();
+        }
+        let mut rng = rng_for(seed, 11);
+        let init = seed_centroids(&ws, k, SeedMode::RandomPoints, &mut rng).unwrap();
+
+        let scalar_cfg = LloydConfig { kernel: KernelKind::Scalar, ..LloydConfig::default() };
+        let fused_cfg = LloydConfig { kernel: KernelKind::Fused, ..LloydConfig::default() };
+        let s = lloyd::lloyd(&ws, &init, &scalar_cfg).unwrap();
+        let f = lloyd::lloyd(&ws, &init, &fused_cfg).unwrap();
+
+        prop_assert_eq!(&f.assignments, &s.assignments);
+        prop_assert_eq!(f.reseeds, s.reseeds);
+        prop_assert_eq!(f.mse.to_bits(), s.mse.to_bits());
+    }
+
+    // Every selectable strategy lands on the same geometry: pruned-scalar is
+    // bit-identical to scalar; Elkan (whole-run delegation, different reseed
+    // donor ranking) must still match to ≤ 1e-9 relative MSE when no
+    // clusters emptied along the way.
+    #[test]
+    fn all_strategies_agree_on_final_mse(
+        flat in proptest::collection::vec(-500.0..500.0f64, 8..240),
+        dim in 1usize..5,
+        k in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let n = flat.len() / dim;
+        prop_assume!(n >= 1);
+        let ds = Dataset::from_flat(dim, flat[..n * dim].to_vec()).unwrap();
+        prop_assume!(k <= ds.len());
+        let mut rng = rng_for(seed, 13);
+        let init = seed_centroids(&ds, k, SeedMode::RandomPoints, &mut rng).unwrap();
+
+        let run = |kernel| {
+            let cfg = LloydConfig { kernel, ..LloydConfig::default() };
+            lloyd::lloyd(&ds, &init, &cfg).unwrap()
+        };
+        let scalar = run(KernelKind::Scalar);
+        let pruned = run(KernelKind::PrunedScalar);
+        let auto = run(KernelKind::Auto);
+        let elkan = run(KernelKind::Elkan);
+
+        prop_assert_eq!(&pruned.assignments, &scalar.assignments);
+        prop_assert_eq!(pruned.mse.to_bits(), scalar.mse.to_bits());
+        prop_assert_eq!(auto.mse.to_bits(), scalar.mse.to_bits(), "Auto must resolve to Fused");
+        if scalar.reseeds == 0 && elkan.reseeds == 0 {
+            let rel = (elkan.mse - scalar.mse).abs() / scalar.mse.abs().max(1.0);
+            prop_assert!(rel <= 1e-9, "elkan relative MSE gap {} > 1e-9", rel);
+            prop_assert_eq!(&elkan.assignments, &scalar.assignments);
+        }
+    }
+}

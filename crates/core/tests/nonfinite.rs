@@ -1,0 +1,182 @@
+//! Fuzz-ish tests: non-finite coordinates (NaN / ±inf) must surface as a
+//! typed [`Error::NonFiniteCoordinate`] at the input boundary — never as a
+//! silently poisoned centroid — and ill-conditioned but *finite* inputs must
+//! still produce exact assignments from the fused kernel.
+
+use pmkm_core::kernel::FusedLayout;
+use pmkm_core::point::{all_finite, first_non_finite, nearest_centroid};
+use pmkm_core::prelude::*;
+use pmkm_core::KernelStats;
+use proptest::prelude::*;
+
+/// One of the three non-finite doubles, selected by index.
+fn poison(which: u8) -> f64 {
+    match which % 3 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        _ => f64::NEG_INFINITY,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // `all_finite` / `first_non_finite` agree, and injection is always found.
+    #[test]
+    fn finite_scanners_agree(
+        mut coords in proptest::collection::vec(-1e12..1e12f64, 1..64),
+        pos in any::<usize>(),
+        which in any::<u8>(),
+        inject in any::<bool>(),
+    ) {
+        prop_assert!(all_finite(&coords));
+        prop_assert_eq!(first_non_finite(&coords), None);
+        if inject {
+            let pos = pos % coords.len();
+            coords[pos] = poison(which);
+            prop_assert!(!all_finite(&coords));
+            let found = first_non_finite(&coords).unwrap();
+            prop_assert!(found <= pos);
+            prop_assert!(!coords[found].is_finite());
+        }
+    }
+
+    // `Dataset::from_flat` rejects poisoned buffers with the point index.
+    #[test]
+    fn dataset_from_flat_rejects_poison(
+        dim in 1usize..8,
+        n in 1usize..32,
+        pos in any::<usize>(),
+        which in any::<u8>(),
+    ) {
+        let mut flat = vec![1.5f64; dim * n];
+        let pos = pos % flat.len();
+        flat[pos] = poison(which);
+        match Dataset::from_flat(dim, flat) {
+            Err(Error::NonFiniteCoordinate { index }) => prop_assert_eq!(index, pos / dim),
+            other => prop_assert!(false, "expected NonFiniteCoordinate, got {:?}", other),
+        }
+    }
+
+    // `Centroids::from_flat` rejects poisoned buffers with the centroid index.
+    #[test]
+    fn centroids_from_flat_rejects_poison(
+        dim in 1usize..8,
+        k in 1usize..16,
+        pos in any::<usize>(),
+        which in any::<u8>(),
+    ) {
+        let mut flat = vec![-2.25f64; dim * k];
+        let pos = pos % flat.len();
+        flat[pos] = poison(which);
+        match Centroids::from_flat(dim, flat) {
+            Err(Error::NonFiniteCoordinate { index }) => prop_assert_eq!(index, pos / dim),
+            other => prop_assert!(false, "expected NonFiniteCoordinate, got {:?}", other),
+        }
+    }
+
+    // `Dataset::push` / `WeightedSet::push` reject poisoned rows and bad
+    // weights, and a rejected push leaves the container untouched.
+    #[test]
+    fn push_rejects_poison_and_preserves_state(
+        dim in 1usize..6,
+        pos in any::<usize>(),
+        which in any::<u8>(),
+        bad_weight_idx in 0u8..4,
+    ) {
+        let bad_weight = [f64::NAN, f64::INFINITY, 0.0, -1.0][bad_weight_idx as usize];
+        let mut row = vec![3.0f64; dim];
+        row[pos % dim] = poison(which);
+
+        let mut ds = Dataset::new(dim).unwrap();
+        ds.push(&vec![1.0; dim]).unwrap();
+        prop_assert!(matches!(
+            ds.push(&row),
+            Err(Error::NonFiniteCoordinate { index: 1 })
+        ));
+        prop_assert_eq!(ds.len(), 1);
+
+        let mut ws = WeightedSet::new(dim).unwrap();
+        ws.push(&vec![1.0; dim], 2.0).unwrap();
+        prop_assert!(matches!(
+            ws.push(&row, 1.0),
+            Err(Error::NonFiniteCoordinate { index: 1 })
+        ));
+        prop_assert!(matches!(
+            ws.push(&vec![1.0; dim], bad_weight),
+            Err(Error::InvalidWeight { index: 1 })
+        ));
+        prop_assert_eq!(ws.len(), 1);
+    }
+
+    // End-to-end poisoning guard: clustering validated finite input can
+    // never emit a non-finite centroid, weight, or MSE.
+    #[test]
+    fn kmeans_output_is_always_finite(
+        flat in proptest::collection::vec(-1e8..1e8f64, 2..120),
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let dim = 2;
+        let n = flat.len() / dim;
+        let ds = Dataset::from_flat(dim, flat[..n * dim].to_vec()).unwrap();
+        let mut cfg = KMeansConfig::paper(k.min(n), seed);
+        cfg.restarts = 2;
+        cfg.lloyd.max_iters = 10;
+        let out = pmkm_core::kmeans(&ds, &cfg).unwrap();
+        for j in 0..out.best.centroids.k() {
+            prop_assert!(all_finite(out.best.centroids.centroid(j)));
+        }
+        prop_assert!(out.best.mse.is_finite());
+        prop_assert!(out.best.cluster_weights.iter().all(|w| w.is_finite()));
+    }
+
+    // The fused kernel's overflow fallback: with coordinates large enough
+    // that ‖x‖² or the cross term overflows to ±inf, the screen produces
+    // inf/NaN approximations — the kernel must degrade to the exact scalar
+    // scan and still agree with `nearest_centroid`, never return a bogus
+    // index from a NaN comparison.
+    #[test]
+    fn fused_kernel_survives_overflowing_magnitudes(
+        dim in 1usize..7,
+        k in 1usize..9,
+        scale_exp in 150.0..308.0f64,
+        raw in proptest::collection::vec(-1.0..1.0f64, 1..64),
+        praw in proptest::collection::vec(-1.0..1.0f64, 8),
+    ) {
+        let scale = 10f64.powf(scale_exp);
+        let mut cents = vec![0.0f64; k * dim];
+        for (i, c) in cents.iter_mut().enumerate() {
+            let v = raw[i % raw.len()] * scale;
+            *c = if v.is_finite() { v } else { 0.0 };
+        }
+        let x: Vec<f64> = (0..dim).map(|d| praw[d] * scale).collect();
+        prop_assume!(all_finite(&x) && all_finite(&cents));
+
+        let layout = FusedLayout::new(&cents, dim);
+        let mut scratch = vec![0.0; layout.scratch_len()];
+        let mut stats = KernelStats::default();
+        let (fj, fd) = layout.nearest_counted(&x, &mut scratch, &mut stats);
+        let (sj, sd) = nearest_centroid(&x, &cents, dim);
+        prop_assert_eq!(fj, sj);
+        // Distances may both be +inf here; bit-compare handles that too.
+        prop_assert_eq!(fd.to_bits(), sd.to_bits());
+    }
+}
+
+/// Serde round-trips cannot resurrect poison either: a `Dataset` is
+/// deserialized through the same flat representation it serializes to, so a
+/// hand-poisoned JSON payload still fails construction downstream.
+#[test]
+fn poisoned_singletons_are_rejected() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(matches!(
+            Dataset::from_flat(1, vec![bad]),
+            Err(Error::NonFiniteCoordinate { index: 0 })
+        ));
+        assert!(matches!(
+            Centroids::from_flat(1, vec![bad]),
+            Err(Error::NonFiniteCoordinate { index: 0 })
+        ));
+    }
+}

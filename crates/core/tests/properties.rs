@@ -211,3 +211,92 @@ proptest! {
         prop_assert!(per_chunk * dim * 8 <= budget || n == 0);
     }
 }
+
+// --- Pipeline invariants (PR 2): mass conservation, E_pm sign, monotone
+// --- per-chunk trajectories under the paper's 1e-9 convergence rule.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // §3.2: the partial step's weighted centroids carry every input point
+    // exactly once — Σ wᵢ == Nⱼ per chunk, and Σⱼ Nⱼ == n over a random
+    // partition of the cell.
+    #[test]
+    fn partial_conserves_mass_per_chunk_and_overall(
+        ds in arb_dataset(72, 3),
+        k in 1usize..5,
+        p in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let chunks = pmkm_core::partition_random(&ds, p, seed, true).unwrap();
+        let mut cfg = KMeansConfig::paper(k, seed);
+        cfg.restarts = 2;
+        let mut grand_total = 0.0f64;
+        for chunk in &chunks {
+            if chunk.is_empty() {
+                continue;
+            }
+            let out = partial_kmeans(chunk, &cfg).unwrap();
+            let mass: f64 = out.centroids.weights().iter().sum();
+            prop_assert!(
+                (mass - chunk.len() as f64).abs() < 1e-9 * (chunk.len() as f64).max(1.0),
+                "chunk mass {} != {}", mass, chunk.len()
+            );
+            prop_assert_eq!(out.points, chunk.len());
+            grand_total += mass;
+        }
+        prop_assert!((grand_total - ds.len() as f64).abs() < 1e-6);
+    }
+
+    // §3.3: E_pm is a weighted sum of squared distances — non-negative,
+    // finite, and internally consistent: the tabulated MSE is exactly
+    // E_pm / total weight, and the merge conserves the cell's point mass.
+    #[test]
+    fn epm_is_nonnegative_and_internally_consistent(
+        ds in arb_dataset(60, 3),
+        k in 1usize..5,
+        p in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = PartialMergeConfig::paper(k, p, seed);
+        cfg.kmeans.restarts = 2;
+        let result = partial_merge(&ds, &cfg).unwrap();
+        prop_assert!(result.merge.epm.is_finite() && result.merge.epm >= 0.0);
+        prop_assert!(result.merge.mse.is_finite() && result.merge.mse >= 0.0);
+
+        let total: f64 = result.merge.cluster_weights.iter().sum();
+        prop_assert!((total - ds.len() as f64).abs() < 1e-6 * (ds.len() as f64).max(1.0));
+        let rel = (result.merge.mse * total - result.merge.epm).abs()
+            / result.merge.epm.abs().max(1.0);
+        prop_assert!(rel <= 1e-9, "mse·W {} vs E_pm {}", result.merge.mse * total, result.merge.epm);
+        prop_assert!(result.merge.cluster_weights.iter().all(|w| *w >= 0.0));
+    }
+
+    // §2: each Lloyd step minimizes the quantization error given the other
+    // half of the state, so the per-run MSE trajectory is non-increasing
+    // (to the paper's 1e-9 rule) whenever no empty cluster was reseeded.
+    #[test]
+    fn mse_trajectory_is_monotone_without_reseeds(
+        ds in arb_dataset(64, 4),
+        k in 1usize..7,
+        seed in any::<u64>(),
+        kernel_idx in 0u8..3,
+    ) {
+        prop_assume!(k <= ds.len());
+        let kernel =
+            [KernelKind::Fused, KernelKind::Scalar, KernelKind::Elkan][kernel_idx as usize];
+        let mut rng = rng_for(seed, 3);
+        let init = seed_centroids(&ds, k, SeedMode::RandomPoints, &mut rng).unwrap();
+        let cfg = LloydConfig { kernel, ..LloydConfig::default() };
+        let run = lloyd::lloyd(&ds, &init, &cfg).unwrap();
+        prop_assert_eq!(run.mse_trajectory.len(), run.iterations + 1);
+        if run.reseeds == 0 {
+            for w in run.mse_trajectory.windows(2) {
+                prop_assert!(
+                    w[1] <= w[0] + 1e-9 * w[0].abs().max(1.0),
+                    "trajectory rose: {} -> {}", w[0], w[1]
+                );
+            }
+        }
+        prop_assert!(*run.mse_trajectory.last().unwrap() == run.mse);
+    }
+}
