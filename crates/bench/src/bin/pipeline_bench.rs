@@ -1,0 +1,294 @@
+//! Continuous perf-regression harness for the end-to-end partial/merge
+//! pipeline (PR 3 acceptance artifact).
+//!
+//! Runs the fig. 6-style workload (one MISR-like 6-D cell, k = 40) through
+//! every {serial, N-clone} × {scalar, fused} configuration, recording
+//! throughput (points/s), per-phase wall times, `E_pm`, and the span
+//! profiler's phase breakdown + measured overhead into
+//! `BENCH_pipeline.json` at the repository root.
+//!
+//! Flags:
+//! - `--quick`            small workload for CI smoke tests
+//! - `--out PATH`         write the report somewhere else
+//! - `--baseline PATH`    compare against a previous report; exits 1 if any
+//!   configuration's throughput regressed by more than 10%, 2 if the
+//!   baseline's workload parameters don't match
+//! - `--simulate-regression FRAC`  scale measured throughput down by FRAC
+//!   (e.g. 0.5 halves it) — lets CI prove the regression gate fires
+
+use pmkm_bench::report::print_table;
+use pmkm_core::{
+    partial_merge, partial_merge_observed, partial_merge_with_workers, Dataset, KMeansConfig,
+    KernelKind, PartialMergeConfig, PartitionSpec,
+};
+use pmkm_data::CellConfig;
+use pmkm_obs::{PhaseReport, Profiler, Recorder};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SCHEMA_VERSION: u32 = 1;
+const SEED: u64 = 42;
+const K: usize = 40;
+const PARTITIONS: usize = 10;
+const CLONES: usize = 4;
+/// A configuration fails the gate when its throughput drops below this
+/// fraction of the baseline's.
+const REGRESSION_FLOOR: f64 = 0.90;
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+struct Params {
+    n: usize,
+    dim: usize,
+    k: usize,
+    partitions: usize,
+    restarts: usize,
+    reps: usize,
+    seed: u64,
+}
+
+#[derive(Serialize, Deserialize, Debug, Clone)]
+struct Row {
+    /// `workers/kernel`, e.g. `serial/scalar` or `clones4/fused`.
+    config: String,
+    workers: usize,
+    kernel: String,
+    total_ms: f64,
+    partial_ms: f64,
+    merge_ms: f64,
+    points_per_sec: f64,
+    epm: f64,
+    /// Extra wall time of the profiled run over the unprofiled median, in
+    /// percent (single sample — expect noise; the zero-cost-when-off
+    /// guarantee is pinned by tests, not by this number).
+    profiler_overhead_pct: f64,
+    phases: Vec<PhaseReport>,
+}
+
+#[derive(Serialize, Deserialize, Debug, Clone)]
+struct Report {
+    schema_version: u32,
+    workload: String,
+    params: Params,
+    rows: Vec<Row>,
+}
+
+struct Opts {
+    quick: bool,
+    out: Option<String>,
+    baseline: Option<String>,
+    simulate_regression: f64,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts { quick: false, out: None, baseline: None, simulate_regression: 0.0 };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut take = |key: &str| -> Option<String> {
+            if let Some(v) = arg.strip_prefix(&format!("{key}=")) {
+                return Some(v.to_string());
+            }
+            if arg == key {
+                i += 1;
+                return Some(args.get(i).unwrap_or_else(|| usage(key)).clone());
+            }
+            None
+        };
+        if arg == "--quick" {
+            opts.quick = true;
+        } else if let Some(v) = take("--out") {
+            opts.out = Some(v);
+        } else if let Some(v) = take("--baseline") {
+            opts.baseline = Some(v);
+        } else if let Some(v) = take("--simulate-regression") {
+            opts.simulate_regression = v.parse().unwrap_or_else(|_| usage("--simulate-regression"));
+        } else {
+            usage(arg);
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn usage(offender: &str) -> ! {
+    eprintln!(
+        "pipeline_bench: bad argument near '{offender}'\n\
+         usage: pipeline_bench [--quick] [--out PATH] [--baseline PATH] \
+         [--simulate-regression FRAC]"
+    );
+    std::process::exit(2)
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn bench_config(cell: &Dataset, params: &Params, workers: usize, kernel: KernelKind) -> Row {
+    let mut cfg = PartialMergeConfig {
+        kmeans: KMeansConfig {
+            restarts: params.restarts,
+            ..KMeansConfig::paper(params.k, params.seed)
+        },
+        partitions: PartitionSpec::Count(params.partitions),
+        ..PartialMergeConfig::paper(params.k, params.partitions, params.seed)
+    };
+    cfg.kmeans.lloyd.kernel = kernel;
+
+    // Unprofiled runs give the throughput number (median of reps).
+    let mut samples = Vec::with_capacity(params.reps);
+    let mut last = None;
+    for _ in 0..params.reps {
+        let t = Instant::now();
+        let res = if workers == 0 {
+            partial_merge(cell, &cfg)
+        } else {
+            partial_merge_with_workers(cell, &cfg, workers)
+        }
+        .expect("pipeline run");
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(res);
+    }
+    let res = last.expect("reps >= 1");
+    let total_ms = median(samples);
+
+    // One profiled run gives the phase breakdown and an overhead sample.
+    let rec = Recorder::new().with_profiler(Arc::new(Profiler::new()));
+    let t = Instant::now();
+    let (profiled, _report) =
+        partial_merge_observed(cell, &cfg, (workers > 0).then_some(workers), Some(&rec))
+            .expect("profiled pipeline run");
+    let profiled_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        profiled.merge.centroids, res.merge.centroids,
+        "profiling must not change results ({workers} workers, {kernel:?})"
+    );
+
+    let label = if workers == 0 { "serial".to_string() } else { format!("clones{workers}") };
+    Row {
+        config: format!("{label}/{}", kernel.label()),
+        workers,
+        kernel: kernel.label().to_string(),
+        total_ms,
+        partial_ms: res.partial_elapsed.as_secs_f64() * 1e3,
+        merge_ms: res.merge.elapsed.as_secs_f64() * 1e3,
+        points_per_sec: params.n as f64 / (total_ms / 1e3),
+        epm: res.merge.epm,
+        profiler_overhead_pct: (profiled_ms - total_ms) / total_ms * 100.0,
+        phases: rec.phase_rows(),
+    }
+}
+
+fn compare_against_baseline(report: &Report, path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("pipeline_bench: cannot read baseline {path}: {e}");
+        std::process::exit(2)
+    });
+    let base: Report = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("pipeline_bench: cannot parse baseline {path}: {e}");
+        std::process::exit(2)
+    });
+    if base.params != report.params {
+        eprintln!(
+            "pipeline_bench: baseline params {:?} do not match current {:?}",
+            base.params, report.params
+        );
+        std::process::exit(2)
+    }
+    let mut failed = false;
+    for row in &report.rows {
+        let Some(b) = base.rows.iter().find(|r| r.config == row.config) else {
+            eprintln!("  {}: missing from baseline, skipped", row.config);
+            continue;
+        };
+        let ratio = row.points_per_sec / b.points_per_sec;
+        let verdict = if ratio < REGRESSION_FLOOR { "FAIL" } else { "ok" };
+        println!(
+            "  {}: {:.0} pts/s vs baseline {:.0} ({:.1}%) {verdict}",
+            row.config,
+            row.points_per_sec,
+            b.points_per_sec,
+            ratio * 100.0
+        );
+        failed |= ratio < REGRESSION_FLOOR;
+    }
+    if failed {
+        eprintln!(
+            "FAIL: throughput regressed by more than {:.0}% on at least one configuration",
+            (1.0 - REGRESSION_FLOOR) * 100.0
+        );
+        std::process::exit(1)
+    }
+    println!(
+        "OK: no configuration regressed by more than {:.0}%",
+        (1.0 - REGRESSION_FLOOR) * 100.0
+    );
+    std::process::exit(0)
+}
+
+fn main() {
+    let opts = parse_opts();
+    let (n, restarts, reps) = if opts.quick { (2_000, 1, 1) } else { (25_000, 2, 3) };
+    let params = Params { n, dim: 6, k: K, partitions: PARTITIONS, restarts, reps, seed: SEED };
+    let cell = pmkm_data::generator::generate_cell(&CellConfig::paper(n, SEED))
+        .expect("fig6 cell generator");
+
+    let mut rows = Vec::new();
+    for workers in [0, CLONES] {
+        for kernel in [KernelKind::Scalar, KernelKind::Fused] {
+            rows.push(bench_config(&cell, &params, workers, kernel));
+        }
+    }
+    // Clone count must never change results (per-chunk seeds).
+    for kernel in ["scalar", "fused"] {
+        let epms: Vec<f64> = rows.iter().filter(|r| r.kernel == kernel).map(|r| r.epm).collect();
+        assert!(epms.windows(2).all(|w| w[0] == w[1]), "E_pm varies with clones: {epms:?}");
+    }
+
+    if opts.simulate_regression > 0.0 {
+        println!("[simulating a {:.0}% throughput regression]", opts.simulate_regression * 100.0);
+        for row in &mut rows {
+            row.points_per_sec *= 1.0 - opts.simulate_regression;
+        }
+    }
+
+    print_table(
+        &format!("Partial/merge pipeline (fig6 cell, N={n}, k={K}, median of {reps})"),
+        &["config", "total ms", "partial ms", "merge ms", "points/s", "prof ovh"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.config.clone(),
+                    format!("{:.1}", r.total_ms),
+                    format!("{:.1}", r.partial_ms),
+                    format!("{:.1}", r.merge_ms),
+                    format!("{:.0}", r.points_per_sec),
+                    format!("{:+.1}%", r.profiler_overhead_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let report = Report {
+        schema_version: SCHEMA_VERSION,
+        workload: format!("fig6 paper cell (6-D MISR-like, CellConfig::paper({n}, {SEED}))"),
+        params,
+        rows,
+    };
+    let path = match &opts.out {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json")
+        }
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&path, format!("{json}\n")).expect("write report");
+    println!("\n[written] {}", path.display());
+
+    if let Some(baseline) = &opts.baseline {
+        compare_against_baseline(&report, baseline);
+    }
+}

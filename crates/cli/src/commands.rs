@@ -30,7 +30,8 @@ impl std::fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(
                     f,
-                    "unknown command '{c}'; try: generate, bin, inspect, cluster, compress, query"
+                    "unknown command '{c}'; try: generate, bin, inspect, cluster, compress, \
+                     query, serve-demo"
                 )
             }
         }
@@ -58,6 +59,7 @@ pub fn dispatch<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<(),
         "cluster" => cluster(args, out),
         "compress" => compress(args, out),
         "query" => query(args, out),
+        "serve-demo" => serve_demo(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -78,13 +80,22 @@ COMMANDS
             Print each bucket's header and per-dimension statistics.
   cluster   [--k=40] [--restarts=10] [--seed=0] [--splits=P | --memory=BYTES]
             [--workers=N] [--kernel=auto] [--adaptive] [--incremental]
-            [--metrics-out=REPORT.json] [--trace=TRACE.jsonl] <bucket files…>
+            [--metrics-out=REPORT.json] [--trace=TRACE.jsonl]
+            [--serve=ADDR] [--folded=STACKS.txt] <bucket files…>
             Cluster each bucket with partial/merge k-means on the stream
             engine; prints centroids summary and operator telemetry.
             --kernel picks the assignment strategy (auto, scalar,
             pruned_scalar, fused, elkan); --metrics-out writes a structured
             RunReport (JSON); --trace streams structured events as JSON
-            lines.
+            lines; --serve exposes /metrics, /report.json and /healthz over
+            HTTP for the duration of the run; --folded writes the span
+            profiler's folded stacks (pipe into inferno-flamegraph for an
+            SVG flamegraph).
+  serve-demo [--addr=127.0.0.1:0] [--iters=3] [--n=2000] [--k=8]
+            [--splits=4] [--restarts=2] [--seed=0]
+            Run a synthetic partial/merge workload while serving live
+            telemetry over HTTP; self-probes /healthz and /metrics and
+            prints the results. Useful for demos and smoke tests.
   compress  [--k=40] [--restarts=10] [--splits=5] [--seed=0] [--out=DIR]
             <bucket files…>
             Compress each bucket into a multivariate histogram (JSON).
@@ -177,6 +188,8 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "incremental",
         "metrics-out",
         "trace",
+        "serve",
+        "folded",
     ])?;
     let paths: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
     if paths.is_empty() {
@@ -225,15 +238,35 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     };
     let metrics_out = args.get_str("metrics-out", "");
     let trace_out = args.get_str("trace", "");
-    let recorder = if metrics_out.is_empty() && trace_out.is_empty() {
+    let serve_addr = args.get_str("serve", "");
+    let folded_out = args.get_str("folded", "");
+    let recorder = if metrics_out.is_empty()
+        && trace_out.is_empty()
+        && serve_addr.is_empty()
+        && folded_out.is_empty()
+    {
         None
     } else {
-        let mut rec = pmkm_obs::Recorder::new();
+        let mut rec =
+            pmkm_obs::Recorder::new().with_profiler(std::sync::Arc::new(pmkm_obs::Profiler::new()));
         if !trace_out.is_empty() {
             let sink = pmkm_obs::JsonlSink::create(&trace_out).map_err(run_err)?;
             rec = rec.with_sink(std::sync::Arc::new(sink));
         }
         Some(std::sync::Arc::new(rec))
+    };
+    let server = if serve_addr.is_empty() {
+        None
+    } else {
+        let rec = recorder.clone().expect("recorder is built whenever --serve is given");
+        let server = pmkm_obs::MetricsServer::serve(serve_addr.as_str(), rec).map_err(run_err)?;
+        writeln!(
+            out,
+            "serving telemetry at http://{} (/metrics, /report.json, /healthz)",
+            server.local_addr()
+        )
+        .map_err(run_err)?;
+        Some(server)
     };
     let report = if args.flag("adaptive") {
         let adaptive = pmkm_stream::execute_adaptive(&plan).map_err(run_err)?;
@@ -293,6 +326,18 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
     if !trace_out.is_empty() {
         writeln!(out, "wrote trace to {trace_out}").map_err(run_err)?;
+    }
+    if !folded_out.is_empty() {
+        let folded =
+            recorder.as_ref().and_then(|r| r.profiler()).map(|p| p.folded()).unwrap_or_default();
+        std::fs::write(&folded_out, folded).map_err(run_err)?;
+        writeln!(out, "wrote folded stacks to {folded_out}").map_err(run_err)?;
+    }
+    if let Some(server) = server {
+        // Publish the final report so a last scrape sees the complete run,
+        // then release the socket.
+        server.set_report(report.run_report(recorder.as_deref()));
+        server.shutdown();
     }
     Ok(())
 }
@@ -396,6 +441,69 @@ fn query<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         )
         .map_err(run_err)?;
     }
+    Ok(())
+}
+
+/// Issues one `GET path` against the exporter and returns the status line.
+fn probe(addr: &std::net::SocketAddr, path: &str) -> std::io::Result<String> {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: pmkm\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response.lines().next().unwrap_or_default().to_string())
+}
+
+fn serve_demo<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["addr", "iters", "n", "k", "splits", "restarts", "seed"])?;
+    let addr = args.get_str("addr", "127.0.0.1:0");
+    let iters = args.get("iters", 3usize)?;
+    let n = args.get("n", 2_000usize)?;
+    let k = args.get("k", 8usize)?;
+    let splits = args.get("splits", 4usize)?;
+    let restarts = args.get("restarts", 2usize)?;
+    let seed = args.get("seed", 0u64)?;
+
+    let rec = std::sync::Arc::new(
+        pmkm_obs::Recorder::new().with_profiler(std::sync::Arc::new(pmkm_obs::Profiler::new())),
+    );
+    let server = pmkm_obs::MetricsServer::serve(addr.as_str(), rec.clone()).map_err(run_err)?;
+    let local = server.local_addr();
+    writeln!(out, "serving telemetry at http://{local} (/metrics, /report.json, /healthz)")
+        .map_err(run_err)?;
+
+    let points =
+        pmkm_data::generator::generate_cell(&pmkm_data::generator::CellConfig::paper(n, seed))
+            .map_err(run_err)?;
+    for iter in 0..iters {
+        let cfg = PartialMergeConfig {
+            kmeans: KMeansConfig {
+                restarts,
+                ..KMeansConfig::paper(k, seed.wrapping_add(iter as u64))
+            },
+            partitions: PartitionSpec::Count(splits),
+            ..PartialMergeConfig::paper(k, splits, seed)
+        };
+        let (result, run_report) =
+            pmkm_core::partial_merge_observed(&points, &cfg, None, Some(&rec)).map_err(run_err)?;
+        rec.registry().counter("demo_iterations_total").inc();
+        server.set_report(run_report);
+        writeln!(
+            out,
+            "iter {iter}: E_pm {:.1}, {} merge iterations",
+            result.merge.epm, result.merge.iterations
+        )
+        .map_err(run_err)?;
+    }
+
+    // Self-probe so scripted runs (and CI smoke tests) verify liveness
+    // end-to-end without an external HTTP client.
+    for path in ["/healthz", "/metrics", "/report.json"] {
+        let status = probe(&local, path).map_err(run_err)?;
+        writeln!(out, "self-probe {path}: {status}").map_err(run_err)?;
+    }
+    server.shutdown();
     Ok(())
 }
 
@@ -583,6 +691,77 @@ mod tests {
         assert!(events.len() >= 4, "only {} events", events.len());
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_serve_and_folded_expose_profiler_output() {
+        let dir = tmp("serve");
+        let mut points = pmkm_core::Dataset::new(2).unwrap();
+        let mut x = 0.41_f64;
+        for i in 0..160 {
+            x = (x * 997.13 + 0.7).fract();
+            let blob = if i % 2 == 0 { 0.0 } else { 25.0 };
+            points.push(&[blob + x, blob - x]).unwrap();
+        }
+        let cell = pmkm_data::GridCell::new(22, 22).unwrap();
+        let bucket_path = dir.join(cell.bucket_file_name());
+        pmkm_data::GridBucket { cell, points }.write_to(&bucket_path).unwrap();
+
+        let folded_path = dir.join("stacks.folded");
+        let report_path = dir.join("report.json");
+        let out = run(
+            "cluster",
+            &[
+                "--k=2".into(),
+                "--restarts=2".into(),
+                "--splits=3".into(),
+                "--serve=127.0.0.1:0".into(),
+                format!("--folded={}", folded_path.display()),
+                format!("--metrics-out={}", report_path.display()),
+                bucket_path.display().to_string(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("serving telemetry at http://127.0.0.1:"), "{out}");
+        assert!(out.contains("wrote folded stacks"), "{out}");
+
+        // Folded stacks carry the pipeline phases in `name;name value` form.
+        let folded = std::fs::read_to_string(&folded_path).unwrap();
+        assert!(folded.lines().any(|l| l.starts_with("partial ")), "{folded}");
+        assert!(folded.lines().any(|l| l.starts_with("partial;assign ")), "{folded}");
+        for line in folded.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("folded line has a value");
+            value.parse::<u64>().expect("folded value is integral microseconds");
+        }
+
+        // The run report now carries the phase breakdown.
+        let text = std::fs::read_to_string(&report_path).unwrap();
+        let report: pmkm_obs::RunReport = serde_json::from_str(&text).unwrap();
+        assert!(report.phases.iter().any(|p| p.path == "partial"), "{:?}", report.phases);
+        assert!(report.phases.iter().any(|p| p.path == "merge"), "{:?}", report.phases);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_demo_self_probe_reports_ok() {
+        let out = run(
+            "serve-demo",
+            &[
+                "--addr=127.0.0.1:0".into(),
+                "--iters=1".into(),
+                "--n=300".into(),
+                "--k=3".into(),
+                "--splits=2".into(),
+                "--restarts=1".into(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("serving telemetry at http://127.0.0.1:"), "{out}");
+        assert!(out.contains("iter 0: E_pm"), "{out}");
+        for path in ["/healthz", "/metrics", "/report.json"] {
+            assert!(out.contains(&format!("self-probe {path}: HTTP/1.1 200 OK")), "{out}");
+        }
     }
 
     #[test]

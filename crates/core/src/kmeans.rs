@@ -89,7 +89,10 @@ pub fn kmeans_observed<S: PointSource + ?Sized>(
             (mode, _) => mode,
         };
         let mut rng = rng_for(cfg.seed, r as u64);
-        let init = seed_centroids(src, cfg.k, mode, &mut rng)?;
+        let init = {
+            let _phase = rec.and_then(|r| r.phase("seed"));
+            seed_centroids(src, cfg.k, mode, &mut rng)?
+        };
         let run = lloyd_observed(src, &init, &cfg.lloyd, rec)?;
         restarts.push(RestartStats {
             restart: r,

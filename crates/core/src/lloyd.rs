@@ -158,9 +158,11 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
     let mut prev_assign: Vec<u32> = if rec.is_some() { vec![0; n] } else { Vec::new() };
 
     // Distance calculation against the initial seeds gives MSE(0).
-    let mut prev_mse =
+    let mut prev_mse = {
+        let _phase = rec.and_then(|r| r.phase("assign"));
         assign(src, &centroids, cfg, kernel, &mut scratch, prune_stats.as_mut(), &mut kernel_stats)
-            / total_weight;
+            / total_weight
+    };
     let mut iterations = 0usize;
     let mut converged = false;
     let mut final_mse = prev_mse;
@@ -174,22 +176,31 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
         }
         // Centroid recalculation: µ_j = Σ w_i v_i / Σ w_i, with empty
         // clusters re-seeded from the points farthest from their centroid.
-        reseeds += recompute_means(src, &mut centroids, &mut scratch);
-        let mse = assign(
-            src,
-            &centroids,
-            cfg,
-            kernel,
-            &mut scratch,
-            prune_stats.as_mut(),
-            &mut kernel_stats,
-        ) / total_weight;
+        reseeds += {
+            let _phase = rec.and_then(|r| r.phase("update"));
+            recompute_means(src, &mut centroids, &mut scratch)
+        };
+        let mse = {
+            let _phase = rec.and_then(|r| r.phase("assign"));
+            assign(
+                src,
+                &centroids,
+                cfg,
+                kernel,
+                &mut scratch,
+                prune_stats.as_mut(),
+                &mut kernel_stats,
+            ) / total_weight
+        };
         iterations += 1;
         let delta = prev_mse - mse;
         final_mse = mse;
         prev_mse = mse;
         mse_trajectory.push(mse);
         if let Some(rec) = rec {
+            // Convergence bookkeeping (the reassignment diff is an O(n)
+            // scan) gets its own phase so it shows up next to the real work.
+            let _phase = rec.phase("converge");
             let reassigned =
                 prev_assign.iter().zip(scratch.assignments.iter()).filter(|(a, b)| a != b).count()
                     as u64;

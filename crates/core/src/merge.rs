@@ -13,8 +13,9 @@
 use crate::config::{KMeansConfig, MergeMode, SeedMode};
 use crate::dataset::{Centroids, PointSource, WeightedSet};
 use crate::error::{Error, Result};
-use crate::kmeans::kmeans;
+use crate::kmeans::kmeans_observed;
 use crate::metrics;
+use pmkm_obs::Recorder;
 use std::time::{Duration, Instant};
 
 /// Final merged representation of a grid cell.
@@ -50,9 +51,23 @@ pub fn merge(
     mode: MergeMode,
     merge_restarts: usize,
 ) -> Result<MergeOutput> {
+    merge_observed(sets, cfg, mode, merge_restarts, None)
+}
+
+/// [`merge`] with observability hooks: the whole step runs inside a
+/// `merge` profiler phase, and the inner weighted k-means nests its own
+/// `seed`/`assign`/`update`/`converge` phases and events under it.
+pub fn merge_observed(
+    sets: &[WeightedSet],
+    cfg: &KMeansConfig,
+    mode: MergeMode,
+    merge_restarts: usize,
+    rec: Option<&Recorder>,
+) -> Result<MergeOutput> {
+    let _phase = rec.and_then(|r| r.phase("merge"));
     match mode {
-        MergeMode::Collective => merge_collective(sets, cfg, merge_restarts),
-        MergeMode::Incremental => merge_incremental(sets, cfg, merge_restarts),
+        MergeMode::Collective => merge_collective_observed(sets, cfg, merge_restarts, rec),
+        MergeMode::Incremental => merge_incremental_observed(sets, cfg, merge_restarts, rec),
     }
 }
 
@@ -87,6 +102,17 @@ pub fn merge_collective(
     cfg: &KMeansConfig,
     merge_restarts: usize,
 ) -> Result<MergeOutput> {
+    merge_collective_observed(sets, cfg, merge_restarts, None)
+}
+
+/// [`merge_collective`] with observability hooks threaded into the inner
+/// weighted k-means.
+pub fn merge_collective_observed(
+    sets: &[WeightedSet],
+    cfg: &KMeansConfig,
+    merge_restarts: usize,
+    rec: Option<&Recorder>,
+) -> Result<MergeOutput> {
     cfg.validate()?;
     let started = Instant::now();
     let all = gather(sets)?;
@@ -100,7 +126,7 @@ pub fn merge_collective(
         restarts: merge_restarts.max(1),
         ..*cfg
     };
-    let out = kmeans(&all, &merge_cfg)?;
+    let out = kmeans_observed(&all, &merge_cfg, rec)?;
     Ok(MergeOutput {
         epm: out.best.sse,
         mse: out.best.mse,
@@ -119,6 +145,17 @@ pub fn merge_incremental(
     sets: &[WeightedSet],
     cfg: &KMeansConfig,
     merge_restarts: usize,
+) -> Result<MergeOutput> {
+    merge_incremental_observed(sets, cfg, merge_restarts, None)
+}
+
+/// [`merge_incremental`] with observability hooks threaded into each fold's
+/// weighted k-means.
+pub fn merge_incremental_observed(
+    sets: &[WeightedSet],
+    cfg: &KMeansConfig,
+    merge_restarts: usize,
+    rec: Option<&Recorder>,
 ) -> Result<MergeOutput> {
     cfg.validate()?;
     let started = Instant::now();
@@ -140,7 +177,7 @@ pub fn merge_incremental(
         if running.len() <= cfg.k {
             continue; // not enough material to cluster yet
         }
-        let out = kmeans(&running, &merge_cfg)?;
+        let out = kmeans_observed(&running, &merge_cfg, rec)?;
         iterations += out.total_iterations();
         converged &= out.best.converged;
         let mut next = WeightedSet::new(dim)?;

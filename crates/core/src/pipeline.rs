@@ -10,7 +10,7 @@
 use crate::config::PartialMergeConfig;
 use crate::dataset::{Dataset, PointSource};
 use crate::error::Result;
-use crate::merge::{merge, MergeOutput};
+use crate::merge::{merge, merge_observed, MergeOutput};
 use crate::partial::partial_kmeans_observed;
 use crate::seeding::derive_seed;
 use crate::slicing::slice;
@@ -131,6 +131,7 @@ pub fn partial_merge_observed(
             },
         }],
         metrics: rec.map(|r| r.registry().snapshot()).unwrap_or_default(),
+        phases: rec.map(|r| r.phase_rows()).unwrap_or_default(),
         ..RunReport::new()
     };
     Ok((res, report))
@@ -219,6 +220,7 @@ fn run(
         None => {
             let mut v = Vec::with_capacity(nonempty.len());
             for &(i, chunk) in &nonempty {
+                let _phase = rec.and_then(|r| r.phase("partial"));
                 v.push((i, partial_kmeans_observed(chunk, &chunk_cfg(cfg, i), rec)?));
             }
             v
@@ -235,6 +237,7 @@ fn run(
                 nonempty
                     .par_iter()
                     .map(|&(i, chunk)| {
+                        let _phase = rec.and_then(|r| r.phase("partial"));
                         Ok((i, partial_kmeans_observed(chunk, &chunk_cfg(cfg, i), rec)?))
                     })
                     .collect::<Result<Vec<_>>>()
@@ -245,7 +248,7 @@ fn run(
 
     let sets: Vec<crate::dataset::WeightedSet> =
         outputs.iter().map(|(_, o)| o.centroids.clone()).collect();
-    let merged = merge(&sets, &cfg.kmeans, cfg.merge_mode, cfg.merge_restarts)?;
+    let merged = merge_observed(&sets, &cfg.kmeans, cfg.merge_mode, cfg.merge_restarts, rec)?;
 
     let mut chunks = Vec::with_capacity(outputs.len());
     let mut trajectories = Vec::with_capacity(outputs.len());
@@ -398,6 +401,44 @@ mod tests {
             assert!(c.total_iterations > 0);
         }
         assert!(res.partial_cpu_time() <= res.total_elapsed);
+    }
+
+    #[test]
+    fn profiler_attachment_is_bit_identical_and_reports_phases() {
+        use pmkm_obs::profile::Profiler;
+        use std::sync::Arc;
+        let ds = three_blob_cell(50);
+        let cfg = PartialMergeConfig::paper(3, 5, 42);
+        let plain = partial_merge(&ds, &cfg).unwrap();
+        let rec = Recorder::new().with_profiler(Arc::new(Profiler::new()));
+        let (observed, report) = partial_merge_observed(&ds, &cfg, None, Some(&rec)).unwrap();
+        // Profiling must never perturb results.
+        assert_eq!(plain.merge.centroids, observed.merge.centroids);
+        assert_eq!(plain.merge.epm, observed.merge.epm);
+        assert_eq!(plain.chunks.len(), observed.chunks.len());
+        for (a, b) in plain.chunks.iter().zip(&observed.chunks) {
+            assert_eq!(a.best_mse, b.best_mse);
+            assert_eq!(a.total_iterations, b.total_iterations);
+        }
+        // The report carries the phase tree: partial nests the Lloyd
+        // phases, merge nests its own k-means run.
+        let paths: Vec<&str> = report.phases.iter().map(|p| p.path.as_str()).collect();
+        for expected in [
+            "partial",
+            "partial/seed",
+            "partial/assign",
+            "partial/update",
+            "partial/converge",
+            "merge",
+            "merge/seed",
+            "merge/assign",
+        ] {
+            assert!(paths.contains(&expected), "missing phase {expected} in {paths:?}");
+        }
+        for p in &report.phases {
+            assert!(p.self_us <= p.total_us, "{}: self > total", p.path);
+            assert!(p.calls > 0, "{}: zero calls", p.path);
+        }
     }
 
     #[test]

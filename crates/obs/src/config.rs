@@ -1,0 +1,59 @@
+//! Tunable observability knobs, previously hard-coded constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Default capacity of the in-memory trace ring buffer.
+pub const DEFAULT_TRACE_RING_CAPACITY: usize = 8192;
+
+/// Default queue-depth sampling interval: observe the depth histogram on
+/// every successful send.
+pub const DEFAULT_QUEUE_DEPTH_SAMPLE_INTERVAL: u64 = 1;
+
+/// Configuration for the observability layer.
+///
+/// Carried by a `Recorder`; consumers (the stream executor's smart queues,
+/// CLI sink construction) read the knobs from there. The defaults reproduce
+/// the previous hard-coded behaviour exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Capacity of in-memory trace ring buffers built from this config.
+    pub trace_ring_capacity: usize,
+    /// Sample the queue-depth histogram on every Nth successful send
+    /// (1 = every send). Values below 1 are treated as 1.
+    pub queue_depth_sample_interval: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            trace_ring_capacity: DEFAULT_TRACE_RING_CAPACITY,
+            queue_depth_sample_interval: DEFAULT_QUEUE_DEPTH_SAMPLE_INTERVAL,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// The depth-sampling interval, clamped to at least 1.
+    pub fn depth_sample_interval(&self) -> u64 {
+        self.queue_depth_sample_interval.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_preserve_previous_behaviour() {
+        let cfg = ObsConfig::default();
+        assert_eq!(cfg.trace_ring_capacity, 8192);
+        assert_eq!(cfg.queue_depth_sample_interval, 1);
+        assert_eq!(cfg.depth_sample_interval(), 1);
+    }
+
+    #[test]
+    fn zero_interval_clamps_to_one() {
+        let cfg = ObsConfig { queue_depth_sample_interval: 0, ..ObsConfig::default() };
+        assert_eq!(cfg.depth_sample_interval(), 1);
+    }
+}

@@ -11,6 +11,13 @@
 //!    file writer).
 //! 3. [`report`] — plain-data [`RunReport`] types (serde round-trippable)
 //!    that the pipeline and the stream engine fill in per run.
+//! 4. [`profile`] — a hierarchical span [`Profiler`] aggregating nested
+//!    timed phases (scan → partial{seed, assign, update, converge} → merge)
+//!    with self/child attribution and folded-stack flamegraph export.
+//! 5. [`serve`] — a dependency-light HTTP [`MetricsServer`] exposing
+//!    `/metrics`, `/report.json`, and `/healthz` on a background thread.
+//! 6. [`config`] — [`ObsConfig`] knobs (trace ring capacity, queue-depth
+//!    sampling interval) carried by the [`Recorder`].
 //!
 //! The instrumented code paths in `pmkm-core` and `pmkm-stream` thread an
 //! `Option<&Recorder>` through; `None` keeps the hooks zero-cost (no
@@ -32,13 +39,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod config;
 pub mod metrics;
+pub mod profile;
 pub mod report;
+pub mod serve;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use config::ObsConfig;
+pub use metrics::{escape_label_value, Counter, Gauge, Histogram, Registry};
+pub use profile::{ManualClock, MonotonicClock, PhaseGuard, Profiler, ProfilerClock};
 pub use report::{
     CellReport, ChunkReport, CounterSample, GaugeSample, HistogramSample, HistogramSnapshot,
-    MergeReport, MetricsSnapshot, OperatorReport, QueueReport, RunReport,
+    MergeReport, MetricsSnapshot, OperatorReport, PhaseReport, QueueReport, RunReport,
 };
+pub use serve::MetricsServer;
 pub use trace::{Event, FieldValue, JsonlSink, Recorder, RingBufferSink, Span, TraceSink};

@@ -203,7 +203,8 @@ impl Registry {
     }
 
     /// Renders every instrument in the Prometheus text exposition format
-    /// (counters, gauges, and cumulative histogram buckets).
+    /// (counters, gauges, and cumulative histogram buckets). An empty
+    /// registry renders the empty string.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, c) in self.counters.lock().iter() {
@@ -220,20 +221,32 @@ impl Registry {
             let mut cumulative = 0u64;
             for (i, &count) in snap.counts.iter().enumerate() {
                 cumulative += count;
-                match snap.bounds.get(i) {
-                    Some(bound) => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
-                    }
-                    None => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-                    }
-                }
+                let le = match snap.bounds.get(i) {
+                    Some(bound) => escape_label_value(&bound.to_string()),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
             }
             let _ = writeln!(out, "{name}_sum {}", snap.sum);
             let _ = writeln!(out, "{name}_count {}", snap.count);
         }
         out
     }
+}
+
+/// Escapes a Prometheus label *value*: backslash, double quote, and newline
+/// must be backslash-escaped per the text exposition format.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -314,6 +327,45 @@ mod tests {
         assert!(text.contains("latency_bucket{le=\"5\"} 1"));
         assert!(text.contains("latency_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("latency_count 1"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_string() {
+        assert_eq!(Registry::new().render_prometheus(), "");
+    }
+
+    #[test]
+    fn zero_observation_histogram_renders_all_buckets() {
+        let r = Registry::new();
+        r.histogram("idle", &[1.0, 2.0]);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE idle histogram"));
+        assert!(text.contains("idle_bucket{le=\"1\"} 0"));
+        assert!(text.contains("idle_bucket{le=\"2\"} 0"));
+        assert!(text.contains("idle_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("idle_sum 0"));
+        assert!(text.contains("idle_count 0"));
+    }
+
+    #[test]
+    fn inf_bucket_is_cumulative_total() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[1.0]);
+        h.observe(0.5);
+        h.observe(100.0);
+        h.observe(200.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn label_value_escaping() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
     }
 
     // Property: however the observations fall, every one lands in exactly

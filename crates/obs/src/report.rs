@@ -8,7 +8,10 @@ use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Schema version stamped into every [`RunReport`].
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `phases` breakdown (absent/empty in v1 reports; parsing v1
+/// documents still works via `#[serde(default)]`).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A plain-data copy of a histogram's state.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -59,6 +62,22 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<GaugeSample>,
     /// All histograms.
     pub histograms: Vec<HistogramSample>,
+}
+
+/// One aggregated row of the span profiler's phase tree.
+///
+/// Produced by `Profiler::phase_rows`; totals are summed across threads, so
+/// on multi-clone runs `total_us` can exceed wall-clock time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// `/`-joined span path, e.g. `"partial/assign"`.
+    pub path: String,
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Total wall time inside the span, including children (µs).
+    pub total_us: u64,
+    /// Wall time not attributed to any child span (µs).
+    pub self_us: u64,
 }
 
 /// Per-operator-clone accounting with a busy-vs-blocked split.
@@ -168,6 +187,10 @@ pub struct RunReport {
     pub queues: Vec<QueueReport>,
     /// Snapshot of the recorder's metrics registry.
     pub metrics: MetricsSnapshot,
+    /// Span-profiler phase breakdown (empty when no profiler was attached;
+    /// absent in schema v1 documents).
+    #[serde(default)]
+    pub phases: Vec<PhaseReport>,
 }
 
 impl RunReport {
@@ -180,6 +203,7 @@ impl RunReport {
             operators: Vec::new(),
             queues: Vec::new(),
             metrics: MetricsSnapshot::default(),
+            phases: Vec::new(),
         }
     }
 
@@ -262,7 +286,27 @@ mod tests {
                     },
                 }],
             },
+            phases: vec![PhaseReport {
+                path: "partial/assign".into(),
+                calls: 7,
+                total_us: 400,
+                self_us: 350,
+            }],
         }
+    }
+
+    #[test]
+    fn v1_report_without_phases_still_parses() {
+        let mut report = sample_report();
+        report.phases.clear();
+        report.schema_version = 1;
+        // A v1 document has no "phases" key at all.
+        let json = serde_json::to_string(&report).unwrap().replace(",\"phases\":[]", "");
+        assert!(!json.contains("phases"), "surgery failed: {json}");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert!(back.phases.is_empty());
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Dependency-light HTTP exporter for live pipeline telemetry.
+//!
+//! [`MetricsServer`] binds a `std::net::TcpListener` and answers three
+//! routes with a small hand-rolled HTTP/1.1 responder — no async runtime,
+//! no HTTP crate:
+//!
+//! * `GET /metrics` — the recorder's registry in Prometheus text format;
+//! * `GET /report.json` — the final [`RunReport`] once one has been
+//!   published via [`MetricsServer::set_report`], else a *live* snapshot
+//!   (elapsed time, current metrics, current profiler phases) built on the
+//!   fly, so the endpoint is useful while a run is still in flight;
+//! * `GET /healthz` — `{"status":"ok", ...}` liveness probe.
+//!
+//! Connections are handled serially on one background thread with short
+//! read/write timeouts; this is telemetry for a handful of scrapers, not a
+//! web server. Bind to port 0 to let the OS pick (tests do), then read the
+//! actual address back with [`MetricsServer::local_addr`].
+//!
+//! ```
+//! use pmkm_obs::{MetricsServer, Recorder};
+//! use std::sync::Arc;
+//!
+//! let rec = Arc::new(Recorder::new());
+//! rec.registry().counter("chunks_total").add(3);
+//! let server = MetricsServer::serve("127.0.0.1:0", rec).unwrap();
+//! let addr = server.local_addr();
+//! // ... point a browser or `curl` at http://{addr}/metrics ...
+//! server.shutdown();
+//! ```
+
+use crate::report::RunReport;
+use crate::trace::Recorder;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running telemetry HTTP server. See the [module docs](self).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    report: Arc<Mutex<Option<RunReport>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`, port 0 for OS-assigned) and
+    /// starts answering requests on a background thread.
+    pub fn serve(addr: impl ToSocketAddrs, recorder: Arc<Recorder>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let report: Arc<Mutex<Option<RunReport>>> = Arc::new(Mutex::new(None));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let report = Arc::clone(&report);
+            std::thread::Builder::new().name("pmkm-metrics-http".into()).spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // One slow or broken client must not wedge the
+                        // exporter; errors just drop the connection.
+                        let _ = handle_connection(stream, &recorder, &report);
+                    }
+                }
+            })?
+        };
+        Ok(Self { addr, stop, report, handle: Some(handle) })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Publishes the final report; `/report.json` serves it verbatim from
+    /// now on instead of building live snapshots.
+    pub fn set_report(&self, report: RunReport) {
+        *self.report.lock() = Some(report);
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("addr", &self.addr).finish()
+    }
+}
+
+/// A live `/report.json` body: no cells/operators yet, but current elapsed
+/// time, metrics, and profiler phases.
+fn live_report(recorder: &Recorder) -> RunReport {
+    let mut report = RunReport::new();
+    report.elapsed = Duration::from_micros(recorder.elapsed_us());
+    report.metrics = recorder.registry().snapshot();
+    report.phases = recorder.phase_rows();
+    report
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    recorder: &Recorder,
+    report: &Mutex<Option<RunReport>>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request = read_request_head(&mut stream)?;
+    let (status, content_type, body) = match parse_request_line(&request) {
+        Some(("GET", "/metrics")) => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            recorder.registry().render_prometheus(),
+        ),
+        Some(("GET", "/report.json")) => {
+            let body = {
+                let stored = report.lock();
+                match stored.as_ref() {
+                    Some(r) => serde_json::to_string_pretty(r),
+                    None => serde_json::to_string_pretty(&live_report(recorder)),
+                }
+            };
+            match body {
+                Ok(json) => ("200 OK", "application/json", json),
+                Err(e) => (
+                    "500 Internal Server Error",
+                    "text/plain; charset=utf-8",
+                    format!("serialization error: {e}\n"),
+                ),
+            }
+        }
+        Some(("GET", "/healthz")) => (
+            "200 OK",
+            "application/json",
+            format!("{{\"status\":\"ok\",\"uptime_us\":{}}}", recorder.elapsed_us()),
+        ),
+        Some(("GET", _)) => {
+            ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string())
+        }
+        Some((_, _)) => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        ),
+        None => ("400 Bad Request", "text/plain; charset=utf-8", "bad request\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the end of the header block (`\r\n\r\n`), EOF, or the size
+/// cap. The body, if any, is ignored — every route is a GET.
+fn read_request_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// `"GET /metrics HTTP/1.1\r\n..."` → `("GET", "/metrics")`. Query strings
+/// are stripped so `/metrics?x=1` still routes.
+fn parse_request_line(request: &str) -> Option<(&str, &str)> {
+    let line = request.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parsing() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(parse_request_line("POST / HTTP/1.1\r\n\r\n"), Some(("POST", "/")));
+        assert_eq!(
+            parse_request_line("GET /metrics?scrape=1 HTTP/1.1\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(parse_request_line(""), None);
+        assert_eq!(parse_request_line("GARBAGE"), None);
+    }
+
+    #[test]
+    fn live_report_carries_metrics_and_phases() {
+        use crate::profile::{ManualClock, Profiler};
+        let clock = Arc::new(ManualClock::new());
+        let prof = Arc::new(Profiler::with_clock(clock.clone()));
+        let rec = Recorder::new().with_profiler(prof.clone());
+        rec.registry().counter("chunks_total").add(2);
+        {
+            let _g = prof.enter("scan");
+            clock.advance_us(5);
+        }
+        let report = live_report(&rec);
+        assert_eq!(report.metrics.counters[0].name, "chunks_total");
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].path, "scan");
+    }
+}

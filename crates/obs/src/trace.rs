@@ -1,6 +1,8 @@
 //! Structured tracing: events, spans, and pluggable sinks.
 
+use crate::config::ObsConfig;
 use crate::metrics::Registry;
+use crate::profile::{PhaseGuard, Profiler};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -99,6 +101,11 @@ impl RingBufferSink {
         Self { capacity, buf: Mutex::new(VecDeque::with_capacity(capacity)) }
     }
 
+    /// A ring sized by [`ObsConfig::trace_ring_capacity`].
+    pub fn from_config(config: &ObsConfig) -> Self {
+        Self::new(config.trace_ring_capacity)
+    }
+
     /// A copy of the retained events, oldest first.
     pub fn events(&self) -> Vec<Event> {
         self.buf.lock().iter().cloned().collect()
@@ -168,6 +175,8 @@ pub struct Recorder {
     epoch: Instant,
     sinks: Vec<Arc<dyn TraceSink>>,
     registry: Registry,
+    profiler: Option<Arc<Profiler>>,
+    config: ObsConfig,
 }
 
 impl Default for Recorder {
@@ -179,13 +188,61 @@ impl Default for Recorder {
 impl Recorder {
     /// A recorder with no sinks (metrics still work; events go nowhere).
     pub fn new() -> Self {
-        Self { epoch: Instant::now(), sinks: Vec::new(), registry: Registry::new() }
+        Self {
+            epoch: Instant::now(),
+            sinks: Vec::new(),
+            registry: Registry::new(),
+            profiler: None,
+            config: ObsConfig::default(),
+        }
     }
 
     /// Adds a sink (builder style).
     pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.sinks.push(sink);
         self
+    }
+
+    /// Attaches a span profiler (builder style); [`Recorder::phase`] spans
+    /// go nowhere without one.
+    pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Replaces the observability config (builder style).
+    pub fn with_config(mut self, config: ObsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The attached span profiler, if any.
+    pub fn profiler(&self) -> Option<&Arc<Profiler>> {
+        self.profiler.as_ref()
+    }
+
+    /// The observability config (defaults unless overridden).
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    /// Opens a profiler phase span, or returns `None` when no profiler is
+    /// attached. Idiomatic call site, zero-cost without a recorder:
+    ///
+    /// ```
+    /// # use pmkm_obs::Recorder;
+    /// # fn work(rec: Option<&Recorder>) {
+    /// let _phase = rec.and_then(|r| r.phase("assign"));
+    /// // ... timed work ...
+    /// # }
+    /// ```
+    pub fn phase(&self, name: &str) -> Option<PhaseGuard<'_>> {
+        self.profiler.as_deref().map(|p| p.enter(name))
+    }
+
+    /// Phase rows from the attached profiler (empty without one).
+    pub fn phase_rows(&self) -> Vec<crate::report::PhaseReport> {
+        self.profiler.as_deref().map(|p| p.phase_rows()).unwrap_or_default()
     }
 
     /// The recorder's metrics registry.

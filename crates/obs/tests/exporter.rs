@@ -1,0 +1,122 @@
+//! End-to-end exporter tests: bind port 0, speak raw HTTP over a
+//! `TcpStream`, and check every route's status, content type, and body.
+
+use pmkm_obs::profile::{ManualClock, Profiler};
+use pmkm_obs::{MetricsServer, Recorder, RunReport};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// One raw HTTP/1.1 GET; returns (status line, headers, body).
+fn get(addr: SocketAddr, path: &str) -> (String, String, String) {
+    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: pmkm\r\nConnection: close\r\n\r\n"))
+}
+
+fn request(addr: SocketAddr, raw: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+fn header<'h>(headers: &'h str, name: &str) -> Option<&'h str> {
+    headers.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        (k.trim().eq_ignore_ascii_case(name)).then(|| v.trim())
+    })
+}
+
+#[test]
+fn exporter_serves_all_three_routes() {
+    let clock = Arc::new(ManualClock::new());
+    let prof = Arc::new(Profiler::with_clock(clock.clone()));
+    let rec = Arc::new(Recorder::new().with_profiler(prof.clone()));
+    rec.registry().counter("chunks_total").add(7);
+    rec.registry().histogram("chunk_points", &[10.0, 100.0]).observe(42.0);
+    {
+        let _g = prof.enter("partial");
+        clock.advance_us(25);
+    }
+
+    let server = MetricsServer::serve("127.0.0.1:0", Arc::clone(&rec)).expect("bind port 0");
+    let addr = server.local_addr();
+    assert_ne!(addr.port(), 0, "port 0 must resolve to a real port");
+
+    // /metrics — Prometheus text with the registered instruments.
+    let (status, headers, body) = get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(header(&headers, "content-type"), Some("text/plain; version=0.0.4; charset=utf-8"));
+    assert_eq!(
+        header(&headers, "content-length").map(|v| v.parse::<usize>().unwrap()),
+        Some(body.len())
+    );
+    assert!(body.contains("chunks_total 7"), "metrics body: {body}");
+    assert!(body.contains("chunk_points_bucket{le=\"+Inf\"} 1"), "metrics body: {body}");
+
+    // /report.json before set_report — a live snapshot with current
+    // metrics and profiler phases.
+    let (status, headers, body) = get(addr, "/report.json");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    let live: RunReport = serde_json::from_str(&body).expect("live report parses");
+    assert!(live.cells.is_empty());
+    assert_eq!(live.metrics.counters[0].name, "chunks_total");
+    assert_eq!(live.phases.len(), 1);
+    assert_eq!(live.phases[0].path, "partial");
+    assert_eq!(live.phases[0].total_us, 25);
+
+    // /healthz — parseable liveness JSON.
+    let (status, headers, body) = get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    assert!(body.contains("\"status\":\"ok\""), "healthz body: {body}");
+
+    // After set_report the stored document is served verbatim.
+    let mut done = RunReport::new();
+    done.phases = prof.phase_rows();
+    server.set_report(done.clone());
+    let (_, _, body) = get(addr, "/report.json");
+    let back: RunReport = serde_json::from_str(&body).expect("final report parses");
+    assert_eq!(back, done);
+
+    server.shutdown();
+}
+
+#[test]
+fn exporter_rejects_unknown_paths_and_methods() {
+    let rec = Arc::new(Recorder::new());
+    let server = MetricsServer::serve("127.0.0.1:0", rec).expect("bind");
+    let addr = server.local_addr();
+
+    let (status, _, _) = get(addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    let (status, _, _) =
+        request(addr, "POST /metrics HTTP/1.1\r\nHost: pmkm\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+
+    // Query strings route to the bare path.
+    let (status, _, _) = get(addr, "/healthz?probe=1");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    server.shutdown();
+}
+
+#[test]
+fn exporter_survives_shutdown_while_idle_and_frees_port_eventually() {
+    let rec = Arc::new(Recorder::new());
+    let server = MetricsServer::serve("127.0.0.1:0", Arc::clone(&rec)).expect("bind");
+    let addr = server.local_addr();
+    server.shutdown();
+    // The accept loop is gone: a fresh connection must not be answered.
+    if let Ok(mut s) = TcpStream::connect(addr) {
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let mut buf = String::new();
+        s.set_read_timeout(Some(std::time::Duration::from_millis(500))).unwrap();
+        let n = s.read_to_string(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server answered after shutdown: {buf}");
+    }
+}

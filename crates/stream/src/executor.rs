@@ -80,6 +80,7 @@ impl EngineReport {
             operators: self.op_stats.iter().map(OpStats::to_report).collect(),
             queues: self.queue_stats.iter().map(QueueStats::to_report).collect(),
             metrics: rec.map(|r| r.registry().snapshot()).unwrap_or_default(),
+            phases: rec.map(|r| r.phase_rows()).unwrap_or_default(),
             ..RunReport::new()
         }
     }
@@ -101,10 +102,15 @@ pub fn execute_observed(plan: &PhysicalPlan, rec: Option<Arc<Recorder>>) -> Resu
     plan.validate()?;
     let started = Instant::now();
     let cap = plan.queue_capacity;
-    let q_scan: SmartQueue<ScanMsg> = SmartQueue::new("scan→chunker", cap);
-    let q_chunks: SmartQueue<ChunkMsg> = SmartQueue::new("chunker→partial", cap);
-    let q_merge: SmartQueue<MergeMsg> = SmartQueue::new("partial→merge", cap);
-    let q_results: SmartQueue<CellClustering> = SmartQueue::new("merge→sink", cap);
+    let depth_every = rec.as_deref().map(|r| r.config().depth_sample_interval()).unwrap_or(1);
+    let q_scan: SmartQueue<ScanMsg> =
+        SmartQueue::new("scan→chunker", cap).with_depth_sample_interval(depth_every);
+    let q_chunks: SmartQueue<ChunkMsg> =
+        SmartQueue::new("chunker→partial", cap).with_depth_sample_interval(depth_every);
+    let q_merge: SmartQueue<MergeMsg> =
+        SmartQueue::new("partial→merge", cap).with_depth_sample_interval(depth_every);
+    let q_results: SmartQueue<CellClustering> =
+        SmartQueue::new("merge→sink", cap).with_depth_sample_interval(depth_every);
 
     // Deal input buckets round-robin over the scan clones.
     let scan_clones = plan.scan_clones.min(plan.logical.inputs.len()).max(1);
@@ -359,7 +365,7 @@ mod tests {
 
     #[test]
     fn observed_run_matches_unobserved_and_builds_run_report() {
-        use pmkm_obs::RingBufferSink;
+        use pmkm_obs::{Profiler, RingBufferSink};
         let dir = tmpdir("observed");
         let paths = vec![write_cell(&dir, 6, 250, 17), write_cell(&dir, 7, 90, 17)];
         let mk_plan = || {
@@ -375,7 +381,9 @@ mod tests {
         let plain = execute(&mk_plan()).unwrap();
 
         let ring = Arc::new(RingBufferSink::new(4096));
-        let rec = Arc::new(Recorder::new().with_sink(ring.clone()));
+        let rec = Arc::new(
+            Recorder::new().with_sink(ring.clone()).with_profiler(Arc::new(Profiler::new())),
+        );
         let observed = execute_observed(&mk_plan(), Some(rec.clone())).unwrap();
 
         // Observation must not change the results.
@@ -402,6 +410,15 @@ mod tests {
             assert_eq!(bucketed, q.sends, "queue {}", q.name);
         }
         assert!(!report.metrics.counters.is_empty());
+        // Every operator contributed spans, and the partial spans nest the
+        // shared k-means phases beneath them.
+        let paths_seen: Vec<&str> = report.phases.iter().map(|p| p.path.as_str()).collect();
+        for expect in ["scan", "chunk", "partial", "partial/seed", "partial/assign", "merge"] {
+            assert!(paths_seen.contains(&expect), "missing phase {expect}: {paths_seen:?}");
+        }
+        for p in &report.phases {
+            assert!(p.self_us <= p.total_us, "phase {}", p.path);
+        }
         // The report round-trips losslessly through JSON.
         let json = serde_json::to_string(&report).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();

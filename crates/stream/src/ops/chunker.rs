@@ -91,6 +91,8 @@ impl ChunkerOp {
         let mut cells: HashMap<GridCell, CellState> = HashMap::new();
         while let Some(msg) = meter.wait(|| self.input.recv()) {
             meter.item_in();
+            // Span covers message processing only, never the recv wait above.
+            let _phase = self.recorder.as_deref().and_then(|r| r.phase("chunk"));
             match msg {
                 ScanMsg::Batch { cell, points } => {
                     if points.is_empty() {

@@ -10,7 +10,7 @@ use crate::error::{EngineError, Result};
 use crate::item::{CellClustering, MergeMsg};
 use crate::queue::{QueueConsumer, QueueProducer};
 use crate::telemetry::{OpMeter, OpStats};
-use pmkm_core::merge::merge;
+use pmkm_core::merge::merge_observed;
 use pmkm_core::partial::PartialOutput;
 use pmkm_core::pipeline::ChunkStats;
 use pmkm_core::{KMeansConfig, MergeMode, WeightedSet};
@@ -128,7 +128,13 @@ impl MergeKMeansOp {
     fn merge_cell(&self, cell: GridCell, progress: CellProgress) -> Result<CellClustering> {
         let sets: Vec<WeightedSet> =
             progress.partials.values().map(|p| p.centroids.clone()).collect();
-        let output = merge(&sets, &self.kmeans, self.mode, self.merge_restarts)?;
+        let output = merge_observed(
+            &sets,
+            &self.kmeans,
+            self.mode,
+            self.merge_restarts,
+            self.recorder.as_deref(),
+        )?;
         let mut chunks = Vec::with_capacity(progress.partials.len());
         let mut trajectories = Vec::with_capacity(progress.partials.len());
         for (chunk_id, p) in progress.partials {

@@ -62,7 +62,10 @@ impl PartialKMeansOp {
                 seed: chunk_seed(self.kmeans.seed, cell.index(), chunk_id),
                 ..self.kmeans
             };
-            let output = meter.work(|| partial_kmeans_observed(&points, &cfg, rec))?;
+            let output = {
+                let _phase = rec.and_then(|r| r.phase("partial"));
+                meter.work(|| partial_kmeans_observed(&points, &cfg, rec))?
+            };
             meter.item_out();
             meter
                 .wait(|| self.out.send(MergeMsg::Partial { cell, chunk_id, output }).map_err(drop))

@@ -36,6 +36,7 @@ impl ScanOp {
     pub fn run(self) -> Result<OpStats> {
         let mut meter = OpMeter::new("scan", 0);
         for path in &self.paths {
+            let _phase = self.recorder.as_deref().and_then(|r| r.phase("scan"));
             let mut reader = meter.work(|| BucketReader::open(path))?;
             let cell = reader.cell;
             loop {

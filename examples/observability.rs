@@ -6,7 +6,12 @@
 //! * a **metrics registry** (counters / gauges / histograms, renderable as
 //!   Prometheus text),
 //! * a **RunReport** (one JSON document per run: per-chunk MSE
-//!   trajectories, per-clone busy/blocked split, queue-depth histograms).
+//!   trajectories, per-clone busy/blocked split, queue-depth histograms,
+//!   span-profiler phase breakdown),
+//!
+//! plus the two live surfaces added in PR 3: the **span profiler** (folded
+//! stacks for flamegraphs) and the **HTTP exporter** (`/metrics`,
+//! `/report.json`, `/healthz`).
 //!
 //! ```sh
 //! cargo run --release --example observability
@@ -14,7 +19,7 @@
 
 use pmkm_core::{partial_merge_observed, KMeansConfig, PartialMergeConfig, PartitionSpec};
 use pmkm_data::{CellConfig, GridBucket, GridCell};
-use pmkm_obs::{JsonlSink, Recorder, RingBufferSink};
+use pmkm_obs::{JsonlSink, MetricsServer, Profiler, Recorder, RingBufferSink};
 use pmkm_stream::prelude::*;
 use std::sync::Arc;
 
@@ -30,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rec = Arc::new(
         Recorder::new()
             .with_sink(ring.clone())
-            .with_sink(Arc::new(JsonlSink::create(&trace_path)?)),
+            .with_sink(Arc::new(JsonlSink::create(&trace_path)?))
+            .with_profiler(Arc::new(Profiler::new())),
     );
 
     // ── 1. Observed in-memory partial/merge ────────────────────────────
@@ -112,6 +118,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in prom.lines().filter(|l| l.contains("lloyd_iterations") || l.contains("partial_")) {
         println!("  {line}");
     }
+
+    // ── 4. Span profiler: phase tree + folded stacks ───────────────────
+    // Both runs above fed the same profiler; `phases` is the aggregated
+    // tree (total vs self time), `folded()` is inferno-flamegraph input:
+    //   cargo run --release --example observability  # then pipe folded
+    //   lines into inferno-flamegraph > flame.svg
+    println!("\nphase breakdown (total µs / self µs / calls):");
+    for p in &engine_report.phases {
+        println!("  {:<24} {:>10} {:>10} {:>7}", p.path, p.total_us, p.self_us, p.calls);
+    }
+    let folded = rec.profiler().expect("profiler attached").folded();
+    println!("folded stacks: {} lines (flamegraph-ready)", folded.lines().count());
+
+    // ── 5. HTTP exporter: scrape the run we just recorded ──────────────
+    let server = MetricsServer::serve("127.0.0.1:0", rec.clone())?;
+    server.set_report(engine_report);
+    let addr = server.local_addr();
+    println!("\nexporter at http://{addr}:");
+    for path in ["/healthz", "/metrics", "/report.json"] {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr)?;
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        let status = response.lines().next().unwrap_or_default();
+        println!("  GET {path:<13} -> {status} ({} bytes)", response.len());
+        assert!(status.contains("200 OK"), "exporter probe failed: {status}");
+    }
+    server.shutdown();
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

@@ -5,8 +5,12 @@
 //! skipped, the field/variant shape is extracted, and the impl is emitted
 //! as source text and re-parsed. Supported shapes are exactly what the
 //! workspace uses: non-generic named-field structs, unit structs, tuple
-//! structs, and enums with unit / tuple / struct variants. `#[serde(...)]`
-//! attributes are not supported (none exist in this workspace).
+//! structs, and enums with unit / tuple / struct variants. The only
+//! `#[serde(...)]` attribute understood is `#[serde(default)]` on a named
+//! field, which substitutes `Default::default()` when the key is absent
+//! (or explicitly `null`); other attributes are rejected by rustc because
+//! only `serde` is registered as a helper attribute, and unknown *contents*
+//! of `#[serde(...)]` are ignored here.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write;
@@ -21,8 +25,15 @@ struct Item {
 enum ItemKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+/// One named field and whether it carries `#[serde(default)]`.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -35,7 +46,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 fn is_punct(tok: &TokenTree, ch: char) -> bool {
@@ -44,6 +55,48 @@ fn is_punct(tok: &TokenTree, ch: char) -> bool {
 
 fn is_ident(tok: &TokenTree, word: &str) -> bool {
     matches!(tok, TokenTree::Ident(id) if id.to_string() == word)
+}
+
+/// True when the attribute group token (`[...]` after `#`) is
+/// `[serde(default)]` (possibly among other comma-separated words).
+fn is_serde_default_attr(tok: &TokenTree) -> bool {
+    let TokenTree::Group(outer) = tok else { return false };
+    if outer.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let inner: Vec<TokenTree> = outer.stream().into_iter().collect();
+    if inner.len() != 2 || !is_ident(&inner[0], "serde") {
+        return false;
+    }
+    match &inner[1] {
+        TokenTree::Group(args) if args.delimiter() == Delimiter::Parenthesis => {
+            args.stream().into_iter().any(|t| is_ident(&t, "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility,
+/// reporting whether a `#[serde(default)]` attribute was skipped.
+fn skip_meta_flagged(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            if let Some(attr) = toks.get(i + 1) {
+                default |= is_serde_default_attr(attr);
+            }
+            i += 2; // '#' then the bracket group
+        } else if i < toks.len() && is_ident(&toks[i], "pub") {
+            i += 1;
+            if i < toks.len()
+                && matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else {
+            return (i, default);
+        }
+    }
 }
 
 /// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
@@ -91,13 +144,15 @@ fn count_tuple_fields(group: TokenStream) -> usize {
     fields
 }
 
-/// Parses `name: Type,` sequences, returning the field names in order.
-fn parse_named_fields(group: TokenStream) -> Vec<String> {
+/// Parses `name: Type,` sequences, returning the fields in order with
+/// their `#[serde(default)]` markers.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
     let toks: Vec<TokenTree> = group.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
-        i = skip_meta(&toks, i);
+        let (next, default) = skip_meta_flagged(&toks, i);
+        i = next;
         if i >= toks.len() {
             break;
         }
@@ -123,7 +178,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -207,7 +262,7 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, kind }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
@@ -231,6 +286,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         ItemKind::Named(fields) => {
             let _ = write!(out, "serde::Value::Map(vec![");
             for f in fields {
+                let f = &f.name;
                 let _ =
                     write!(out, "(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})),");
             }
@@ -268,13 +324,14 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         let _ = write!(out, "]))]),");
                     }
                     VariantKind::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let _ = write!(
                             out,
                             "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(String::from(\"{vn}\"), \
                              serde::Value::Map(vec![",
-                            fields.join(", ")
+                            binders.join(", ")
                         );
-                        for f in fields {
+                        for f in &binders {
                             let _ = write!(
                                 out,
                                 "(String::from(\"{f}\"), serde::Serialize::to_value({f})),"
@@ -291,7 +348,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("serde_derive shim: generated Serialize impl did not parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
@@ -321,10 +378,22 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         ItemKind::Named(fields) => {
             let _ = write!(out, "Ok({name} {{ ");
             for f in fields {
-                let _ = write!(
-                    out,
-                    "{f}: serde::Deserialize::from_value(serde::__field(__v, \"{name}\", \"{f}\")?)?,"
-                );
+                let (f, default) = (&f.name, f.default);
+                if default {
+                    // Absent key reads as `Value::Null`; substitute the
+                    // type's `Default` instead of failing.
+                    let _ = write!(
+                        out,
+                        "{f}: match serde::__field(__v, \"{name}\", \"{f}\")? {{ \
+                         serde::Value::Null => ::std::default::Default::default(), \
+                         __fv => serde::Deserialize::from_value(__fv)?, }},"
+                    );
+                } else {
+                    let _ = write!(
+                        out,
+                        "{f}: serde::Deserialize::from_value(serde::__field(__v, \"{name}\", \"{f}\")?)?,"
+                    );
+                }
             }
             let _ = write!(out, "}})");
         }
@@ -374,10 +443,20 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     VariantKind::Named(fields) => {
                         let _ = write!(out, "\"{vn}\" => Ok({name}::{vn} {{ ");
                         for f in fields {
-                            let _ = write!(
-                                out,
-                                "{f}: serde::Deserialize::from_value(serde::__field(__iv, \"{name}::{vn}\", \"{f}\")?)?,"
-                            );
+                            let (f, default) = (&f.name, f.default);
+                            if default {
+                                let _ = write!(
+                                    out,
+                                    "{f}: match serde::__field(__iv, \"{name}::{vn}\", \"{f}\")? {{ \
+                                     serde::Value::Null => ::std::default::Default::default(), \
+                                     __fv => serde::Deserialize::from_value(__fv)?, }},"
+                                );
+                            } else {
+                                let _ = write!(
+                                    out,
+                                    "{f}: serde::Deserialize::from_value(serde::__field(__iv, \"{name}::{vn}\", \"{f}\")?)?,"
+                                );
+                            }
                         }
                         let _ = write!(out, "}}),");
                     }
