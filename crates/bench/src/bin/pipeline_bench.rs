@@ -2,10 +2,12 @@
 //! pipeline (PR 3 acceptance artifact).
 //!
 //! Runs the fig. 6-style workload (one MISR-like 6-D cell, k = 40) through
-//! every {serial, N-clone} × {scalar, fused} configuration, recording
-//! throughput (points/s), per-phase wall times, `E_pm`, and the span
-//! profiler's phase breakdown + measured overhead into
-//! `BENCH_pipeline.json` at the repository root.
+//! every {serial, N-clone} × {scalar, pruned_scalar, elkan, fused}
+//! configuration of the in-process `partial_merge` path, plus the full
+//! stream engine (`execute_observed` over an on-disk bucket, scalar and
+//! fused kernels), recording throughput (points/s), per-phase wall times,
+//! `E_pm`, and the span profiler's phase breakdown + measured overhead
+//! into `BENCH_pipeline.json` at the repository root.
 //!
 //! Flags:
 //! - `--quick`            small workload for CI smoke tests
@@ -21,13 +23,14 @@ use pmkm_core::{
     partial_merge, partial_merge_observed, partial_merge_with_workers, Dataset, KMeansConfig,
     KernelKind, PartialMergeConfig, PartitionSpec,
 };
-use pmkm_data::CellConfig;
+use pmkm_data::{CellConfig, GridBucket, GridCell};
 use pmkm_obs::{PhaseReport, Profiler, Recorder};
+use pmkm_stream::{execute, execute_observed, optimize_fixed_split, LogicalPlan, Resources};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
 
-const SCHEMA_VERSION: u32 = 1;
+const SCHEMA_VERSION: u32 = 2;
 const SEED: u64 = 42;
 const K: usize = 40;
 const PARTITIONS: usize = 10;
@@ -181,6 +184,69 @@ fn bench_config(cell: &Dataset, params: &Params, workers: usize, kernel: KernelK
     }
 }
 
+/// Benchmarks the full stream engine — scan from an on-disk bucket through
+/// chunker, cloned partial workers, and merge — via `execute_observed`.
+/// Chunk boundaries differ from `partial_merge`'s partitioning, so these
+/// rows carry their own `E_pm` and are excluded from the cross-config
+/// equality check.
+fn bench_stream(cell: &Dataset, params: &Params, workers: usize, kernel: KernelKind) -> Row {
+    let dir = std::env::temp_dir().join(format!("pmkm_pipeline_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let gcell = GridCell::new(0, 0).expect("grid cell");
+    let path = dir.join(gcell.bucket_file_name());
+    GridBucket { cell: gcell, points: cell.clone() }.write_to(&path).expect("write bucket");
+
+    let mut kmeans =
+        KMeansConfig { restarts: params.restarts, ..KMeansConfig::paper(params.k, params.seed) };
+    kmeans.lloyd.kernel = kernel;
+    let logical = LogicalPlan::new(vec![path.clone()], kmeans);
+    let plan = optimize_fixed_split(
+        logical,
+        &Resources::fixed(1 << 30, workers),
+        params.n.div_ceil(params.partitions),
+    );
+
+    let mut samples = Vec::with_capacity(params.reps);
+    let mut last = None;
+    for _ in 0..params.reps {
+        let t = Instant::now();
+        let report = execute(&plan).expect("stream engine run");
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(report);
+    }
+    let report = last.expect("reps >= 1");
+    let total_ms = median(samples);
+    assert_eq!(report.cells.len(), 1, "one bucket in, one clustering out");
+    assert!(!report.degraded, "fault-free bench run must not be degraded");
+
+    let rec = Arc::new(Recorder::new().with_profiler(Arc::new(Profiler::new())));
+    let t = Instant::now();
+    let observed = execute_observed(&plan, Some(Arc::clone(&rec))).expect("observed engine run");
+    let profiled_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        observed.cells[0].output.centroids, report.cells[0].output.centroids,
+        "observation must not change stream-engine results ({workers} workers, {kernel:?})"
+    );
+
+    let phases = rec.phase_rows();
+    let phase_ms = |name: &str| {
+        phases.iter().find(|p| p.path == name).map_or(0.0, |p| p.total_us as f64 / 1e3)
+    };
+    let _ = std::fs::remove_file(&path);
+    Row {
+        config: format!("stream{workers}/{}", kernel.label()),
+        workers,
+        kernel: kernel.label().to_string(),
+        total_ms,
+        partial_ms: phase_ms("partial"),
+        merge_ms: phase_ms("merge"),
+        points_per_sec: params.n as f64 / (total_ms / 1e3),
+        epm: report.cells[0].output.epm,
+        profiler_overhead_pct: (profiled_ms - total_ms) / total_ms * 100.0,
+        phases,
+    }
+}
+
 fn compare_against_baseline(report: &Report, path: &str) -> ! {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("pipeline_bench: cannot read baseline {path}: {e}");
@@ -237,15 +303,29 @@ fn main() {
 
     let mut rows = Vec::new();
     for workers in [0, CLONES] {
-        for kernel in [KernelKind::Scalar, KernelKind::Fused] {
+        for kernel in
+            [KernelKind::Scalar, KernelKind::PrunedScalar, KernelKind::Elkan, KernelKind::Fused]
+        {
             rows.push(bench_config(&cell, &params, workers, kernel));
         }
     }
-    // Clone count must never change results (per-chunk seeds).
-    for kernel in ["scalar", "fused"] {
+    // Clone count must never change results (per-chunk seeds). Stream-engine
+    // rows chunk the cell differently and are checked separately below.
+    for kernel in ["scalar", "pruned_scalar", "elkan", "fused"] {
         let epms: Vec<f64> = rows.iter().filter(|r| r.kernel == kernel).map(|r| r.epm).collect();
         assert!(epms.windows(2).all(|w| w[0] == w[1]), "E_pm varies with clones: {epms:?}");
     }
+
+    // The full stream engine over an on-disk bucket (execute/execute_observed).
+    for kernel in [KernelKind::Scalar, KernelKind::Fused] {
+        rows.push(bench_stream(&cell, &params, CLONES, kernel));
+    }
+    let stream_epms: Vec<f64> =
+        rows.iter().filter(|r| r.config.starts_with("stream")).map(|r| r.epm).collect();
+    assert!(
+        stream_epms.iter().all(|e| e.is_finite() && *e > 0.0),
+        "stream-engine E_pm must be finite and positive: {stream_epms:?}"
+    );
 
     if opts.simulate_regression > 0.0 {
         println!("[simulating a {:.0}% throughput regression]", opts.simulate_regression * 100.0);

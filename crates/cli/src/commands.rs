@@ -80,14 +80,21 @@ COMMANDS
             Print each bucket's header and per-dimension statistics.
   cluster   [--k=40] [--restarts=10] [--seed=0] [--splits=P | --memory=BYTES]
             [--workers=N] [--kernel=auto] [--adaptive] [--incremental]
+            [--tolerant] [--chaos=LEVEL:SEED]
             [--metrics-out=REPORT.json] [--trace=TRACE.jsonl]
             [--serve=ADDR] [--folded=STACKS.txt] <bucket files…>
             Cluster each bucket with partial/merge k-means on the stream
             engine; prints centroids summary and operator telemetry.
             --kernel picks the assignment strategy (auto, scalar,
-            pruned_scalar, fused, elkan); --metrics-out writes a structured
-            RunReport (JSON); --trace streams structured events as JSON
-            lines; --serve exposes /metrics, /report.json and /healthz over
+            pruned_scalar, fused, elkan); --tolerant enables the
+            fault-tolerant policy (scan retries, poison quarantine,
+            degraded merge with lost-mass accounting) instead of the
+            strict fail-fast default; --chaos injects a seeded fault
+            schedule (light:SEED or heavy:SEED) for chaos drills —
+            combine with --tolerant to watch the engine degrade instead
+            of erroring; --metrics-out writes a structured RunReport
+            (JSON); --trace streams structured events as JSON lines;
+            --serve exposes /metrics, /report.json and /healthz over
             HTTP for the duration of the run; --folded writes the span
             profiler's folded stacks (pipe into inferno-flamegraph for an
             SVG flamegraph).
@@ -190,6 +197,8 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "trace",
         "serve",
         "folded",
+        "tolerant",
+        "chaos",
     ])?;
     let paths: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
     if paths.is_empty() {
@@ -216,7 +225,28 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     } else {
         Resources::detect()
     };
-    let plan = match args.get::<usize>("splits", 0)? {
+    let chaos = args.get_str("chaos", "");
+    let fault_plan = if chaos.is_empty() {
+        None
+    } else {
+        let (level, seed) = chaos.split_once(':').ok_or_else(|| {
+            CliError::Run(format!(
+                "cluster: --chaos takes LEVEL:SEED (e.g. light:11), got '{chaos}'"
+            ))
+        })?;
+        let seed: u64 =
+            seed.parse().map_err(|_| CliError::Run(format!("cluster: bad chaos seed '{seed}'")))?;
+        Some(match level {
+            "light" => pmkm_stream::FaultPlan::light(seed),
+            "heavy" => pmkm_stream::FaultPlan::heavy(seed),
+            other => {
+                return Err(CliError::Run(format!(
+                    "cluster: unknown chaos level '{other}' (light, heavy)"
+                )))
+            }
+        })
+    };
+    let mut plan = match args.get::<usize>("splits", 0)? {
         0 => {
             let memory = args.get("memory", resources.chunk_memory_bytes)?;
             optimize(logical, &Resources { chunk_memory_bytes: memory, ..resources })
@@ -236,6 +266,9 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             optimize_fixed_split(logical, &resources, max_points.div_ceil(splits).max(1))
         }
     };
+    if args.flag("tolerant") {
+        plan.fault_policy = pmkm_stream::FaultPolicy::tolerant();
+    }
     let metrics_out = args.get_str("metrics-out", "");
     let trace_out = args.get_str("trace", "");
     let serve_addr = args.get_str("serve", "");
@@ -269,7 +302,13 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         Some(server)
     };
     let report = if args.flag("adaptive") {
-        let adaptive = pmkm_stream::execute_adaptive(&plan).map_err(run_err)?;
+        if fault_plan.is_some() {
+            return Err(CliError::Run(
+                "cluster: --chaos targets the static executor; drop --adaptive".into(),
+            ));
+        }
+        let adaptive =
+            pmkm_stream::execute_adaptive_observed(&plan, recorder.clone()).map_err(run_err)?;
         writeln!(
             out,
             "adaptive execution: {} partial clones started ({} scale-ups)",
@@ -279,7 +318,7 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         .map_err(run_err)?;
         adaptive.report
     } else {
-        pmkm_stream::execute_observed(&plan, recorder.clone()).map_err(run_err)?
+        pmkm_stream::execute_with_faults(&plan, recorder.clone(), fault_plan).map_err(run_err)?
     };
     writeln!(
         out,
@@ -290,14 +329,39 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     .map_err(run_err)?;
     for cell in &report.cells {
         let weight: f64 = cell.output.cluster_weights.iter().sum();
+        let degraded = if cell.degraded {
+            format!(
+                " [degraded: lost {} points in {} chunk(s)]",
+                cell.lost_points, cell.lost_chunks
+            )
+        } else {
+            String::new()
+        };
         writeln!(
             out,
-            "  cell {}: {} chunks, {} centroids, E_pm {:.1}, {} points",
+            "  cell {}: {} chunks, {} centroids, E_pm {:.1}, {} points{degraded}",
             cell.cell.index(),
             cell.chunks.len(),
             cell.output.centroids.k(),
             cell.output.epm,
             weight as u64
+        )
+        .map_err(run_err)?;
+    }
+    if report.faults.any() {
+        let f = &report.faults;
+        writeln!(
+            out,
+            "  [faults] scan retries {}, scan failures {}, poisoned {}, quarantined {}, \
+             worker panics {}, chunk retries {}, stalls {}, degraded cells {}",
+            f.scan_retries,
+            f.scan_failures,
+            f.chunks_poisoned,
+            f.chunks_quarantined,
+            f.worker_panics,
+            f.chunk_retries,
+            f.queue_stalls,
+            f.cells_degraded
         )
         .map_err(run_err)?;
     }
@@ -739,6 +803,72 @@ mod tests {
         let report: pmkm_obs::RunReport = serde_json::from_str(&text).unwrap();
         assert!(report.phases.iter().any(|p| p.path == "partial"), "{:?}", report.phases);
         assert!(report.phases.iter().any(|p| p.path == "merge"), "{:?}", report.phases);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_chaos_flags_inject_and_degrade_deterministically() {
+        let dir = tmp("chaos");
+        let cell = pmkm_data::GridCell::new(5, 5).unwrap();
+        let mut points = pmkm_core::Dataset::new(2).unwrap();
+        for i in 0..200 {
+            let blob = if i % 2 == 0 { 0.0 } else { 40.0 };
+            points.push(&[blob + (i % 7) as f64 * 0.1, blob + (i % 5) as f64 * 0.1]).unwrap();
+        }
+        let bucket = dir.join(cell.bucket_file_name());
+        GridBucket { cell, points }.write_to(&bucket).unwrap();
+        let path = bucket.display().to_string();
+
+        // Chunk faults are keyed by (cell, chunk_id), independent of the
+        // temp path, so a seed whose schedule corrupts at least one of the
+        // four chunks can be found deterministically.
+        let seed = (0..500u64)
+            .find(|&s| {
+                let plan = pmkm_stream::FaultPlan::heavy(s);
+                (0..4).any(|c| plan.chunk_fault(cell.index(), c).is_some())
+            })
+            .expect("some seed corrupts a chunk");
+        let base = vec!["--k=2".into(), "--restarts=2".into(), "--splits=4".into()];
+
+        // Strict policy (the default): the injected corruption is an error,
+        // never a silently wrong clustering.
+        let mut argv = base.clone();
+        argv.push(format!("--chaos=heavy:{seed}"));
+        argv.push(path.clone());
+        assert!(matches!(run("cluster", &argv), Err(CliError::Run(_))));
+
+        // Tolerant policy: the run completes, reports the fault counters,
+        // and flags the degradation in the RunReport.
+        let report_path = dir.join("chaos_report.json");
+        let mut argv = base.clone();
+        argv.push(format!("--chaos=heavy:{seed}"));
+        argv.push("--tolerant".into());
+        argv.push(format!("--metrics-out={}", report_path.display()));
+        argv.push(path.clone());
+        let out = run("cluster", &argv).unwrap();
+        assert!(out.contains("clustered"), "{out}");
+        assert!(out.contains("[faults]"), "{out}");
+        let report: pmkm_obs::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        assert!(report.degraded, "chaos run must flag degradation");
+        assert!(report.faults.any(), "fault counters must reach the report");
+
+        // Malformed chaos specs and the unsupported adaptive combination
+        // fail with usage errors.
+        let mut argv = base.clone();
+        argv.push("--chaos=heavy".into());
+        argv.push(path.clone());
+        assert!(matches!(run("cluster", &argv), Err(CliError::Run(_))));
+        let mut argv = base.clone();
+        argv.push("--chaos=cosmic:1".into());
+        argv.push(path.clone());
+        assert!(matches!(run("cluster", &argv), Err(CliError::Run(_))));
+        let mut argv = base;
+        argv.push("--chaos=light:1".into());
+        argv.push("--adaptive".into());
+        argv.push(path);
+        assert!(matches!(run("cluster", &argv), Err(CliError::Run(_))));
 
         std::fs::remove_dir_all(&dir).ok();
     }

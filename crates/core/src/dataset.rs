@@ -80,6 +80,22 @@ impl Dataset {
         Ok(Self { dim, data })
     }
 
+    /// [`from_flat`](Self::from_flat) without the finiteness check.
+    ///
+    /// Exists solely so fault-injection harnesses can manufacture the
+    /// NaN-poisoned chunks the stream engine must quarantine; production
+    /// readers go through the checked constructors. Shape is still
+    /// validated — only the per-coordinate finiteness scan is skipped.
+    pub fn from_flat_unchecked(dim: usize, data: Vec<f64>) -> Result<Self> {
+        if dim == 0 {
+            return Err(Error::InvalidConfig("dimension must be at least 1".into()));
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim });
+        }
+        Ok(Self { dim, data })
+    }
+
     /// Builds a dataset from per-point rows; all rows must share a length.
     pub fn from_rows<R: AsRef<[f64]>>(rows: &[R]) -> Result<Self> {
         let dim = rows.first().map(|r| r.as_ref().len()).unwrap_or(0);

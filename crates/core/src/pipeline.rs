@@ -120,6 +120,10 @@ pub fn partial_merge_observed(
         cells: vec![CellReport {
             cell: "in-memory".to_string(),
             total_points: res.total_points(),
+            expected_points: res.total_points() as f64,
+            lost_points: 0.0,
+            lost_chunks: 0,
+            degraded: false,
             chunks,
             merge: MergeReport {
                 input_centroids: res.merge.input_centroids,

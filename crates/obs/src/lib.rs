@@ -50,8 +50,9 @@ pub use config::ObsConfig;
 pub use metrics::{escape_label_value, Counter, Gauge, Histogram, Registry};
 pub use profile::{ManualClock, MonotonicClock, PhaseGuard, Profiler, ProfilerClock};
 pub use report::{
-    CellReport, ChunkReport, CounterSample, GaugeSample, HistogramSample, HistogramSnapshot,
-    MergeReport, MetricsSnapshot, OperatorReport, PhaseReport, QueueReport, RunReport,
+    CellReport, ChunkReport, CounterSample, FaultReport, GaugeSample, HistogramSample,
+    HistogramSnapshot, MergeReport, MetricsSnapshot, OperatorReport, PhaseReport, QueueReport,
+    RunReport,
 };
 pub use serve::MetricsServer;
 pub use trace::{Event, FieldValue, JsonlSink, Recorder, RingBufferSink, Span, TraceSink};

@@ -9,9 +9,42 @@ use std::time::Duration;
 
 /// Schema version stamped into every [`RunReport`].
 ///
-/// v2 added the `phases` breakdown (absent/empty in v1 reports; parsing v1
-/// documents still works via `#[serde(default)]`).
-pub const SCHEMA_VERSION: u32 = 2;
+/// v2 added the `phases` breakdown; v3 added fault accounting (the
+/// top-level `degraded` flag, the `faults` counter block, and the per-cell
+/// `expected_points`/`lost_points`/`lost_chunks`/`degraded` fields). Every
+/// addition is `#[serde(default)]`, so v1 and v2 documents still parse.
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Fault-tolerance counters for one run (schema v3). All zero on a
+/// fault-free run — and on any report parsed from a v1/v2 document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Scan read attempts that were retried after a transient error.
+    pub scan_retries: u64,
+    /// Buckets (or bucket tails) abandoned after retries were exhausted.
+    pub scan_failures: u64,
+    /// Chunks dropped because their payload failed validation (e.g.
+    /// non-finite coordinates).
+    pub chunks_poisoned: u64,
+    /// Chunks abandoned entirely (poisoned, or crashed past the retry
+    /// budget); their mass is reported lost.
+    pub chunks_quarantined: u64,
+    /// Partial-worker panics that were caught and isolated.
+    pub worker_panics: u64,
+    /// Chunk clusterings re-run after a caught panic.
+    pub chunk_retries: u64,
+    /// Artificial queue-send stalls injected by a fault plan.
+    pub queue_stalls: u64,
+    /// Cells merged with missing mass.
+    pub cells_degraded: u64,
+}
+
+impl FaultReport {
+    /// True when any counter is non-zero.
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+}
 
 /// A plain-data copy of a histogram's state.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -166,6 +199,20 @@ pub struct CellReport {
     pub cell: String,
     /// Points clustered in the cell.
     pub total_points: usize,
+    /// Points the cell was expected to carry (`0` when unknown — v1/v2
+    /// documents and in-memory runs).
+    #[serde(default)]
+    pub expected_points: f64,
+    /// Input mass lost to quarantined chunks or failed reads
+    /// (`Σw_expected − Σw_received`).
+    #[serde(default)]
+    pub lost_points: f64,
+    /// Chunks of this cell that were quarantined instead of merged.
+    #[serde(default)]
+    pub lost_chunks: usize,
+    /// True when the cell was merged with missing mass.
+    #[serde(default)]
+    pub degraded: bool,
     /// Per-chunk outcomes, chunk order.
     pub chunks: Vec<ChunkReport>,
     /// The merge phase.
@@ -191,6 +238,13 @@ pub struct RunReport {
     /// absent in schema v1 documents).
     #[serde(default)]
     pub phases: Vec<PhaseReport>,
+    /// True when any cell was merged with missing mass (absent in v1/v2
+    /// documents).
+    #[serde(default)]
+    pub degraded: bool,
+    /// Fault-tolerance counters (all zero for fault-free and v1/v2 runs).
+    #[serde(default)]
+    pub faults: FaultReport,
 }
 
 impl RunReport {
@@ -204,6 +258,8 @@ impl RunReport {
             queues: Vec::new(),
             metrics: MetricsSnapshot::default(),
             phases: Vec::new(),
+            degraded: false,
+            faults: FaultReport::default(),
         }
     }
 
@@ -230,6 +286,10 @@ mod tests {
             cells: vec![CellReport {
                 cell: "0".to_string(),
                 total_points: 1000,
+                expected_points: 1000.0,
+                lost_points: 0.0,
+                lost_chunks: 0,
+                degraded: false,
                 chunks: vec![ChunkReport {
                     chunk: 0,
                     points: 1000,
@@ -292,7 +352,27 @@ mod tests {
                 total_us: 400,
                 self_us: 350,
             }],
+            degraded: false,
+            faults: FaultReport::default(),
         }
+    }
+
+    /// Strips every v3 addition from a serialized report, producing the
+    /// exact JSON an older (v1/v2) writer would have emitted. The report
+    /// must carry default values in all v3 fields for the surgery to apply.
+    fn strip_v3_keys(report: &RunReport) -> String {
+        let faults_json = serde_json::to_string(&FaultReport::default()).unwrap();
+        let json = serde_json::to_string(report)
+            .unwrap()
+            .replace(&format!(",\"degraded\":false,\"faults\":{faults_json}"), "")
+            .replace(
+                ",\"expected_points\":0.0,\"lost_points\":0.0,\"lost_chunks\":0,\"degraded\":false",
+                "",
+            );
+        for absent in ["faults", "lost_points", "lost_chunks", "expected_points"] {
+            assert!(!json.contains(absent), "surgery failed for {absent}: {json}");
+        }
+        json
     }
 
     #[test]
@@ -300,12 +380,26 @@ mod tests {
         let mut report = sample_report();
         report.phases.clear();
         report.schema_version = 1;
-        // A v1 document has no "phases" key at all.
-        let json = serde_json::to_string(&report).unwrap().replace(",\"phases\":[]", "");
+        report.cells[0].expected_points = 0.0;
+        // A v1 document has none of the v2/v3 keys at all.
+        let json = strip_v3_keys(&report).replace(",\"phases\":[]", "");
         assert!(!json.contains("phases"), "surgery failed: {json}");
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.schema_version, 1);
         assert!(back.phases.is_empty());
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v2_report_without_fault_fields_still_parses() {
+        let mut report = sample_report();
+        report.schema_version = 2;
+        report.cells[0].expected_points = 0.0;
+        let json = strip_v3_keys(&report);
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, 2);
+        assert!(!back.degraded);
+        assert!(!back.faults.any());
         assert_eq!(back, report);
     }
 
@@ -323,6 +417,10 @@ mod tests {
         report.cells.push(CellReport {
             cell: "1".to_string(),
             total_points: 250,
+            expected_points: 250.0,
+            lost_points: 0.0,
+            lost_chunks: 0,
+            degraded: false,
             chunks: Vec::new(),
             merge: MergeReport {
                 input_centroids: 0,

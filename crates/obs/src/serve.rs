@@ -11,8 +11,10 @@
 //!   fly, so the endpoint is useful while a run is still in flight;
 //! * `GET /healthz` — `{"status":"ok", ...}` liveness probe.
 //!
-//! Connections are handled serially on one background thread with short
-//! read/write timeouts; this is telemetry for a handful of scrapers, not a
+//! One background thread accepts connections and hands them to a small
+//! pool of worker threads over a channel, so a slow scraper cannot block
+//! the next one; short read/write timeouts bound each worker's exposure
+//! to a broken client. This is telemetry for a handful of scrapers, not a
 //! web server. Bind to port 0 to let the OS pick (tests do), then read the
 //! actual address back with [`MetricsServer::local_addr`].
 //!
@@ -34,45 +36,87 @@ use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Worker threads answering requests concurrently. Scrapes are cheap, so
+/// a handful of workers rides out a slow client without unbounded threads.
+const DEFAULT_WORKERS: usize = 4;
 
 /// A running telemetry HTTP server. See the [module docs](self).
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     report: Arc<Mutex<Option<RunReport>>>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl MetricsServer {
     /// Binds `addr` (e.g. `"127.0.0.1:9464"`, port 0 for OS-assigned) and
-    /// starts answering requests on a background thread.
+    /// starts answering requests on a background accept thread plus a
+    /// small worker pool.
     pub fn serve(addr: impl ToSocketAddrs, recorder: Arc<Recorder>) -> std::io::Result<Self> {
+        Self::serve_with_workers(addr, recorder, DEFAULT_WORKERS)
+    }
+
+    /// Like [`MetricsServer::serve`] with an explicit worker-pool size
+    /// (clamped to at least one worker).
+    pub fn serve_with_workers(
+        addr: impl ToSocketAddrs,
+        recorder: Arc<Recorder>,
+        workers: usize,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let report: Arc<Mutex<Option<RunReport>>> = Arc::new(Mutex::new(None));
-        let handle = {
-            let stop = Arc::clone(&stop);
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut handles = Vec::with_capacity(workers + 1);
+        for i in 0..workers.max(1) {
+            let conn_rx = Arc::clone(&conn_rx);
+            let recorder = Arc::clone(&recorder);
             let report = Arc::clone(&report);
-            std::thread::Builder::new().name("pmkm-metrics-http".into()).spawn(move || {
+            handles.push(
+                std::thread::Builder::new().name(format!("pmkm-metrics-worker-{i}")).spawn(
+                    move || loop {
+                        // Take the lock only to dequeue, not while serving,
+                        // so workers answer distinct clients concurrently.
+                        let conn = conn_rx.lock().recv();
+                        match conn {
+                            // One slow or broken client must not wedge the
+                            // exporter; errors just drop the connection.
+                            Ok(stream) => {
+                                let _ = handle_connection(stream, &recorder, &report);
+                            }
+                            // Accept thread gone: sender dropped, drain done.
+                            Err(_) => break,
+                        }
+                    },
+                )?,
+            );
+        }
+        handles.push({
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new().name("pmkm-metrics-accept".into()).spawn(move || {
                 for stream in listener.incoming() {
                     if stop.load(Ordering::SeqCst) {
                         break;
                     }
                     if let Ok(stream) = stream {
-                        // One slow or broken client must not wedge the
-                        // exporter; errors just drop the connection.
-                        let _ = handle_connection(stream, &recorder, &report);
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
                     }
                 }
+                // Dropping `conn_tx` here wakes every idle worker with a
+                // recv error so the pool drains and exits.
             })?
-        };
-        Ok(Self { addr, stop, report, handle: Some(handle) })
+        });
+        Ok(Self { addr, stop, report, handles })
     }
 
     /// The address the server actually bound (resolves port 0).
@@ -86,16 +130,21 @@ impl MetricsServer {
         *self.report.lock() = Some(report);
     }
 
-    /// Stops the accept loop and joins the server thread.
+    /// Stops the accept loop, drains the worker pool, and joins every
+    /// server thread.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        if let Some(handle) = self.handle.take() {
-            self.stop.store(true, Ordering::SeqCst);
-            // Wake the blocking accept with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
+        if self.handles.is_empty() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection. The accept
+        // thread then drops the channel sender, which unblocks the workers.
+        let _ = TcpStream::connect(self.addr);
+        for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
     }

@@ -106,6 +106,55 @@ fn exporter_rejects_unknown_paths_and_methods() {
 }
 
 #[test]
+fn exporter_answers_concurrent_scrapes_from_the_worker_pool() {
+    let rec = Arc::new(Recorder::new());
+    rec.registry().counter("chunks_total").add(11);
+    let server = MetricsServer::serve("127.0.0.1:0", Arc::clone(&rec)).expect("bind");
+    let addr = server.local_addr();
+
+    // More clients than pool workers, all firing at once across every
+    // route; each must get a complete, well-formed response.
+    let paths = ["/metrics", "/report.json", "/healthz"];
+    let barrier = Arc::new(std::sync::Barrier::new(paths.len() * 4));
+    let threads: Vec<_> = (0..paths.len() * 4)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            let path = paths[i % paths.len()];
+            std::thread::spawn(move || {
+                barrier.wait();
+                get(addr, path)
+            })
+        })
+        .collect();
+    for (i, t) in threads.into_iter().enumerate() {
+        let (status, headers, body) = t.join().expect("scraper thread");
+        assert_eq!(status, "HTTP/1.1 200 OK", "client {i}");
+        assert_eq!(
+            header(&headers, "content-length").map(|v| v.parse::<usize>().unwrap()),
+            Some(body.len()),
+            "client {i} got a truncated body"
+        );
+        match i % paths.len() {
+            0 => assert!(body.contains("chunks_total 11"), "client {i}: {body}"),
+            1 => {
+                let live: RunReport = serde_json::from_str(&body).expect("report parses");
+                assert_eq!(live.metrics.counters[0].name, "chunks_total");
+            }
+            _ => assert!(body.contains("\"status\":\"ok\""), "client {i}: {body}"),
+        }
+    }
+
+    // A slow client holding one worker must not block other scrapes.
+    let mut idle = TcpStream::connect(addr).expect("slow client connects");
+    idle.write_all(b"GET /metrics HTTP/1.1\r\n").expect("partial request");
+    let (status, _, _) = get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK", "healthz stuck behind a stalled scraper");
+    drop(idle);
+
+    server.shutdown();
+}
+
+#[test]
 fn exporter_survives_shutdown_while_idle_and_frees_port_eventually() {
     let rec = Arc::new(Recorder::new());
     let server = MetricsServer::serve("127.0.0.1:0", Arc::clone(&rec)).expect("bind");

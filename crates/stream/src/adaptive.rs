@@ -12,11 +12,13 @@
 
 use crate::error::{EngineError, Result};
 use crate::executor::EngineReport;
+use crate::fault::FaultContext;
 use crate::item::{CellClustering, ChunkMsg, MergeMsg, ScanMsg};
 use crate::ops::{ChunkerOp, MergeKMeansOp, PartialKMeansOp, ScanOp};
 use crate::plan::PhysicalPlan;
 use crate::queue::SmartQueue;
 use crate::telemetry::OpStats;
+use pmkm_obs::Recorder;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,27 +54,50 @@ const SCALE_COOLDOWN: Duration = Duration::from_millis(5);
 ///
 /// `plan.partial_clones` is the *maximum*; execution starts with one clone.
 pub fn execute_adaptive(plan: &PhysicalPlan) -> Result<AdaptiveReport> {
+    execute_adaptive_observed(plan, None)
+}
+
+/// [`execute_adaptive`] with an optional trace/metrics recorder attached to
+/// every operator instance (including clones started mid-run) and to the
+/// scaling monitor, which emits an `adaptive.scale_up` event and bumps the
+/// `adaptive_scale_ups_total` counter per decision.
+pub fn execute_adaptive_observed(
+    plan: &PhysicalPlan,
+    rec: Option<Arc<Recorder>>,
+) -> Result<AdaptiveReport> {
     plan.validate()?;
+    let faults = FaultContext::new(None, plan.fault_policy);
     let started = Instant::now();
     let cap = plan.queue_capacity;
-    let q_scan: SmartQueue<ScanMsg> = SmartQueue::new("scan→chunker", cap);
-    let q_chunks: Arc<SmartQueue<ChunkMsg>> = Arc::new(SmartQueue::new("chunker→partial", cap));
-    let q_merge: SmartQueue<MergeMsg> = SmartQueue::new("partial→merge", cap);
-    let q_results: SmartQueue<CellClustering> = SmartQueue::new("merge→sink", cap);
+    let depth_every = rec.as_deref().map(|r| r.config().depth_sample_interval()).unwrap_or(1);
+    let q_scan: SmartQueue<ScanMsg> =
+        SmartQueue::new("scan→chunker", cap).with_depth_sample_interval(depth_every);
+    let q_chunks: Arc<SmartQueue<ChunkMsg>> =
+        Arc::new(SmartQueue::new("chunker→partial", cap).with_depth_sample_interval(depth_every));
+    let q_merge: SmartQueue<MergeMsg> =
+        SmartQueue::new("partial→merge", cap).with_depth_sample_interval(depth_every);
+    let q_results: SmartQueue<CellClustering> =
+        SmartQueue::new("merge→sink", cap).with_depth_sample_interval(depth_every);
 
     // Adaptive mode keeps a single scan clone; the adaptation axis here is
     // the partial operator (the paper's dominant cost).
-    let scan = ScanOp::new(plan.logical.inputs.clone(), plan.scan_batch, q_scan.producer());
+    let scan = ScanOp::new(plan.logical.inputs.clone(), plan.scan_batch, q_scan.producer())
+        .with_recorder(rec.clone())
+        .with_faults(faults.clone());
     let chunker = ChunkerOp::new(
         q_scan.consumer(),
         q_chunks.producer(),
         q_merge.producer(),
         plan.chunk_policy,
-    );
+    )
+    .with_recorder(rec.clone())
+    .with_faults(faults.clone());
     let max_clones = plan.partial_clones.max(1);
     let mut clones: Vec<PartialKMeansOp> = (0..max_clones)
         .map(|i| {
             PartialKMeansOp::new(q_chunks.consumer(), q_merge.producer(), plan.logical.kmeans, i)
+                .with_recorder(rec.clone())
+                .with_faults(faults.clone())
         })
         .collect();
     let merge = MergeKMeansOp::new(
@@ -81,7 +106,9 @@ pub fn execute_adaptive(plan: &PhysicalPlan) -> Result<AdaptiveReport> {
         plan.logical.kmeans,
         plan.logical.merge_mode,
         plan.logical.merge_restarts,
-    );
+    )
+    .with_recorder(rec.clone())
+    .with_faults(faults.clone());
     let results = q_results.consumer();
     q_scan.seal();
     q_chunks.seal();
@@ -116,6 +143,7 @@ pub fn execute_adaptive(plan: &PhysicalPlan) -> Result<AdaptiveReport> {
     let monitor: JoinHandle<(Vec<OpHandle>, Vec<ScalingEvent>)> = {
         let q = Arc::clone(&q_chunks);
         let done = Arc::clone(&chunking_done);
+        let rec = rec.clone();
         std::thread::spawn(move || {
             let mut spares = spares;
             let mut spawned: Vec<OpHandle> = Vec::new();
@@ -134,6 +162,13 @@ pub fn execute_adaptive(plan: &PhysicalPlan) -> Result<AdaptiveReport> {
                     spawned.push(std::thread::spawn(move || op.run()));
                     running += 1;
                     last_scale = Instant::now();
+                    if let Some(rec) = rec.as_deref() {
+                        rec.registry().counter("adaptive_scale_ups_total").inc();
+                        rec.event(
+                            "adaptive.scale_up",
+                            &[("clones", running.into()), ("backlog", backlog.into())],
+                        );
+                    }
                     events.push(ScalingEvent { at: started.elapsed(), clones: running });
                 }
                 if done.load(Ordering::SeqCst) && backlog == 0 {
@@ -183,8 +218,19 @@ pub fn execute_adaptive(plan: &PhysicalPlan) -> Result<AdaptiveReport> {
 
     cells.sort_by_key(|c| c.cell.index());
     let queue_stats = vec![q_scan.stats(), q_chunks.stats(), q_merge.stats(), q_results.stats()];
+    let fault_report = faults.counters.snapshot();
+    let degraded = fault_report.scan_failures > 0
+        || fault_report.chunks_quarantined > 0
+        || fault_report.cells_degraded > 0;
     Ok(AdaptiveReport {
-        report: EngineReport { cells, op_stats, queue_stats, elapsed: started.elapsed() },
+        report: EngineReport {
+            cells,
+            op_stats,
+            queue_stats,
+            elapsed: started.elapsed(),
+            faults: fault_report,
+            degraded,
+        },
         clones_started,
         scaling_events,
     })
@@ -269,6 +315,59 @@ mod tests {
         let out = execute_adaptive(&plan).unwrap();
         assert_eq!(out.clones_started, 1);
         assert!(out.scaling_events.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observed_adaptive_run_records_phases_and_matches_plain() {
+        use pmkm_obs::{Profiler, RingBufferSink};
+        let dir = tmpdir("observed");
+        let paths = vec![write_cell(&dir, 3, 1_200), write_cell(&dir, 4, 600)];
+        let mk = |paths: Vec<PathBuf>| {
+            optimize_fixed_split(
+                LogicalPlan::new(paths, KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 7) }),
+                &Resources::fixed(1 << 20, 3),
+                80,
+            )
+        };
+        let plain = execute_adaptive(&mk(paths.clone())).unwrap();
+
+        let ring = Arc::new(RingBufferSink::new(8192));
+        let rec = Arc::new(
+            Recorder::new().with_sink(ring.clone()).with_profiler(Arc::new(Profiler::new())),
+        );
+        let observed = execute_adaptive_observed(&mk(paths), Some(rec.clone())).unwrap();
+
+        // Observation changes nothing about the results.
+        assert_eq!(plain.report.cells.len(), observed.report.cells.len());
+        for (a, b) in plain.report.cells.iter().zip(&observed.report.cells) {
+            assert_eq!(a.output.centroids, b.output.centroids);
+            assert_eq!(a.output.epm, b.output.epm);
+        }
+        assert!(!observed.report.degraded);
+
+        // The full phase tree is recorded, exactly as in static execution:
+        // every operator span plus the k-means sub-phases under `partial`.
+        let report = observed.report.run_report(Some(&rec));
+        let paths_seen: Vec<&str> = report.phases.iter().map(|p| p.path.as_str()).collect();
+        for expect in ["scan", "chunk", "partial", "partial/seed", "partial/assign", "merge"] {
+            assert!(paths_seen.contains(&expect), "missing phase {expect}: {paths_seen:?}");
+        }
+        for p in &report.phases {
+            assert!(p.self_us <= p.total_us, "phase {}", p.path);
+        }
+        // Scale-up decisions surface as both counter and events, and agree
+        // with the scaling log.
+        let scale_ups = report
+            .metrics
+            .counters
+            .iter()
+            .find(|c| c.name == "adaptive_scale_ups_total")
+            .map(|c| c.value)
+            .unwrap_or(0);
+        assert_eq!(scale_ups, observed.scaling_events.len() as u64);
+        assert_eq!(observed.clones_started - 1, observed.scaling_events.len());
+        assert!(!ring.is_empty(), "expected trace events");
         std::fs::remove_dir_all(&dir).ok();
     }
 

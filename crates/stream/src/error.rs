@@ -16,6 +16,14 @@ pub enum EngineError {
     InvalidPlan(String),
     /// An operator thread panicked.
     OperatorPanic(String),
+    /// A chunk carried non-finite coordinates and the fault policy does
+    /// not allow quarantining it.
+    PoisonedChunk {
+        /// Owning cell index.
+        cell: u32,
+        /// Partition index of the poisoned chunk.
+        chunk_id: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -28,6 +36,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             EngineError::OperatorPanic(op) => write!(f, "operator '{op}' panicked"),
+            EngineError::PoisonedChunk { cell, chunk_id } => {
+                write!(f, "chunk {chunk_id} of cell {cell} has non-finite coordinates")
+            }
         }
     }
 }
@@ -69,5 +80,8 @@ mod tests {
         assert!(e.source().is_some());
         assert!(EngineError::Disconnected("chunks").to_string().contains("chunks"));
         assert!(EngineError::OperatorPanic("scan".into()).to_string().contains("scan"));
+        let poisoned = EngineError::PoisonedChunk { cell: 9, chunk_id: 2 };
+        assert!(poisoned.to_string().contains("chunk 2"));
+        assert!(poisoned.to_string().contains("cell 9"));
     }
 }

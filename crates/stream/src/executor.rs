@@ -4,12 +4,13 @@
 //! fashion").
 
 use crate::error::{EngineError, Result};
+use crate::fault::{FaultContext, FaultPlan};
 use crate::item::{CellClustering, ChunkMsg, MergeMsg, ScanMsg};
 use crate::ops::{ChunkerOp, MergeKMeansOp, PartialKMeansOp, ScanOp};
 use crate::plan::PhysicalPlan;
 use crate::queue::{QueueStats, SmartQueue};
 use crate::telemetry::OpStats;
-use pmkm_obs::{CellReport, ChunkReport, MergeReport, Recorder, RunReport};
+use pmkm_obs::{CellReport, ChunkReport, FaultReport, MergeReport, Recorder, RunReport};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -24,6 +25,12 @@ pub struct EngineReport {
     pub queue_stats: Vec<QueueStats>,
     /// End-to-end wall time.
     pub elapsed: Duration,
+    /// Failure counters accumulated across the run (all zero on a clean
+    /// run).
+    pub faults: FaultReport,
+    /// True when any input mass was lost: a quarantined bucket, chunk or
+    /// degraded cell means the results do not cover every scanned point.
+    pub degraded: bool,
 }
 
 impl EngineReport {
@@ -62,6 +69,10 @@ impl EngineReport {
                 CellReport {
                     cell: c.cell.index().to_string(),
                     total_points: c.output.cluster_weights.iter().sum::<f64>().round() as usize,
+                    expected_points: c.expected_points,
+                    lost_points: c.lost_points,
+                    lost_chunks: c.lost_chunks,
+                    degraded: c.degraded,
                     chunks,
                     merge: MergeReport {
                         input_centroids: c.output.input_centroids,
@@ -81,6 +92,8 @@ impl EngineReport {
             queues: self.queue_stats.iter().map(QueueStats::to_report).collect(),
             metrics: rec.map(|r| r.registry().snapshot()).unwrap_or_default(),
             phases: rec.map(|r| r.phase_rows()).unwrap_or_default(),
+            degraded: self.degraded,
+            faults: self.faults,
             ..RunReport::new()
         }
     }
@@ -99,7 +112,21 @@ pub fn execute(plan: &PhysicalPlan) -> Result<EngineReport> {
 /// operator instance. With `None` this is exactly `execute` — no events,
 /// no metrics, no extra work on the hot path.
 pub fn execute_observed(plan: &PhysicalPlan, rec: Option<Arc<Recorder>>) -> Result<EngineReport> {
+    execute_with_faults(plan, rec, None)
+}
+
+/// [`execute_observed`] with a deterministic fault-injection schedule — the
+/// entry point of the chaos suite. With `fault_plan: None` and the default
+/// [`crate::fault::FaultPolicy::strict`] policy this is exactly
+/// `execute_observed`: no injection, no validation passes, byte-identical
+/// results.
+pub fn execute_with_faults(
+    plan: &PhysicalPlan,
+    rec: Option<Arc<Recorder>>,
+    fault_plan: Option<FaultPlan>,
+) -> Result<EngineReport> {
     plan.validate()?;
+    let faults = FaultContext::new(fault_plan, plan.fault_policy);
     let started = Instant::now();
     let cap = plan.queue_capacity;
     let depth_every = rec.as_deref().map(|r| r.config().depth_sample_interval()).unwrap_or(1);
@@ -121,7 +148,9 @@ pub fn execute_observed(plan: &PhysicalPlan, rec: Option<Arc<Recorder>>) -> Resu
     let scans: Vec<ScanOp> = scan_inputs
         .into_iter()
         .map(|paths| {
-            ScanOp::new(paths, plan.scan_batch, q_scan.producer()).with_recorder(rec.clone())
+            ScanOp::new(paths, plan.scan_batch, q_scan.producer())
+                .with_recorder(rec.clone())
+                .with_faults(faults.clone())
         })
         .collect();
     let chunker = ChunkerOp::new(
@@ -130,11 +159,13 @@ pub fn execute_observed(plan: &PhysicalPlan, rec: Option<Arc<Recorder>>) -> Resu
         q_merge.producer(),
         plan.chunk_policy,
     )
-    .with_recorder(rec.clone());
+    .with_recorder(rec.clone())
+    .with_faults(faults.clone());
     let partials: Vec<PartialKMeansOp> = (0..plan.partial_clones)
         .map(|i| {
             PartialKMeansOp::new(q_chunks.consumer(), q_merge.producer(), plan.logical.kmeans, i)
                 .with_recorder(rec.clone())
+                .with_faults(faults.clone())
         })
         .collect();
     let merge = MergeKMeansOp::new(
@@ -144,7 +175,8 @@ pub fn execute_observed(plan: &PhysicalPlan, rec: Option<Arc<Recorder>>) -> Resu
         plan.logical.merge_mode,
         plan.logical.merge_restarts,
     )
-    .with_recorder(rec.clone());
+    .with_recorder(rec.clone())
+    .with_faults(faults.clone());
     let results = q_results.consumer();
     q_scan.seal();
     q_chunks.seal();
@@ -199,7 +231,18 @@ pub fn execute_observed(plan: &PhysicalPlan, rec: Option<Arc<Recorder>>) -> Resu
 
     cells.sort_by_key(|c| c.cell.index());
     let queue_stats = vec![q_scan.stats(), q_chunks.stats(), q_merge.stats(), q_results.stats()];
-    Ok(EngineReport { cells, op_stats, queue_stats, elapsed: started.elapsed() })
+    let fault_report = faults.counters.snapshot();
+    let degraded = fault_report.scan_failures > 0
+        || fault_report.chunks_quarantined > 0
+        || fault_report.cells_degraded > 0;
+    Ok(EngineReport {
+        cells,
+        op_stats,
+        queue_stats,
+        elapsed: started.elapsed(),
+        faults: fault_report,
+        degraded,
+    })
 }
 
 #[cfg(test)]

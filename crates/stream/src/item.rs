@@ -21,6 +21,10 @@ pub enum ScanMsg {
     CellEnd {
         /// The finished cell.
         cell: GridCell,
+        /// Points the bucket header promised. Under a tolerant fault
+        /// policy the scan may deliver fewer (abandoned bucket tail); the
+        /// difference surfaces as lost mass in the merge.
+        expected_points: usize,
     },
 }
 
@@ -54,6 +58,20 @@ pub enum MergeMsg {
         cell: GridCell,
         /// Number of chunks the cell was split into.
         chunks: usize,
+        /// Points the cell's bucket header promised (`Σw_expected` for the
+        /// merge's mass accounting).
+        expected_points: usize,
+    },
+    /// A chunk that will never produce a partial: quarantined after
+    /// failing validation or crashing past the retry budget. Counts toward
+    /// the cell's completeness so the merge can still finish the cell.
+    ChunkLost {
+        /// Owning cell.
+        cell: GridCell,
+        /// Partition index of the lost chunk.
+        chunk_id: usize,
+        /// Points the chunk carried (lost mass).
+        points: usize,
     },
 }
 
@@ -69,4 +87,13 @@ pub struct CellClustering {
     /// Per-chunk MSE trajectories of the winning restarts, aligned with
     /// `chunks` (empty vectors for tiny-chunk passthroughs).
     pub trajectories: Vec<Vec<f64>>,
+    /// Points the cell's bucket promised (`Σw_expected`); equals the
+    /// clustered weight on a fault-free run.
+    pub expected_points: f64,
+    /// Mass missing from the merge (`Σw_expected − Σw_received`).
+    pub lost_points: f64,
+    /// Chunks of this cell that were quarantined.
+    pub lost_chunks: usize,
+    /// True when the cell merged with missing mass.
+    pub degraded: bool,
 }

@@ -47,6 +47,7 @@
 pub mod adaptive;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod item;
 pub mod ops;
 pub mod optimizer;
@@ -55,9 +56,10 @@ pub mod queue;
 pub mod resources;
 pub mod telemetry;
 
-pub use adaptive::{execute_adaptive, AdaptiveReport, ScalingEvent};
+pub use adaptive::{execute_adaptive, execute_adaptive_observed, AdaptiveReport, ScalingEvent};
 pub use error::{EngineError, Result};
-pub use executor::{execute, execute_observed, EngineReport};
+pub use executor::{execute, execute_observed, execute_with_faults, EngineReport};
+pub use fault::{FaultContext, FaultCounters, FaultPlan, FaultPolicy};
 pub use item::{CellClustering, ChunkMsg, MergeMsg, ScanMsg};
 pub use optimizer::{optimize, optimize_fixed_split};
 pub use plan::{LogicalPlan, PhysicalPlan};
@@ -67,7 +69,8 @@ pub use telemetry::OpStats;
 
 /// Convenience prelude.
 pub mod prelude {
-    pub use crate::executor::{execute, execute_observed, EngineReport};
+    pub use crate::executor::{execute, execute_observed, execute_with_faults, EngineReport};
+    pub use crate::fault::{FaultPlan, FaultPolicy};
     pub use crate::optimizer::{optimize, optimize_fixed_split};
     pub use crate::plan::{LogicalPlan, PhysicalPlan};
     pub use crate::resources::Resources;

@@ -7,27 +7,33 @@
 //! clustering is emitted downstream.
 
 use crate::error::{EngineError, Result};
+use crate::fault::FaultContext;
 use crate::item::{CellClustering, MergeMsg};
 use crate::queue::{QueueConsumer, QueueProducer};
 use crate::telemetry::{OpMeter, OpStats};
-use pmkm_core::merge::merge_observed;
+use pmkm_core::merge::merge_degraded_observed;
 use pmkm_core::partial::PartialOutput;
 use pmkm_core::pipeline::ChunkStats;
 use pmkm_core::{KMeansConfig, MergeMode, WeightedSet};
 use pmkm_data::GridCell;
 use pmkm_obs::Recorder;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 #[derive(Default)]
 struct CellProgress {
     partials: BTreeMap<usize, PartialOutput>,
+    /// Quarantined chunks: `chunk_id → points lost`.
+    lost: BTreeMap<usize, usize>,
     expected: Option<usize>,
+    /// Points the bucket header promised (known once the plan arrives).
+    expected_points: usize,
 }
 
 impl CellProgress {
     fn complete(&self) -> bool {
-        self.expected == Some(self.partials.len())
+        self.expected == Some(self.partials.len() + self.lost.len())
     }
 }
 
@@ -39,6 +45,7 @@ pub struct MergeKMeansOp {
     mode: MergeMode,
     merge_restarts: usize,
     recorder: Option<Arc<Recorder>>,
+    faults: FaultContext,
 }
 
 impl MergeKMeansOp {
@@ -50,7 +57,15 @@ impl MergeKMeansOp {
         mode: MergeMode,
         merge_restarts: usize,
     ) -> Self {
-        Self { input, out, kmeans, mode, merge_restarts, recorder: None }
+        Self {
+            input,
+            out,
+            kmeans,
+            mode,
+            merge_restarts,
+            recorder: None,
+            faults: FaultContext::default(),
+        }
     }
 
     /// Attaches an observability recorder (builder style).
@@ -59,8 +74,16 @@ impl MergeKMeansOp {
         self
     }
 
-    /// Runs until the partial stream ends; errors if any cell is left
-    /// incomplete (lost messages — a broken pipeline).
+    /// Attaches a fault plan/policy/counter bundle (builder style).
+    pub fn with_faults(mut self, faults: FaultContext) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Runs until the partial stream ends. Under the strict policy any
+    /// incomplete cell or missing mass is an error (lost messages — a
+    /// broken pipeline); under a degraded-merge policy, surviving chunks
+    /// are merged anyway and the lost mass is reported.
     pub fn run(self) -> Result<OpStats> {
         let mut meter = OpMeter::new("merge", 0);
         let mut cells: HashMap<GridCell, CellProgress> = HashMap::new();
@@ -69,7 +92,9 @@ impl MergeKMeansOp {
             let cell = match msg {
                 MergeMsg::Partial { cell, chunk_id, output } => {
                     let progress = cells.entry(cell).or_default();
-                    if progress.partials.insert(chunk_id, output).is_some() {
+                    if progress.lost.contains_key(&chunk_id)
+                        || progress.partials.insert(chunk_id, output).is_some()
+                    {
                         return Err(EngineError::InvalidPlan(format!(
                             "duplicate chunk {chunk_id} for cell {}",
                             cell.index()
@@ -77,8 +102,9 @@ impl MergeKMeansOp {
                     }
                     cell
                 }
-                MergeMsg::CellPlan { cell, chunks } => {
+                MergeMsg::CellPlan { cell, chunks, expected_points } => {
                     let progress = cells.entry(cell).or_default();
+                    progress.expected_points = expected_points;
                     if progress.expected.replace(chunks).is_some() {
                         return Err(EngineError::InvalidPlan(format!(
                             "duplicate cell plan for cell {}",
@@ -87,52 +113,126 @@ impl MergeKMeansOp {
                     }
                     cell
                 }
+                MergeMsg::ChunkLost { cell, chunk_id, points } => {
+                    let progress = cells.entry(cell).or_default();
+                    if progress.partials.contains_key(&chunk_id)
+                        || progress.lost.insert(chunk_id, points).is_some()
+                    {
+                        return Err(EngineError::InvalidPlan(format!(
+                            "duplicate chunk {chunk_id} for cell {}",
+                            cell.index()
+                        )));
+                    }
+                    cell
+                }
             };
             if cells.get(&cell).is_some_and(CellProgress::complete) {
                 let progress = cells.remove(&cell).expect("checked above");
-                if progress.partials.is_empty() {
-                    continue; // empty bucket: nothing to emit
-                }
-                let result = meter.work(|| self.merge_cell(cell, progress))?;
-                if let Some(rec) = self.recorder.as_deref() {
-                    rec.registry().counter("merge_cells_total").inc();
-                    rec.event(
-                        "merge.done",
-                        &[
-                            ("cell", cell.index().into()),
-                            ("input_centroids", result.output.input_centroids.into()),
-                            ("epm", result.output.epm.into()),
-                            ("mse", result.output.mse.into()),
-                            ("iterations", result.output.iterations.into()),
-                            ("converged", result.output.converged.into()),
-                        ],
-                    );
-                }
-                meter.item_out();
-                meter
-                    .wait(|| self.out.send(result).map_err(drop))
-                    .map_err(|_| EngineError::Disconnected("merge→results"))?;
+                self.finish_cell(&mut meter, cell, progress, false)?;
             }
         }
         if !cells.is_empty() {
-            let cell = cells.keys().next().expect("non-empty");
-            return Err(EngineError::InvalidPlan(format!(
-                "stream ended with {} incomplete cell(s), e.g. cell {}",
-                cells.len(),
-                cell.index()
-            )));
+            if !self.faults.policy.degraded_merge {
+                let cell = cells.keys().next().expect("non-empty");
+                return Err(EngineError::InvalidPlan(format!(
+                    "stream ended with {} incomplete cell(s), e.g. cell {}",
+                    cells.len(),
+                    cell.index()
+                )));
+            }
+            // Degraded path: the stream died mid-cell; merge what survived.
+            let mut rest: Vec<(GridCell, CellProgress)> = cells.drain().collect();
+            rest.sort_by_key(|(cell, _)| cell.index());
+            for (cell, progress) in rest {
+                self.finish_cell(&mut meter, cell, progress, true)?;
+            }
         }
         Ok(meter.finish())
+    }
+
+    /// Merges a finished (or, at end of stream, abandoned) cell and emits
+    /// the result. `incomplete` forces the degraded flag: a cell whose plan
+    /// never closed has unknown loss, which is still loss.
+    fn finish_cell(
+        &self,
+        meter: &mut OpMeter,
+        cell: GridCell,
+        progress: CellProgress,
+        incomplete: bool,
+    ) -> Result<()> {
+        let degraded_cell = incomplete || !progress.lost.is_empty();
+        if degraded_cell && self.faults.strict_mass_check() {
+            // Strict runs promise exact mass conservation; a lost chunk
+            // reaching the merge means the pipeline dropped points.
+            return Err(EngineError::InvalidPlan(format!(
+                "cell {} lost {} chunk(s) under a strict policy",
+                cell.index(),
+                progress.lost.len().max(1)
+            )));
+        }
+        if progress.partials.is_empty() {
+            if degraded_cell {
+                // Every chunk of the cell was lost: nothing to merge, but
+                // the loss must not be silent.
+                self.note_degraded(cell, progress.expected_points as f64);
+            }
+            return Ok(()); // empty bucket (or total loss): nothing to emit
+        }
+        let mut result = meter.work(|| self.merge_cell(cell, progress))?;
+        if incomplete {
+            result.degraded = true;
+        }
+        if result.degraded {
+            if self.faults.strict_mass_check() {
+                return Err(EngineError::InvalidPlan(format!(
+                    "cell {} lost {} of {} expected points under a strict policy",
+                    cell.index(),
+                    result.lost_points,
+                    result.expected_points
+                )));
+            }
+            self.note_degraded(cell, result.lost_points);
+        }
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.registry().counter("merge_cells_total").inc();
+            rec.event(
+                "merge.done",
+                &[
+                    ("cell", cell.index().into()),
+                    ("input_centroids", result.output.input_centroids.into()),
+                    ("epm", result.output.epm.into()),
+                    ("mse", result.output.mse.into()),
+                    ("iterations", result.output.iterations.into()),
+                    ("converged", result.output.converged.into()),
+                ],
+            );
+        }
+        meter.item_out();
+        meter
+            .wait(|| self.out.send(result).map_err(drop))
+            .map_err(|_| EngineError::Disconnected("merge→results"))
+    }
+
+    fn note_degraded(&self, cell: GridCell, lost_points: f64) {
+        self.faults.counters.cells_degraded.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.registry().counter("fault_cells_degraded_total").inc();
+            rec.event(
+                "merge.degraded",
+                &[("cell", cell.index().into()), ("lost_points", lost_points.into())],
+            );
+        }
     }
 
     fn merge_cell(&self, cell: GridCell, progress: CellProgress) -> Result<CellClustering> {
         let sets: Vec<WeightedSet> =
             progress.partials.values().map(|p| p.centroids.clone()).collect();
-        let output = merge_observed(
+        let degraded = merge_degraded_observed(
             &sets,
             &self.kmeans,
             self.mode,
             self.merge_restarts,
+            progress.expected_points as f64,
             self.recorder.as_deref(),
         )?;
         let mut chunks = Vec::with_capacity(progress.partials.len());
@@ -147,7 +247,16 @@ impl MergeKMeansOp {
             });
             trajectories.push(p.best_trajectory);
         }
-        Ok(CellClustering { cell, output, chunks, trajectories })
+        Ok(CellClustering {
+            cell,
+            output: degraded.output,
+            chunks,
+            trajectories,
+            expected_points: degraded.expected_weight,
+            lost_points: degraded.lost_weight,
+            lost_chunks: progress.lost.len(),
+            degraded: degraded.degraded,
+        })
     }
 }
 
@@ -170,7 +279,7 @@ mod tests {
         partial_kmeans(&ds, &KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 3) }).unwrap()
     }
 
-    fn run_merge(msgs: Vec<MergeMsg>) -> Result<Vec<CellClustering>> {
+    fn run_merge_with(msgs: Vec<MergeMsg>, faults: FaultContext) -> Result<Vec<CellClustering>> {
         let q_in: SmartQueue<MergeMsg> = SmartQueue::new("merge", 64);
         let q_out: SmartQueue<CellClustering> = SmartQueue::new("results", 64);
         let p = q_in.producer();
@@ -180,7 +289,8 @@ mod tests {
             KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 3) },
             MergeMode::Collective,
             1,
-        );
+        )
+        .with_faults(faults);
         let c = q_out.consumer();
         q_in.seal();
         q_out.seal();
@@ -192,13 +302,17 @@ mod tests {
         Ok(std::iter::from_fn(|| c.recv()).collect())
     }
 
+    fn run_merge(msgs: Vec<MergeMsg>) -> Result<Vec<CellClustering>> {
+        run_merge_with(msgs, FaultContext::default())
+    }
+
     #[test]
     fn merges_when_all_chunks_arrive() {
         let c0 = cell(1);
         let out = run_merge(vec![
             MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(10, 0.0) },
             MergeMsg::Partial { cell: c0, chunk_id: 1, output: partial(10, 50.0) },
-            MergeMsg::CellPlan { cell: c0, chunks: 2 },
+            MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 20 },
         ])
         .unwrap();
         assert_eq!(out.len(), 1);
@@ -206,13 +320,17 @@ mod tests {
         assert_eq!(out[0].chunks.len(), 2);
         let total: f64 = out[0].output.cluster_weights.iter().sum();
         assert_eq!(total, 20.0);
+        assert!(!out[0].degraded);
+        assert_eq!(out[0].expected_points, 20.0);
+        assert_eq!(out[0].lost_points, 0.0);
+        assert_eq!(out[0].lost_chunks, 0);
     }
 
     #[test]
     fn plan_before_partials_also_completes() {
         let c0 = cell(2);
         let out = run_merge(vec![
-            MergeMsg::CellPlan { cell: c0, chunks: 1 },
+            MergeMsg::CellPlan { cell: c0, chunks: 1, expected_points: 8 },
             MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(8, 0.0) },
         ])
         .unwrap();
@@ -225,7 +343,7 @@ mod tests {
         let msgs = |flip: bool| {
             let a = MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(12, 0.0) };
             let b = MergeMsg::Partial { cell: c0, chunk_id: 1, output: partial(12, 9.0) };
-            let plan = MergeMsg::CellPlan { cell: c0, chunks: 2 };
+            let plan = MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 24 };
             if flip {
                 vec![b, plan, a]
             } else {
@@ -244,8 +362,8 @@ mod tests {
         let out = run_merge(vec![
             MergeMsg::Partial { cell: a, chunk_id: 0, output: partial(6, 0.0) },
             MergeMsg::Partial { cell: b, chunk_id: 0, output: partial(7, 1.0) },
-            MergeMsg::CellPlan { cell: b, chunks: 1 },
-            MergeMsg::CellPlan { cell: a, chunks: 1 },
+            MergeMsg::CellPlan { cell: b, chunks: 1, expected_points: 7 },
+            MergeMsg::CellPlan { cell: a, chunks: 1, expected_points: 6 },
         ])
         .unwrap();
         assert_eq!(out.len(), 2);
@@ -255,7 +373,9 @@ mod tests {
 
     #[test]
     fn empty_cell_plan_emits_nothing() {
-        let out = run_merge(vec![MergeMsg::CellPlan { cell: cell(6), chunks: 0 }]).unwrap();
+        let out =
+            run_merge(vec![MergeMsg::CellPlan { cell: cell(6), chunks: 0, expected_points: 0 }])
+                .unwrap();
         assert!(out.is_empty());
     }
 
@@ -275,8 +395,96 @@ mod tests {
         let err = run_merge(vec![
             MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(5, 0.0) },
             MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(5, 0.0) },
-            MergeMsg::CellPlan { cell: c0, chunks: 2 },
+            MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 10 },
         ]);
+        assert!(matches!(err, Err(EngineError::InvalidPlan(_))));
+    }
+
+    use crate::fault::{FaultContext, FaultPolicy};
+
+    fn tolerant() -> FaultContext {
+        FaultContext::new(None, FaultPolicy::tolerant())
+    }
+
+    #[test]
+    fn lost_chunk_completes_cell_as_degraded() {
+        let c0 = cell(9);
+        let ctx = tolerant();
+        let out = run_merge_with(
+            vec![
+                MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(10, 0.0) },
+                MergeMsg::ChunkLost { cell: c0, chunk_id: 1, points: 10 },
+                MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 20 },
+            ],
+            ctx.clone(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].degraded);
+        assert_eq!(out[0].expected_points, 20.0);
+        assert_eq!(out[0].lost_points, 10.0);
+        assert_eq!(out[0].lost_chunks, 1);
+        assert_eq!(out[0].chunks.len(), 1);
+        assert_eq!(ctx.counters.snapshot().cells_degraded, 1);
+    }
+
+    #[test]
+    fn lost_chunk_under_strict_policy_is_an_error() {
+        let c0 = cell(10);
+        let err = run_merge(vec![
+            MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(10, 0.0) },
+            MergeMsg::ChunkLost { cell: c0, chunk_id: 1, points: 10 },
+            MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 20 },
+        ]);
+        assert!(matches!(err, Err(EngineError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn fully_lost_cell_emits_nothing_but_counts_degraded() {
+        let c0 = cell(11);
+        let ctx = tolerant();
+        let out = run_merge_with(
+            vec![
+                MergeMsg::ChunkLost { cell: c0, chunk_id: 0, points: 10 },
+                MergeMsg::CellPlan { cell: c0, chunks: 1, expected_points: 10 },
+            ],
+            ctx.clone(),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(ctx.counters.snapshot().cells_degraded, 1);
+    }
+
+    #[test]
+    fn incomplete_cell_merges_degraded_under_tolerant_policy() {
+        let c0 = cell(12);
+        let ctx = tolerant();
+        // Plan says 2 chunks but the second never arrives — a dead worker.
+        let out = run_merge_with(
+            vec![
+                MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 20 },
+                MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(10, 0.0) },
+            ],
+            ctx.clone(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].degraded);
+        assert_eq!(out[0].lost_points, 10.0);
+        assert_eq!(ctx.counters.snapshot().cells_degraded, 1);
+    }
+
+    #[test]
+    fn duplicate_between_lost_and_partial_is_an_error() {
+        let c0 = cell(13);
+        let err = run_merge_with(
+            vec![
+                MergeMsg::ChunkLost { cell: c0, chunk_id: 0, points: 5 },
+                MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(5, 0.0) },
+                MergeMsg::CellPlan { cell: c0, chunks: 1, expected_points: 5 },
+            ],
+            tolerant(),
+        );
         assert!(matches!(err, Err(EngineError::InvalidPlan(_))));
     }
 }

@@ -8,13 +8,16 @@
 //! wall-clock time, never results.
 
 use crate::error::{EngineError, Result};
+use crate::fault::{FaultContext, InjectedPanic, EDGE_MERGE};
 use crate::item::{ChunkMsg, MergeMsg};
 use crate::queue::{QueueConsumer, QueueProducer};
 use crate::telemetry::{OpMeter, OpStats};
 use pmkm_core::partial::partial_kmeans_observed;
 use pmkm_core::seeding::derive_seed;
-use pmkm_core::KMeansConfig;
+use pmkm_core::{KMeansConfig, PointSource};
 use pmkm_obs::Recorder;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Stream tag for per-(cell, chunk) seeds.
@@ -33,6 +36,7 @@ pub struct PartialKMeansOp {
     kmeans: KMeansConfig,
     clone_id: usize,
     recorder: Option<Arc<Recorder>>,
+    faults: FaultContext,
 }
 
 impl PartialKMeansOp {
@@ -43,7 +47,7 @@ impl PartialKMeansOp {
         kmeans: KMeansConfig,
         clone_id: usize,
     ) -> Self {
-        Self { input, out, kmeans, clone_id, recorder: None }
+        Self { input, out, kmeans, clone_id, recorder: None, faults: FaultContext::default() }
     }
 
     /// Attaches an observability recorder (builder style).
@@ -52,27 +56,124 @@ impl PartialKMeansOp {
         self
     }
 
+    /// Attaches a fault plan/policy/counter bundle (builder style).
+    pub fn with_faults(mut self, faults: FaultContext) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Records a quarantined chunk and tells the merge operator the chunk is
+    /// gone so the cell's plan still closes.
+    fn quarantine_chunk(
+        &self,
+        meter: &mut OpMeter,
+        cell: pmkm_data::GridCell,
+        chunk_id: usize,
+        points: usize,
+    ) -> Result<()> {
+        self.faults.counters.chunks_quarantined.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.registry().counter("fault_chunks_quarantined_total").inc();
+            rec.event(
+                "partial.chunk_quarantined",
+                &[
+                    ("cell", cell.index().into()),
+                    ("chunk", chunk_id.into()),
+                    ("points", points.into()),
+                ],
+            );
+        }
+        meter
+            .wait(|| self.out.send(MergeMsg::ChunkLost { cell, chunk_id, points }).map_err(drop))
+            .map_err(|_| EngineError::Disconnected("partial→merge"))
+    }
+
     /// Runs until the chunk stream ends.
     pub fn run(self) -> Result<OpStats> {
         let mut meter = OpMeter::new("partial-kmeans", self.clone_id);
-        let rec = self.recorder.as_deref();
-        while let Some(ChunkMsg { cell, chunk_id, points }) = meter.wait(|| self.input.recv()) {
+        'chunks: while let Some(ChunkMsg { cell, chunk_id, points }) =
+            meter.wait(|| self.input.recv())
+        {
+            let rec = self.recorder.as_deref();
             meter.item_in();
+            // Poison gate: a chunk with non-finite coordinates would corrupt
+            // every centroid it touches, so it never reaches the kernel.
+            if self.faults.validate_chunks() && points.as_flat().iter().any(|v| !v.is_finite()) {
+                self.faults.counters.chunks_poisoned.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = rec {
+                    rec.registry().counter("fault_chunks_poisoned_total").inc();
+                }
+                if self.faults.policy.quarantine {
+                    self.quarantine_chunk(&mut meter, cell, chunk_id, points.len())?;
+                    continue;
+                }
+                return Err(EngineError::PoisonedChunk { cell: cell.index(), chunk_id });
+            }
             let cfg = KMeansConfig {
                 seed: chunk_seed(self.kmeans.seed, cell.index(), chunk_id),
                 ..self.kmeans
             };
-            let output = {
-                let _phase = rec.and_then(|r| r.phase("partial"));
-                meter.work(|| partial_kmeans_observed(&points, &cfg, rec))?
+            // Panic isolation: a crash while clustering one chunk (injected
+            // or real) must not take the whole pipeline down. The chunk is
+            // retried — deterministically reseeded, so a retry that succeeds
+            // yields the exact fault-free result — and quarantined only once
+            // the attempt budget is spent.
+            let mut attempt = 0usize;
+            let output = loop {
+                let inject = self
+                    .faults
+                    .plan
+                    .as_deref()
+                    .is_some_and(|p| p.panic_fault(cell.index(), chunk_id, attempt));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if inject {
+                        std::panic::panic_any(InjectedPanic);
+                    }
+                    let _phase = rec.and_then(|r| r.phase("partial"));
+                    meter.work(|| partial_kmeans_observed(&points, &cfg, rec))
+                }));
+                match outcome {
+                    Ok(result) => break result?,
+                    Err(payload) => {
+                        self.faults.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        if let Some(rec) = rec {
+                            rec.registry().counter("fault_worker_panics_total").inc();
+                            rec.event(
+                                "partial.panic",
+                                &[
+                                    ("cell", cell.index().into()),
+                                    ("chunk", chunk_id.into()),
+                                    ("attempt", attempt.into()),
+                                ],
+                            );
+                        }
+                        attempt += 1;
+                        if attempt < self.faults.policy.max_chunk_attempts {
+                            self.faults.counters.chunk_retries.fetch_add(1, Ordering::Relaxed);
+                            if let Some(rec) = rec {
+                                rec.registry().counter("fault_chunk_retries_total").inc();
+                            }
+                            continue;
+                        }
+                        if self.faults.policy.quarantine {
+                            self.quarantine_chunk(&mut meter, cell, chunk_id, points.len())?;
+                            continue 'chunks;
+                        }
+                        resume_unwind(payload);
+                    }
+                }
             };
             meter.item_out();
+            let stall_key = ((cell.index() as u64) << 20) ^ chunk_id as u64;
             meter
-                .wait(|| self.out.send(MergeMsg::Partial { cell, chunk_id, output }).map_err(drop))
+                .wait(|| {
+                    self.faults.maybe_stall(EDGE_MERGE, stall_key, rec);
+                    self.out.send(MergeMsg::Partial { cell, chunk_id, output }).map_err(drop)
+                })
                 .map_err(|_| EngineError::Disconnected("partial→merge"))?;
         }
         let stats = meter.finish();
-        if let Some(rec) = rec {
+        if let Some(rec) = self.recorder.as_deref() {
             rec.event(
                 "op.finish",
                 &[
@@ -180,5 +281,111 @@ mod tests {
         let a = run(vec![chunk(1, 0, 24), chunk(1, 1, 24)]);
         let b = run(vec![chunk(1, 1, 24), chunk(1, 0, 24)]);
         assert_eq!(a, b);
+    }
+
+    use crate::fault::{FaultContext, FaultPlan, FaultPolicy};
+
+    /// Runs one clone over `msgs` with the given fault context.
+    fn run_faulted(msgs: Vec<ChunkMsg>, faults: FaultContext) -> (Result<OpStats>, Vec<MergeMsg>) {
+        let q_in: SmartQueue<ChunkMsg> = SmartQueue::new("chunks", 16);
+        let q_out: SmartQueue<MergeMsg> = SmartQueue::new("merge", 16);
+        let p = q_in.producer();
+        let op = PartialKMeansOp::new(
+            q_in.consumer(),
+            q_out.producer(),
+            KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 5) },
+            0,
+        )
+        .with_faults(faults);
+        let c = q_out.consumer();
+        q_in.seal();
+        q_out.seal();
+        for m in msgs {
+            p.send(m).unwrap();
+        }
+        drop(p);
+        let stats = op.run();
+        let out: Vec<MergeMsg> = std::iter::from_fn(|| c.recv()).collect();
+        (stats, out)
+    }
+
+    fn poisoned_chunk() -> ChunkMsg {
+        let points =
+            Dataset::from_flat_unchecked(2, vec![0.0, 0.0, f64::NAN, 1.0, 2.0, 2.0]).unwrap();
+        ChunkMsg { cell: GridCell::new(3, 0).unwrap(), chunk_id: 1, points }
+    }
+
+    #[test]
+    fn poisoned_chunk_errors_under_strict_policy() {
+        let ctx = FaultContext::new(Some(FaultPlan::none(1)), FaultPolicy::strict());
+        let (stats, _) = run_faulted(vec![poisoned_chunk()], ctx);
+        assert!(matches!(stats, Err(EngineError::PoisonedChunk { chunk_id: 1, .. })));
+    }
+
+    #[test]
+    fn poisoned_chunk_is_quarantined_under_tolerant_policy() {
+        let ctx = FaultContext::new(Some(FaultPlan::none(1)), FaultPolicy::tolerant());
+        let (stats, out) = run_faulted(vec![chunk(1, 0, 30), poisoned_chunk()], ctx.clone());
+        stats.unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], MergeMsg::Partial { chunk_id: 0, .. }));
+        assert!(
+            matches!(out[1], MergeMsg::ChunkLost { chunk_id: 1, points: 3, .. }),
+            "got {:?}",
+            out[1]
+        );
+        let snap = ctx.counters.snapshot();
+        assert_eq!(snap.chunks_poisoned, 1);
+        assert_eq!(snap.chunks_quarantined, 1);
+    }
+
+    #[test]
+    fn transient_panic_retries_to_the_fault_free_result() {
+        let clean = run_faulted(vec![chunk(1, 0, 30)], FaultContext::default());
+        // panic_rate 1 + sticky 0: every chunk panics on attempt 0 only.
+        let plan = FaultPlan { panic_rate: 1.0, panic_sticky_fraction: 0.0, ..FaultPlan::none(9) };
+        let ctx = FaultContext::new(Some(plan), FaultPolicy::tolerant());
+        let (stats, out) = run_faulted(vec![chunk(1, 0, 30)], ctx.clone());
+        stats.unwrap();
+        // The retry re-derives the chunk seed, so the surviving result is
+        // bit-identical to the fault-free run (`elapsed` is wall clock and
+        // excluded from the comparison).
+        let centroids = |msgs: &[MergeMsg]| {
+            msgs.iter()
+                .map(|m| match m {
+                    MergeMsg::Partial { output, .. } => output.centroids.clone(),
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(centroids(&out), centroids(&clean.1));
+        let snap = ctx.counters.snapshot();
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.chunk_retries, 1);
+        assert_eq!(snap.chunks_quarantined, 0);
+    }
+
+    #[test]
+    fn sticky_panic_exhausts_attempts_and_quarantines() {
+        let plan = FaultPlan { panic_rate: 1.0, panic_sticky_fraction: 1.0, ..FaultPlan::none(9) };
+        let ctx = FaultContext::new(Some(plan), FaultPolicy::tolerant());
+        let (stats, out) = run_faulted(vec![chunk(2, 4, 30)], ctx.clone());
+        stats.unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], MergeMsg::ChunkLost { chunk_id: 4, points: 30, .. }));
+        let snap = ctx.counters.snapshot();
+        assert_eq!(snap.worker_panics, FaultPolicy::tolerant().max_chunk_attempts as u64);
+        assert_eq!(snap.chunks_quarantined, 1);
+    }
+
+    #[test]
+    fn sticky_panic_under_strict_policy_propagates() {
+        let plan = FaultPlan { panic_rate: 1.0, panic_sticky_fraction: 1.0, ..FaultPlan::none(9) };
+        let ctx = FaultContext::new(Some(plan), FaultPolicy::strict());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_faulted(vec![chunk(2, 4, 30)], ctx)
+        }));
+        let payload = caught.expect_err("strict policy must re-raise the panic");
+        assert!(payload.downcast_ref::<crate::fault::InjectedPanic>().is_some());
     }
 }

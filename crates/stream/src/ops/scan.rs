@@ -1,29 +1,47 @@
 //! The scan operator: grid-bucket files → point batches.
 
 use crate::error::{EngineError, Result};
+use crate::fault::{path_key, FaultContext, ScanFault};
 use crate::item::ScanMsg;
 use crate::queue::QueueProducer;
 use crate::telemetry::{OpMeter, OpStats};
-use pmkm_data::BucketReader;
+use pmkm_data::{BucketReader, DataError};
 use pmkm_obs::Recorder;
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// Batch key under which the bucket *open* (header read) is injected.
+const OPEN_BATCH_KEY: u64 = u64::MAX;
 
 /// Streams every bucket file as a sequence of bounded point batches,
 /// followed by a [`ScanMsg::CellEnd`] marker per cell. Data is read once,
 /// in batches, so the operator's state never exceeds one batch — the
 /// "one look at the data" discipline of §3.
+///
+/// Read errors are retried with exponential backoff up to the fault
+/// policy's `scan_retries`; past that, a tolerant (`quarantine`) policy
+/// abandons the bucket's remaining points (counted as a scan failure, the
+/// mass surfacing as degraded merge output) while the strict default
+/// aborts the run as before.
 pub struct ScanOp {
     paths: Vec<PathBuf>,
     batch_points: usize,
     out: QueueProducer<ScanMsg>,
     recorder: Option<Arc<Recorder>>,
+    faults: FaultContext,
 }
 
 impl ScanOp {
     /// Creates the operator.
     pub fn new(paths: Vec<PathBuf>, batch_points: usize, out: QueueProducer<ScanMsg>) -> Self {
-        Self { paths, batch_points: batch_points.max(1), out, recorder: None }
+        Self {
+            paths,
+            batch_points: batch_points.max(1),
+            out,
+            recorder: None,
+            faults: FaultContext::default(),
+        }
     }
 
     /// Attaches an observability recorder (builder style).
@@ -32,15 +50,104 @@ impl ScanOp {
         self
     }
 
+    /// Attaches a fault plan/policy/counter bundle (builder style).
+    pub fn with_faults(mut self, faults: FaultContext) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// One read with injection and retry-with-backoff. `batch` keys the
+    /// injection roll (`OPEN_BATCH_KEY` for the header read).
+    fn read_with_retry<T>(
+        &self,
+        meter: &mut OpMeter,
+        path: u64,
+        batch: u64,
+        mut read: impl FnMut() -> pmkm_data::Result<T>,
+    ) -> Result<T> {
+        let attempts = self.faults.policy.scan_retries + 1;
+        let mut backoff = self.faults.policy.retry_backoff;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            let injected = self
+                .faults
+                .plan
+                .as_deref()
+                .and_then(|p| p.scan_fault(path, batch))
+                .is_some_and(|f| f == ScanFault::Permanent || attempt == 0);
+            let result = if injected {
+                Err(DataError::Io(std::io::Error::other("injected scan read error")))
+            } else {
+                meter.work(&mut read)
+            };
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt + 1 < attempts {
+                        self.faults.counters.scan_retries.fetch_add(1, Ordering::Relaxed);
+                        if let Some(rec) = self.recorder.as_deref() {
+                            rec.registry().counter("fault_scan_retries_total").inc();
+                        }
+                        if !backoff.is_zero() {
+                            meter.wait(|| std::thread::sleep(backoff));
+                            backoff = backoff.saturating_mul(2);
+                        }
+                    }
+                }
+            }
+        }
+        Err(EngineError::Data(last_err.expect("at least one attempt")))
+    }
+
+    /// Records a bucket (or bucket tail) abandoned under quarantine.
+    fn note_scan_failure(&self, path: &std::path::Path, err: &EngineError) {
+        self.faults.counters.scan_failures.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.registry().counter("fault_scan_failures_total").inc();
+            rec.event(
+                "scan.failure",
+                &[("path", path.display().to_string().into()), ("error", err.to_string().into())],
+            );
+        }
+    }
+
     /// Runs to completion, returning telemetry.
     pub fn run(self) -> Result<OpStats> {
         let mut meter = OpMeter::new("scan", 0);
         for path in &self.paths {
             let _phase = self.recorder.as_deref().and_then(|r| r.phase("scan"));
-            let mut reader = meter.work(|| BucketReader::open(path))?;
+            let pkey = path_key(path);
+            let mut reader = match self
+                .read_with_retry(&mut meter, pkey, OPEN_BATCH_KEY, || BucketReader::open(path))
+            {
+                Ok(r) => r,
+                Err(e) if self.faults.policy.quarantine => {
+                    // Header unreadable: the cell never enters the
+                    // stream; only the failure counter records it.
+                    self.note_scan_failure(path, &e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let cell = reader.cell;
+            let expected_points = reader.count;
+            let mut batch_idx = 0u64;
             loop {
-                let batch = meter.work(|| reader.next_batch(self.batch_points))?;
+                let batch = match self.read_with_retry(&mut meter, pkey, batch_idx, || {
+                    reader.next_batch(self.batch_points)
+                }) {
+                    Ok(b) => b,
+                    Err(e) if self.faults.policy.quarantine => {
+                        // Abandon the bucket's tail; CellEnd below still
+                        // reports the promised count, so the missing mass
+                        // is visible downstream.
+                        self.note_scan_failure(path, &e);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                };
+                batch_idx += 1;
                 match batch {
                     Some(points) => {
                         meter.item_out();
@@ -53,7 +160,7 @@ impl ScanOp {
             }
             meter.item_out();
             meter
-                .wait(|| self.out.send(ScanMsg::CellEnd { cell }))
+                .wait(|| self.out.send(ScanMsg::CellEnd { cell, expected_points }))
                 .map_err(|_| EngineError::Disconnected("scan→chunker"))?;
             if let Some(rec) = self.recorder.as_deref() {
                 rec.registry().counter("scan_cells_total").inc();
@@ -78,6 +185,7 @@ impl ScanOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultPolicy};
     use crate::queue::SmartQueue;
     use pmkm_core::{Dataset, PointSource};
     use pmkm_data::{GridBucket, GridCell};
@@ -92,10 +200,15 @@ mod tests {
         path
     }
 
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("pmkm_scan_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
     #[test]
     fn scans_cells_in_order_with_end_markers() {
-        let dir = std::env::temp_dir().join(format!("pmkm_scan_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmpdir("order");
         let c1 = GridCell::new(1, 1).unwrap();
         let c2 = GridCell::new(2, 2).unwrap();
         let paths = vec![write_bucket(&dir, c1, 25), write_bucket(&dir, c2, 5)];
@@ -112,7 +225,10 @@ mod tests {
         assert_eq!(msgs.len(), 6);
         let mut c1_points = 0;
         match &msgs[3] {
-            ScanMsg::CellEnd { cell } => assert_eq!(*cell, c1),
+            ScanMsg::CellEnd { cell, expected_points } => {
+                assert_eq!(*cell, c1);
+                assert_eq!(*expected_points, 25);
+            }
             other => panic!("expected CellEnd, got {other:?}"),
         }
         for m in &msgs[..3] {
@@ -135,5 +251,124 @@ mod tests {
         let _c = q.consumer();
         q.seal();
         assert!(matches!(op.run(), Err(EngineError::Data(_))));
+    }
+
+    #[test]
+    fn transient_injected_errors_are_retried_to_success() {
+        let dir = tmpdir("transient");
+        let cell = GridCell::new(3, 3).unwrap();
+        let paths = vec![write_bucket(&dir, cell, 20)];
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 64);
+        let faults = FaultContext::new(
+            Some(FaultPlan {
+                scan_error_rate: 1.0, // every read errors once
+                scan_permanent_fraction: 0.0,
+                ..FaultPlan::none(11)
+            }),
+            FaultPolicy { scan_retries: 2, ..FaultPolicy::tolerant() },
+        );
+        let counters = Arc::clone(&faults.counters);
+        let op = ScanOp::new(paths, 10, q.producer()).with_faults(faults);
+        let c = q.consumer();
+        q.seal();
+        op.run().unwrap();
+        let msgs: Vec<ScanMsg> = std::iter::from_fn(|| c.recv()).collect();
+        // Every point still arrives: 2 batches + CellEnd.
+        let total: usize = msgs
+            .iter()
+            .map(|m| match m {
+                ScanMsg::Batch { points, .. } => points.len(),
+                ScanMsg::CellEnd { .. } => 0,
+            })
+            .sum();
+        assert_eq!(total, 20);
+        let snap = counters.snapshot();
+        assert!(snap.scan_retries > 0, "retries not counted: {snap:?}");
+        assert_eq!(snap.scan_failures, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn permanent_error_aborts_strict_but_quarantines_tolerant() {
+        let dir = tmpdir("permanent");
+        let cell = GridCell::new(4, 4).unwrap();
+        let paths = vec![write_bucket(&dir, cell, 20)];
+        let plan =
+            FaultPlan { scan_error_rate: 1.0, scan_permanent_fraction: 1.0, ..FaultPlan::none(5) };
+
+        // Strict: the injected permanent error surfaces as a data error.
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 64);
+        let op = ScanOp::new(paths.clone(), 10, q.producer())
+            .with_faults(FaultContext::new(Some(plan.clone()), FaultPolicy::strict()));
+        let _c = q.consumer();
+        q.seal();
+        assert!(matches!(op.run(), Err(EngineError::Data(_))));
+
+        // Tolerant: the bucket is abandoned but the scan completes, and the
+        // CellEnd still promises the header count.
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 64);
+        let faults = FaultContext::new(Some(plan), FaultPolicy::tolerant());
+        let counters = Arc::clone(&faults.counters);
+        let op = ScanOp::new(paths, 10, q.producer()).with_faults(faults);
+        let c = q.consumer();
+        q.seal();
+        op.run().unwrap();
+        let msgs: Vec<ScanMsg> = std::iter::from_fn(|| c.recv()).collect();
+        assert!(counters.snapshot().scan_failures >= 1);
+        // The open itself failed here (header injected), so nothing —
+        // not even a CellEnd — was sent for the cell.
+        assert!(msgs.is_empty(), "unexpected messages: {msgs:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_bucket_permanent_error_still_sends_cell_end() {
+        let dir = tmpdir("tail");
+        let cell = GridCell::new(5, 5).unwrap();
+        let paths = vec![write_bucket(&dir, cell, 30)];
+        // Injection keyed so the open and batch 0 succeed but batch 1 is
+        // permanently failed: find a seed deterministically.
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let p = FaultPlan {
+                    scan_error_rate: 0.3,
+                    scan_permanent_fraction: 1.0,
+                    ..FaultPlan::none(s)
+                };
+                let key = path_key(&paths[0]);
+                p.scan_fault(key, OPEN_BATCH_KEY).is_none()
+                    && p.scan_fault(key, 0).is_none()
+                    && p.scan_fault(key, 1) == Some(ScanFault::Permanent)
+            })
+            .expect("some seed fails exactly batch 1");
+        let plan = FaultPlan {
+            scan_error_rate: 0.3,
+            scan_permanent_fraction: 1.0,
+            ..FaultPlan::none(seed)
+        };
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 64);
+        let faults = FaultContext::new(Some(plan), FaultPolicy::tolerant());
+        let counters = Arc::clone(&faults.counters);
+        let op = ScanOp::new(paths, 10, q.producer()).with_faults(faults);
+        let c = q.consumer();
+        q.seal();
+        op.run().unwrap();
+        let msgs: Vec<ScanMsg> = std::iter::from_fn(|| c.recv()).collect();
+        // Batch 0 (10 points) arrived, then the tail was abandoned, and the
+        // CellEnd still promises all 30.
+        let delivered: usize = msgs
+            .iter()
+            .map(|m| match m {
+                ScanMsg::Batch { points, .. } => points.len(),
+                ScanMsg::CellEnd { .. } => 0,
+            })
+            .sum();
+        assert_eq!(delivered, 10);
+        match msgs.last().unwrap() {
+            ScanMsg::CellEnd { expected_points, .. } => assert_eq!(*expected_points, 30),
+            other => panic!("expected CellEnd, got {other:?}"),
+        }
+        assert_eq!(counters.snapshot().scan_failures, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -28,6 +28,7 @@ pub fn optimize(logical: LogicalPlan, resources: &Resources) -> PhysicalPlan {
         // is I/O-bound, so it rarely pays to clone it as aggressively as
         // the partial operator.
         scan_clones: (resources.workers / 2).clamp(1, logical_inputs),
+        fault_policy: crate::fault::FaultPolicy::default(),
     }
 }
 

@@ -7,6 +7,7 @@
 //! the available processors.
 
 use crate::error::{EngineError, Result};
+use crate::fault::FaultPolicy;
 use crate::ops::ChunkPolicy;
 use pmkm_core::{KMeansConfig, MergeMode};
 use std::path::PathBuf;
@@ -61,6 +62,10 @@ pub struct PhysicalPlan {
     /// across them (cloning is generic in the engine — §3's "the model
     /// allows to automatically clone operators").
     pub scan_clones: usize,
+    /// How the engine reacts to faults: [`FaultPolicy::strict`] (the
+    /// default) fails fast, [`FaultPolicy::tolerant`] retries, quarantines
+    /// and merges degraded cells.
+    pub fault_policy: FaultPolicy,
 }
 
 impl PhysicalPlan {
@@ -69,6 +74,9 @@ impl PhysicalPlan {
         self.logical.validate()?;
         if self.partial_clones == 0 {
             return Err(EngineError::InvalidPlan("partial_clones must be >= 1".into()));
+        }
+        if self.fault_policy.max_chunk_attempts == 0 {
+            return Err(EngineError::InvalidPlan("max_chunk_attempts must be >= 1".into()));
         }
         if self.queue_capacity == 0 || self.scan_batch == 0 {
             return Err(EngineError::InvalidPlan(
@@ -121,6 +129,7 @@ mod tests {
             queue_capacity: 8,
             scan_batch: 64,
             scan_clones: 1,
+            fault_policy: FaultPolicy::default(),
         };
         ok.validate().unwrap();
         let bad = PhysicalPlan { scan_clones: 0, ..ok.clone() };
@@ -129,7 +138,12 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = PhysicalPlan { chunk_policy: ChunkPolicy::FixedPoints(0), ..ok.clone() };
         assert!(bad.validate().is_err());
-        let bad = PhysicalPlan { queue_capacity: 0, ..ok };
+        let bad = PhysicalPlan { queue_capacity: 0, ..ok.clone() };
+        assert!(bad.validate().is_err());
+        let bad = PhysicalPlan {
+            fault_policy: FaultPolicy { max_chunk_attempts: 0, ..FaultPolicy::tolerant() },
+            ..ok
+        };
         assert!(bad.validate().is_err());
     }
 }

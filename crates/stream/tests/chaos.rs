@@ -1,0 +1,375 @@
+//! The seeded chaos suite: deterministic fault schedules driven through the
+//! full pipeline.
+//!
+//! Every schedule is a pure function of its seed, so each scenario replays
+//! byte-for-byte: `PMKM_CHAOS_SEED=<s1>,<s2>,…` reproduces a failing seed
+//! exactly (the CI chaos job pins a fixed matrix the same way). The
+//! invariants checked here are the tentpole's contract:
+//!
+//! 1. a zero-fault run is bit-identical to the engine's pre-fault-layer
+//!    output (pinned below),
+//! 2. every faulted tolerant run either errors cleanly or conserves mass
+//!    over the surviving chunks (`received + lost == expected`) with finite
+//!    E_pm,
+//! 3. recoverable faults (transient scan errors, one-shot panics) leave the
+//!    results bit-identical to the fault-free run,
+//! 4. the strict policy never emits degraded results — it fails.
+
+use pmkm_core::KMeansConfig;
+use pmkm_stream::fault::InjectedPanic;
+use pmkm_stream::prelude::*;
+use pmkm_stream::{EngineReport, FaultPlan, FaultPolicy};
+use std::path::PathBuf;
+use std::sync::Once;
+
+/// Keeps injected panics out of the test output (real panics still print).
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The chaos seed matrix: `PMKM_CHAOS_SEED=11,23` overrides the default.
+fn seeds() -> Vec<u64> {
+    match std::env::var("PMKM_CHAOS_SEED") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("PMKM_CHAOS_SEED must be comma-separated u64s"))
+            .collect(),
+        Err(_) => vec![11, 23, 47],
+    }
+}
+
+fn write_cell(dir: &std::path::Path, idx: u16, n: usize, seed: u64) -> PathBuf {
+    use pmkm_core::PointSource;
+    use rand::Rng;
+    let mut rng = pmkm_core::seeding::rng_for(seed, idx as u64);
+    let mut points = pmkm_core::Dataset::new(2).unwrap();
+    for _ in 0..n {
+        let blob = if rng.gen_bool(0.5) { 0.0 } else { 40.0 };
+        points.push(&[blob + rng.gen_range(-1.0..1.0), blob + rng.gen_range(-1.0..1.0)]).unwrap();
+    }
+    assert_eq!(points.len(), n);
+    let cell = pmkm_data::GridCell::new(idx, idx).unwrap();
+    let path = dir.join(cell.bucket_file_name());
+    pmkm_data::GridBucket { cell, points }.write_to(&path).unwrap();
+    path
+}
+
+/// The standard chaos workload: two cells (indices 722 and 1083) of 180 and
+/// 120 points, k = 3, fixed 40-point chunks → 5 + 3 chunks.
+fn workload(tag: &str) -> (std::path::PathBuf, PhysicalPlan) {
+    let dir = std::env::temp_dir().join(format!("pmkm_chaos_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = vec![write_cell(&dir, 2, 180, 1234), write_cell(&dir, 3, 120, 1234)];
+    let logical =
+        LogicalPlan::new(paths, KMeansConfig { restarts: 2, ..KMeansConfig::paper(3, 42) });
+    let plan = optimize_fixed_split(logical, &Resources::fixed(1 << 20, 2), 40);
+    (dir, plan)
+}
+
+fn centroid_bits(report: &EngineReport, cell_index: u32) -> Vec<u64> {
+    let cell = report.cells.iter().find(|c| c.cell.index() == cell_index).unwrap();
+    cell.output.centroids.iter().flat_map(|p| p.iter().map(|v| v.to_bits())).collect()
+}
+
+fn weight_bits(report: &EngineReport, cell_index: u32) -> Vec<u64> {
+    let cell = report.cells.iter().find(|c| c.cell.index() == cell_index).unwrap();
+    cell.output.cluster_weights.iter().map(|v| v.to_bits()).collect()
+}
+
+fn epm_bits(report: &EngineReport, cell_index: u32) -> u64 {
+    report.cells.iter().find(|c| c.cell.index() == cell_index).unwrap().output.epm.to_bits()
+}
+
+/// The engine's output on this workload before the fault layer existed,
+/// captured bit-for-bit from the pre-PR build. The zero-fault path must
+/// reproduce it exactly — the fault layer may cost nothing when idle.
+mod pinned {
+    pub const CELL_A: u32 = 722;
+    pub const CELL_B: u32 = 1083;
+    pub const EPM_A: u64 = 0x403b3b5b2ec1843c;
+    pub const EPM_B: u64 = 0x4032aced0b40c065;
+    pub const CENTROIDS_A: [u64; 6] = [
+        0x4044171e385db843,
+        0x404413669edc3071,
+        0xbfab0d982696a2f3,
+        0x3facf7acd7ce2afd,
+        0x4043e9a0476993da,
+        0x4043d8ee6c93d4be,
+    ];
+    pub const CENTROIDS_B: [u64; 6] = [
+        0x4043f55937ff88ae,
+        0x404404ace5645acc,
+        0x3fb1812d424bae86,
+        0xbfceb343f574a16f,
+        0xbfd9d06436987bf6,
+        0x3fd70f2c694a3ff1,
+    ];
+    pub const WEIGHTS_A: [u64; 3] = [0x4046000000000000, 0x4054400000000000, 0x404b800000000000];
+    pub const WEIGHTS_B: [u64; 3] = [0x404c800000000000, 0x4047000000000000, 0x4031000000000000];
+}
+
+fn assert_matches_pinned(report: &EngineReport) {
+    assert_eq!(report.cells.len(), 2);
+    assert_eq!(epm_bits(report, pinned::CELL_A), pinned::EPM_A);
+    assert_eq!(epm_bits(report, pinned::CELL_B), pinned::EPM_B);
+    assert_eq!(centroid_bits(report, pinned::CELL_A), pinned::CENTROIDS_A);
+    assert_eq!(centroid_bits(report, pinned::CELL_B), pinned::CENTROIDS_B);
+    assert_eq!(weight_bits(report, pinned::CELL_A), pinned::WEIGHTS_A);
+    assert_eq!(weight_bits(report, pinned::CELL_B), pinned::WEIGHTS_B);
+    assert_eq!(report.cells[0].chunks.len(), 5);
+    assert_eq!(report.cells[1].chunks.len(), 3);
+    assert!(!report.degraded);
+    for c in &report.cells {
+        assert!(!c.degraded);
+        assert_eq!(c.lost_points, 0.0);
+        assert_eq!(c.lost_chunks, 0);
+    }
+}
+
+/// Mass conservation over surviving chunks, per cell and run-wide.
+fn assert_mass_invariants(report: &EngineReport) {
+    for c in &report.cells {
+        let received: f64 = c.output.cluster_weights.iter().sum();
+        assert!(
+            (received + c.lost_points - c.expected_points).abs() < 1e-6,
+            "cell {}: received {} + lost {} != expected {}",
+            c.cell.index(),
+            received,
+            c.lost_points,
+            c.expected_points
+        );
+        let expect = if c.cell.index() == pinned::CELL_A { 180.0 } else { 120.0 };
+        assert_eq!(c.expected_points, expect, "cell {}", c.cell.index());
+        assert!(received > 0.0);
+        assert!(c.output.epm.is_finite() && c.output.epm >= 0.0, "cell {}", c.cell.index());
+        assert!(c.output.cluster_weights.iter().all(|w| *w > 0.0 && w.is_finite()));
+        assert_eq!(c.degraded, c.lost_points > 0.0, "cell {}", c.cell.index());
+        if c.lost_chunks > 0 {
+            assert!(c.degraded, "cell {} lost chunks but is not degraded", c.cell.index());
+        }
+    }
+    let any_loss = report.faults.scan_failures > 0
+        || report.faults.chunks_quarantined > 0
+        || report.faults.cells_degraded > 0;
+    assert_eq!(report.degraded, any_loss);
+}
+
+#[test]
+fn zero_fault_run_is_bit_identical_to_pre_pr_output() {
+    let (dir, plan) = workload("pinned");
+    // The historical entry point (strict policy, no fault plan)…
+    let clean = execute(&plan).unwrap();
+    assert_matches_pinned(&clean);
+    assert!(!clean.faults.any());
+    // …and the fault-layer entry point with an empty schedule.
+    let with_plan = execute_with_faults(&plan, None, Some(FaultPlan::none(7))).unwrap();
+    assert_matches_pinned(&with_plan);
+    assert!(!with_plan.faults.any());
+    // A tolerant policy with nothing to tolerate also changes nothing.
+    let mut tolerant_plan = plan;
+    tolerant_plan.fault_policy = FaultPolicy::tolerant();
+    let tolerant = execute_with_faults(&tolerant_plan, None, None).unwrap();
+    assert_matches_pinned(&tolerant);
+    assert!(!tolerant.faults.any());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recoverable_faults_reproduce_the_fault_free_result() {
+    quiet_injected_panics();
+    let (dir, plan) = workload("recover");
+    let mut plan = plan;
+    plan.fault_policy = FaultPolicy::tolerant();
+    // Every chunk panics once; every scan batch fails once. All of it is
+    // recoverable, so the output must be bit-identical to the pinned run.
+    let fault_plan = FaultPlan {
+        scan_error_rate: 1.0,
+        scan_permanent_fraction: 0.0,
+        panic_rate: 1.0,
+        panic_sticky_fraction: 0.0,
+        ..FaultPlan::none(5)
+    };
+    let report = execute_with_faults(&plan, None, Some(fault_plan)).unwrap();
+    assert_matches_pinned(&report);
+    assert!(report.faults.worker_panics >= 8, "got {:?}", report.faults);
+    assert!(report.faults.scan_retries > 0);
+    assert_eq!(report.faults.chunks_quarantined, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_matrix_conserves_surviving_mass() {
+    quiet_injected_panics();
+    for seed in seeds() {
+        let (dir, plan) = workload(&format!("matrix_{seed}"));
+        let mut plan = plan;
+        plan.fault_policy = FaultPolicy::tolerant();
+        for fault_plan in [FaultPlan::light(seed), FaultPlan::heavy(seed)] {
+            let run = || execute_with_faults(&plan, None, Some(fault_plan.clone()));
+            match run() {
+                Ok(report) => {
+                    assert_mass_invariants(&report);
+                    // Replays are byte-identical: same cells, same bits,
+                    // same failure counters.
+                    let again = run().unwrap();
+                    assert_eq!(report.faults, again.faults, "seed {seed}");
+                    assert_eq!(report.degraded, again.degraded, "seed {seed}");
+                    assert_eq!(report.cells.len(), again.cells.len(), "seed {seed}");
+                    for c in &report.cells {
+                        assert_eq!(
+                            centroid_bits(&report, c.cell.index()),
+                            centroid_bits(&again, c.cell.index()),
+                            "seed {seed} cell {}",
+                            c.cell.index()
+                        );
+                    }
+                }
+                Err(e) => panic!("tolerant policy must survive seed {seed}: {e}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn strict_policy_fails_cleanly_instead_of_degrading() {
+    quiet_injected_panics();
+    for seed in seeds() {
+        let (dir, plan) = workload(&format!("strict_{seed}"));
+        // Strict policy (the plan default): a heavy schedule must surface
+        // as a clean error, never as silently-degraded output.
+        // A clean `Err` is the contract; `Ok` is only possible if this
+        // seed's schedule injected nothing fatal into this workload —
+        // then the output must be pristine.
+        if let Ok(report) = execute_with_faults(&plan, None, Some(FaultPlan::heavy(seed))) {
+            assert!(!report.degraded, "seed {seed}");
+            assert_eq!(report.faults.chunks_quarantined, 0, "seed {seed}");
+            assert_matches_pinned(&report);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn degraded_run_report_round_trips_and_flags_loss() {
+    quiet_injected_panics();
+    let (dir, plan) = workload("report");
+    let mut plan = plan;
+    plan.fault_policy = FaultPolicy::tolerant();
+    // Sticky-panic every chunk of cell B's range? Simplest guaranteed loss:
+    // poison every chunk; quarantine then drops each poisoned one.
+    let fault_plan = FaultPlan { poison_rate: 1.0, ..FaultPlan::none(3) };
+    let report = execute_with_faults(&plan, None, Some(fault_plan)).unwrap();
+    // Every chunk was poisoned and quarantined: no cells survive, the run
+    // is degraded, and the counters say why.
+    assert!(report.cells.is_empty());
+    assert!(report.degraded);
+    assert_eq!(report.faults.chunks_poisoned, 8);
+    assert_eq!(report.faults.chunks_quarantined, 8);
+    assert_eq!(report.faults.cells_degraded, 2);
+
+    let run_report = report.run_report(None);
+    assert!(run_report.degraded);
+    assert_eq!(run_report.faults, report.faults);
+    let json = serde_json::to_string(&run_report).unwrap();
+    let back: pmkm_obs::RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, run_report);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partial_loss_marks_only_the_hit_cell_degraded() {
+    quiet_injected_panics();
+    // Find a seed whose heavy schedule quarantines some but not all chunks
+    // and leaves at least one cell fully intact — then check per-cell
+    // accounting end-to-end.
+    for seed in 0..200u64 {
+        let fault_plan = FaultPlan { poison_rate: 0.2, ..FaultPlan::none(seed) };
+        let hit_a = (0..5).any(|id| fault_plan.chunk_fault(722, id).is_some());
+        let hit_b = (0..3).any(|id| fault_plan.chunk_fault(1083, id).is_some());
+        if !(hit_a ^ hit_b) {
+            continue;
+        }
+        let (dir, plan) = workload(&format!("partial_{seed}"));
+        let mut plan = plan;
+        plan.fault_policy = FaultPolicy::tolerant();
+        let report = execute_with_faults(&plan, None, Some(fault_plan)).unwrap();
+        assert_mass_invariants(&report);
+        assert!(report.degraded);
+        let degraded: Vec<bool> = report.cells.iter().map(|c| c.degraded).collect();
+        assert!(degraded.iter().any(|d| *d) && !degraded.iter().all(|d| *d), "seed {seed}");
+        let clean = report.cells.iter().find(|c| !c.degraded).unwrap();
+        assert_eq!(clean.lost_points, 0.0);
+        assert_eq!(clean.lost_chunks, 0);
+        let hurt = report.cells.iter().find(|c| c.degraded).unwrap();
+        assert!(hurt.lost_points > 0.0 && hurt.lost_chunks > 0);
+        // Lost mass is a whole number of points on this workload.
+        assert_eq!(hurt.lost_points.fract(), 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    panic!("no seed under 200 hits exactly one cell");
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        // Any seeded schedule under the tolerant policy conserves mass
+        // over surviving chunks and keeps every statistic finite.
+        #[test]
+        fn tolerant_runs_conserve_surviving_mass(
+            seed in any::<u64>(),
+            scan_error_rate in 0.0..0.4f64,
+            scan_permanent_fraction in 0.0..1.0f64,
+            truncate_rate in 0.0..0.3f64,
+            poison_rate in 0.0..0.3f64,
+            panic_rate in 0.0..0.4f64,
+            panic_sticky_fraction in 0.0..1.0f64,
+        ) {
+            quiet_injected_panics();
+            let fault_plan = FaultPlan {
+                seed,
+                scan_error_rate,
+                scan_permanent_fraction,
+                truncate_rate,
+                poison_rate,
+                panic_rate,
+                panic_sticky_fraction,
+                ..FaultPlan::none(seed)
+            };
+            let (dir, plan) = workload(&format!("prop_{seed}"));
+            let mut plan = plan;
+            plan.fault_policy = FaultPolicy::tolerant();
+            let report = execute_with_faults(&plan, None, Some(fault_plan))
+                .expect("tolerant policy must survive any schedule");
+            for c in &report.cells {
+                let received: f64 = c.output.cluster_weights.iter().sum();
+                prop_assert!((received + c.lost_points - c.expected_points).abs() < 1e-6);
+                prop_assert!(c.output.epm.is_finite() && c.output.epm >= 0.0);
+                prop_assert!(c.output.mse.is_finite());
+            }
+            // Loss only ever shows up flagged.
+            let lost_any = report.cells.iter().any(|c| c.lost_points > 0.0)
+                || report.faults.scan_failures > 0
+                || report.faults.chunks_quarantined > 0;
+            if lost_any {
+                prop_assert!(report.degraded);
+            } else if report.cells.len() == 2 {
+                prop_assert!(!report.degraded);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
