@@ -13,8 +13,11 @@
 //! - `--quick`            small workload for CI smoke tests
 //! - `--out PATH`         write the report somewhere else
 //! - `--baseline PATH`    compare against a previous report; exits 1 if any
-//!   configuration's throughput regressed by more than 10%, 2 if the
+//!   configuration's throughput regressed by more than 10% (printing a
+//!   per-phase attribution of where the regression's time went), 2 if the
 //!   baseline's workload parameters don't match
+//! - `--ledger PATH`      journal the profiled stream-engine run (fused
+//!   kernel) as an append-only JSONL run ledger, diffable with `pmkm diff`
 //! - `--simulate-regression FRAC`  scale measured throughput down by FRAC
 //!   (e.g. 0.5 halves it) — lets CI prove the regression gate fires
 
@@ -80,11 +83,13 @@ struct Opts {
     quick: bool,
     out: Option<String>,
     baseline: Option<String>,
+    ledger: Option<String>,
     simulate_regression: f64,
 }
 
 fn parse_opts() -> Opts {
-    let mut opts = Opts { quick: false, out: None, baseline: None, simulate_regression: 0.0 };
+    let mut opts =
+        Opts { quick: false, out: None, baseline: None, ledger: None, simulate_regression: 0.0 };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -105,6 +110,8 @@ fn parse_opts() -> Opts {
             opts.out = Some(v);
         } else if let Some(v) = take("--baseline") {
             opts.baseline = Some(v);
+        } else if let Some(v) = take("--ledger") {
+            opts.ledger = Some(v);
         } else if let Some(v) = take("--simulate-regression") {
             opts.simulate_regression = v.parse().unwrap_or_else(|_| usage("--simulate-regression"));
         } else {
@@ -119,7 +126,7 @@ fn usage(offender: &str) -> ! {
     eprintln!(
         "pipeline_bench: bad argument near '{offender}'\n\
          usage: pipeline_bench [--quick] [--out PATH] [--baseline PATH] \
-         [--simulate-regression FRAC]"
+         [--ledger PATH] [--simulate-regression FRAC]"
     );
     std::process::exit(2)
 }
@@ -189,7 +196,13 @@ fn bench_config(cell: &Dataset, params: &Params, workers: usize, kernel: KernelK
 /// Chunk boundaries differ from `partial_merge`'s partitioning, so these
 /// rows carry their own `E_pm` and are excluded from the cross-config
 /// equality check.
-fn bench_stream(cell: &Dataset, params: &Params, workers: usize, kernel: KernelKind) -> Row {
+fn bench_stream(
+    cell: &Dataset,
+    params: &Params,
+    workers: usize,
+    kernel: KernelKind,
+    ledger: Option<Arc<pmkm_obs::LedgerSink>>,
+) -> Row {
     let dir = std::env::temp_dir().join(format!("pmkm_pipeline_bench_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("bench temp dir");
     let gcell = GridCell::new(0, 0).expect("grid cell");
@@ -219,7 +232,11 @@ fn bench_stream(cell: &Dataset, params: &Params, workers: usize, kernel: KernelK
     assert_eq!(report.cells.len(), 1, "one bucket in, one clustering out");
     assert!(!report.degraded, "fault-free bench run must not be degraded");
 
-    let rec = Arc::new(Recorder::new().with_profiler(Arc::new(Profiler::new())));
+    let mut rec = Recorder::new().with_profiler(Arc::new(Profiler::new()));
+    if let Some(sink) = ledger {
+        rec = rec.with_sink(sink);
+    }
+    let rec = Arc::new(rec);
     let t = Instant::now();
     let observed = execute_observed(&plan, Some(Arc::clone(&rec))).expect("observed engine run");
     let profiled_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -270,7 +287,8 @@ fn compare_against_baseline(report: &Report, path: &str) -> ! {
             continue;
         };
         let ratio = row.points_per_sec / b.points_per_sec;
-        let verdict = if ratio < REGRESSION_FLOOR { "FAIL" } else { "ok" };
+        let regressed = ratio < REGRESSION_FLOOR;
+        let verdict = if regressed { "FAIL" } else { "ok" };
         println!(
             "  {}: {:.0} pts/s vs baseline {:.0} ({:.1}%) {verdict}",
             row.config,
@@ -278,7 +296,22 @@ fn compare_against_baseline(report: &Report, path: &str) -> ! {
             b.points_per_sec,
             ratio * 100.0
         );
-        failed |= ratio < REGRESSION_FLOOR;
+        if regressed {
+            // Attribute the lost time to phases: where did the profiled
+            // run's self time grow relative to the baseline's?
+            let deltas = pmkm_obs::attribute_phases(&b.phases, &row.phases);
+            for d in deltas.iter().filter(|d| d.delta_us > 0).take(3) {
+                println!(
+                    "    phase '{}': {} µs → {} µs ({:+} µs, {:.0}% of the shift)",
+                    d.path,
+                    d.self_us_a,
+                    d.self_us_b,
+                    d.delta_us,
+                    d.share * 100.0
+                );
+            }
+        }
+        failed |= regressed;
     }
     if failed {
         eprintln!(
@@ -317,8 +350,20 @@ fn main() {
     }
 
     // The full stream engine over an on-disk bucket (execute/execute_observed).
+    // The profiled fused run journals to --ledger when asked, so a bench run
+    // leaves behind a diffable record (`pmkm diff old.jsonl new.jsonl`).
     for kernel in [KernelKind::Scalar, KernelKind::Fused] {
-        rows.push(bench_stream(&cell, &params, CLONES, kernel));
+        let sink = match (&opts.ledger, kernel) {
+            (Some(path), KernelKind::Fused) => {
+                Some(Arc::new(pmkm_obs::LedgerSink::create(path).expect("create bench ledger")))
+            }
+            _ => None,
+        };
+        let wrote_ledger = sink.is_some();
+        rows.push(bench_stream(&cell, &params, CLONES, kernel, sink));
+        if wrote_ledger {
+            println!("[ledger] {}", opts.ledger.as_deref().unwrap_or_default());
+        }
     }
     let stream_epms: Vec<f64> =
         rows.iter().filter(|r| r.config.starts_with("stream")).map(|r| r.epm).collect();

@@ -20,6 +20,10 @@ pub enum CliError {
     Run(String),
     /// No such subcommand.
     UnknownCommand(String),
+    /// `pmkm diff` detected a performance regression — a distinct variant
+    /// so the binary can exit with a machine-readable code (3) that CI
+    /// gates can tell apart from plain failures (1).
+    Regression(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -27,11 +31,12 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Run(msg) => write!(f, "{msg}"),
+            CliError::Regression(msg) => write!(f, "{msg}"),
             CliError::UnknownCommand(c) => {
                 write!(
                     f,
-                    "unknown command '{c}'; try: generate, bin, inspect, cluster, compress, \
-                     query, serve-demo"
+                    "unknown command '{c}'; try: generate, bin, inspect, cluster, diff, \
+                     compress, query, serve-demo"
                 )
             }
         }
@@ -57,6 +62,7 @@ pub fn dispatch<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<(),
         "bin" => bin(args, out),
         "inspect" => inspect(args, out),
         "cluster" => cluster(args, out),
+        "diff" => diff_runs(args, out),
         "compress" => compress(args, out),
         "query" => query(args, out),
         "serve-demo" => serve_demo(args, out),
@@ -76,13 +82,17 @@ COMMANDS
             Simulate a satellite swath; writes stripe files into DIR.
   bin       --out=DIR <stripe files…>
             Sort stripe observations into per-cell grid-bucket files.
-  inspect   <bucket files…>
-            Print each bucket's header and per-dimension statistics.
+  inspect   <bucket files… | ledger.jsonl…>
+            Print each bucket's header and per-dimension statistics. Given
+            a run ledger (JSONL, from cluster --ledger) instead, print its
+            rollup: per-phase table, per-cell mass audit, the slowest
+            chunks, kernel dispatches, and the fault timeline.
   cluster   [--k=40] [--restarts=10] [--seed=0] [--splits=P | --memory=BYTES]
             [--workers=N] [--kernel=auto] [--adaptive] [--incremental]
             [--tolerant] [--chaos=LEVEL:SEED]
             [--metrics-out=REPORT.json] [--trace=TRACE.jsonl]
-            [--serve=ADDR] [--folded=STACKS.txt] <bucket files…>
+            [--ledger=LEDGER.jsonl] [--serve=ADDR] [--folded=STACKS.txt]
+            <bucket files…>
             Cluster each bucket with partial/merge k-means on the stream
             engine; prints centroids summary and operator telemetry.
             --kernel picks the assignment strategy (auto, scalar,
@@ -94,10 +104,20 @@ COMMANDS
             combine with --tolerant to watch the engine degrade instead
             of erroring; --metrics-out writes a structured RunReport
             (JSON); --trace streams structured events as JSON lines;
-            --serve exposes /metrics, /report.json and /healthz over
-            HTTP for the duration of the run; --folded writes the span
-            profiler's folded stacks (pipe into inferno-flamegraph for an
-            SVG flamegraph).
+            --ledger journals the run as an append-only JSONL event
+            ledger (inspect or diff it afterwards); --serve exposes
+            /metrics, /report.json, /healthz — plus /events and
+            /ledger.jsonl when a ledger is active — over HTTP for the
+            duration of the run; --folded writes the span profiler's
+            folded stacks (pipe into inferno-flamegraph for an SVG
+            flamegraph).
+  diff      [--threshold=0.10] <A> <B>
+            Compare two runs (each a run ledger or a RunReport JSON, mixed
+            freely): prints the elapsed ratio, per-phase attribution of
+            the delta with a confidence score, kernel dispatch changes,
+            fault-counter deltas, and mass-conservation drift. Exits 3
+            when B is more than --threshold slower than A, so CI gates
+            can tell a regression (3) from a plain failure (1).
   serve-demo [--addr=127.0.0.1:0] [--iters=3] [--n=2000] [--k=8]
             [--splits=4] [--restarts=2] [--seed=0]
             Run a synthetic partial/merge workload while serving live
@@ -149,12 +169,75 @@ fn bin<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// True when the file's first byte is `{` — a JSONL run ledger rather than
+/// a binary grid bucket (whose magic never starts with `{`).
+fn looks_like_ledger(path: &str) -> bool {
+    std::fs::read(path)
+        .is_ok_and(|bytes| bytes.iter().find(|b| !b.is_ascii_whitespace()).copied() == Some(b'{'))
+}
+
+/// Prints the per-cell / per-phase rollup of one run ledger.
+fn inspect_ledger<W: Write>(path: &str, out: &mut W) -> Result<(), CliError> {
+    let records = pmkm_obs::read_ledger(path).map_err(run_err)?;
+    let roll = pmkm_obs::rollup(&records);
+    writeln!(
+        out,
+        "{path}: ledger v{}, {} events, elapsed {} µs, mass ratio {:.6}",
+        roll.version,
+        roll.events,
+        roll.elapsed_us,
+        roll.mass_ratio()
+    )
+    .map_err(run_err)?;
+    if !roll.phases.is_empty() {
+        writeln!(out, "  [phases] path, calls, total µs, self µs, wall µs").map_err(run_err)?;
+        for p in &roll.phases {
+            writeln!(
+                out,
+                "    {:<24} {:>6} {:>10} {:>10} {:>10}",
+                p.path, p.calls, p.total_us, p.self_us, p.wall_us
+            )
+            .map_err(run_err)?;
+        }
+    }
+    for c in &roll.cells {
+        let flag = if c.degraded { " DEGRADED" } else { "" };
+        writeln!(
+            out,
+            "  [cell {}] {} chunks, expected {:.0}, lost {:.0} in {} chunk(s), \
+             mse {:.3}, E_pm {:.1}{flag}",
+            c.cell, c.chunks, c.expected_points, c.lost_points, c.lost_chunks, c.mse, c.epm
+        )
+        .map_err(run_err)?;
+    }
+    for ch in roll.slowest_chunks(5) {
+        writeln!(
+            out,
+            "  [slow chunk] cell {} chunk {}: {} points in {} µs ({} attempt(s))",
+            ch.cell, ch.chunk, ch.points, ch.duration_us, ch.attempts
+        )
+        .map_err(run_err)?;
+    }
+    for k in &roll.kernels {
+        writeln!(out, "  [kernel] {}: {} dispatches, {} points", k.kind, k.runs, k.points)
+            .map_err(run_err)?;
+    }
+    for f in &roll.fault_timeline {
+        writeln!(out, "  [fault +{} µs] {} {}", f.ts_us, f.kind, f.detail).map_err(run_err)?;
+    }
+    Ok(())
+}
+
 fn inspect<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     args.expect_only(&[])?;
     if args.positionals().is_empty() {
-        return Err(CliError::Run("inspect: no bucket files given".into()));
+        return Err(CliError::Run("inspect: no bucket or ledger files given".into()));
     }
     for path in args.positionals() {
+        if looks_like_ledger(path) {
+            inspect_ledger(path, out)?;
+            continue;
+        }
         let bucket = GridBucket::read_from(&PathBuf::from(path)).map_err(run_err)?;
         let (lat, lon) = bucket.cell.center();
         writeln!(
@@ -182,6 +265,51 @@ fn inspect<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Loads one side of a `pmkm diff` as a comparable [`pmkm_obs::RunProfile`].
+///
+/// Accepts either a structured `RunReport` JSON (from `--metrics-out`) or a
+/// JSONL run ledger (from `--ledger`); the two sides of a diff may mix the
+/// formats freely. A whole-file `RunReport` parse is tried first — a JSONL
+/// ledger always fails it (trailing lines) and falls through to the ledger
+/// parser.
+fn load_profile(path: &str) -> Result<pmkm_obs::RunProfile, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Run(format!("diff: cannot read {path}: {e}")))?;
+    if let Ok(report) = serde_json::from_str::<pmkm_obs::RunReport>(&text) {
+        return Ok(pmkm_obs::RunProfile::from_run_report(path, &report));
+    }
+    let records = pmkm_obs::parse_ledger(&text).map_err(|e| {
+        CliError::Run(format!("diff: {path} is neither a RunReport nor a ledger: {e}"))
+    })?;
+    Ok(pmkm_obs::RunProfile::from_rollup(path, &pmkm_obs::rollup(&records)))
+}
+
+fn diff_runs<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["threshold"])?;
+    let threshold: f64 = args.get("threshold", 0.10)?;
+    let paths = args.positionals();
+    if paths.len() != 2 {
+        return Err(CliError::Run(
+            "diff: give exactly two runs to compare (each a ledger or a RunReport JSON)".into(),
+        ));
+    }
+    let a = load_profile(&paths[0])?;
+    let b = load_profile(&paths[1])?;
+    let diff = pmkm_obs::diff_profiles(&a, &b, threshold);
+    write!(out, "{}", diff.render()).map_err(run_err)?;
+    if diff.regression {
+        let culprit = diff
+            .attributed_phase()
+            .map(|p| format!(" (attributed to phase '{}')", p.path))
+            .unwrap_or_default();
+        return Err(CliError::Regression(format!(
+            "regression: {} is {:.2}x slower than {}{culprit}",
+            diff.label_b, diff.slowdown, diff.label_a
+        )));
+    }
+    Ok(())
+}
+
 fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     args.expect_only(&[
         "k",
@@ -195,6 +323,7 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "incremental",
         "metrics-out",
         "trace",
+        "ledger",
         "serve",
         "folded",
         "tolerant",
@@ -271,12 +400,23 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
     let metrics_out = args.get_str("metrics-out", "");
     let trace_out = args.get_str("trace", "");
+    let ledger_out = args.get_str("ledger", "");
     let serve_addr = args.get_str("serve", "");
     let folded_out = args.get_str("folded", "");
+    // A ledger backs the /events long-poll, so --serve without --ledger
+    // still gets an in-memory journal; a bare run gets none at all.
+    let ledger = if !ledger_out.is_empty() {
+        Some(std::sync::Arc::new(pmkm_obs::LedgerSink::create(&ledger_out).map_err(run_err)?))
+    } else if !serve_addr.is_empty() {
+        Some(std::sync::Arc::new(pmkm_obs::LedgerSink::in_memory()))
+    } else {
+        None
+    };
     let recorder = if metrics_out.is_empty()
         && trace_out.is_empty()
         && serve_addr.is_empty()
         && folded_out.is_empty()
+        && ledger.is_none()
     {
         None
     } else {
@@ -286,16 +426,22 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             let sink = pmkm_obs::JsonlSink::create(&trace_out).map_err(run_err)?;
             rec = rec.with_sink(std::sync::Arc::new(sink));
         }
+        if let Some(ledger) = &ledger {
+            rec = rec.with_sink(ledger.clone());
+        }
         Some(std::sync::Arc::new(rec))
     };
     let server = if serve_addr.is_empty() {
         None
     } else {
         let rec = recorder.clone().expect("recorder is built whenever --serve is given");
-        let server = pmkm_obs::MetricsServer::serve(serve_addr.as_str(), rec).map_err(run_err)?;
+        let ledger = ledger.clone().expect("ledger is built whenever --serve is given");
+        let server = pmkm_obs::MetricsServer::serve_with_ledger(serve_addr.as_str(), rec, ledger)
+            .map_err(run_err)?;
         writeln!(
             out,
-            "serving telemetry at http://{} (/metrics, /report.json, /healthz)",
+            "serving telemetry at http://{} (/metrics, /report.json, /healthz, /events, \
+             /ledger.jsonl)",
             server.local_addr()
         )
         .map_err(run_err)?;
@@ -390,6 +536,9 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
     if !trace_out.is_empty() {
         writeln!(out, "wrote trace to {trace_out}").map_err(run_err)?;
+    }
+    if !ledger_out.is_empty() {
+        writeln!(out, "wrote ledger to {ledger_out}").map_err(run_err)?;
     }
     if !folded_out.is_empty() {
         let folded =
@@ -937,6 +1086,127 @@ mod tests {
         let path = dir.join("junk.gb");
         std::fs::write(&path, b"not a bucket").unwrap();
         assert!(matches!(run("inspect", &[path.display().to_string()]), Err(CliError::Run(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_ledger_inspect_and_diff_round_trip() {
+        let dir = tmp("ledger");
+        let cell = pmkm_data::GridCell::new(30, 30).unwrap();
+        let mut points = pmkm_core::Dataset::new(2).unwrap();
+        let mut x = 0.27_f64;
+        for i in 0..200 {
+            x = (x * 997.13 + 0.7).fract();
+            let blob = if i % 2 == 0 { 0.0 } else { 35.0 };
+            points.push(&[blob + x, blob - x]).unwrap();
+        }
+        let bucket_path = dir.join(cell.bucket_file_name());
+        pmkm_data::GridBucket { cell, points }.write_to(&bucket_path).unwrap();
+
+        // Two identical chaos runs, each journaling a ledger; one also
+        // writes a RunReport so the diff can mix formats.
+        let base = vec![
+            "--k=2".into(),
+            "--restarts=2".into(),
+            "--splits=3".into(),
+            "--tolerant".into(),
+            "--chaos=light:7".into(),
+        ];
+        let ledger_a = dir.join("a.jsonl").display().to_string();
+        let ledger_b = dir.join("b.jsonl").display().to_string();
+        let report_a = dir.join("a_report.json").display().to_string();
+        let mut argv = base.clone();
+        argv.push(format!("--ledger={ledger_a}"));
+        argv.push(format!("--metrics-out={report_a}"));
+        argv.push(bucket_path.display().to_string());
+        let out = run("cluster", &argv).unwrap();
+        assert!(out.contains("wrote ledger to"), "{out}");
+        let mut argv = base;
+        argv.push(format!("--ledger={ledger_b}"));
+        argv.push(bucket_path.display().to_string());
+        run("cluster", &argv).unwrap();
+
+        // The ledger rollup reproduces the RunReport's fault counters.
+        let report: pmkm_obs::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&report_a).unwrap()).unwrap();
+        let records = pmkm_obs::read_ledger(&ledger_a).unwrap();
+        let roll = pmkm_obs::rollup(&records);
+        assert_eq!(roll.faults, report.faults, "ledger rollup must match the report");
+
+        // inspect understands ledgers.
+        let out = run("inspect", std::slice::from_ref(&ledger_a)).unwrap();
+        assert!(out.contains("ledger v"), "{out}");
+        assert!(out.contains("[phases]"), "{out}");
+        assert!(out.contains("[cell "), "{out}");
+
+        // Two same-machine same-workload runs diff clean under a generous
+        // threshold — including the ledger-vs-RunReport mixed form.
+        let out =
+            run("diff", &["--threshold=1000".into(), ledger_a.clone(), ledger_b.clone()]).unwrap();
+        assert!(out.contains("elapsed"), "{out}");
+        let out =
+            run("diff", &["--threshold=1000".into(), report_a.clone(), ledger_b.clone()]).unwrap();
+        assert!(out.contains(&report_a), "{out}");
+
+        // Usage errors: wrong arity, unreadable input.
+        assert!(matches!(run("diff", std::slice::from_ref(&ledger_a)), Err(CliError::Run(_))));
+        assert!(matches!(
+            run("diff", &[ledger_a, "no_such_file.jsonl".into()]),
+            Err(CliError::Run(_))
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diff_detects_regression_and_attributes_phase() {
+        use std::sync::Arc;
+        let dir = tmp("diffreg");
+        // Synthesize two ledgers whose only difference is a 3x slower
+        // assignment phase, dominating the elapsed delta.
+        let write_ledger = |path: &PathBuf, assign_us: u64| {
+            let sink = Arc::new(pmkm_obs::LedgerSink::create(path).unwrap());
+            let rec = pmkm_obs::Recorder::new().with_sink(sink);
+            for (phase, self_us) in [("partial;assign", assign_us), ("merge", 40u64)] {
+                rec.event(
+                    "run.phase",
+                    &[
+                        ("path", phase.into()),
+                        ("calls", 1u64.into()),
+                        ("total_us", self_us.into()),
+                        ("self_us", self_us.into()),
+                        ("wall_us", self_us.into()),
+                    ],
+                );
+            }
+            rec.event(
+                "run.close",
+                &[
+                    ("elapsed_us", (assign_us + 40).into()),
+                    ("cells", 1u64.into()),
+                    ("degraded", false.into()),
+                ],
+            );
+            rec.flush();
+        };
+        let fast = dir.join("fast.jsonl");
+        let slow = dir.join("slow.jsonl");
+        write_ledger(&fast, 1000);
+        write_ledger(&slow, 3000);
+
+        let fast = fast.display().to_string();
+        let slow = slow.display().to_string();
+        let err = run("diff", &[fast.clone(), slow.clone()]).unwrap_err();
+        let CliError::Regression(msg) = &err else {
+            panic!("expected Regression, got {err:?}");
+        };
+        assert!(msg.contains("partial;assign"), "{msg}");
+
+        // Same pair in the non-regressing direction passes and renders the
+        // attribution table.
+        let out = run("diff", &[slow, fast]).unwrap();
+        assert!(out.contains("partial;assign"), "{out}");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,9 +15,14 @@
 //!    timed phases (scan → partial{seed, assign, update, converge} → merge)
 //!    with self/child attribution and folded-stack flamegraph export.
 //! 5. [`serve`] — a dependency-light HTTP [`MetricsServer`] exposing
-//!    `/metrics`, `/report.json`, and `/healthz` on a background thread.
+//!    `/metrics`, `/report.json`, `/healthz`, and — when a ledger is
+//!    attached — the `/events` long-poll stream and `/ledger.jsonl`
+//!    download, on a background thread.
 //! 6. [`config`] — [`ObsConfig`] knobs (trace ring capacity, queue-depth
 //!    sampling interval) carried by the [`Recorder`].
+//! 7. [`ledger`] — the versioned, append-only JSONL run ledger
+//!    ([`LedgerSink`]) with a parser, a per-cell/per-phase [`rollup`]
+//!    engine, and the cross-run [`diff_profiles`] attribution engine.
 //!
 //! The instrumented code paths in `pmkm-core` and `pmkm-stream` thread an
 //! `Option<&Recorder>` through; `None` keeps the hooks zero-cost (no
@@ -40,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod ledger;
 pub mod metrics;
 pub mod profile;
 pub mod report;
@@ -47,7 +53,11 @@ pub mod serve;
 pub mod trace;
 
 pub use config::ObsConfig;
-pub use metrics::{escape_label_value, Counter, Gauge, Histogram, Registry};
+pub use ledger::{
+    attribute_phases, diff_profiles, emit_phase_events, parse_ledger, read_ledger, rollup,
+    LedgerRecord, LedgerRollup, LedgerSink, PhaseDelta, ProfileDiff, RunProfile, LEDGER_VERSION,
+};
+pub use metrics::{escape_label_value, labeled_name, Counter, Gauge, Histogram, Registry};
 pub use profile::{ManualClock, MonotonicClock, PhaseGuard, Profiler, ProfilerClock};
 pub use report::{
     CellReport, ChunkReport, CounterSample, FaultReport, GaugeSample, HistogramSample,

@@ -202,17 +202,35 @@ impl Registry {
         }
     }
 
+    /// The counter `family{label="value"}` — a labeled member of the
+    /// `family` metric family. The label value is escaped; members of one
+    /// family share a single `# TYPE` line in the Prometheus rendering.
+    pub fn labeled_counter(&self, family: &str, label: &str, value: &str) -> Arc<Counter> {
+        self.counter(&labeled_name(family, label, value))
+    }
+
     /// Renders every instrument in the Prometheus text exposition format
-    /// (counters, gauges, and cumulative histogram buckets). An empty
-    /// registry renders the empty string.
+    /// (counters, gauges, and cumulative histogram buckets). Labeled
+    /// members of one family (`name{label="v"}`) are grouped under a
+    /// single `# TYPE` line. An empty registry renders the empty string.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_family = String::new();
         for (name, c) in self.counters.lock().iter() {
-            let _ = writeln!(out, "# TYPE {name} counter");
+            let family = metric_family(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} counter");
+                last_family = family.to_string();
+            }
             let _ = writeln!(out, "{name} {}", c.get());
         }
+        last_family.clear();
         for (name, g) in self.gauges.lock().iter() {
-            let _ = writeln!(out, "# TYPE {name} gauge");
+            let family = metric_family(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} gauge");
+                last_family = family.to_string();
+            }
             let _ = writeln!(out, "{name} {}", g.get());
         }
         for (name, h) in self.histograms.lock().iter() {
@@ -232,6 +250,17 @@ impl Registry {
         }
         out
     }
+}
+
+/// The family part of a (possibly labeled) metric name:
+/// `fault_events_total{kind="x"}` → `fault_events_total`.
+fn metric_family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Formats a labeled metric name: `family{label="escaped value"}`.
+pub fn labeled_name(family: &str, label: &str, value: &str) -> String {
+    format!("{family}{{{label}=\"{}\"}}", escape_label_value(value))
 }
 
 /// Escapes a Prometheus label *value*: backslash, double quote, and newline
@@ -327,6 +356,29 @@ mod tests {
         assert!(text.contains("latency_bucket{le=\"5\"} 1"));
         assert!(text.contains("latency_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("latency_count 1"));
+    }
+
+    #[test]
+    fn labeled_counter_family_shares_one_type_line() {
+        let r = Registry::new();
+        r.labeled_counter("fault_events_total", "kind", "worker_panic").add(2);
+        r.labeled_counter("fault_events_total", "kind", "chunk_retry").inc();
+        r.counter("other_total").inc();
+        let text = r.render_prometheus();
+        let type_lines = text.lines().filter(|l| *l == "# TYPE fault_events_total counter").count();
+        assert_eq!(type_lines, 1, "family must get exactly one TYPE line:\n{text}");
+        assert!(text.contains("fault_events_total{kind=\"worker_panic\"} 2"));
+        assert!(text.contains("fault_events_total{kind=\"chunk_retry\"} 1"));
+        assert!(text.contains("# TYPE other_total counter"));
+        // The TYPE line precedes every member of its family.
+        let type_pos = text.find("# TYPE fault_events_total counter").unwrap();
+        assert!(type_pos < text.find("fault_events_total{").unwrap());
+    }
+
+    #[test]
+    fn labeled_name_escapes_values() {
+        assert_eq!(labeled_name("f", "kind", "a\"b"), "f{kind=\"a\\\"b\"}");
+        assert_eq!(labeled_name("f", "kind", "plain"), "f{kind=\"plain\"}");
     }
 
     #[test]

@@ -7,13 +7,20 @@
 //! shared tree — the same semantics as the operator `busy` accounting, so on
 //! a multi-clone run a phase's total can exceed wall-clock time.
 //!
+//! Alongside the summed totals, every node tracks a *per-thread* total and
+//! reports the maximum as `wall_us`: for a phase whose clones run
+//! concurrently, that is the phase's elapsed wall time rather than the sum
+//! of thread times, so a 4-clone partial phase no longer looks 4× longer
+//! than the run it happened inside.
+//!
 //! Output comes in two shapes:
 //!
 //! * [`Profiler::phase_rows`] — flat [`PhaseReport`] rows (path, calls,
-//!   total, self) sorted by path, embedded in `RunReport.phases`;
-//! * [`Profiler::folded`] — folded-stack text (`scan;read 1234` per line,
-//!   value = *self* microseconds) that `inferno-flamegraph` and
-//!   `flamegraph.pl` consume directly.
+//!   total, self, wall) sorted by path, embedded in `RunReport.phases`;
+//! * [`Profiler::folded`] — folded-stack text, one
+//!   `scan;read <self_us> <wall_us>` line per phase. The *last* column is
+//!   the per-thread-max wall time; pipe through `awk '{print $1, $2}'` for
+//!   strict `flamegraph.pl` single-value input.
 //!
 //! Time comes from a pluggable [`ProfilerClock`]; tests use [`ManualClock`]
 //! for deterministic output, production uses the default [`MonotonicClock`].
@@ -32,7 +39,7 @@
 //!         clock.advance_us(30);
 //!     }
 //! }
-//! assert_eq!(prof.folded(), "partial 10\npartial;assign 30\n");
+//! assert_eq!(prof.folded(), "partial 10 40\npartial;assign 30 30\n");
 //! ```
 
 use crate::report::PhaseReport;
@@ -106,6 +113,9 @@ struct Node {
     children: BTreeMap<String, usize>,
     total_us: u64,
     calls: u64,
+    /// Per-thread share of `total_us`; the maximum is the node's wall time
+    /// when its threads ran concurrently.
+    per_thread: HashMap<ThreadId, u64>,
 }
 
 struct State {
@@ -127,7 +137,12 @@ impl State {
             return idx;
         }
         let idx = self.nodes.len();
-        self.nodes.push(Node { children: BTreeMap::new(), total_us: 0, calls: 0 });
+        self.nodes.push(Node {
+            children: BTreeMap::new(),
+            total_us: 0,
+            calls: 0,
+            per_thread: HashMap::new(),
+        });
         let map = match parent {
             Some(p) => &mut self.nodes[p].children,
             None => &mut self.roots,
@@ -193,12 +208,15 @@ impl Profiler {
             }
         }
         let n = &mut state.nodes[node];
-        n.total_us += end_us.saturating_sub(start_us);
+        let elapsed = end_us.saturating_sub(start_us);
+        n.total_us += elapsed;
         n.calls += 1;
+        *n.per_thread.entry(tid).or_insert(0) += elapsed;
     }
 
     /// Flat per-phase rows sorted by path (`/`-joined), with
-    /// `self_us = total_us − Σ children.total_us` (saturating).
+    /// `self_us = total_us − Σ children.total_us` (saturating) and
+    /// `wall_us = max` over the per-thread totals.
     pub fn phase_rows(&self) -> Vec<PhaseReport> {
         let state = self.state.lock();
         let mut rows = Vec::new();
@@ -212,6 +230,7 @@ impl Profiler {
                 calls: node.calls,
                 total_us: node.total_us,
                 self_us: node.total_us.saturating_sub(child_total),
+                wall_us: node.per_thread.values().copied().max().unwrap_or(0),
             });
             for (name, &child) in node.children.iter().rev() {
                 pending.push((child, format!("{path}/{name}")));
@@ -220,15 +239,18 @@ impl Profiler {
         rows
     }
 
-    /// Folded-stack flamegraph text: one `a;b;c <self_us>` line per phase in
-    /// depth-first order, `inferno-flamegraph` / `flamegraph.pl` compatible.
-    /// Output is deterministic: siblings are sorted by name.
+    /// Folded-stack text: one `a;b;c <self_us> <wall_us>` line per phase in
+    /// depth-first order. The first value is the thread-summed self time
+    /// (the classic flamegraph weight), the second the per-thread-max wall
+    /// time. Output is deterministic: siblings are sorted by name.
     pub fn folded(&self) -> String {
         let mut out = String::new();
         for row in self.phase_rows() {
             out.push_str(&row.path.replace('/', ";"));
             out.push(' ');
             out.push_str(&row.self_us.to_string());
+            out.push(' ');
+            out.push_str(&row.wall_us.to_string());
             out.push('\n');
         }
         out
@@ -354,7 +376,8 @@ mod tests {
             }
             clock.advance_us(1);
         }
-        let expected = "merge 4\npartial 1\npartial;assign 3\npartial;update 2\n";
+        // Columns: self_us then wall_us. Single-threaded, wall == total.
+        let expected = "merge 4 4\npartial 1 6\npartial;assign 3 3\npartial;update 2 2\n";
         assert_eq!(prof.folded(), expected);
         assert_eq!(prof.folded(), expected); // stable across calls
     }
@@ -381,6 +404,31 @@ mod tests {
         // Each thread saw the shared clock advance at least its own 10µs;
         // with two advances the combined total lands in [20, 40].
         assert!(rows[0].total_us >= 20 && rows[0].total_us <= 40);
+        // Wall is the per-thread max: never more than the summed total.
+        assert!(rows[0].wall_us >= 10 && rows[0].wall_us <= rows[0].total_us);
+    }
+
+    #[test]
+    fn wall_time_is_per_thread_max_not_thread_sum() {
+        // Two threads run the same phase strictly one after the other, each
+        // observing exactly a 10µs advance: the summed total is 20 but the
+        // per-thread max (the "wall" column) is 10.
+        let clock = Arc::new(ManualClock::new());
+        let prof = Arc::new(Profiler::with_clock(clock.clone()));
+        for _ in 0..2 {
+            let (prof, clock) = (Arc::clone(&prof), Arc::clone(&clock));
+            std::thread::spawn(move || {
+                let _g = prof.enter("partial");
+                clock.advance_us(10);
+            })
+            .join()
+            .unwrap();
+        }
+        let rows = prof.phase_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].total_us, 20);
+        assert_eq!(rows[0].wall_us, 10);
+        assert_eq!(prof.folded(), "partial 20 10\n");
     }
 
     #[test]

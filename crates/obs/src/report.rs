@@ -11,9 +11,10 @@ use std::time::Duration;
 ///
 /// v2 added the `phases` breakdown; v3 added fault accounting (the
 /// top-level `degraded` flag, the `faults` counter block, and the per-cell
-/// `expected_points`/`lost_points`/`lost_chunks`/`degraded` fields). Every
-/// addition is `#[serde(default)]`, so v1 and v2 documents still parse.
-pub const SCHEMA_VERSION: u32 = 3;
+/// `expected_points`/`lost_points`/`lost_chunks`/`degraded` fields); v4
+/// added the per-phase `wall_us` column (per-thread-max elapsed time).
+/// Every addition is `#[serde(default)]`, so older documents still parse.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Fault-tolerance counters for one run (schema v3). All zero on a
 /// fault-free run — and on any report parsed from a v1/v2 document.
@@ -99,18 +100,26 @@ pub struct MetricsSnapshot {
 
 /// One aggregated row of the span profiler's phase tree.
 ///
-/// Produced by `Profiler::phase_rows`; totals are summed across threads, so
-/// on multi-clone runs `total_us` can exceed wall-clock time.
+/// Produced by `Profiler::phase_rows`; `total_us`/`self_us` are summed
+/// across threads, so on multi-clone runs they can exceed wall-clock time.
+/// `wall_us` is the per-thread *maximum* instead — for a phase whose clones
+/// run concurrently it approximates the phase's elapsed wall time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PhaseReport {
     /// `/`-joined span path, e.g. `"partial/assign"`.
     pub path: String,
     /// Times the span was entered.
     pub calls: u64,
-    /// Total wall time inside the span, including children (µs).
+    /// Total time inside the span, including children, summed over threads
+    /// (µs).
     pub total_us: u64,
-    /// Wall time not attributed to any child span (µs).
+    /// Time not attributed to any child span, summed over threads (µs).
     pub self_us: u64,
+    /// Maximum per-thread time inside the span (µs) — the phase's elapsed
+    /// wall time when its threads run concurrently. Absent (0) in pre-v4
+    /// documents.
+    #[serde(default)]
+    pub wall_us: u64,
 }
 
 /// Per-operator-clone accounting with a busy-vs-blocked split.
@@ -351,6 +360,7 @@ mod tests {
                 calls: 7,
                 total_us: 400,
                 self_us: 350,
+                wall_us: 380,
             }],
             degraded: false,
             faults: FaultReport::default(),
@@ -400,6 +410,21 @@ mod tests {
         assert_eq!(back.schema_version, 2);
         assert!(!back.degraded);
         assert!(!back.faults.any());
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v3_report_without_wall_us_still_parses() {
+        // A v3 writer emitted phases without the v4 `wall_us` column; the
+        // field must default to 0 under the current reader.
+        let mut report = sample_report();
+        report.schema_version = 3;
+        report.phases[0].wall_us = 0;
+        let json = serde_json::to_string(&report).unwrap().replace(",\"wall_us\":0", "");
+        assert!(!json.contains("wall_us"), "surgery failed: {json}");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, 3);
+        assert_eq!(back.phases[0].wall_us, 0);
         assert_eq!(back, report);
     }
 

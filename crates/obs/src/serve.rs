@@ -1,15 +1,22 @@
 //! Dependency-light HTTP exporter for live pipeline telemetry.
 //!
-//! [`MetricsServer`] binds a `std::net::TcpListener` and answers three
-//! routes with a small hand-rolled HTTP/1.1 responder — no async runtime,
-//! no HTTP crate:
+//! [`MetricsServer`] binds a `std::net::TcpListener` and answers a handful
+//! of routes with a small hand-rolled HTTP/1.1 responder — no async
+//! runtime, no HTTP crate:
 //!
 //! * `GET /metrics` — the recorder's registry in Prometheus text format;
 //! * `GET /report.json` — the final [`RunReport`] once one has been
 //!   published via [`MetricsServer::set_report`], else a *live* snapshot
 //!   (elapsed time, current metrics, current profiler phases) built on the
 //!   fly, so the endpoint is useful while a run is still in flight;
-//! * `GET /healthz` — `{"status":"ok", ...}` liveness probe.
+//! * `GET /healthz` — `{"status":"ok", ...}` liveness probe;
+//! * `GET /events?after=N` — run-ledger long-poll (requires a
+//!   [`LedgerSink`] via [`MetricsServer::serve_with_ledger`]): returns the
+//!   JSONL records with sequence number greater than `N` as soon as any
+//!   exist, waiting up to ~2 s before answering with an empty body. Each
+//!   record carries its own `seq`, so a scraper resumes from the last one
+//!   it saw and watches a run in flight;
+//! * `GET /ledger.jsonl` — the full journal so far, as a download.
 //!
 //! One background thread accepts connections and hands them to a small
 //! pool of worker threads over a channel, so a slow scraper cannot block
@@ -30,6 +37,7 @@
 //! server.shutdown();
 //! ```
 
+use crate::ledger::LedgerSink;
 use crate::report::RunReport;
 use crate::trace::Recorder;
 use parking_lot::Mutex;
@@ -37,10 +45,17 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long `/events` waits for new records before answering empty. Kept
+/// under [`IO_TIMEOUT`] so a long-poller cannot outlive a worker's write
+/// window, and short enough that shutdown drains promptly.
+const EVENTS_POLL_WINDOW: Duration = Duration::from_millis(1900);
+/// Sleep between ledger checks inside one `/events` long-poll.
+const EVENTS_POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Worker threads answering requests concurrently. Scrapes are cheap, so
 /// a handful of workers rides out a slow client without unbounded threads.
@@ -59,7 +74,7 @@ impl MetricsServer {
     /// starts answering requests on a background accept thread plus a
     /// small worker pool.
     pub fn serve(addr: impl ToSocketAddrs, recorder: Arc<Recorder>) -> std::io::Result<Self> {
-        Self::serve_with_workers(addr, recorder, DEFAULT_WORKERS)
+        Self::serve_with_options(addr, recorder, DEFAULT_WORKERS, None)
     }
 
     /// Like [`MetricsServer::serve`] with an explicit worker-pool size
@@ -68,6 +83,28 @@ impl MetricsServer {
         addr: impl ToSocketAddrs,
         recorder: Arc<Recorder>,
         workers: usize,
+    ) -> std::io::Result<Self> {
+        Self::serve_with_options(addr, recorder, workers, None)
+    }
+
+    /// Like [`MetricsServer::serve`] with a run ledger attached, enabling
+    /// the `/events` long-poll stream and the `/ledger.jsonl` download.
+    /// The ledger should also be registered as a sink on `recorder` so it
+    /// actually receives the run's events.
+    pub fn serve_with_ledger(
+        addr: impl ToSocketAddrs,
+        recorder: Arc<Recorder>,
+        ledger: Arc<LedgerSink>,
+    ) -> std::io::Result<Self> {
+        Self::serve_with_options(addr, recorder, DEFAULT_WORKERS, Some(ledger))
+    }
+
+    /// The fully-explicit constructor behind the `serve*` conveniences.
+    pub fn serve_with_options(
+        addr: impl ToSocketAddrs,
+        recorder: Arc<Recorder>,
+        workers: usize,
+        ledger: Option<Arc<LedgerSink>>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -80,6 +117,8 @@ impl MetricsServer {
             let conn_rx = Arc::clone(&conn_rx);
             let recorder = Arc::clone(&recorder);
             let report = Arc::clone(&report);
+            let ledger = ledger.clone();
+            let stop = Arc::clone(&stop);
             handles.push(
                 std::thread::Builder::new().name(format!("pmkm-metrics-worker-{i}")).spawn(
                     move || loop {
@@ -90,7 +129,13 @@ impl MetricsServer {
                             // One slow or broken client must not wedge the
                             // exporter; errors just drop the connection.
                             Ok(stream) => {
-                                let _ = handle_connection(stream, &recorder, &report);
+                                let _ = handle_connection(
+                                    stream,
+                                    &recorder,
+                                    &report,
+                                    ledger.as_deref(),
+                                    &stop,
+                                );
                             }
                             // Accept thread gone: sender dropped, drain done.
                             Err(_) => break,
@@ -172,10 +217,36 @@ fn live_report(recorder: &Recorder) -> RunReport {
     report
 }
 
+/// Serves one `/events` long-poll: returns the records with `seq > after`
+/// as soon as any exist, polling the ledger until the window closes or the
+/// server begins shutdown.
+fn poll_events(ledger: &LedgerSink, after: u64, stop: &AtomicBool) -> String {
+    let deadline = Instant::now() + EVENTS_POLL_WINDOW;
+    loop {
+        let records = ledger.records_after(after);
+        if !records.is_empty() {
+            let mut out = String::new();
+            for record in &records {
+                if let Ok(line) = serde_json::to_string(record) {
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+            }
+            return out;
+        }
+        if Instant::now() >= deadline || stop.load(Ordering::SeqCst) {
+            return String::new();
+        }
+        std::thread::sleep(EVENTS_POLL_INTERVAL);
+    }
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     recorder: &Recorder,
     report: &Mutex<Option<RunReport>>,
+    ledger: Option<&LedgerSink>,
+    stop: &AtomicBool,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -186,6 +257,25 @@ fn handle_connection(
             "text/plain; version=0.0.4; charset=utf-8",
             recorder.registry().render_prometheus(),
         ),
+        Some(("GET", "/events")) => match ledger {
+            Some(ledger) => {
+                let after = query_param(&request, "after").unwrap_or(0);
+                ("200 OK", "application/x-ndjson", poll_events(ledger, after, stop))
+            }
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no ledger attached (run with --ledger)\n".to_string(),
+            ),
+        },
+        Some(("GET", "/ledger.jsonl")) => match ledger {
+            Some(ledger) => ("200 OK", "application/x-ndjson", ledger.snapshot_jsonl()),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no ledger attached (run with --ledger)\n".to_string(),
+            ),
+        },
         Some(("GET", "/report.json")) => {
             let body = {
                 let stored = report.lock();
@@ -255,6 +345,20 @@ fn parse_request_line(request: &str) -> Option<(&str, &str)> {
     Some((method, path))
 }
 
+/// Extracts a `u64` query parameter from the raw request head, e.g.
+/// `query_param("GET /events?after=12 HTTP/1.1…", "after")` → `Some(12)`.
+/// Missing or unparsable values yield `None`.
+fn query_param(request: &str, key: &str) -> Option<u64> {
+    let line = request.lines().next()?;
+    let target = line.split_whitespace().nth(1)?;
+    let query = target.split_once('?')?.1;
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +376,15 @@ mod tests {
         );
         assert_eq!(parse_request_line(""), None);
         assert_eq!(parse_request_line("GARBAGE"), None);
+    }
+
+    #[test]
+    fn query_param_extraction() {
+        assert_eq!(query_param("GET /events?after=12 HTTP/1.1\r\n\r\n", "after"), Some(12));
+        assert_eq!(query_param("GET /events?x=1&after=7 HTTP/1.1\r\n", "after"), Some(7));
+        assert_eq!(query_param("GET /events HTTP/1.1\r\n", "after"), None);
+        assert_eq!(query_param("GET /events?after=nope HTTP/1.1\r\n", "after"), None);
+        assert_eq!(query_param("", "after"), None);
     }
 
     #[test]

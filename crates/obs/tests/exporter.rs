@@ -155,6 +155,80 @@ fn exporter_answers_concurrent_scrapes_from_the_worker_pool() {
 }
 
 #[test]
+fn exporter_streams_ledger_events_and_tolerates_slow_consumers() {
+    use pmkm_obs::{LedgerRecord, LedgerSink};
+
+    let ledger = Arc::new(LedgerSink::in_memory());
+    let rec = Arc::new(Recorder::new().with_sink(Arc::clone(&ledger) as _));
+    rec.event("chunk.close", &[("cell", 3u64.into()), ("points", 500u64.into())]);
+    let server = MetricsServer::serve_with_ledger("127.0.0.1:0", Arc::clone(&rec), ledger.clone())
+        .expect("bind");
+    let addr = server.local_addr();
+
+    // /ledger.jsonl — the whole journal (header + our event) as NDJSON.
+    let (status, headers, body) = get(addr, "/ledger.jsonl");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(header(&headers, "content-type"), Some("application/x-ndjson"));
+    let records: Vec<LedgerRecord> =
+        body.lines().map(|l| serde_json::from_str(l).expect("record parses")).collect();
+    assert_eq!(records[0].name, "ledger.open");
+    assert!(records.iter().any(|r| r.name == "chunk.close"), "{body}");
+    let last_seq = records.last().unwrap().seq;
+
+    // /events?after=0 answers immediately when records past the cursor
+    // already exist (seq 0, the header, sits before it).
+    let (status, _, body) = get(addr, "/events?after=0");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("chunk.close"), "{body}");
+
+    // A long-poll past the cursor blocks until a new event lands; feed one
+    // from another thread mid-poll and check it comes back alone.
+    let feeder = {
+        let rec = Arc::clone(&rec);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            rec.event("merge.done", &[("cell", 3u64.into())]);
+        })
+    };
+    let (status, _, body) = get(addr, &format!("/events?after={last_seq}"));
+    feeder.join().unwrap();
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let fresh: Vec<LedgerRecord> =
+        body.lines().map(|l| serde_json::from_str(l).expect("record parses")).collect();
+    assert_eq!(fresh.len(), 1, "{body}");
+    assert_eq!(fresh[0].name, "merge.done");
+    assert!(fresh[0].seq > last_seq);
+
+    // Slow consumers — one client parked in a long-poll with nothing to
+    // deliver, one stalled mid-request — must not starve other routes out
+    // of the worker pool.
+    let parked = std::thread::spawn(move || get(addr, "/events?after=999999"));
+    let mut stalled = TcpStream::connect(addr).expect("stalled client connects");
+    stalled.write_all(b"GET /events HTTP/1.1\r\n").expect("partial request");
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    for path in ["/healthz", "/metrics", "/ledger.jsonl"] {
+        let (status, _, _) = get(addr, path);
+        assert_eq!(status, "HTTP/1.1 200 OK", "{path} stuck behind slow /events consumers");
+    }
+    drop(stalled);
+    // The parked poll eventually answers (empty — nothing new arrived).
+    let (status, _, body) = parked.join().expect("parked poller");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.is_empty(), "expected an empty long-poll window, got: {body}");
+
+    server.shutdown();
+
+    // Without a ledger the streaming routes 404 with a hint.
+    let bare = MetricsServer::serve("127.0.0.1:0", Arc::new(Recorder::new())).expect("bind");
+    for path in ["/events", "/ledger.jsonl"] {
+        let (status, _, body) = get(bare.local_addr(), path);
+        assert_eq!(status, "HTTP/1.1 404 Not Found", "{path}");
+        assert!(body.contains("no ledger attached"), "{path}: {body}");
+    }
+    bare.shutdown();
+}
+
+#[test]
 fn exporter_survives_shutdown_while_idle_and_frees_port_eventually() {
     let rec = Arc::new(Recorder::new());
     let server = MetricsServer::serve("127.0.0.1:0", Arc::clone(&rec)).expect("bind");

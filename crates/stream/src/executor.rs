@@ -128,6 +128,16 @@ pub fn execute_with_faults(
     plan.validate()?;
     let faults = FaultContext::new(fault_plan, plan.fault_policy);
     let started = Instant::now();
+    if let Some(rec) = rec.as_deref() {
+        rec.event(
+            "run.open",
+            &[
+                ("cells", plan.logical.inputs.len().into()),
+                ("partial_clones", plan.partial_clones.into()),
+                ("scan_clones", plan.scan_clones.into()),
+            ],
+        );
+    }
     let cap = plan.queue_capacity;
     let depth_every = rec.as_deref().map(|r| r.config().depth_sample_interval()).unwrap_or(1);
     let q_scan: SmartQueue<ScanMsg> =
@@ -235,14 +245,21 @@ pub fn execute_with_faults(
     let degraded = fault_report.scan_failures > 0
         || fault_report.chunks_quarantined > 0
         || fault_report.cells_degraded > 0;
-    Ok(EngineReport {
-        cells,
-        op_stats,
-        queue_stats,
-        elapsed: started.elapsed(),
-        faults: fault_report,
-        degraded,
-    })
+    let elapsed = started.elapsed();
+    if let Some(rec) = rec.as_deref() {
+        // Phases before close: `run.close` marks the journal's logical end.
+        pmkm_obs::emit_phase_events(rec);
+        rec.event(
+            "run.close",
+            &[
+                ("elapsed_us", (elapsed.as_micros() as u64).into()),
+                ("cells", cells.len().into()),
+                ("degraded", degraded.into()),
+            ],
+        );
+        rec.flush();
+    }
+    Ok(EngineReport { cells, op_stats, queue_stats, elapsed, faults: fault_report, degraded })
 }
 
 #[cfg(test)]
@@ -466,6 +483,84 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chaos_ledger_rollup_reproduces_fault_counters_and_mass() {
+        use crate::fault::FaultPolicy;
+        use pmkm_obs::{parse_ledger, rollup, LedgerSink, Profiler};
+        let dir = tmpdir("ledger_chaos");
+        let paths = vec![
+            write_cell(&dir, 1, 200, 23),
+            write_cell(&dir, 2, 160, 23),
+            write_cell(&dir, 3, 120, 23),
+        ];
+        let mk_plan = || {
+            let mut plan = optimize_fixed_split(
+                LogicalPlan::new(
+                    paths.clone(),
+                    KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 31) },
+                ),
+                &Resources::fixed(1 << 20, 2),
+                40,
+            );
+            plan.fault_policy = FaultPolicy::tolerant();
+            plan
+        };
+        let chaos = Some(FaultPlan::heavy(77));
+
+        // Bare chaos run: the determinism baseline.
+        let bare = execute_with_faults(&mk_plan(), None, chaos.clone()).unwrap();
+
+        // Ledger-enabled chaos run with the same seed.
+        let ledger = Arc::new(LedgerSink::in_memory());
+        let rec = Arc::new(
+            Recorder::new().with_sink(ledger.clone()).with_profiler(Arc::new(Profiler::new())),
+        );
+        let observed = execute_with_faults(&mk_plan(), Some(rec.clone()), chaos).unwrap();
+
+        // Attaching the ledger must not change the clustering.
+        assert_eq!(bare.cells.len(), observed.cells.len());
+        for (a, b) in bare.cells.iter().zip(&observed.cells) {
+            assert_eq!(a.output.centroids, b.output.centroids);
+            assert_eq!(a.output.epm, b.output.epm);
+            assert_eq!(a.lost_points, b.lost_points);
+        }
+        assert_eq!(bare.faults, observed.faults);
+
+        // The ledger's rollup reproduces the run report exactly: fault
+        // counters count-for-count and mass accounting cell-for-cell.
+        let report = observed.run_report(Some(&rec));
+        let records = parse_ledger(&ledger.snapshot_jsonl()).unwrap();
+        let roll = rollup(&records);
+        assert!(roll.faults.any(), "heavy chaos plan injected nothing");
+        assert_eq!(roll.faults, report.faults);
+        let report_expected: f64 = report.cells.iter().map(|c| c.expected_points).sum();
+        let report_lost: f64 = report.cells.iter().map(|c| c.lost_points).sum();
+        // Fully-lost cells never reach the report's cell list but do reach
+        // the ledger, so the ledger's mass accounting covers at least the
+        // report's and never disagrees on what both saw.
+        for cell in &report.cells {
+            let ledger_cell = roll
+                .cells
+                .iter()
+                .find(|c| c.cell == cell.cell)
+                .unwrap_or_else(|| panic!("cell {} missing from ledger", cell.cell));
+            assert_eq!(ledger_cell.expected_points, cell.expected_points);
+            assert_eq!(ledger_cell.lost_points, cell.lost_points);
+            assert_eq!(ledger_cell.lost_chunks, cell.lost_chunks as u64);
+            assert_eq!(ledger_cell.degraded, cell.degraded);
+        }
+        assert!(roll.expected_weight() >= report_expected);
+        assert!(roll.lost_weight() >= report_lost);
+        // Phases and timing made it into the journal.
+        assert_eq!(roll.elapsed_us, report.elapsed.as_micros() as u64);
+        assert!(!roll.phases.is_empty());
+        assert!(!roll.chunks.is_empty());
+        // The mass gauges expose the same ratio on /metrics.
+        let ratio = rec.registry().gauge("mass_conservation_ratio").get();
+        assert!((ratio - roll.mass_ratio()).abs() < 1e-9, "{ratio} vs {}", roll.mass_ratio());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

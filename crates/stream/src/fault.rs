@@ -16,10 +16,29 @@
 //! tolerance are orthogonal: chaos tests combine a `FaultPlan` with either
 //! policy, and production runs use a policy with no plan at all.
 
-use pmkm_obs::FaultReport;
+use pmkm_obs::{labeled_name, FaultReport, FieldValue, Recorder};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Emits one `fault` ledger event (`kind` plus any site-specific context
+/// fields) and bumps the `fault_events_total{kind="..."}` counter family.
+///
+/// Call this at exactly the sites that increment a [`FaultCounters`]
+/// field, using the kind names the ledger rollup maps back onto
+/// [`FaultReport`] counters (`scan_retry`, `scan_failure`,
+/// `chunk_poisoned`, `chunk_quarantined`, `worker_panic`, `chunk_retry`,
+/// `queue_stall`, `cell_degraded`) — that one-to-one pairing is what lets
+/// a ledger rollup reproduce the run's fault counters exactly.
+pub fn record_fault(rec: Option<&Recorder>, kind: &str, fields: &[(&str, FieldValue)]) {
+    if let Some(rec) = rec {
+        let mut all: Vec<(&str, FieldValue)> = Vec::with_capacity(fields.len() + 1);
+        all.push(("kind", kind.into()));
+        all.extend_from_slice(fields);
+        rec.event("fault", &all);
+        rec.registry().counter(&labeled_name("fault_events_total", "kind", kind)).inc();
+    }
+}
 
 /// Injection site tags, hashed into every roll so the same key draws
 /// independent faults at different sites.
@@ -336,6 +355,11 @@ impl FaultContext {
             if let Some(rec) = rec {
                 rec.registry().counter("fault_queue_stalls_total").inc();
             }
+            record_fault(
+                rec,
+                "queue_stall",
+                &[("edge", edge.into()), ("stall_us", (stall.as_micros() as u64).into())],
+            );
             if !stall.is_zero() {
                 std::thread::sleep(stall);
             }

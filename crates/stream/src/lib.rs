@@ -59,7 +59,7 @@ pub mod telemetry;
 pub use adaptive::{execute_adaptive, execute_adaptive_observed, AdaptiveReport, ScalingEvent};
 pub use error::{EngineError, Result};
 pub use executor::{execute, execute_observed, execute_with_faults, EngineReport};
-pub use fault::{FaultContext, FaultCounters, FaultPlan, FaultPolicy};
+pub use fault::{record_fault, FaultContext, FaultCounters, FaultPlan, FaultPolicy};
 pub use item::{CellClustering, ChunkMsg, MergeMsg, ScanMsg};
 pub use optimizer::{optimize, optimize_fixed_split};
 pub use plan::{LogicalPlan, PhysicalPlan};

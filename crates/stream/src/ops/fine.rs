@@ -34,6 +34,11 @@ type RoundStats = (Vec<f64>, Vec<f64>, f64, Vec<(f64, usize, Vec<f64>)>);
 /// Partial statistics one `SortDataPoint` clone reports per round.
 #[derive(Debug, Clone)]
 struct SortStats {
+    /// Which sorter produced this — the reducer sums partials in segment
+    /// order, not arrival order, so floating-point accumulation (and with
+    /// it the MSE-delta convergence decision) never depends on thread
+    /// scheduling.
+    seg: usize,
     sums: Vec<f64>,
     weights: Vec<f64>,
     sse: f64,
@@ -143,9 +148,17 @@ pub fn fine_kmeans(chunk: &Dataset, cfg: &KMeansConfig, sorters: usize) -> Resul
             let mut weights = vec![0.0; k];
             let mut sse = 0.0;
             let mut donors = Vec::new();
+            // Drain the round's partials first, then reduce in segment order:
+            // arrival order depends on thread scheduling, and float addition
+            // is not associative, so summing as-received makes borderline
+            // MSE-delta convergence decisions flicker between runs.
+            let mut round: Vec<SortStats> = Vec::with_capacity(sorters);
             for _ in 0..sorters {
-                let s = stats_in.recv().ok_or(EngineError::Disconnected("sort→mean"))?;
+                round.push(stats_in.recv().ok_or(EngineError::Disconnected("sort→mean"))?);
                 meter.item_in();
+            }
+            round.sort_by_key(|s| s.seg);
+            for s in round {
                 meter.work(|| {
                     for (a, b) in sums.iter_mut().zip(&s.sums) {
                         *a += b;
@@ -252,7 +265,7 @@ fn sort_segment(
         b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
     });
     donors.truncate(k);
-    SortStats { sums, weights, sse, donors }
+    SortStats { seg: seg_idx, sums, weights, sse, donors }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! clustering is emitted downstream.
 
 use crate::error::{EngineError, Result};
-use crate::fault::FaultContext;
+use crate::fault::{record_fault, FaultContext};
 use crate::item::{CellClustering, MergeMsg};
 use crate::queue::{QueueConsumer, QueueProducer};
 use crate::telemetry::{OpMeter, OpStats};
@@ -175,6 +175,16 @@ impl MergeKMeansOp {
                 // Every chunk of the cell was lost: nothing to merge, but
                 // the loss must not be silent.
                 self.note_degraded(cell, progress.expected_points as f64);
+                self.note_cell_close(
+                    cell,
+                    0,
+                    progress.expected_points as f64,
+                    progress.expected_points as f64,
+                    progress.lost.len(),
+                    true,
+                    0.0,
+                    0.0,
+                );
             }
             return Ok(()); // empty bucket (or total loss): nothing to emit
         }
@@ -207,6 +217,16 @@ impl MergeKMeansOp {
                 ],
             );
         }
+        self.note_cell_close(
+            cell,
+            result.chunks.len(),
+            result.expected_points,
+            result.lost_points,
+            result.lost_chunks,
+            result.degraded,
+            result.output.mse,
+            result.output.epm,
+        );
         meter.item_out();
         meter
             .wait(|| self.out.send(result).map_err(drop))
@@ -221,6 +241,52 @@ impl MergeKMeansOp {
                 "merge.degraded",
                 &[("cell", cell.index().into()), ("lost_points", lost_points.into())],
             );
+        }
+        record_fault(
+            self.recorder.as_deref(),
+            "cell_degraded",
+            &[("cell", cell.index().into()), ("lost_points", lost_points.into())],
+        );
+    }
+
+    /// Emits the `cell.close` ledger event and rolls the cell's mass into
+    /// the `mass_weight_expected` / `mass_weight_received` gauges (and the
+    /// derived `mass_conservation_ratio`), so `/metrics` exposes
+    /// `Σw_received / Σw_expected` live and a ledger rollup reproduces the
+    /// run's mass accounting.
+    #[allow(clippy::too_many_arguments)] // mirrors the cell.close event fields
+    fn note_cell_close(
+        &self,
+        cell: GridCell,
+        chunks: usize,
+        expected_points: f64,
+        lost_points: f64,
+        lost_chunks: usize,
+        degraded: bool,
+        mse: f64,
+        epm: f64,
+    ) {
+        let Some(rec) = self.recorder.as_deref() else { return };
+        rec.event(
+            "cell.close",
+            &[
+                ("cell", cell.index().into()),
+                ("chunks", chunks.into()),
+                ("expected_points", expected_points.into()),
+                ("lost_points", lost_points.into()),
+                ("lost_chunks", lost_chunks.into()),
+                ("degraded", degraded.into()),
+                ("mse", mse.into()),
+                ("epm", epm.into()),
+            ],
+        );
+        let expected = rec.registry().gauge("mass_weight_expected");
+        let received = rec.registry().gauge("mass_weight_received");
+        expected.add(expected_points);
+        received.add(expected_points - lost_points);
+        let total = expected.get();
+        if total > 0.0 {
+            rec.registry().gauge("mass_conservation_ratio").set(received.get() / total);
         }
     }
 

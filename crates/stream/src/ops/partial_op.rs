@@ -8,7 +8,7 @@
 //! wall-clock time, never results.
 
 use crate::error::{EngineError, Result};
-use crate::fault::{FaultContext, InjectedPanic, EDGE_MERGE};
+use crate::fault::{record_fault, FaultContext, InjectedPanic, EDGE_MERGE};
 use crate::item::{ChunkMsg, MergeMsg};
 use crate::queue::{QueueConsumer, QueueProducer};
 use crate::telemetry::{OpMeter, OpStats};
@@ -83,6 +83,11 @@ impl PartialKMeansOp {
                 ],
             );
         }
+        record_fault(
+            self.recorder.as_deref(),
+            "chunk_quarantined",
+            &[("cell", cell.index().into()), ("chunk", chunk_id.into()), ("points", points.into())],
+        );
         meter
             .wait(|| self.out.send(MergeMsg::ChunkLost { cell, chunk_id, points }).map_err(drop))
             .map_err(|_| EngineError::Disconnected("partial→merge"))
@@ -103,6 +108,11 @@ impl PartialKMeansOp {
                 if let Some(rec) = rec {
                     rec.registry().counter("fault_chunks_poisoned_total").inc();
                 }
+                record_fault(
+                    rec,
+                    "chunk_poisoned",
+                    &[("cell", cell.index().into()), ("chunk", chunk_id.into())],
+                );
                 if self.faults.policy.quarantine {
                     self.quarantine_chunk(&mut meter, cell, chunk_id, points.len())?;
                     continue;
@@ -119,6 +129,7 @@ impl PartialKMeansOp {
             // yields the exact fault-free result — and quarantined only once
             // the attempt budget is spent.
             let mut attempt = 0usize;
+            let started = rec.map(|_| std::time::Instant::now());
             let output = loop {
                 let inject = self
                     .faults
@@ -147,12 +158,26 @@ impl PartialKMeansOp {
                                 ],
                             );
                         }
+                        record_fault(
+                            rec,
+                            "worker_panic",
+                            &[
+                                ("cell", cell.index().into()),
+                                ("chunk", chunk_id.into()),
+                                ("attempt", attempt.into()),
+                            ],
+                        );
                         attempt += 1;
                         if attempt < self.faults.policy.max_chunk_attempts {
                             self.faults.counters.chunk_retries.fetch_add(1, Ordering::Relaxed);
                             if let Some(rec) = rec {
                                 rec.registry().counter("fault_chunk_retries_total").inc();
                             }
+                            record_fault(
+                                rec,
+                                "chunk_retry",
+                                &[("cell", cell.index().into()), ("chunk", chunk_id.into())],
+                            );
                             continue;
                         }
                         if self.faults.policy.quarantine {
@@ -163,6 +188,19 @@ impl PartialKMeansOp {
                     }
                 }
             };
+            if let Some(rec) = rec {
+                let duration_us = started.map_or(0, |t| t.elapsed().as_micros() as u64);
+                rec.event(
+                    "chunk.close",
+                    &[
+                        ("cell", cell.index().into()),
+                        ("chunk", chunk_id.into()),
+                        ("points", points.len().into()),
+                        ("duration_us", duration_us.into()),
+                        ("attempts", (attempt + 1).into()),
+                    ],
+                );
+            }
             meter.item_out();
             let stall_key = ((cell.index() as u64) << 20) ^ chunk_id as u64;
             meter

@@ -1,7 +1,7 @@
 //! The scan operator: grid-bucket files → point batches.
 
 use crate::error::{EngineError, Result};
-use crate::fault::{path_key, FaultContext, ScanFault};
+use crate::fault::{path_key, record_fault, FaultContext, ScanFault};
 use crate::item::ScanMsg;
 use crate::queue::QueueProducer;
 use crate::telemetry::{OpMeter, OpStats};
@@ -89,6 +89,11 @@ impl ScanOp {
                         if let Some(rec) = self.recorder.as_deref() {
                             rec.registry().counter("fault_scan_retries_total").inc();
                         }
+                        record_fault(
+                            self.recorder.as_deref(),
+                            "scan_retry",
+                            &[("batch", batch.into()), ("attempt", (attempt as u64).into())],
+                        );
                         if !backoff.is_zero() {
                             meter.wait(|| std::thread::sleep(backoff));
                             backoff = backoff.saturating_mul(2);
@@ -110,6 +115,11 @@ impl ScanOp {
                 &[("path", path.display().to_string().into()), ("error", err.to_string().into())],
             );
         }
+        record_fault(
+            self.recorder.as_deref(),
+            "scan_failure",
+            &[("path", path.display().to_string().into())],
+        );
     }
 
     /// Runs to completion, returning telemetry.
@@ -132,6 +142,12 @@ impl ScanOp {
             };
             let cell = reader.cell;
             let expected_points = reader.count;
+            if let Some(rec) = self.recorder.as_deref() {
+                rec.event(
+                    "cell.open",
+                    &[("cell", cell.index().into()), ("expected_points", expected_points.into())],
+                );
+            }
             let mut batch_idx = 0u64;
             loop {
                 let batch = match self.read_with_retry(&mut meter, pkey, batch_idx, || {
