@@ -35,8 +35,8 @@ impl std::fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(
                     f,
-                    "unknown command '{c}'; try: generate, bin, inspect, cluster, diff, \
-                     compress, query, serve-demo"
+                    "unknown command '{c}'; try: generate, bin, inspect, cluster, orchestrate, \
+                     diff, compress, query, serve-demo"
                 )
             }
         }
@@ -62,6 +62,7 @@ pub fn dispatch<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<(),
         "bin" => bin(args, out),
         "inspect" => inspect(args, out),
         "cluster" => cluster(args, out),
+        "orchestrate" => orchestrate_cmd(args, out),
         "diff" => diff_runs(args, out),
         "compress" => compress(args, out),
         "query" => query(args, out),
@@ -111,6 +112,24 @@ COMMANDS
             duration of the run; --folded writes the span profiler's
             folded stacks (pipe into inferno-flamegraph for an SVG
             flamegraph).
+  orchestrate [--jobs=4] [--cells=N] [--k=40] [--restarts=10] [--seed=0]
+            [--splits=P | --memory=BYTES] [--workers=1] [--budget=BYTES]
+            [--checkpoint-dir=DIR] [--resume] [--kill-after=K]
+            [--tolerant] [--chaos=LEVEL:SEED]
+            [--metrics-out=REPORT.json] [--ledger=LEDGER.jsonl]
+            <bucket files…>
+            Run many cells through the pipeline concurrently on --jobs
+            work-stealing workers, each cell an independent pipeline
+            (--workers partial clones inside it). --cells caps how many
+            of the given buckets run; --budget bounds the total in-flight
+            chunk memory across cells (workers block when exhausted);
+            --checkpoint-dir persists each cell's merged result to a
+            versioned, checksummed checkpoint file as it completes, and
+            --resume loads valid checkpoints instead of re-scanning —
+            a resumed run is bit-identical to an uninterrupted one.
+            --kill-after=K is the chaos drill: simulate the process dying
+            right after the K-th checkpoint write (pair with a later
+            --resume to exercise recovery end-to-end).
   diff      [--threshold=0.10] <A> <B>
             Compare two runs (each a run ledger or a RunReport JSON, mixed
             freely): prints the elapsed ratio, per-phase attribution of
@@ -224,6 +243,22 @@ fn inspect_ledger<W: Write>(path: &str, out: &mut W) -> Result<(), CliError> {
     }
     for f in &roll.fault_timeline {
         writeln!(out, "  [fault +{} µs] {} {}", f.ts_us, f.kind, f.detail).map_err(run_err)?;
+    }
+    if roll.resumed_cells > 0 || roll.invalid_checkpoints > 0 {
+        writeln!(
+            out,
+            "  [resume] {} cell(s) restored from checkpoint, {} invalid checkpoint(s) re-scanned",
+            roll.resumed_cells, roll.invalid_checkpoints
+        )
+        .map_err(run_err)?;
+    }
+    for ck in &roll.checkpoints {
+        writeln!(
+            out,
+            "  [checkpoint +{} µs] cell {} seq {} ({} bytes)",
+            ck.ts_us, ck.cell, ck.seq, ck.bytes
+        )
+        .map_err(run_err)?;
     }
     Ok(())
 }
@@ -354,27 +389,7 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     } else {
         Resources::detect()
     };
-    let chaos = args.get_str("chaos", "");
-    let fault_plan = if chaos.is_empty() {
-        None
-    } else {
-        let (level, seed) = chaos.split_once(':').ok_or_else(|| {
-            CliError::Run(format!(
-                "cluster: --chaos takes LEVEL:SEED (e.g. light:11), got '{chaos}'"
-            ))
-        })?;
-        let seed: u64 =
-            seed.parse().map_err(|_| CliError::Run(format!("cluster: bad chaos seed '{seed}'")))?;
-        Some(match level {
-            "light" => pmkm_stream::FaultPlan::light(seed),
-            "heavy" => pmkm_stream::FaultPlan::heavy(seed),
-            other => {
-                return Err(CliError::Run(format!(
-                    "cluster: unknown chaos level '{other}' (light, heavy)"
-                )))
-            }
-        })
-    };
+    let fault_plan = parse_chaos("cluster", &args.get_str("chaos", ""))?;
     let mut plan = match args.get::<usize>("splits", 0)? {
         0 => {
             let memory = args.get("memory", resources.chunk_memory_bytes)?;
@@ -551,6 +566,209 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         // then release the socket.
         server.set_report(report.run_report(recorder.as_deref()));
         server.shutdown();
+    }
+    Ok(())
+}
+
+/// Parses `--chaos=LEVEL:SEED` into a fault plan (`""` → `None`).
+fn parse_chaos(cmd: &str, chaos: &str) -> Result<Option<pmkm_stream::FaultPlan>, CliError> {
+    if chaos.is_empty() {
+        return Ok(None);
+    }
+    let (level, seed) = chaos.split_once(':').ok_or_else(|| {
+        CliError::Run(format!("{cmd}: --chaos takes LEVEL:SEED (e.g. light:11), got '{chaos}'"))
+    })?;
+    let seed: u64 =
+        seed.parse().map_err(|_| CliError::Run(format!("{cmd}: bad chaos seed '{seed}'")))?;
+    Ok(Some(match level {
+        "light" => pmkm_stream::FaultPlan::light(seed),
+        "heavy" => pmkm_stream::FaultPlan::heavy(seed),
+        other => {
+            return Err(CliError::Run(format!(
+                "{cmd}: unknown chaos level '{other}' (light, heavy)"
+            )))
+        }
+    }))
+}
+
+fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&[
+        "jobs",
+        "cells",
+        "k",
+        "restarts",
+        "seed",
+        "splits",
+        "memory",
+        "workers",
+        "budget",
+        "checkpoint-dir",
+        "resume",
+        "kill-after",
+        "tolerant",
+        "chaos",
+        "metrics-out",
+        "ledger",
+    ])?;
+    let mut paths: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
+    if paths.is_empty() {
+        return Err(CliError::Run("orchestrate: no bucket files given".into()));
+    }
+    let cells_cap = args.get("cells", 0usize)?;
+    if cells_cap > 0 {
+        paths.truncate(cells_cap);
+    }
+    let kcfg = KMeansConfig {
+        restarts: args.get("restarts", 10usize)?,
+        ..KMeansConfig::paper(args.get("k", 40usize)?, args.get("seed", 0u64)?)
+    };
+    let logical = LogicalPlan::new(paths, kcfg);
+    // Inside each cell the pipeline stays narrow by default — the
+    // orchestrator's cross-cell workers are the parallelism axis.
+    let workers = args.get("workers", 1usize)?.max(1);
+    let resources = Resources { workers, ..Resources::detect() };
+    let mut plan = match args.get::<usize>("splits", 0)? {
+        0 => {
+            let memory = args.get("memory", resources.chunk_memory_bytes)?;
+            optimize(logical, &Resources { chunk_memory_bytes: memory, ..resources })
+        }
+        splits => {
+            let max_points = logical
+                .inputs
+                .iter()
+                .map(|p| pmkm_data::BucketReader::open(p).map(|r| r.count))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(run_err)?
+                .into_iter()
+                .max()
+                .unwrap_or(1);
+            optimize_fixed_split(logical, &resources, max_points.div_ceil(splits).max(1))
+        }
+    };
+    if args.flag("tolerant") {
+        plan.fault_policy = pmkm_stream::FaultPolicy::tolerant();
+    }
+    let fault_plan = parse_chaos("orchestrate", &args.get_str("chaos", ""))?;
+
+    let mut opts = pmkm_stream::OrchestratorOptions::new(args.get("jobs", 4usize)?);
+    let budget = args.get("budget", 0usize)?;
+    if budget > 0 {
+        opts = opts.with_budget(budget);
+    }
+    let ckpt_dir = args.get_str("checkpoint-dir", "");
+    if !ckpt_dir.is_empty() {
+        opts = opts.with_checkpoints(&ckpt_dir);
+    }
+    if args.flag("resume") {
+        if ckpt_dir.is_empty() {
+            return Err(CliError::Run("orchestrate: --resume needs --checkpoint-dir".into()));
+        }
+        opts = opts.resuming();
+    }
+    let kill_after = args.get("kill-after", 0usize)?;
+    if kill_after > 0 {
+        if ckpt_dir.is_empty() {
+            return Err(CliError::Run("orchestrate: --kill-after needs --checkpoint-dir".into()));
+        }
+        opts = opts.kill_after(kill_after);
+    }
+
+    let metrics_out = args.get_str("metrics-out", "");
+    let ledger_out = args.get_str("ledger", "");
+    let ledger = if ledger_out.is_empty() {
+        None
+    } else {
+        Some(std::sync::Arc::new(pmkm_obs::LedgerSink::create(&ledger_out).map_err(run_err)?))
+    };
+    let recorder = if metrics_out.is_empty() && ledger.is_none() {
+        None
+    } else {
+        let mut rec =
+            pmkm_obs::Recorder::new().with_profiler(std::sync::Arc::new(pmkm_obs::Profiler::new()));
+        if let Some(ledger) = &ledger {
+            rec = rec.with_sink(ledger.clone());
+        }
+        Some(std::sync::Arc::new(rec))
+    };
+
+    let planet =
+        pmkm_stream::orchestrate(&plan, &opts, recorder.clone(), fault_plan).map_err(run_err)?;
+    let interrupted = if planet.interrupted { " INTERRUPTED" } else { "" };
+    writeln!(
+        out,
+        "orchestrated {} cells on {} workers in {:.0} ms ({} resumed, {} executed, \
+         {} checkpoint(s) written, {} invalid, {} steal(s)){interrupted}",
+        planet.cells.len(),
+        planet.jobs,
+        planet.elapsed.as_secs_f64() * 1e3,
+        planet.cells_resumed,
+        planet.cells_executed,
+        planet.checkpoints_written,
+        planet.checkpoints_invalid,
+        planet.steals
+    )
+    .map_err(run_err)?;
+    if planet.budget_peak > 0 {
+        writeln!(out, "  [budget] peak in-flight {} bytes", planet.budget_peak).map_err(run_err)?;
+    }
+    for o in &planet.cells {
+        let tag = if o.resumed { " [resumed]" } else { "" };
+        match &o.clustering {
+            Some(c) => {
+                let weight: f64 = c.output.cluster_weights.iter().sum();
+                let degraded = if c.degraded {
+                    format!(
+                        " [degraded: lost {} points in {} chunk(s)]",
+                        c.lost_points, c.lost_chunks
+                    )
+                } else {
+                    String::new()
+                };
+                writeln!(
+                    out,
+                    "  cell {}: {} chunks, {} centroids, E_pm {:.1}, {} points{degraded}{tag}",
+                    c.cell.index(),
+                    c.chunks.len(),
+                    c.output.centroids.k(),
+                    c.output.epm,
+                    weight as u64
+                )
+                .map_err(run_err)?;
+            }
+            None => {
+                writeln!(out, "  cell #{}: no surviving chunks [degraded]{tag}", o.input)
+                    .map_err(run_err)?;
+            }
+        }
+    }
+    if planet.faults.any() {
+        let f = &planet.faults;
+        writeln!(
+            out,
+            "  [faults] scan retries {}, scan failures {}, poisoned {}, quarantined {}, \
+             worker panics {}, chunk retries {}, stalls {}, degraded cells {}",
+            f.scan_retries,
+            f.scan_failures,
+            f.chunks_poisoned,
+            f.chunks_quarantined,
+            f.worker_panics,
+            f.chunk_retries,
+            f.queue_stalls,
+            f.cells_degraded
+        )
+        .map_err(run_err)?;
+    }
+    if let Some(rec) = &recorder {
+        rec.flush();
+    }
+    if !metrics_out.is_empty() {
+        let run_report = planet.run_report(recorder.as_deref());
+        let json = serde_json::to_string_pretty(&run_report).map_err(run_err)?;
+        std::fs::write(&metrics_out, json).map_err(run_err)?;
+        writeln!(out, "wrote run report to {metrics_out}").map_err(run_err)?;
+    }
+    if !ledger_out.is_empty() {
+        writeln!(out, "wrote ledger to {ledger_out}").map_err(run_err)?;
     }
     Ok(())
 }
@@ -1154,6 +1372,100 @@ mod tests {
             run("diff", &[ledger_a, "no_such_file.jsonl".into()]),
             Err(CliError::Run(_))
         ));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Writes `n` two-blob buckets under `dir` and returns their paths.
+    fn write_buckets(dir: &std::path::Path, n: usize) -> Vec<String> {
+        (1..=n as u16)
+            .map(|idx| {
+                let cell = pmkm_data::GridCell::new(idx, idx).unwrap();
+                let mut points = pmkm_core::Dataset::new(2).unwrap();
+                let mut x = 0.19_f64 + idx as f64;
+                for i in 0..(80 + 20 * idx as usize) {
+                    x = (x * 997.13 + 0.7).fract();
+                    let blob = if i % 2 == 0 { 0.0 } else { 30.0 };
+                    points.push(&[blob + x, blob - x]).unwrap();
+                }
+                let path = dir.join(cell.bucket_file_name());
+                pmkm_data::GridBucket { cell, points }.write_to(&path).unwrap();
+                path.display().to_string()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn orchestrate_kill_resume_inspect_round_trip() {
+        let dir = tmp("orch");
+        let buckets = write_buckets(&dir, 4);
+        let ckpt = dir.join("ckpt").display().to_string();
+        let base = vec!["--k=2".into(), "--restarts=2".into(), "--splits=3".into()];
+
+        // Kill after 2 checkpoints (jobs=1 keeps the drill deterministic).
+        let mut argv = base.clone();
+        argv.push("--jobs=1".into());
+        argv.push(format!("--checkpoint-dir={ckpt}"));
+        argv.push("--kill-after=2".into());
+        argv.extend(buckets.iter().cloned());
+        let out = run("orchestrate", &argv).unwrap();
+        assert!(out.contains("INTERRUPTED"), "{out}");
+        assert!(out.contains("2 checkpoint(s) written"), "{out}");
+
+        // Resume with a ledger and a report: 2 restored, 2 executed.
+        let ledger = dir.join("orch.jsonl").display().to_string();
+        let report_path = dir.join("orch_report.json").display().to_string();
+        let mut argv = base.clone();
+        argv.push("--jobs=2".into());
+        argv.push(format!("--checkpoint-dir={ckpt}"));
+        argv.push("--resume".into());
+        argv.push(format!("--ledger={ledger}"));
+        argv.push(format!("--metrics-out={report_path}"));
+        argv.extend(buckets.iter().cloned());
+        let out = run("orchestrate", &argv).unwrap();
+        assert!(out.contains("2 resumed, 2 executed"), "{out}");
+        assert!(out.contains("[resumed]"), "{out}");
+        assert!(!out.contains("INTERRUPTED"), "{out}");
+
+        // The RunReport carries the v5 orchestrator block.
+        let report: pmkm_obs::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        let orch = report.orchestrator.expect("orchestrate writes the orchestrator block");
+        assert_eq!(orch.cells_total, 4);
+        assert_eq!(orch.cells_resumed, 2);
+        assert_eq!(orch.cells_executed, 2);
+        assert_eq!(report.cells.len(), 4);
+
+        // inspect rolls the multi-cell ledger up, resume events included.
+        let out = run("inspect", std::slice::from_ref(&ledger)).unwrap();
+        assert!(out.contains("ledger v"), "{out}");
+        assert!(out.contains("[resume] 2 cell(s) restored"), "{out}");
+        assert!(out.contains("[checkpoint +"), "{out}");
+        assert_eq!(out.matches("[cell ").count(), 4, "{out}");
+
+        // A budget smaller than one cell's footprint is a clean error.
+        let mut argv = base.clone();
+        argv.push("--budget=1".into());
+        argv.extend(buckets.iter().cloned());
+        assert!(matches!(run("orchestrate", &argv), Err(CliError::Run(_))));
+
+        // --resume / --kill-after without --checkpoint-dir are usage errors.
+        let mut argv = base.clone();
+        argv.push("--resume".into());
+        argv.extend(buckets.iter().cloned());
+        assert!(matches!(run("orchestrate", &argv), Err(CliError::Run(_))));
+        let mut argv = base.clone();
+        argv.push("--kill-after=1".into());
+        argv.extend(buckets.iter().cloned());
+        assert!(matches!(run("orchestrate", &argv), Err(CliError::Run(_))));
+        assert!(matches!(run("orchestrate", &[]), Err(CliError::Run(_))));
+
+        // --cells caps the planet.
+        let mut argv = base;
+        argv.push("--cells=2".into());
+        argv.extend(buckets.iter().cloned());
+        let out = run("orchestrate", &argv).unwrap();
+        assert!(out.contains("orchestrated 2 cells"), "{out}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -16,10 +16,15 @@ use crate::error::{Error, Result};
 use crate::kmeans::kmeans_observed;
 use crate::metrics;
 use pmkm_obs::Recorder;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Final merged representation of a grid cell.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so orchestrated runs can persist it as the payload of a
+/// per-cell checkpoint (the merged weighted-centroid partial is the
+/// bounded summary merge-reduce schemes carry between levels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MergeOutput {
     /// The cell's final centroid table (at most `k` centroids).
     pub centroids: Centroids,

@@ -14,13 +14,17 @@ use crate::kmeans::{kmeans_observed, RestartStats};
 use crate::seeding::{derive_seed, rng_for};
 use pmkm_obs::Recorder;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Stream tag for the shuffle RNG (kept away from restart/chunk streams).
 const SHUFFLE_STREAM: u64 = 0x5348_5546_464C_4531; // "SHUFFLE1"
 
 /// Result of clustering one partition.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so long cells can checkpoint individual partials between
+/// merge levels (the stream orchestrator persists the merged form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartialOutput {
     /// The chunk's weighted centroids `{(c_1j, w_1j), …}`. Clusters that
     /// attracted no points at convergence are dropped, so this may hold

@@ -344,6 +344,20 @@ pub struct KernelRollup {
     pub points: u64,
 }
 
+/// One checkpoint write, folded from `cell.checkpoint` records of an
+/// orchestrated run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CheckpointRollup {
+    /// When the checkpoint was written (µs since recorder epoch).
+    pub ts_us: u64,
+    /// Cell label (grid index, or the bucket file name for lost cells).
+    pub cell: String,
+    /// Write sequence within the run (1-based).
+    pub seq: u64,
+    /// Checkpoint file size, bytes.
+    pub bytes: u64,
+}
+
 /// One fault on the run's timeline, folded from `fault` records.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultEntry {
@@ -377,6 +391,17 @@ pub struct LedgerRollup {
     pub chunks: Vec<ChunkRollup>,
     /// Kernel dispatch tallies, sorted by kind.
     pub kernels: Vec<KernelRollup>,
+    /// Checkpoint writes in timeline order (orchestrated runs only;
+    /// absent in pre-orchestrator journals).
+    #[serde(default)]
+    pub checkpoints: Vec<CheckpointRollup>,
+    /// Cells restored from checkpoints, from the `run.resume` record (0
+    /// when the run was not a resume).
+    #[serde(default)]
+    pub resumed_cells: u64,
+    /// Checkpoint files the resume rejected as corrupt or stale.
+    #[serde(default)]
+    pub invalid_checkpoints: u64,
 }
 
 impl LedgerRollup {
@@ -502,6 +527,20 @@ pub fn rollup(records: &[LedgerRecord]) -> LedgerRollup {
                     duration_us: r.u64_field("duration_us").unwrap_or(0),
                     attempts: r.u64_field("attempts").unwrap_or(1),
                 });
+            }
+            "cell.checkpoint" => {
+                out.checkpoints.push(CheckpointRollup {
+                    ts_us: r.ts_us,
+                    cell: r.str_field("cell").map(str::to_string).unwrap_or_else(|| {
+                        r.u64_field("cell").map(|c| c.to_string()).unwrap_or_default()
+                    }),
+                    seq: r.u64_field("seq").unwrap_or(0),
+                    bytes: r.u64_field("bytes").unwrap_or(0),
+                });
+            }
+            "run.resume" => {
+                out.resumed_cells = r.u64_field("cells_resumed").unwrap_or(0);
+                out.invalid_checkpoints = r.u64_field("checkpoints_invalid").unwrap_or(0);
             }
             "lloyd.kernel" => {
                 let kind = r.str_field("kind").unwrap_or("unknown").to_string();

@@ -55,14 +55,15 @@ pub mod trace;
 pub use config::ObsConfig;
 pub use ledger::{
     attribute_phases, diff_profiles, emit_phase_events, parse_ledger, read_ledger, rollup,
-    LedgerRecord, LedgerRollup, LedgerSink, PhaseDelta, ProfileDiff, RunProfile, LEDGER_VERSION,
+    CheckpointRollup, LedgerRecord, LedgerRollup, LedgerSink, PhaseDelta, ProfileDiff, RunProfile,
+    LEDGER_VERSION,
 };
 pub use metrics::{escape_label_value, labeled_name, Counter, Gauge, Histogram, Registry};
 pub use profile::{ManualClock, MonotonicClock, PhaseGuard, Profiler, ProfilerClock};
 pub use report::{
     CellReport, ChunkReport, CounterSample, FaultReport, GaugeSample, HistogramSample,
-    HistogramSnapshot, MergeReport, MetricsSnapshot, OperatorReport, PhaseReport, QueueReport,
-    RunReport,
+    HistogramSnapshot, MergeReport, MetricsSnapshot, OperatorReport, OrchestratorReport,
+    PhaseReport, QueueReport, RunReport,
 };
 pub use serve::MetricsServer;
 pub use trace::{Event, FieldValue, JsonlSink, Recorder, RingBufferSink, Span, TraceSink};

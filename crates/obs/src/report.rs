@@ -12,9 +12,11 @@ use std::time::Duration;
 /// v2 added the `phases` breakdown; v3 added fault accounting (the
 /// top-level `degraded` flag, the `faults` counter block, and the per-cell
 /// `expected_points`/`lost_points`/`lost_chunks`/`degraded` fields); v4
-/// added the per-phase `wall_us` column (per-thread-max elapsed time).
+/// added the per-phase `wall_us` column (per-thread-max elapsed time); v5
+/// added the optional `orchestrator` block of planet-level multi-cell
+/// runs (scheduling, checkpoint and resume counters).
 /// Every addition is `#[serde(default)]`, so older documents still parse.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Fault-tolerance counters for one run (schema v3). All zero on a
 /// fault-free run — and on any report parsed from a v1/v2 document.
@@ -228,6 +230,31 @@ pub struct CellReport {
     pub merge: MergeReport,
 }
 
+/// Scheduling, checkpoint and resume accounting of an orchestrated
+/// multi-cell run (schema v5). Absent from single-run reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OrchestratorReport {
+    /// Worker threads pulling cells off the work-stealing deques.
+    pub jobs: usize,
+    /// Cells in the plan.
+    pub cells_total: usize,
+    /// Cells restored from checkpoints instead of re-scanned.
+    pub cells_resumed: usize,
+    /// Cells executed through the pipeline this run.
+    pub cells_executed: usize,
+    /// Checkpoint files written this run.
+    pub checkpoints_written: usize,
+    /// Checkpoint files rejected (bad checksum/version/fingerprint) and
+    /// re-scanned.
+    pub checkpoints_invalid: usize,
+    /// True when a kill drill stopped the run before every cell finished.
+    pub interrupted: bool,
+    /// High-water mark of the shared memory budget, bytes (0 = no budget).
+    pub budget_peak_bytes: u64,
+    /// Cells a worker stole from another worker's deque.
+    pub steals: u64,
+}
+
 /// The top-level report for one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -254,6 +281,10 @@ pub struct RunReport {
     /// Fault-tolerance counters (all zero for fault-free and v1/v2 runs).
     #[serde(default)]
     pub faults: FaultReport,
+    /// Planet-level orchestration accounting (`None` for single runs and
+    /// pre-v5 documents).
+    #[serde(default)]
+    pub orchestrator: Option<OrchestratorReport>,
 }
 
 impl RunReport {
@@ -269,6 +300,7 @@ impl RunReport {
             phases: Vec::new(),
             degraded: false,
             faults: FaultReport::default(),
+            orchestrator: None,
         }
     }
 
@@ -364,7 +396,16 @@ mod tests {
             }],
             degraded: false,
             faults: FaultReport::default(),
+            orchestrator: None,
         }
+    }
+
+    /// Strips the v5 `orchestrator` key from a serialized report,
+    /// producing the JSON a v4-or-older writer would have emitted.
+    fn strip_v5_keys(json: &str) -> String {
+        let json = json.replace(",\"orchestrator\":null", "");
+        assert!(!json.contains("orchestrator"), "surgery failed: {json}");
+        json
     }
 
     /// Strips every v3 addition from a serialized report, producing the
@@ -372,8 +413,7 @@ mod tests {
     /// must carry default values in all v3 fields for the surgery to apply.
     fn strip_v3_keys(report: &RunReport) -> String {
         let faults_json = serde_json::to_string(&FaultReport::default()).unwrap();
-        let json = serde_json::to_string(report)
-            .unwrap()
+        let json = strip_v5_keys(&serde_json::to_string(report).unwrap())
             .replace(&format!(",\"degraded\":false,\"faults\":{faults_json}"), "")
             .replace(
                 ",\"expected_points\":0.0,\"lost_points\":0.0,\"lost_chunks\":0,\"degraded\":false",
@@ -420,12 +460,46 @@ mod tests {
         let mut report = sample_report();
         report.schema_version = 3;
         report.phases[0].wall_us = 0;
-        let json = serde_json::to_string(&report).unwrap().replace(",\"wall_us\":0", "");
+        let json =
+            strip_v5_keys(&serde_json::to_string(&report).unwrap()).replace(",\"wall_us\":0", "");
         assert!(!json.contains("wall_us"), "surgery failed: {json}");
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.schema_version, 3);
         assert_eq!(back.phases[0].wall_us, 0);
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v4_report_without_orchestrator_block_still_parses() {
+        // A v4 writer emitted no `orchestrator` key at all; the field must
+        // default to None under the current reader.
+        let mut report = sample_report();
+        report.schema_version = 4;
+        let json = strip_v5_keys(&serde_json::to_string(&report).unwrap());
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, 4);
+        assert!(back.orchestrator.is_none());
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn orchestrator_block_round_trips() {
+        let mut report = sample_report();
+        report.orchestrator = Some(OrchestratorReport {
+            jobs: 4,
+            cells_total: 8,
+            cells_resumed: 3,
+            cells_executed: 5,
+            checkpoints_written: 5,
+            checkpoints_invalid: 1,
+            interrupted: false,
+            budget_peak_bytes: 1 << 20,
+            steals: 2,
+        });
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.orchestrator.unwrap().cells_resumed, 3);
     }
 
     #[test]

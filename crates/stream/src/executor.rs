@@ -49,42 +49,7 @@ impl EngineReport {
     /// [`RunReport`]. When a recorder is supplied, its metrics registry is
     /// snapshotted into the report as well.
     pub fn run_report(&self, rec: Option<&Recorder>) -> RunReport {
-        let cells = self
-            .cells
-            .iter()
-            .map(|c| {
-                let chunks = c
-                    .chunks
-                    .iter()
-                    .enumerate()
-                    .map(|(i, ch)| ChunkReport {
-                        chunk: ch.chunk,
-                        points: ch.points,
-                        best_mse: ch.best_mse,
-                        iterations: ch.total_iterations,
-                        elapsed: ch.elapsed,
-                        mse_trajectory: c.trajectories.get(i).cloned().unwrap_or_default(),
-                    })
-                    .collect();
-                CellReport {
-                    cell: c.cell.index().to_string(),
-                    total_points: c.output.cluster_weights.iter().sum::<f64>().round() as usize,
-                    expected_points: c.expected_points,
-                    lost_points: c.lost_points,
-                    lost_chunks: c.lost_chunks,
-                    degraded: c.degraded,
-                    chunks,
-                    merge: MergeReport {
-                        input_centroids: c.output.input_centroids,
-                        epm: c.output.epm,
-                        mse: c.output.mse,
-                        iterations: c.output.iterations,
-                        converged: c.output.converged,
-                        elapsed: c.output.elapsed,
-                    },
-                }
-            })
-            .collect();
+        let cells = self.cells.iter().map(cell_report).collect();
         RunReport {
             elapsed: self.elapsed,
             cells,
@@ -96,6 +61,42 @@ impl EngineReport {
             faults: self.faults,
             ..RunReport::new()
         }
+    }
+}
+
+/// Converts one cell's clustering into the observability layer's
+/// [`CellReport`] — shared by the single-run executor and the multi-cell
+/// orchestrator's planet-level report.
+pub fn cell_report(c: &CellClustering) -> CellReport {
+    let chunks = c
+        .chunks
+        .iter()
+        .enumerate()
+        .map(|(i, ch)| ChunkReport {
+            chunk: ch.chunk,
+            points: ch.points,
+            best_mse: ch.best_mse,
+            iterations: ch.total_iterations,
+            elapsed: ch.elapsed,
+            mse_trajectory: c.trajectories.get(i).cloned().unwrap_or_default(),
+        })
+        .collect();
+    CellReport {
+        cell: c.cell.index().to_string(),
+        total_points: c.output.cluster_weights.iter().sum::<f64>().round() as usize,
+        expected_points: c.expected_points,
+        lost_points: c.lost_points,
+        lost_chunks: c.lost_chunks,
+        degraded: c.degraded,
+        chunks,
+        merge: MergeReport {
+            input_centroids: c.output.input_centroids,
+            epm: c.output.epm,
+            mse: c.output.mse,
+            iterations: c.output.iterations,
+            converged: c.output.converged,
+            elapsed: c.output.elapsed,
+        },
     }
 }
 
@@ -125,18 +126,42 @@ pub fn execute_with_faults(
     rec: Option<Arc<Recorder>>,
     fault_plan: Option<FaultPlan>,
 ) -> Result<EngineReport> {
+    execute_inner(plan, rec, fault_plan, true)
+}
+
+/// [`execute_with_faults`] without the run-level journal framing — the
+/// orchestrator's per-cell hook. Cell-scoped events (`cell.open`,
+/// `cell.close`, `chunk.close`, faults) still flow to the recorder, but
+/// `run.open` / `run.close` / phase emission are left to the caller, which
+/// brackets the whole multi-cell run exactly once.
+pub fn execute_cell(
+    plan: &PhysicalPlan,
+    rec: Option<Arc<Recorder>>,
+    fault_plan: Option<FaultPlan>,
+) -> Result<EngineReport> {
+    execute_inner(plan, rec, fault_plan, false)
+}
+
+fn execute_inner(
+    plan: &PhysicalPlan,
+    rec: Option<Arc<Recorder>>,
+    fault_plan: Option<FaultPlan>,
+    emit_run_events: bool,
+) -> Result<EngineReport> {
     plan.validate()?;
     let faults = FaultContext::new(fault_plan, plan.fault_policy);
     let started = Instant::now();
-    if let Some(rec) = rec.as_deref() {
-        rec.event(
-            "run.open",
-            &[
-                ("cells", plan.logical.inputs.len().into()),
-                ("partial_clones", plan.partial_clones.into()),
-                ("scan_clones", plan.scan_clones.into()),
-            ],
-        );
+    if emit_run_events {
+        if let Some(rec) = rec.as_deref() {
+            rec.event(
+                "run.open",
+                &[
+                    ("cells", plan.logical.inputs.len().into()),
+                    ("partial_clones", plan.partial_clones.into()),
+                    ("scan_clones", plan.scan_clones.into()),
+                ],
+            );
+        }
     }
     let cap = plan.queue_capacity;
     let depth_every = rec.as_deref().map(|r| r.config().depth_sample_interval()).unwrap_or(1);
@@ -246,18 +271,21 @@ pub fn execute_with_faults(
         || fault_report.chunks_quarantined > 0
         || fault_report.cells_degraded > 0;
     let elapsed = started.elapsed();
-    if let Some(rec) = rec.as_deref() {
-        // Phases before close: `run.close` marks the journal's logical end.
-        pmkm_obs::emit_phase_events(rec);
-        rec.event(
-            "run.close",
-            &[
-                ("elapsed_us", (elapsed.as_micros() as u64).into()),
-                ("cells", cells.len().into()),
-                ("degraded", degraded.into()),
-            ],
-        );
-        rec.flush();
+    if emit_run_events {
+        if let Some(rec) = rec.as_deref() {
+            // Phases before close: `run.close` marks the journal's logical
+            // end.
+            pmkm_obs::emit_phase_events(rec);
+            rec.event(
+                "run.close",
+                &[
+                    ("elapsed_us", (elapsed.as_micros() as u64).into()),
+                    ("cells", cells.len().into()),
+                    ("degraded", degraded.into()),
+                ],
+            );
+            rec.flush();
+        }
     }
     Ok(EngineReport { cells, op_stats, queue_stats, elapsed, faults: fault_report, degraded })
 }

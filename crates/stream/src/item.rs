@@ -5,6 +5,7 @@ use pmkm_core::partial::PartialOutput;
 use pmkm_core::pipeline::ChunkStats;
 use pmkm_core::Dataset;
 use pmkm_data::GridCell;
+use serde::{Deserialize, Serialize};
 
 /// Scan → chunker messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,7 +77,10 @@ pub enum MergeMsg {
 }
 
 /// Final per-cell result emitted by the merge operator.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable because it is exactly the payload an orchestrated run
+/// persists in a per-cell checkpoint file after the merge completes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellClustering {
     /// The cell.
     pub cell: GridCell,

@@ -51,6 +51,7 @@ pub mod fault;
 pub mod item;
 pub mod ops;
 pub mod optimizer;
+pub mod orchestrator;
 pub mod plan;
 pub mod queue;
 pub mod resources;
@@ -58,10 +59,13 @@ pub mod telemetry;
 
 pub use adaptive::{execute_adaptive, execute_adaptive_observed, AdaptiveReport, ScalingEvent};
 pub use error::{EngineError, Result};
-pub use executor::{execute, execute_observed, execute_with_faults, EngineReport};
+pub use executor::{execute, execute_cell, execute_observed, execute_with_faults, EngineReport};
 pub use fault::{record_fault, FaultContext, FaultCounters, FaultPlan, FaultPolicy};
 pub use item::{CellClustering, ChunkMsg, MergeMsg, ScanMsg};
 pub use optimizer::{optimize, optimize_fixed_split};
+pub use orchestrator::{
+    orchestrate, CellOutcome, MemoryBudget, OrchestratorOptions, PlanetReport, CHECKPOINT_VERSION,
+};
 pub use plan::{LogicalPlan, PhysicalPlan};
 pub use queue::{QueueStats, SmartQueue};
 pub use resources::Resources;
@@ -72,6 +76,7 @@ pub mod prelude {
     pub use crate::executor::{execute, execute_observed, execute_with_faults, EngineReport};
     pub use crate::fault::{FaultPlan, FaultPolicy};
     pub use crate::optimizer::{optimize, optimize_fixed_split};
+    pub use crate::orchestrator::{orchestrate, OrchestratorOptions, PlanetReport};
     pub use crate::plan::{LogicalPlan, PhysicalPlan};
     pub use crate::resources::Resources;
 }

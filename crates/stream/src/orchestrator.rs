@@ -1,0 +1,978 @@
+//! Multi-cell orchestration: work-stealing scheduling, a shared global
+//! memory budget, and checkpoint/restart.
+//!
+//! The paper's pipeline clusters one grid cell at a time; the data
+//! substrate defines all 64 800 1°×1° cells. This module is the first
+//! layer that composes the pipeline, fault policy, ledger and mass
+//! accounting *across* cells:
+//!
+//! * **Scheduling** — N cells are dealt round-robin onto per-worker
+//!   deques; `jobs` workers pop their own queue front-first and steal from
+//!   the back of other workers' queues when idle, so no cell starves and
+//!   wall-clock tracks the slowest chain rather than the slowest worker.
+//! * **Memory budget** — every cell admits its in-flight chunk footprint
+//!   against a shared [`MemoryBudget`] before its pipeline starts and
+//!   releases it after the merge; when the budget is exhausted workers
+//!   block (backpressure) instead of over-committing memory.
+//! * **Checkpoint/restart** — after a cell's merge, the merged partial
+//!   plus its CellPlan mass accounting and fault counters are persisted to
+//!   a versioned, checksummed checkpoint file. A killed run resumes by
+//!   loading completed cells and re-scanning only the rest. Because every
+//!   per-cell result is a pure function of `(bucket, plan, fault seed)`,
+//!   a resumed run is bit-identical to an uninterrupted one — the
+//!   equivalence suite in `tests/orchestrator_resume.rs` enforces this.
+//!
+//! ## Checkpoint file format
+//!
+//! Two JSON lines, mirroring the ledger's versioned JSONL convention:
+//!
+//! ```text
+//! {"checkpoint":1,"fingerprint":"…16 hex…","checksum":"…16 hex…","input":"cell_090_180.gb"}
+//! {"clustering":{…},"faults":{…},"degraded":false,"elapsed":{…}}
+//! ```
+//!
+//! The header carries the format version, an FNV-1a fingerprint of every
+//! plan knob that affects results, and an FNV-1a checksum of the payload
+//! line. Unknown header or payload fields are ignored on load (forward
+//! compatible, like the ledger); any mismatch — version, fingerprint,
+//! input name, checksum, truncation, parse failure — invalidates the file
+//! and the cell is silently re-scanned, never a panic.
+
+use crate::error::{EngineError, Result};
+use crate::executor::{cell_report, execute_cell};
+use crate::fault::FaultPlan;
+use crate::item::CellClustering;
+use crate::ops::ChunkPolicy;
+use crate::plan::PhysicalPlan;
+use parking_lot::Mutex;
+use pmkm_obs::{FaultReport, OrchestratorReport, Recorder, RunReport};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Version stamped into every checkpoint file header. Readers reject
+/// files from a *newer* version (re-scan, not panic); older readers skip
+/// unknown fields, so additive evolution does not need a bump.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// How the orchestrator runs a batch of cells.
+#[derive(Debug, Clone, Default)]
+pub struct OrchestratorOptions {
+    /// Worker threads pulling cells off the work-stealing deques (≥ 1;
+    /// `0` is treated as 1).
+    pub jobs: usize,
+    /// Global memory budget in bytes shared by all in-flight cells; `None`
+    /// admits everything. Must be at least the largest single cell's
+    /// footprint or [`orchestrate`] rejects the plan.
+    pub budget_bytes: Option<usize>,
+    /// Directory for per-cell checkpoint files; `None` disables
+    /// checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Load valid checkpoints from `checkpoint_dir` before scheduling and
+    /// re-scan only the cells without one.
+    pub resume: bool,
+    /// Chaos-drill hook: simulate the process dying immediately after the
+    /// k-th checkpoint write. Scheduling stops, in-flight cells are
+    /// discarded (their checkpoint was never written) and the returned
+    /// report is marked `interrupted`.
+    pub kill_after_checkpoints: Option<usize>,
+}
+
+impl OrchestratorOptions {
+    /// Options with `jobs` workers and everything else off.
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1), ..Self::default() }
+    }
+
+    /// Sets the shared memory budget.
+    #[must_use]
+    pub fn with_budget(mut self, bytes: usize) -> Self {
+        self.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Enables checkpointing into `dir`.
+    #[must_use]
+    pub fn with_checkpoints(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables resume-from-checkpoint.
+    #[must_use]
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Arms the kill-after-k-checkpoints chaos drill.
+    #[must_use]
+    pub fn kill_after(mut self, checkpoints: usize) -> Self {
+        self.kill_after_checkpoints = Some(checkpoints);
+        self
+    }
+}
+
+/// A shared byte budget with blocking admission — the backpressure
+/// primitive cells admit their chunk footprint against.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    cap: usize,
+    state: std::sync::Mutex<BudgetState>,
+    cv: std::sync::Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BudgetState {
+    in_use: usize,
+    peak: usize,
+}
+
+impl MemoryBudget {
+    /// A budget of `cap` bytes.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            state: std::sync::Mutex::new(BudgetState::default()),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Blocks until `bytes` fit under the cap, then reserves them. A
+    /// request larger than the whole budget is clamped so a mis-sized
+    /// caller stalls instead of deadlocking (orchestrate validates sizes
+    /// up front, so this clamp never fires there).
+    pub fn acquire(&self, bytes: usize) {
+        let bytes = bytes.min(self.cap);
+        let mut st = self.state.lock().expect("budget lock poisoned");
+        while st.in_use + bytes > self.cap {
+            st = self.cv.wait(st).expect("budget lock poisoned");
+        }
+        st.in_use += bytes;
+        st.peak = st.peak.max(st.in_use);
+    }
+
+    /// Returns a reservation.
+    pub fn release(&self, bytes: usize) {
+        let bytes = bytes.min(self.cap);
+        let mut st = self.state.lock().expect("budget lock poisoned");
+        st.in_use = st.in_use.saturating_sub(bytes);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// High-water mark of concurrent reservations (the "never exceeded"
+    /// witness: `peak() <= capacity()` by construction, asserted in tests).
+    pub fn peak(&self) -> usize {
+        self.state.lock().expect("budget lock poisoned").peak
+    }
+}
+
+/// What one cell contributed to the planet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// Position of the cell's bucket in the plan's input list — the
+    /// canonical, completion-order-independent report ordering.
+    pub input: usize,
+    /// The bucket path.
+    pub path: PathBuf,
+    /// The merged clustering; `None` when the tolerant policy lost the
+    /// whole cell.
+    pub clustering: Option<CellClustering>,
+    /// Fault counters of this cell's pipeline run.
+    pub faults: FaultReport,
+    /// True when the cell lost mass.
+    pub degraded: bool,
+    /// Wall time of the cell's pipeline (zero for resumed cells).
+    pub elapsed: Duration,
+    /// True when the outcome was loaded from a checkpoint instead of
+    /// executed.
+    pub resumed: bool,
+}
+
+/// The serialized slice of a [`CellOutcome`] — everything resume needs to
+/// reproduce the cell's contribution bit-for-bit, including its fault
+/// counters so the planet-level [`FaultReport`] matches an uninterrupted
+/// run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointPayload {
+    clustering: Option<CellClustering>,
+    faults: FaultReport,
+    degraded: bool,
+    elapsed: Duration,
+}
+
+/// First line of a checkpoint file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointHeader {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    checkpoint: u32,
+    /// FNV-1a over the result-affecting plan knobs, 16 hex digits.
+    fingerprint: String,
+    /// FNV-1a over the payload line's bytes, 16 hex digits.
+    checksum: String,
+    /// Bucket file name, as a paired-to-the-wrong-cell guard.
+    input: String,
+}
+
+/// Planet-level report of an orchestrated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanetReport {
+    /// Worker threads the run was scheduled with.
+    pub jobs: usize,
+    /// Per-cell outcomes in input order, resumed and executed alike.
+    /// Cells skipped by a kill are absent.
+    pub cells: Vec<CellOutcome>,
+    /// Fault counters summed across every cell (checkpointed counters for
+    /// resumed cells).
+    pub faults: FaultReport,
+    /// True when any cell lost mass.
+    pub degraded: bool,
+    /// End-to-end wall time of the orchestrated run.
+    pub elapsed: Duration,
+    /// Cells in the plan.
+    pub cells_total: usize,
+    /// Cells restored from checkpoints.
+    pub cells_resumed: usize,
+    /// Cells executed through the pipeline this run.
+    pub cells_executed: usize,
+    /// Checkpoint files detected as corrupt/stale and re-scanned.
+    pub checkpoints_invalid: usize,
+    /// Checkpoint files written this run.
+    pub checkpoints_written: usize,
+    /// True when the kill-after-k drill stopped the run early.
+    pub interrupted: bool,
+    /// High-water mark of the shared memory budget (0 without a budget).
+    pub budget_peak: usize,
+    /// Cells a worker stole from another worker's deque.
+    pub steals: u64,
+}
+
+impl PlanetReport {
+    /// Sum of bucket-promised points over all reported cells.
+    pub fn expected_points(&self) -> f64 {
+        self.clusterings().map(|c| c.expected_points).sum()
+    }
+
+    /// Sum of mass lost to faults over all reported cells.
+    pub fn lost_points(&self) -> f64 {
+        self.clusterings().map(|c| c.lost_points).sum()
+    }
+
+    /// Sum of mass that reached the merges (`Σ cluster_weights`).
+    pub fn received_points(&self) -> f64 {
+        self.clusterings().map(|c| c.output.cluster_weights.iter().sum::<f64>()).sum()
+    }
+
+    /// Every cell clustering, in input order.
+    pub fn clusterings(&self) -> impl Iterator<Item = &CellClustering> {
+        self.cells.iter().filter_map(|o| o.clustering.as_ref())
+    }
+
+    /// Rolls the per-cell outcomes into the observability layer's
+    /// [`RunReport`] (schema v5's `orchestrator` block). Cell rows are
+    /// sorted by cell index, matching the single-run executor.
+    pub fn run_report(&self, rec: Option<&Recorder>) -> RunReport {
+        let mut clusterings: Vec<&CellClustering> = self.clusterings().collect();
+        clusterings.sort_by_key(|c| c.cell.index());
+        RunReport {
+            elapsed: self.elapsed,
+            cells: clusterings.into_iter().map(cell_report).collect(),
+            metrics: rec.map(|r| r.registry().snapshot()).unwrap_or_default(),
+            phases: rec.map(|r| r.phase_rows()).unwrap_or_default(),
+            degraded: self.degraded,
+            faults: self.faults,
+            orchestrator: Some(OrchestratorReport {
+                jobs: self.jobs,
+                cells_total: self.cells_total,
+                cells_resumed: self.cells_resumed,
+                cells_executed: self.cells_executed,
+                checkpoints_written: self.checkpoints_written,
+                checkpoints_invalid: self.checkpoints_invalid,
+                interrupted: self.interrupted,
+                budget_peak_bytes: self.budget_peak as u64,
+                steals: self.steals,
+            }),
+            ..RunReport::new()
+        }
+    }
+
+    /// Recomputes the executed-cell count from the recorded outcomes (the
+    /// kill drill may have discarded in-flight cells).
+    fn finalize(mut self) -> Self {
+        self.cells_executed = self.cells.iter().filter(|o| !o.resumed).count();
+        self
+    }
+}
+
+/// Runs every input cell of `plan` through the pipeline under `opts`,
+/// concurrently, and rolls the results into a [`PlanetReport`].
+///
+/// Each cell runs as its own single-bucket pipeline via
+/// [`execute_cell`], so per-cell results are bit-identical to a serial
+/// `execute` loop regardless of `jobs`, completion order, or whether the
+/// cell was restored from a checkpoint.
+pub fn orchestrate(
+    plan: &PhysicalPlan,
+    opts: &OrchestratorOptions,
+    rec: Option<Arc<Recorder>>,
+    fault_plan: Option<FaultPlan>,
+) -> Result<PlanetReport> {
+    plan.validate()?;
+    let started = Instant::now();
+    let inputs = &plan.logical.inputs;
+    let n = inputs.len();
+    let jobs = opts.jobs.max(1);
+    let fingerprint = plan_fingerprint(plan, fault_plan.as_ref());
+
+    // Per-cell admission cost against the shared budget: the cell's
+    // in-flight chunk footprint (one chunk per partial clone, plus the
+    // chunker's build buffer and the merge's gathered centroids).
+    let costs: Vec<usize> = inputs
+        .iter()
+        .map(|p| match pmkm_data::BucketReader::open(p) {
+            Ok(r) => cell_cost(plan, r.dim),
+            // Unreadable header: admit for free and let the pipeline
+            // surface the proper scan error / tolerant abandonment.
+            Err(_) => 0,
+        })
+        .collect();
+    let budget = match opts.budget_bytes {
+        Some(cap) => {
+            if let Some((i, &worst)) = costs.iter().enumerate().max_by_key(|(_, &c)| c) {
+                if worst > cap {
+                    return Err(EngineError::InvalidPlan(format!(
+                        "memory budget of {cap} B cannot admit cell {} ({} B in-flight)",
+                        inputs[i].display(),
+                        worst
+                    )));
+                }
+            }
+            Some(MemoryBudget::new(cap))
+        }
+        None => None,
+    };
+
+    // Resume: restore completed cells, queue the rest.
+    let mut outcomes: Vec<Option<CellOutcome>> = (0..n).map(|_| None).collect();
+    let mut pending: Vec<usize> = Vec::new();
+    let mut invalid = 0usize;
+    if opts.resume {
+        if let Some(dir) = &opts.checkpoint_dir {
+            for (i, path) in inputs.iter().enumerate() {
+                match load_checkpoint(dir, path, fingerprint) {
+                    CheckpointState::Loaded(p) => {
+                        outcomes[i] = Some(CellOutcome {
+                            input: i,
+                            path: path.clone(),
+                            clustering: p.clustering,
+                            faults: p.faults,
+                            degraded: p.degraded,
+                            elapsed: p.elapsed,
+                            resumed: true,
+                        });
+                    }
+                    CheckpointState::Invalid => {
+                        invalid += 1;
+                        pending.push(i);
+                    }
+                    CheckpointState::Missing => pending.push(i),
+                }
+            }
+        } else {
+            pending = (0..n).collect();
+        }
+    } else {
+        pending = (0..n).collect();
+    }
+    let resumed = n - pending.len();
+
+    if let Some(rec) = rec.as_deref() {
+        rec.event(
+            "run.open",
+            &[
+                ("cells", n.into()),
+                ("jobs", jobs.into()),
+                ("partial_clones", plan.partial_clones.into()),
+            ],
+        );
+        if opts.resume {
+            rec.event(
+                "run.resume",
+                &[
+                    ("cells_resumed", resumed.into()),
+                    ("cells_pending", pending.len().into()),
+                    ("checkpoints_invalid", invalid.into()),
+                ],
+            );
+            // Re-announce each restored cell so a resumed run's ledger
+            // still rolls up the full per-cell table and mass audit.
+            for o in outcomes.iter().flatten() {
+                if let Some(c) = &o.clustering {
+                    rec.event(
+                        "cell.close",
+                        &[
+                            ("cell", c.cell.index().into()),
+                            ("chunks", c.chunks.len().into()),
+                            ("expected_points", c.expected_points.into()),
+                            ("lost_points", c.lost_points.into()),
+                            ("lost_chunks", c.lost_chunks.into()),
+                            ("degraded", c.degraded.into()),
+                            ("mse", c.output.mse.into()),
+                            ("epm", c.output.epm.into()),
+                            ("resumed", true.into()),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    // Deal pending cells round-robin onto the per-worker deques.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (pos, &i) in pending.iter().enumerate() {
+        queues[pos % jobs].lock().push_back(i);
+    }
+
+    let shared = Shared {
+        plan,
+        rec: rec.clone(),
+        fault_plan,
+        queues,
+        costs,
+        budget,
+        outcomes: Mutex::new(outcomes),
+        first_err: Mutex::new(None),
+        kill: AtomicBool::new(false),
+        interrupted: AtomicBool::new(false),
+        ckpt_written: Mutex::new(0),
+        steals: AtomicU64::new(0),
+        checkpoint_dir: opts.checkpoint_dir.clone(),
+        kill_after: opts.kill_after_checkpoints,
+        fingerprint,
+    };
+
+    crossbeam::thread::scope(|s| {
+        for w in 0..jobs {
+            let shared = &shared;
+            s.spawn(move |_| worker(w, jobs, shared));
+        }
+    })
+    .map_err(|_| EngineError::OperatorPanic("orchestrator worker".into()))?;
+
+    if let Some(e) = shared.first_err.into_inner() {
+        return Err(e);
+    }
+
+    let cells: Vec<CellOutcome> = shared.outcomes.into_inner().into_iter().flatten().collect();
+    let mut faults = FaultReport::default();
+    for o in &cells {
+        add_faults(&mut faults, &o.faults);
+    }
+    let degraded = cells.iter().any(|o| o.degraded);
+    let checkpoints_written =
+        if opts.checkpoint_dir.is_some() { *shared.ckpt_written.lock() } else { 0 };
+    let elapsed = started.elapsed();
+    if let Some(rec) = rec.as_deref() {
+        pmkm_obs::emit_phase_events(rec);
+        rec.event(
+            "run.close",
+            &[
+                ("elapsed_us", (elapsed.as_micros() as u64).into()),
+                ("cells", cells.len().into()),
+                ("degraded", degraded.into()),
+            ],
+        );
+        rec.flush();
+    }
+    Ok(PlanetReport {
+        jobs,
+        cells_executed: 0, // filled in by finalize() from the outcomes
+        cells,
+        faults,
+        degraded,
+        elapsed,
+        cells_total: n,
+        cells_resumed: resumed,
+        checkpoints_invalid: invalid,
+        checkpoints_written,
+        interrupted: shared.interrupted.load(Ordering::Relaxed),
+        budget_peak: shared.budget.as_ref().map(MemoryBudget::peak).unwrap_or(0),
+        steals: shared.steals.load(Ordering::Relaxed),
+    }
+    .finalize())
+}
+
+struct Shared<'a> {
+    plan: &'a PhysicalPlan,
+    rec: Option<Arc<Recorder>>,
+    fault_plan: Option<FaultPlan>,
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    costs: Vec<usize>,
+    budget: Option<MemoryBudget>,
+    outcomes: Mutex<Vec<Option<CellOutcome>>>,
+    first_err: Mutex<Option<EngineError>>,
+    kill: AtomicBool,
+    interrupted: AtomicBool,
+    ckpt_written: Mutex<usize>,
+    steals: AtomicU64,
+    checkpoint_dir: Option<PathBuf>,
+    kill_after: Option<usize>,
+    fingerprint: u64,
+}
+
+fn worker(w: usize, jobs: usize, shared: &Shared<'_>) {
+    loop {
+        if shared.kill.load(Ordering::Relaxed) {
+            return;
+        }
+        // Own queue front-first; steal from the back of the others.
+        let task = shared.queues[w].lock().pop_front().or_else(|| {
+            (1..jobs).find_map(|d| {
+                let victim = (w + d) % jobs;
+                let stolen = shared.queues[victim].lock().pop_back();
+                if stolen.is_some() {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                stolen
+            })
+        });
+        let Some(i) = task else { return };
+
+        let cost = shared.costs[i];
+        if let Some(b) = &shared.budget {
+            b.acquire(cost);
+            if shared.kill.load(Ordering::Relaxed) {
+                b.release(cost);
+                return;
+            }
+        }
+        let res = run_one_cell(shared, i);
+        if let Some(b) = &shared.budget {
+            b.release(cost);
+        }
+        match res {
+            Err(e) => {
+                let mut err = shared.first_err.lock();
+                if err.is_none() {
+                    *err = Some(e);
+                }
+                shared.kill.store(true, Ordering::Relaxed);
+                return;
+            }
+            Ok(outcome) => {
+                // Checkpoint + commit atomically with the kill check: a
+                // cell whose checkpoint was not written before the "kill"
+                // is treated as died-in-flight and discarded, exactly what
+                // a real process death would leave behind.
+                let mut written = shared.ckpt_written.lock();
+                if shared.kill.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(dir) = &shared.checkpoint_dir {
+                    match write_checkpoint(dir, shared.fingerprint, &outcome) {
+                        Ok(bytes) => {
+                            *written += 1;
+                            if let Some(rec) = shared.rec.as_deref() {
+                                let cell = outcome
+                                    .clustering
+                                    .as_ref()
+                                    .map(|c| c.cell.index().to_string())
+                                    .unwrap_or_else(|| file_name(&outcome.path));
+                                rec.event(
+                                    "cell.checkpoint",
+                                    &[
+                                        ("cell", cell.into()),
+                                        ("seq", (*written as u64).into()),
+                                        ("bytes", (bytes as u64).into()),
+                                    ],
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            drop(written);
+                            let mut err = shared.first_err.lock();
+                            if err.is_none() {
+                                *err = Some(e);
+                            }
+                            shared.kill.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                } else {
+                    *written += 1;
+                }
+                if shared.kill_after == Some(*written) {
+                    shared.kill.store(true, Ordering::Relaxed);
+                    shared.interrupted.store(true, Ordering::Relaxed);
+                }
+                drop(written);
+                shared.outcomes.lock()[i] = Some(outcome);
+            }
+        }
+    }
+}
+
+fn run_one_cell(shared: &Shared<'_>, i: usize) -> Result<CellOutcome> {
+    let path = shared.plan.logical.inputs[i].clone();
+    let mut cell_plan = shared.plan.clone();
+    cell_plan.logical.inputs = vec![path.clone()];
+    cell_plan.scan_clones = 1;
+    let report = execute_cell(&cell_plan, shared.rec.clone(), shared.fault_plan.clone())?;
+    Ok(CellOutcome {
+        input: i,
+        path,
+        clustering: report.cells.into_iter().next(),
+        faults: report.faults,
+        degraded: report.degraded,
+        elapsed: report.elapsed,
+        resumed: false,
+    })
+}
+
+/// In-flight bytes one cell's pipeline holds: one chunk per partial clone
+/// plus the chunker's build buffer and the merge's gathered set.
+fn cell_cost(plan: &PhysicalPlan, dim: usize) -> usize {
+    let chunk_bytes = match plan.chunk_policy {
+        ChunkPolicy::MemoryBudget { bytes } => bytes,
+        ChunkPolicy::FixedPoints(p) => p * dim * std::mem::size_of::<f64>(),
+    };
+    chunk_bytes * (plan.partial_clones + 2)
+}
+
+/// Every plan knob that changes clustering results or fault injection —
+/// parallelism knobs (clones, queue capacities, jobs) are deliberately
+/// excluded because results are invariant to them.
+fn plan_fingerprint(plan: &PhysicalPlan, fault_plan: Option<&FaultPlan>) -> u64 {
+    let key = format!(
+        "{:?}|{:?}|{}|{:?}|{:?}|{:?}",
+        plan.logical.kmeans,
+        plan.logical.merge_mode,
+        plan.logical.merge_restarts,
+        plan.chunk_policy,
+        plan.fault_policy,
+        fault_plan
+    );
+    fnv1a(key.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+}
+
+/// Checkpoint file path for a bucket: `<dir>/<bucket file name>.ckpt`.
+pub fn checkpoint_path(dir: &Path, input: &Path) -> PathBuf {
+    dir.join(format!("{}.ckpt", file_name(input)))
+}
+
+fn write_checkpoint(dir: &Path, fingerprint: u64, outcome: &CellOutcome) -> Result<usize> {
+    let payload = CheckpointPayload {
+        clustering: outcome.clustering.clone(),
+        faults: outcome.faults,
+        degraded: outcome.degraded,
+        elapsed: outcome.elapsed,
+    };
+    let payload_line = serde_json::to_string(&payload)
+        .map_err(|e| EngineError::InvalidPlan(format!("checkpoint serialization failed: {e}")))?;
+    let header = CheckpointHeader {
+        checkpoint: CHECKPOINT_VERSION,
+        fingerprint: format!("{fingerprint:016x}"),
+        checksum: format!("{:016x}", fnv1a(payload_line.as_bytes())),
+        input: file_name(&outcome.path),
+    };
+    let header_line = serde_json::to_string(&header)
+        .map_err(|e| EngineError::InvalidPlan(format!("checkpoint serialization failed: {e}")))?;
+    let text = format!("{header_line}\n{payload_line}\n");
+    std::fs::create_dir_all(dir)
+        .map_err(|e| EngineError::InvalidPlan(format!("checkpoint dir {}: {e}", dir.display())))?;
+    let path = checkpoint_path(dir, &outcome.path);
+    // Write-then-rename so a crash mid-write leaves no half file behind
+    // (a truncated file would be caught by the checksum anyway).
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, &text)
+        .and_then(|()| std::fs::rename(&tmp, &path))
+        .map_err(|e| EngineError::InvalidPlan(format!("checkpoint {}: {e}", path.display())))?;
+    Ok(text.len())
+}
+
+enum CheckpointState {
+    Loaded(Box<CheckpointPayload>),
+    Missing,
+    Invalid,
+}
+
+fn load_checkpoint(dir: &Path, input: &Path, fingerprint: u64) -> CheckpointState {
+    let path = checkpoint_path(dir, input);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CheckpointState::Missing,
+        Err(_) => return CheckpointState::Invalid,
+    };
+    let Some((header_line, rest)) = text.split_once('\n') else {
+        return CheckpointState::Invalid;
+    };
+    let payload_line = rest.strip_suffix('\n').unwrap_or(rest);
+    let Ok(header) = serde_json::from_str::<CheckpointHeader>(header_line) else {
+        return CheckpointState::Invalid;
+    };
+    if header.checkpoint > CHECKPOINT_VERSION
+        || header.fingerprint != format!("{fingerprint:016x}")
+        || header.input != file_name(input)
+        || header.checksum != format!("{:016x}", fnv1a(payload_line.as_bytes()))
+    {
+        return CheckpointState::Invalid;
+    }
+    match serde_json::from_str::<CheckpointPayload>(payload_line) {
+        Ok(p) => CheckpointState::Loaded(Box::new(p)),
+        Err(_) => CheckpointState::Invalid,
+    }
+}
+
+fn add_faults(into: &mut FaultReport, from: &FaultReport) {
+    into.scan_retries += from.scan_retries;
+    into.scan_failures += from.scan_failures;
+    into.chunks_poisoned += from.chunks_poisoned;
+    into.chunks_quarantined += from.chunks_quarantined;
+    into.worker_panics += from.worker_panics;
+    into.chunk_retries += from.chunk_retries;
+    into.queue_stalls += from.queue_stalls;
+    into.cells_degraded += from.cells_degraded;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute;
+    use crate::optimizer::optimize_fixed_split;
+    use crate::plan::LogicalPlan;
+    use crate::resources::Resources;
+    use pmkm_core::{Dataset, KMeansConfig};
+    use pmkm_data::{GridBucket, GridCell};
+
+    fn write_cell(dir: &Path, idx: u16, n: usize, seed: u64) -> PathBuf {
+        use rand::Rng;
+        let mut rng = pmkm_core::seeding::rng_for(seed, idx as u64);
+        let mut points = Dataset::new(2).unwrap();
+        for _ in 0..n {
+            let blob = if rng.gen_bool(0.5) { 0.0 } else { 40.0 };
+            points
+                .push(&[blob + rng.gen_range(-1.0..1.0), blob + rng.gen_range(-1.0..1.0)])
+                .unwrap();
+        }
+        let cell = GridCell::new(idx, idx).unwrap();
+        let path = dir.join(cell.bucket_file_name());
+        GridBucket { cell, points }.write_to(&path).unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pmkm_orch_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn mk_plan(paths: &[PathBuf], seed: u64) -> PhysicalPlan {
+        optimize_fixed_split(
+            LogicalPlan::new(
+                paths.to_vec(),
+                KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, seed) },
+            ),
+            &Resources::fixed(1 << 20, 2),
+            40,
+        )
+    }
+
+    fn assert_same_cells(a: &PlanetReport, b: &PlanetReport) {
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.input, y.input);
+            assert_eq!(x.path, y.path);
+            let (cx, cy) = (x.clustering.as_ref().unwrap(), y.clustering.as_ref().unwrap());
+            assert_eq!(cx.output.centroids, cy.output.centroids);
+            assert_eq!(cx.output.epm.to_bits(), cy.output.epm.to_bits());
+            assert_eq!(cx.expected_points.to_bits(), cy.expected_points.to_bits());
+        }
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn orchestrated_cells_match_a_serial_execute_loop() {
+        let dir = tmpdir("serial_parity");
+        let paths: Vec<PathBuf> =
+            (1..=5).map(|i| write_cell(&dir, i, 80 + 30 * i as usize, 9)).collect();
+        let plan = mk_plan(&paths, 11);
+        let planet = orchestrate(&plan, &OrchestratorOptions::new(4), None, None).unwrap();
+        assert_eq!(planet.cells.len(), 5);
+        assert_eq!(planet.cells_executed, 5);
+        for (i, outcome) in planet.cells.iter().enumerate() {
+            let mut one = plan.clone();
+            one.logical.inputs = vec![paths[i].clone()];
+            one.scan_clones = 1;
+            let solo = execute(&one).unwrap();
+            let orch = outcome.clustering.as_ref().unwrap();
+            assert_eq!(orch.output.centroids, solo.cells[0].output.centroids);
+            assert_eq!(orch.output.epm.to_bits(), solo.cells[0].output.epm.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn planet_report_ordering_is_independent_of_worker_count() {
+        let dir = tmpdir("ordering");
+        // Mixed sizes so completion order differs from input order.
+        let sizes = [400usize, 60, 250, 90, 300, 70];
+        let paths: Vec<PathBuf> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| write_cell(&dir, (i + 1) as u16, n, 5))
+            .collect();
+        let plan = mk_plan(&paths, 3);
+        let one = orchestrate(&plan, &OrchestratorOptions::new(1), None, None).unwrap();
+        let four = orchestrate(&plan, &OrchestratorOptions::new(4), None, None).unwrap();
+        assert_same_cells(&one, &four);
+        // Deterministic input-order reporting regardless of completion order.
+        for (i, o) in four.cells.iter().enumerate() {
+            assert_eq!(o.input, i);
+            assert_eq!(o.path, paths[i]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn idle_workers_steal_and_no_cell_starves() {
+        let dir = tmpdir("steal");
+        // jobs=2 deals cells [0,2] to worker 0 and [1] to worker 1. Cell 0
+        // is much bigger, so worker 1 finishes its own cell and must steal
+        // cell 2 from worker 0's deque for the run to stay balanced.
+        let paths = vec![
+            write_cell(&dir, 1, 4000, 13),
+            write_cell(&dir, 2, 40, 13),
+            write_cell(&dir, 3, 40, 13),
+        ];
+        let mut plan = mk_plan(&paths, 29);
+        plan.logical.kmeans.restarts = 3;
+        let planet = orchestrate(&plan, &OrchestratorOptions::new(2), None, None).unwrap();
+        assert_eq!(planet.cells.len(), 3, "a cell starved");
+        assert!(planet.steals >= 1, "expected at least one steal, got {}", planet.steals);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tight_budget_backpressures_but_never_exceeds() {
+        let dir = tmpdir("budget");
+        let paths: Vec<PathBuf> = (1..=6).map(|i| write_cell(&dir, i, 120, 21)).collect();
+        let plan = mk_plan(&paths, 7);
+        // Budget for exactly one cell: 4 workers must serialize admission.
+        let one_cell = cell_cost(&plan, 2);
+        let opts = OrchestratorOptions::new(4).with_budget(one_cell);
+        let planet = orchestrate(&plan, &opts, None, None).unwrap();
+        assert_eq!(planet.cells.len(), 6);
+        assert!(planet.budget_peak > 0);
+        assert!(
+            planet.budget_peak <= one_cell,
+            "budget exceeded: {} > {}",
+            planet.budget_peak,
+            one_cell
+        );
+        // Results are unchanged by the backpressure.
+        let free = orchestrate(&plan, &OrchestratorOptions::new(4), None, None).unwrap();
+        assert_same_cells(&planet, &free);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_smaller_than_one_cell_is_rejected() {
+        let dir = tmpdir("budget_reject");
+        let paths = vec![write_cell(&dir, 9, 100, 2)];
+        let plan = mk_plan(&paths, 7);
+        let opts = OrchestratorOptions::new(2).with_budget(16);
+        match orchestrate(&plan, &opts, None, None) {
+            Err(EngineError::InvalidPlan(msg)) => assert!(msg.contains("budget")),
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_budget_tracks_peak() {
+        let b = MemoryBudget::new(100);
+        b.acquire(60);
+        b.acquire(30);
+        assert_eq!(b.peak(), 90);
+        b.release(60);
+        b.acquire(40);
+        assert_eq!(b.peak(), 90);
+        b.release(30);
+        b.release(40);
+        assert_eq!(b.capacity(), 100);
+    }
+
+    #[test]
+    fn strict_failure_aborts_the_whole_run() {
+        let dir = tmpdir("strict_abort");
+        let mut paths = vec![write_cell(&dir, 1, 80, 3)];
+        paths.push(PathBuf::from("/nonexistent/cell.gb"));
+        let plan = mk_plan(&paths, 1);
+        assert!(matches!(
+            orchestrate(&plan, &OrchestratorOptions::new(2), None, None),
+            Err(EngineError::Data(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_files_round_trip_and_detect_tampering() {
+        let dir = tmpdir("ckpt_unit");
+        let bucket = write_cell(&dir, 4, 90, 17);
+        let outcome = CellOutcome {
+            input: 0,
+            path: bucket.clone(),
+            clustering: None,
+            faults: FaultReport { scan_retries: 2, ..FaultReport::default() },
+            degraded: true,
+            elapsed: Duration::from_micros(123),
+            resumed: false,
+        };
+        let ckpt_dir = dir.join("ckpt");
+        write_checkpoint(&ckpt_dir, 0xabcd, &outcome).unwrap();
+        match load_checkpoint(&ckpt_dir, &bucket, 0xabcd) {
+            CheckpointState::Loaded(p) => {
+                assert_eq!(p.faults.scan_retries, 2);
+                assert!(p.degraded);
+                assert_eq!(p.elapsed, Duration::from_micros(123));
+            }
+            _ => panic!("expected a valid checkpoint"),
+        }
+        // Wrong fingerprint → invalid, not panic.
+        assert!(matches!(load_checkpoint(&ckpt_dir, &bucket, 0xabce), CheckpointState::Invalid));
+        // Flip one payload byte → checksum catches it.
+        let path = checkpoint_path(&ckpt_dir, &bucket);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let flip = text.len() - 3;
+        text.replace_range(flip..flip + 1, "X");
+        std::fs::write(&path, &text).unwrap();
+        assert!(matches!(load_checkpoint(&ckpt_dir, &bucket, 0xabcd), CheckpointState::Invalid));
+        // Missing file is a distinct state.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(load_checkpoint(&ckpt_dir, &bucket, 0xabcd), CheckpointState::Missing));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

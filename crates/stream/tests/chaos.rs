@@ -239,6 +239,82 @@ fn chaos_matrix_conserves_surviving_mass() {
     }
 }
 
+/// The orchestrator under the chaos matrix: light and heavy schedules with
+/// the tolerant policy conserve mass **across all cells** — planet-wide,
+/// Σ(received + lost) == Σ expected — and replay byte-identically.
+#[test]
+fn orchestrator_chaos_matrix_conserves_planet_mass() {
+    use pmkm_stream::{orchestrate, OrchestratorOptions};
+    for seed in seeds() {
+        let dir =
+            std::env::temp_dir().join(format!("pmkm_chaos_orch_{seed}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = vec![
+            write_cell(&dir, 2, 180, 1234),
+            write_cell(&dir, 3, 120, 1234),
+            write_cell(&dir, 4, 150, 1234),
+            write_cell(&dir, 5, 90, 1234),
+        ];
+        let expected_total = 180.0 + 120.0 + 150.0 + 90.0;
+        quiet_injected_panics();
+        let logical =
+            LogicalPlan::new(paths, KMeansConfig { restarts: 2, ..KMeansConfig::paper(3, 42) });
+        let mut plan = optimize_fixed_split(logical, &Resources::fixed(1 << 20, 2), 40);
+        plan.fault_policy = FaultPolicy::tolerant();
+        for fault_plan in [FaultPlan::light(seed), FaultPlan::heavy(seed)] {
+            let run =
+                || orchestrate(&plan, &OrchestratorOptions::new(3), None, Some(fault_plan.clone()));
+            let planet = run().unwrap_or_else(|e| {
+                panic!("tolerant orchestrated run must survive seed {seed}: {e}")
+            });
+            assert_eq!(planet.cells.len(), 4, "seed {seed}: an outcome went missing");
+            // Planet-wide conservation over surviving cells; a cell whose
+            // every chunk was quarantined reports no clustering and must be
+            // flagged degraded.
+            let received = planet.received_points();
+            let lost = planet.lost_points();
+            let expected = planet.expected_points();
+            assert!(
+                (received + lost - expected).abs() < 1e-6,
+                "seed {seed}: received {received} + lost {lost} != expected {expected}"
+            );
+            assert!(expected <= expected_total + 1e-6, "seed {seed}");
+            if planet.clusterings().count() == 4 {
+                assert_eq!(expected, expected_total, "seed {seed}");
+            } else {
+                assert!(planet.degraded, "seed {seed}: lost a whole cell silently");
+            }
+            // Per-cell accounting also balances.
+            for c in &planet.cells {
+                if let Some(cl) = &c.clustering {
+                    let got: f64 = cl.output.cluster_weights.iter().sum();
+                    assert!(
+                        (got + cl.lost_points - cl.expected_points).abs() < 1e-6,
+                        "seed {seed} cell {}",
+                        c.input
+                    );
+                    assert!(cl.output.epm.is_finite() && cl.output.epm >= 0.0);
+                }
+            }
+            // Replays are byte-identical, worker count notwithstanding.
+            let again = run().unwrap();
+            assert_eq!(planet.faults, again.faults, "seed {seed}");
+            assert_eq!(planet.degraded, again.degraded, "seed {seed}");
+            for (a, b) in planet.cells.iter().zip(&again.cells) {
+                match (&a.clustering, &b.clustering) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.output.centroids, y.output.centroids, "seed {seed}");
+                        assert_eq!(x.output.epm.to_bits(), y.output.epm.to_bits());
+                    }
+                    _ => panic!("seed {seed}: replay diverged on cell {}", a.input),
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn strict_policy_fails_cleanly_instead_of_degrading() {
     quiet_injected_panics();
