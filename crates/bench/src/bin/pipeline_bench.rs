@@ -36,13 +36,13 @@ use pmkm_core::{
     KernelKind, PartialMergeConfig, PartitionSpec,
 };
 use pmkm_data::{CellConfig, GridBucket, GridCell};
-use pmkm_obs::{PhaseReport, Profiler, Recorder};
+use pmkm_obs::{PhaseReport, Profiler, Recorder, Timeline};
 use pmkm_stream::{execute, execute_observed, optimize_fixed_split, LogicalPlan, Resources};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
 
-const SCHEMA_VERSION: u32 = 3;
+const SCHEMA_VERSION: u32 = 4;
 const SEED: u64 = 42;
 const K: usize = 40;
 const PARTITIONS: usize = 10;
@@ -86,8 +86,29 @@ struct Row {
 struct Report {
     schema_version: u32,
     workload: String,
+    /// Machine-class fingerprint (cpu model + core count). Baselines only
+    /// gate against reports from the same class; empty in pre-v4 documents.
+    #[serde(default)]
+    machine: String,
     params: Params,
     rows: Vec<Row>,
+}
+
+/// The machine-class key for baseline lookups: normalized CPU model name
+/// plus logical core count. Throughput numbers travel poorly across
+/// hardware, so the regression gate only fires within one class.
+fn machine_fingerprint() -> String {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines().find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                (k.trim() == "model name").then(|| v.trim().to_string())
+            })
+        })
+        .unwrap_or_else(|| std::env::consts::ARCH.to_string());
+    format!("{}/{}x", model.split_whitespace().collect::<Vec<_>>().join(" "), cores)
 }
 
 struct Opts {
@@ -325,7 +346,14 @@ fn bench_orchestrate(
         pmkm_stream::orchestrate(&plan, &opts, None, None).expect("orchestrator run");
         samples.push(t.elapsed().as_secs_f64() * 1e3);
 
-        let rec = Arc::new(Recorder::new().with_profiler(Arc::new(Profiler::new())));
+        // The profiled arm carries the full observability stack — span
+        // profiler AND worker timeline — so the overhead number covers the
+        // per-chunk state recording, not just the phase spans.
+        let rec = Arc::new(
+            Recorder::new()
+                .with_profiler(Arc::new(Profiler::new()))
+                .with_timeline(Arc::new(Timeline::new())),
+        );
         let t = Instant::now();
         let obs = pmkm_stream::orchestrate(&plan, &opts, Some(Arc::clone(&rec)), None)
             .expect("observed orchestrator run");
@@ -379,6 +407,25 @@ fn compare_against_baseline(report: &Report, path: &str) -> ! {
             base.params, report.params
         );
         std::process::exit(2)
+    }
+    // Throughput gates only make sense within one hardware class: a
+    // baseline recorded on different silicon (or an unkeyed pre-v4 one)
+    // records the numbers but must not fail the build.
+    if base.machine != report.machine {
+        if base.machine.is_empty() {
+            println!(
+                "  baseline has no machine fingerprint (pre-v4); \
+                 gating anyway against {}",
+                report.machine
+            );
+        } else {
+            println!(
+                "SKIP: baseline machine class '{}' != current '{}'; \
+                 regression gate not applicable across hardware classes",
+                base.machine, report.machine
+            );
+            std::process::exit(0)
+        }
     }
     let mut failed = false;
     for row in &report.rows {
@@ -546,9 +593,12 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
+    let machine = machine_fingerprint();
+    println!("[machine] {machine}");
     let report = Report {
         schema_version: SCHEMA_VERSION,
         workload: format!("fig6 paper cell (6-D MISR-like, CellConfig::paper({n}, {SEED}))"),
+        machine,
         params,
         rows,
     };

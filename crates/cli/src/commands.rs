@@ -83,11 +83,15 @@ COMMANDS
             Simulate a satellite swath; writes stripe files into DIR.
   bin       --out=DIR <stripe files…>
             Sort stripe observations into per-cell grid-bucket files.
-  inspect   <bucket files… | ledger.jsonl…>
+  inspect   [--timeline=TRACE.json] <bucket files… | ledger.jsonl… | report.json…>
             Print each bucket's header and per-dimension statistics. Given
             a run ledger (JSONL, from cluster --ledger) instead, print its
             rollup: per-phase table, per-cell mass audit, the slowest
-            chunks, kernel dispatches, and the fault timeline.
+            chunks, kernel dispatches, the fault timeline, and an ASCII
+            Gantt of per-worker states when the run journaled a timeline.
+            Given a RunReport JSON (from --metrics-out), print its headline
+            numbers and per-worker utilization. --timeline exports the run
+            as a Chrome trace-event JSON (chrome://tracing, Perfetto).
   cluster   [--k=40] [--restarts=10] [--seed=0] [--splits=P | --memory=BYTES]
             [--workers=N] [--kernel=auto] [--adaptive] [--incremental]
             [--tolerant] [--chaos=LEVEL:SEED]
@@ -117,6 +121,7 @@ COMMANDS
             [--checkpoint-dir=DIR] [--resume] [--kill-after=K]
             [--tolerant] [--chaos=LEVEL:SEED]
             [--metrics-out=REPORT.json] [--ledger=LEDGER.jsonl]
+            [--serve=ADDR] [--watchdog=SECS]
             <bucket files…>
             Run many cells through the pipeline concurrently on --jobs
             work-stealing workers, each cell an independent pipeline
@@ -129,7 +134,17 @@ COMMANDS
             a resumed run is bit-identical to an uninterrupted one.
             --kill-after=K is the chaos drill: simulate the process dying
             right after the K-th checkpoint write (pair with a later
-            --resume to exercise recovery end-to-end).
+            --resume to exercise recovery end-to-end). After a clean run,
+            stale checkpoint files in --checkpoint-dir (foreign buckets,
+            outdated plans) are garbage-collected. --serve exposes the
+            live dashboard for the duration of the run: /status (planet
+            progress, per-worker state and utilization, ETA) plus
+            /metrics, /report.json, /healthz, /events, /ledger.jsonl.
+            --watchdog=SECS starts a stall watchdog: no progress for SECS
+            emits watchdog.stall to the ledger, a cell open longer than
+            SECS and 4x the median cell time emits watchdog.straggler,
+            and a worker parked on the memory budget past the deadline
+            is flagged.
   diff      [--threshold=0.10] <A> <B>
             Compare two runs (each a run ledger or a RunReport JSON, mixed
             freely): prints the elapsed ratio, per-phase attribution of
@@ -196,9 +211,12 @@ fn looks_like_ledger(path: &str) -> bool {
 }
 
 /// Prints the per-cell / per-phase rollup of one run ledger.
-fn inspect_ledger<W: Write>(path: &str, out: &mut W) -> Result<(), CliError> {
-    let records = pmkm_obs::read_ledger(path).map_err(run_err)?;
-    let roll = pmkm_obs::rollup(&records);
+fn inspect_ledger<W: Write>(
+    path: &str,
+    records: &[pmkm_obs::LedgerRecord],
+    out: &mut W,
+) -> Result<(), CliError> {
+    let roll = pmkm_obs::rollup(records);
     writeln!(
         out,
         "{path}: ledger v{}, {} events, elapsed {} µs, mass ratio {:.6}",
@@ -260,17 +278,94 @@ fn inspect_ledger<W: Write>(path: &str, out: &mut W) -> Result<(), CliError> {
         )
         .map_err(run_err)?;
     }
+    if roll.worker_transitions > 0 {
+        writeln!(
+            out,
+            "  [workers] {} state transition(s) journaled (--timeline exports a Chrome trace)",
+            roll.worker_transitions
+        )
+        .map_err(run_err)?;
+    }
+    if roll.watchdog_stalls > 0 || roll.watchdog_stragglers > 0 {
+        writeln!(
+            out,
+            "  [watchdog] {} stall(s), {} straggler(s)",
+            roll.watchdog_stalls, roll.watchdog_stragglers
+        )
+        .map_err(run_err)?;
+    }
+    Ok(())
+}
+
+/// Prints the headline numbers of a structured `RunReport` JSON, including
+/// the v6 per-worker timeline rollup when present.
+fn inspect_report<W: Write>(
+    path: &str,
+    report: &pmkm_obs::RunReport,
+    out: &mut W,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{path}: run report v{}, {} cells, elapsed {:.0} ms",
+        report.schema_version,
+        report.cells.len(),
+        report.elapsed.as_secs_f64() * 1e3
+    )
+    .map_err(run_err)?;
+    if let Some(tl) = &report.timeline {
+        writeln!(
+            out,
+            "  [timeline] {} worker(s), busy wall {} µs (per-thread max), span {} µs",
+            tl.workers.len(),
+            tl.wall_us,
+            tl.span_us
+        )
+        .map_err(run_err)?;
+        for w in &tl.workers {
+            writeln!(
+                out,
+                "    {:<4} {:>3.0}% busy ({} transitions; scan {} µs, partial {} µs, \
+                 merge {} µs, checkpoint {} µs, budget-wait {} µs)",
+                w.worker,
+                w.utilization * 100.0,
+                w.transitions,
+                w.scan_us,
+                w.partial_us,
+                w.merge_us,
+                w.checkpoint_us,
+                w.budget_wait_us
+            )
+            .map_err(run_err)?;
+        }
+    }
     Ok(())
 }
 
 fn inspect<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    args.expect_only(&[])?;
+    args.expect_only(&["timeline"])?;
+    let timeline_out = args.get_str("timeline", "");
     if args.positionals().is_empty() {
         return Err(CliError::Run("inspect: no bucket or ledger files given".into()));
     }
+    let mut trace_json: Option<String> = None;
     for path in args.positionals() {
         if looks_like_ledger(path) {
-            inspect_ledger(path, out)?;
+            let text = std::fs::read_to_string(path).map_err(run_err)?;
+            // A RunReport is one JSON document; a ledger is JSON lines.
+            // Try the report first — a ledger always fails that parse.
+            if let Ok(report) = serde_json::from_str::<pmkm_obs::RunReport>(&text) {
+                inspect_report(path, &report, out)?;
+                trace_json = Some(pmkm_obs::chrome_trace_from_report(&report));
+            } else {
+                let records = pmkm_obs::parse_ledger(&text).map_err(run_err)?;
+                inspect_ledger(path, &records, out)?;
+                if let Some(gantt) = pmkm_obs::ascii_gantt(&records, 72) {
+                    for line in gantt.lines() {
+                        writeln!(out, "  {line}").map_err(run_err)?;
+                    }
+                }
+                trace_json = Some(pmkm_obs::chrome_trace(&records));
+            }
             continue;
         }
         let bucket = GridBucket::read_from(&PathBuf::from(path)).map_err(run_err)?;
@@ -296,6 +391,19 @@ fn inspect<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                 .map_err(run_err)?;
             }
         }
+    }
+    if !timeline_out.is_empty() {
+        let json = trace_json.ok_or_else(|| {
+            CliError::Run(
+                "inspect: --timeline needs a run ledger or RunReport JSON among the inputs".into(),
+            )
+        })?;
+        std::fs::write(&timeline_out, json).map_err(run_err)?;
+        writeln!(
+            out,
+            "wrote Chrome trace to {timeline_out} (open in chrome://tracing or ui.perfetto.dev)"
+        )
+        .map_err(run_err)?;
     }
     Ok(())
 }
@@ -609,6 +717,8 @@ fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "chaos",
         "metrics-out",
         "ledger",
+        "serve",
+        "watchdog",
     ])?;
     let mut paths: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
     if paths.is_empty() {
@@ -675,24 +785,74 @@ fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
 
     let metrics_out = args.get_str("metrics-out", "");
     let ledger_out = args.get_str("ledger", "");
-    let ledger = if ledger_out.is_empty() {
-        None
-    } else {
+    let serve_addr = args.get_str("serve", "");
+    let watchdog_secs = args.get("watchdog", 0u64)?;
+    // A ledger backs the /events long-poll, so --serve without --ledger
+    // still gets an in-memory journal; a bare run gets none at all.
+    let ledger = if !ledger_out.is_empty() {
         Some(std::sync::Arc::new(pmkm_obs::LedgerSink::create(&ledger_out).map_err(run_err)?))
+    } else if !serve_addr.is_empty() {
+        Some(std::sync::Arc::new(pmkm_obs::LedgerSink::in_memory()))
+    } else {
+        None
     };
-    let recorder = if metrics_out.is_empty() && ledger.is_none() {
+    let watchdog_sink =
+        (watchdog_secs > 0).then(|| std::sync::Arc::new(pmkm_stream::WatchdogSink::new()));
+    let status = (!serve_addr.is_empty()).then(|| std::sync::Arc::new(pmkm_obs::StatusCell::new()));
+    if let Some(status) = &status {
+        opts = opts.with_status(status.clone());
+    }
+    let recorder = if metrics_out.is_empty() && ledger.is_none() && watchdog_sink.is_none() {
         None
     } else {
-        let mut rec =
-            pmkm_obs::Recorder::new().with_profiler(std::sync::Arc::new(pmkm_obs::Profiler::new()));
+        // Any observed run gets a worker timeline: it feeds the /status
+        // worker rows, the report's v6 rollup and the Chrome-trace export,
+        // and costs nothing when nobody reads it.
+        let mut rec = pmkm_obs::Recorder::new()
+            .with_profiler(std::sync::Arc::new(pmkm_obs::Profiler::new()))
+            .with_timeline(std::sync::Arc::new(pmkm_obs::Timeline::new()));
         if let Some(ledger) = &ledger {
             rec = rec.with_sink(ledger.clone());
         }
+        if let Some(sink) = &watchdog_sink {
+            rec = rec.with_sink(sink.clone());
+        }
         Some(std::sync::Arc::new(rec))
     };
+    let server = if serve_addr.is_empty() {
+        None
+    } else {
+        let rec = recorder.clone().expect("recorder is built whenever --serve is given");
+        let server = pmkm_obs::MetricsServer::serve_full(
+            serve_addr.as_str(),
+            rec,
+            4,
+            ledger.clone(),
+            status.clone(),
+        )
+        .map_err(run_err)?;
+        writeln!(
+            out,
+            "serving telemetry at http://{} (/metrics, /report.json, /healthz, /status, \
+             /events, /ledger.jsonl)",
+            server.local_addr()
+        )
+        .map_err(run_err)?;
+        Some(server)
+    };
+    let watchdog = watchdog_sink.as_ref().map(|sink| {
+        pmkm_stream::Watchdog::start(
+            recorder.clone().expect("recorder is built whenever --watchdog is given"),
+            sink.clone(),
+            pmkm_stream::WatchdogConfig::after(std::time::Duration::from_secs(watchdog_secs)),
+        )
+    });
 
     let planet =
         pmkm_stream::orchestrate(&plan, &opts, recorder.clone(), fault_plan).map_err(run_err)?;
+    if let Some(watchdog) = watchdog {
+        watchdog.stop();
+    }
     let interrupted = if planet.interrupted { " INTERRUPTED" } else { "" };
     writeln!(
         out,
@@ -761,6 +921,17 @@ fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     if let Some(rec) = &recorder {
         rec.flush();
     }
+    if let Some(ledger) = &ledger {
+        let roll = pmkm_obs::rollup(&ledger.records_after(0));
+        if roll.watchdog_stalls > 0 || roll.watchdog_stragglers > 0 {
+            writeln!(
+                out,
+                "  [watchdog] {} stall(s), {} straggler(s) — see the ledger for details",
+                roll.watchdog_stalls, roll.watchdog_stragglers
+            )
+            .map_err(run_err)?;
+        }
+    }
     if !metrics_out.is_empty() {
         let run_report = planet.run_report(recorder.as_deref());
         let json = serde_json::to_string_pretty(&run_report).map_err(run_err)?;
@@ -769,6 +940,12 @@ fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
     if !ledger_out.is_empty() {
         writeln!(out, "wrote ledger to {ledger_out}").map_err(run_err)?;
+    }
+    if let Some(server) = server {
+        // Publish the final report so a last scrape sees the complete run,
+        // then release the socket.
+        server.set_report(planet.run_report(recorder.as_deref()));
+        server.shutdown();
     }
     Ok(())
 }
@@ -1466,6 +1643,74 @@ mod tests {
         argv.extend(buckets.iter().cloned());
         let out = run("orchestrate", &argv).unwrap();
         assert!(out.contains("orchestrated 2 cells"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orchestrate_watchdog_timeline_and_chrome_export_round_trip() {
+        let dir = tmp("orch_obs");
+        let buckets = write_buckets(&dir, 3);
+        let ledger = dir.join("obs.jsonl").display().to_string();
+        let report_path = dir.join("obs_report.json").display().to_string();
+
+        // An observed run with the watchdog armed at a sane deadline: it
+        // must stay silent, and the ledger must carry worker transitions.
+        let mut argv = vec![
+            "--k=2".into(),
+            "--restarts=2".into(),
+            "--splits=3".into(),
+            "--jobs=2".into(),
+            "--watchdog=30".into(),
+            format!("--ledger={ledger}"),
+            format!("--metrics-out={report_path}"),
+        ];
+        argv.extend(buckets.iter().cloned());
+        let out = run("orchestrate", &argv).unwrap();
+        assert!(out.contains("orchestrated 3 cells"), "{out}");
+        assert!(!out.contains("[watchdog]"), "silent watchdog: {out}");
+
+        // The report carries the v6 timeline block with one lane per job.
+        let report: pmkm_obs::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        let tl = report.timeline.as_ref().expect("v6 timeline block");
+        assert_eq!(tl.workers.len(), 2);
+
+        // inspect on the ledger prints the Gantt and exports a Chrome trace.
+        let trace_path = dir.join("trace.json").display().to_string();
+        let out = run("inspect", &[format!("--timeline={trace_path}"), ledger.clone()]).unwrap();
+        assert!(out.contains("[workers]"), "{out}");
+        assert!(out.contains("[gantt"), "{out}");
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"traceEvents\":["), "{trace}");
+        assert!(trace.contains("\"displayTimeUnit\":\"ms\""), "{trace}");
+
+        // inspect on the RunReport prints the per-worker rollup and also
+        // renders a trace (summary slices from the report's timeline).
+        let out = run("inspect", &[format!("--timeline={trace_path}"), report_path]).unwrap();
+        assert!(out.contains("run report v6"), "{out}");
+        assert!(out.contains("[timeline] 2 worker(s)"), "{out}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"traceEvents\":["), "{trace}");
+
+        // --timeline without a ledger or report among the inputs errors.
+        let err =
+            run("inspect", &[format!("--timeline={trace_path}"), buckets[0].clone()]).unwrap_err();
+        assert!(matches!(err, CliError::Run(_)), "{err:?}");
+
+        // --serve on orchestrate announces the dashboard routes and shuts
+        // down cleanly when the run completes.
+        let mut argv = vec![
+            "--k=2".into(),
+            "--restarts=2".into(),
+            "--splits=3".into(),
+            "--serve=127.0.0.1:0".into(),
+        ];
+        argv.extend(buckets.iter().cloned());
+        let out = run("orchestrate", &argv).unwrap();
+        assert!(out.contains("serving telemetry"), "{out}");
+        assert!(out.contains("/status"), "{out}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

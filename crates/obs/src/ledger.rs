@@ -402,6 +402,16 @@ pub struct LedgerRollup {
     /// Checkpoint files the resume rejected as corrupt or stale.
     #[serde(default)]
     pub invalid_checkpoints: u64,
+    /// `worker.state` transitions recorded (0 when no timeline was
+    /// attached; absent in pre-timeline journals).
+    #[serde(default)]
+    pub worker_transitions: u64,
+    /// Stall verdicts (`watchdog.stall`) emitted by the watchdog.
+    #[serde(default)]
+    pub watchdog_stalls: u64,
+    /// Straggler verdicts (`watchdog.straggler`) emitted by the watchdog.
+    #[serde(default)]
+    pub watchdog_stragglers: u64,
 }
 
 impl LedgerRollup {
@@ -542,6 +552,9 @@ pub fn rollup(records: &[LedgerRecord]) -> LedgerRollup {
                 out.resumed_cells = r.u64_field("cells_resumed").unwrap_or(0);
                 out.invalid_checkpoints = r.u64_field("checkpoints_invalid").unwrap_or(0);
             }
+            "worker.state" => out.worker_transitions += 1,
+            "watchdog.stall" => out.watchdog_stalls += 1,
+            "watchdog.straggler" => out.watchdog_stragglers += 1,
             "lloyd.kernel" => {
                 let kind = r.str_field("kind").unwrap_or("unknown").to_string();
                 let entry = kernels.entry(kind.clone()).or_insert_with(|| KernelRollup {

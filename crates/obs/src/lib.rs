@@ -23,6 +23,15 @@
 //! 7. [`ledger`] — the versioned, append-only JSONL run ledger
 //!    ([`LedgerSink`]) with a parser, a per-cell/per-phase [`rollup`]
 //!    engine, and the cross-run [`diff_profiles`] attribution engine.
+//! 8. [`timeline`] — per-worker state [`Timeline`]s (bounded transition
+//!    rings on the recorder clock) aggregated into [`WorkerTimeline`]
+//!    utilization and per-thread-max wall rollups.
+//! 9. [`status`] — the live `/status` planet-progress document
+//!    ([`StatusSnapshot`]) published through a pointer-swap
+//!    [`StatusCell`].
+//! 10. [`chrome`] — Chrome trace-event / Perfetto JSON export
+//!     ([`chrome_trace`]) and terminal Gantt rendering ([`ascii_gantt`])
+//!     of a run ledger.
 //!
 //! The instrumented code paths in `pmkm-core` and `pmkm-stream` thread an
 //! `Option<&Recorder>` through; `None` keeps the hooks zero-cost (no
@@ -44,14 +53,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chrome;
 pub mod config;
 pub mod ledger;
 pub mod metrics;
 pub mod profile;
 pub mod report;
 pub mod serve;
+pub mod status;
+pub mod timeline;
 pub mod trace;
 
+pub use chrome::{ascii_gantt, chrome_trace, chrome_trace_from_report};
 pub use config::ObsConfig;
 pub use ledger::{
     attribute_phases, diff_profiles, emit_phase_events, parse_ledger, read_ledger, rollup,
@@ -66,4 +79,6 @@ pub use report::{
     PhaseReport, QueueReport, RunReport,
 };
 pub use serve::MetricsServer;
+pub use status::{StatusCell, StatusSnapshot, WorkerStatus, STATUS_SCHEMA_VERSION};
+pub use timeline::{Timeline, Transition, WorkerLaneReport, WorkerState, WorkerTimeline};
 pub use trace::{Event, FieldValue, JsonlSink, Recorder, RingBufferSink, Span, TraceSink};

@@ -14,9 +14,11 @@ use std::time::Duration;
 /// `expected_points`/`lost_points`/`lost_chunks`/`degraded` fields); v4
 /// added the per-phase `wall_us` column (per-thread-max elapsed time); v5
 /// added the optional `orchestrator` block of planet-level multi-cell
-/// runs (scheduling, checkpoint and resume counters).
+/// runs (scheduling, checkpoint and resume counters); v6 added the
+/// optional `timeline` per-worker state rollup (utilization and
+/// per-thread-max wall clock).
 /// Every addition is `#[serde(default)]`, so older documents still parse.
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Fault-tolerance counters for one run (schema v3). All zero on a
 /// fault-free run — and on any report parsed from a v1/v2 document.
@@ -285,6 +287,10 @@ pub struct RunReport {
     /// pre-v5 documents).
     #[serde(default)]
     pub orchestrator: Option<OrchestratorReport>,
+    /// Per-worker state-timeline rollup (`None` when no timeline was
+    /// attached and for pre-v6 documents).
+    #[serde(default)]
+    pub timeline: Option<crate::timeline::WorkerTimeline>,
 }
 
 impl RunReport {
@@ -301,6 +307,7 @@ impl RunReport {
             degraded: false,
             faults: FaultReport::default(),
             orchestrator: None,
+            timeline: None,
         }
     }
 
@@ -397,13 +404,22 @@ mod tests {
             degraded: false,
             faults: FaultReport::default(),
             orchestrator: None,
+            timeline: None,
         }
+    }
+
+    /// Strips the v6 `timeline` key from a serialized report, producing
+    /// the JSON a v5-or-older writer would have emitted.
+    fn strip_v6_keys(json: &str) -> String {
+        let json = json.replace(",\"timeline\":null", "");
+        assert!(!json.contains("timeline"), "surgery failed: {json}");
+        json
     }
 
     /// Strips the v5 `orchestrator` key from a serialized report,
     /// producing the JSON a v4-or-older writer would have emitted.
     fn strip_v5_keys(json: &str) -> String {
-        let json = json.replace(",\"orchestrator\":null", "");
+        let json = strip_v6_keys(json).replace(",\"orchestrator\":null", "");
         assert!(!json.contains("orchestrator"), "surgery failed: {json}");
         json
     }
@@ -466,6 +482,19 @@ mod tests {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.schema_version, 3);
         assert_eq!(back.phases[0].wall_us, 0);
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v5_report_without_timeline_block_still_parses() {
+        // A v5 writer emitted no `timeline` key at all; the field must
+        // default to None under the current reader.
+        let mut report = sample_report();
+        report.schema_version = 5;
+        let json = strip_v6_keys(&serde_json::to_string(&report).unwrap());
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, 5);
+        assert!(back.timeline.is_none());
         assert_eq!(back, report);
     }
 

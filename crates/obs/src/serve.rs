@@ -16,7 +16,12 @@
 //!   exist, waiting up to ~2 s before answering with an empty body. Each
 //!   record carries its own `seq`, so a scraper resumes from the last one
 //!   it saw and watches a run in flight;
-//! * `GET /ledger.jsonl` — the full journal so far, as a download.
+//! * `GET /ledger.jsonl` — the full journal so far, as a download;
+//! * `GET /status` — live planet progress (requires a [`StatusCell`] via
+//!   [`MetricsServer::serve_full`]): the orchestrator's latest
+//!   [`crate::status::StatusSnapshot`], with per-worker state and
+//!   utilization rows refreshed from the recorder's timeline at request
+//!   time.
 //!
 //! One background thread accepts connections and hands them to a small
 //! pool of worker threads over a channel, so a slow scraper cannot block
@@ -39,6 +44,7 @@
 
 use crate::ledger::LedgerSink;
 use crate::report::RunReport;
+use crate::status::{StatusCell, WorkerStatus};
 use crate::trace::Recorder;
 use parking_lot::Mutex;
 use std::io::{Read, Write};
@@ -99,12 +105,26 @@ impl MetricsServer {
         Self::serve_with_options(addr, recorder, DEFAULT_WORKERS, Some(ledger))
     }
 
-    /// The fully-explicit constructor behind the `serve*` conveniences.
+    /// Like [`MetricsServer::serve_with_options`] without a `/status`
+    /// source. Kept for callers that predate the status endpoint.
     pub fn serve_with_options(
         addr: impl ToSocketAddrs,
         recorder: Arc<Recorder>,
         workers: usize,
         ledger: Option<Arc<LedgerSink>>,
+    ) -> std::io::Result<Self> {
+        Self::serve_full(addr, recorder, workers, ledger, None)
+    }
+
+    /// The fully-explicit constructor behind the `serve*` conveniences.
+    /// A [`StatusCell`] enables the `/status` endpoint; the orchestrator
+    /// publishes snapshots into it while the exporter reads them.
+    pub fn serve_full(
+        addr: impl ToSocketAddrs,
+        recorder: Arc<Recorder>,
+        workers: usize,
+        ledger: Option<Arc<LedgerSink>>,
+        status: Option<Arc<StatusCell>>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -118,6 +138,7 @@ impl MetricsServer {
             let recorder = Arc::clone(&recorder);
             let report = Arc::clone(&report);
             let ledger = ledger.clone();
+            let status = status.clone();
             let stop = Arc::clone(&stop);
             handles.push(
                 std::thread::Builder::new().name(format!("pmkm-metrics-worker-{i}")).spawn(
@@ -134,6 +155,7 @@ impl MetricsServer {
                                     &recorder,
                                     &report,
                                     ledger.as_deref(),
+                                    status.as_deref(),
                                     &stop,
                                 );
                             }
@@ -217,6 +239,31 @@ fn live_report(recorder: &Recorder) -> RunReport {
     report
 }
 
+/// A `/status` body: the orchestrator's latest snapshot with the worker
+/// rows and (while running) the elapsed clock refreshed at request time
+/// from the recorder's timeline, so the dashboard shows current worker
+/// states even between orchestrator publishes.
+fn status_body(recorder: &Recorder, status: &StatusCell) -> Result<String, serde_json::Error> {
+    let mut snap = (*status.get()).clone();
+    if let Some(timeline) = recorder.timeline() {
+        let now = recorder.elapsed_us();
+        if snap.state == "running" {
+            snap.elapsed_us = now;
+        }
+        snap.workers = timeline
+            .snapshot(now)
+            .workers
+            .into_iter()
+            .map(|lane| WorkerStatus {
+                worker: lane.worker,
+                state: lane.current,
+                utilization: lane.utilization,
+            })
+            .collect();
+    }
+    serde_json::to_string_pretty(&snap)
+}
+
 /// Serves one `/events` long-poll: returns the records with `seq > after`
 /// as soon as any exist, polling the ledger until the window closes or the
 /// server begins shutdown.
@@ -246,6 +293,7 @@ fn handle_connection(
     recorder: &Recorder,
     report: &Mutex<Option<RunReport>>,
     ledger: Option<&LedgerSink>,
+    status: Option<&StatusCell>,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
@@ -293,6 +341,21 @@ fn handle_connection(
                 ),
             }
         }
+        Some(("GET", "/status")) => match status {
+            Some(cell) => match status_body(recorder, cell) {
+                Ok(json) => ("200 OK", "application/json", json),
+                Err(e) => (
+                    "500 Internal Server Error",
+                    "text/plain; charset=utf-8",
+                    format!("serialization error: {e}\n"),
+                ),
+            },
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no status source attached (run pmkm orchestrate --serve)\n".to_string(),
+            ),
+        },
         Some(("GET", "/healthz")) => (
             "200 OK",
             "application/json",

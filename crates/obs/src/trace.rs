@@ -3,6 +3,7 @@
 use crate::config::ObsConfig;
 use crate::metrics::Registry;
 use crate::profile::{PhaseGuard, Profiler};
+use crate::timeline::{Timeline, WorkerState};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -176,6 +177,7 @@ pub struct Recorder {
     sinks: Vec<Arc<dyn TraceSink>>,
     registry: Registry,
     profiler: Option<Arc<Profiler>>,
+    timeline: Option<Arc<Timeline>>,
     config: ObsConfig,
 }
 
@@ -193,6 +195,7 @@ impl Recorder {
             sinks: Vec::new(),
             registry: Registry::new(),
             profiler: None,
+            timeline: None,
             config: ObsConfig::default(),
         }
     }
@@ -216,9 +219,60 @@ impl Recorder {
         self
     }
 
+    /// Attaches a worker-state timeline (builder style); the
+    /// [`Recorder::worker_state`] family goes nowhere without one.
+    pub fn with_timeline(mut self, timeline: Arc<Timeline>) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
     /// The attached span profiler, if any.
     pub fn profiler(&self) -> Option<&Arc<Profiler>> {
         self.profiler.as_ref()
+    }
+
+    /// The attached worker-state timeline, if any.
+    pub fn timeline(&self) -> Option<&Arc<Timeline>> {
+        self.timeline.as_ref()
+    }
+
+    /// Registers a worker lane on the attached timeline (no-op without
+    /// one), emitting the lane's opening `worker.state` event.
+    pub fn register_worker(&self, label: &str) -> Option<usize> {
+        let tl = self.timeline.as_deref()?;
+        let lane = tl.register(label, self.elapsed_us());
+        self.emit_worker_state(label, lane, WorkerState::Idle);
+        Some(lane)
+    }
+
+    /// Records a worker-state transition on `lane`. Coalesced records
+    /// (same state) and recorders without a timeline emit nothing.
+    pub fn worker_state(&self, lane: usize, state: WorkerState) {
+        let Some(tl) = self.timeline.as_deref() else { return };
+        if tl.record(lane, state, self.elapsed_us()) {
+            if let Some(label) = tl.label(lane) {
+                self.emit_worker_state(&label, lane, state);
+            }
+        }
+    }
+
+    /// Records a worker-state transition addressed by the cell bound to a
+    /// lane (see [`Timeline::bind_cell`]). Unbound cells, coalesced
+    /// records, and recorders without a timeline emit nothing.
+    pub fn worker_state_cell(&self, cell: u32, state: WorkerState) {
+        let Some(tl) = self.timeline.as_deref() else { return };
+        if let Some(lane) = tl.record_cell(cell, state, self.elapsed_us()) {
+            if let Some(label) = tl.label(lane) {
+                self.emit_worker_state(&label, lane, state);
+            }
+        }
+    }
+
+    fn emit_worker_state(&self, label: &str, lane: usize, state: WorkerState) {
+        self.event(
+            "worker.state",
+            &[("worker", label.into()), ("lane", lane.into()), ("state", state.as_str().into())],
+        );
     }
 
     /// The observability config (defaults unless overridden).
@@ -386,6 +440,38 @@ mod tests {
             assert!(back.name == "one" || back.name == "two");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn worker_state_transitions_emit_events_and_coalesce() {
+        use crate::timeline::{Timeline, WorkerState};
+        let ring = Arc::new(RingBufferSink::new(64));
+        let timeline = Arc::new(Timeline::new());
+        let rec = Recorder::new().with_sink(ring.clone()).with_timeline(Arc::clone(&timeline));
+        let lane = rec.register_worker("w0").expect("timeline attached");
+        rec.worker_state(lane, WorkerState::Scan);
+        rec.worker_state(lane, WorkerState::Scan); // coalesced: no event
+        rec.worker_state(lane, WorkerState::Idle);
+        let events = ring.events();
+        let states: Vec<&Event> = events.iter().filter(|e| e.name == "worker.state").collect();
+        assert_eq!(states.len(), 3, "register + scan + idle, coalesced repeat dropped");
+        assert_eq!(
+            states[1].fields,
+            vec![
+                ("worker".to_string(), FieldValue::Str("w0".into())),
+                ("lane".to_string(), FieldValue::U64(lane as u64)),
+                ("state".to_string(), FieldValue::Str("scan".into())),
+            ]
+        );
+        // Cell-bound recording reaches the same lane.
+        timeline.bind_cell(7, lane);
+        rec.worker_state_cell(7, WorkerState::Partial);
+        assert_eq!(ring.events().iter().filter(|e| e.name == "worker.state").count(), 4);
+        // Without a timeline the whole family is a no-op.
+        let bare = Recorder::new().with_sink(ring.clone());
+        assert!(bare.register_worker("w1").is_none());
+        bare.worker_state(0, WorkerState::Merge);
+        assert_eq!(ring.events().iter().filter(|e| e.name == "worker.state").count(), 4);
     }
 
     #[test]

@@ -86,6 +86,59 @@ fn exporter_serves_all_three_routes() {
 }
 
 #[test]
+fn exporter_serves_status_with_live_worker_rows() {
+    use pmkm_obs::timeline::{Timeline, WorkerState};
+    use pmkm_obs::{StatusCell, StatusSnapshot, STATUS_SCHEMA_VERSION};
+
+    let timeline = Arc::new(Timeline::new());
+    let rec = Arc::new(Recorder::new().with_timeline(Arc::clone(&timeline)));
+    let status = Arc::new(StatusCell::new());
+    let server = MetricsServer::serve_full(
+        "127.0.0.1:0",
+        Arc::clone(&rec),
+        2,
+        None,
+        Some(Arc::clone(&status)),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Idle snapshot before the orchestrator publishes anything.
+    let (st, headers, body) = get(addr, "/status");
+    assert_eq!(st, "HTTP/1.1 200 OK");
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    let snap: StatusSnapshot = serde_json::from_str(&body).expect("status parses");
+    assert_eq!(snap.schema, STATUS_SCHEMA_VERSION);
+    assert_eq!(snap.state, "idle");
+
+    // After a publish plus worker activity, the document carries the
+    // orchestrator's numbers and worker rows refreshed from the timeline.
+    let lane = rec.register_worker("w0").expect("timeline attached");
+    rec.worker_state(lane, WorkerState::Partial);
+    let mut running = StatusSnapshot::new();
+    running.state = "running".into();
+    running.cells_total = 4;
+    running.cells_done = 1;
+    running.mass_ratio = 1.0;
+    status.publish(running);
+    let (_, _, body) = get(addr, "/status");
+    let snap: StatusSnapshot = serde_json::from_str(&body).expect("status parses");
+    assert_eq!(snap.state, "running");
+    assert_eq!((snap.cells_total, snap.cells_done), (4, 1));
+    assert_eq!(snap.workers.len(), 1);
+    assert_eq!(snap.workers[0].worker, "w0");
+    assert_eq!(snap.workers[0].state, "partial");
+
+    server.shutdown();
+
+    // A server without a status source 404s the route.
+    let bare = MetricsServer::serve("127.0.0.1:0", Arc::new(Recorder::new())).expect("bind");
+    let (st, _, _) = get(bare.local_addr(), "/status");
+    assert_eq!(st, "HTTP/1.1 404 Not Found");
+    bare.shutdown();
+}
+
+#[test]
 fn exporter_rejects_unknown_paths_and_methods() {
     let rec = Arc::new(Recorder::new());
     let server = MetricsServer::serve("127.0.0.1:0", rec).expect("bind");

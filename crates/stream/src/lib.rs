@@ -56,6 +56,7 @@ pub mod plan;
 pub mod queue;
 pub mod resources;
 pub mod telemetry;
+pub mod watchdog;
 
 pub use adaptive::{execute_adaptive, execute_adaptive_observed, AdaptiveReport, ScalingEvent};
 pub use error::{EngineError, Result};
@@ -70,6 +71,7 @@ pub use plan::{LogicalPlan, PhysicalPlan};
 pub use queue::{QueueStats, SmartQueue};
 pub use resources::Resources;
 pub use telemetry::OpStats;
+pub use watchdog::{Watchdog, WatchdogConfig, WatchdogSink};
 
 /// Convenience prelude.
 pub mod prelude {

@@ -16,7 +16,7 @@ use pmkm_core::partial::PartialOutput;
 use pmkm_core::pipeline::ChunkStats;
 use pmkm_core::{KMeansConfig, MergeMode, WeightedSet};
 use pmkm_data::GridCell;
-use pmkm_obs::Recorder;
+use pmkm_obs::{Recorder, WorkerState};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -187,6 +187,9 @@ impl MergeKMeansOp {
                 );
             }
             return Ok(()); // empty bucket (or total loss): nothing to emit
+        }
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.worker_state_cell(cell.index(), WorkerState::Merge);
         }
         let mut result = meter.work(|| self.merge_cell(cell, progress))?;
         if incomplete {

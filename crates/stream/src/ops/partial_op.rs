@@ -101,6 +101,11 @@ impl PartialKMeansOp {
         {
             let rec = self.recorder.as_deref();
             meter.item_in();
+            if let Some(rec) = rec {
+                // Coalesced by the timeline, so per-chunk cost is one
+                // same-state check on the lane the cell is bound to.
+                rec.worker_state_cell(cell.index(), pmkm_obs::WorkerState::Partial);
+            }
             // Poison gate: a chunk with non-finite coordinates would corrupt
             // every centroid it touches, so it never reaches the kernel.
             if self.faults.validate_chunks() && points.as_flat().iter().any(|v| !v.is_finite()) {

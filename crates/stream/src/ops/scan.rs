@@ -147,6 +147,7 @@ impl ScanOp {
                     "cell.open",
                     &[("cell", cell.index().into()), ("expected_points", expected_points.into())],
                 );
+                rec.worker_state_cell(cell.index(), pmkm_obs::WorkerState::Scan);
             }
             let mut batch_idx = 0u64;
             loop {

@@ -45,11 +45,13 @@ use crate::item::CellClustering;
 use crate::ops::ChunkPolicy;
 use crate::plan::PhysicalPlan;
 use parking_lot::Mutex;
-use pmkm_obs::{FaultReport, OrchestratorReport, Recorder, RunReport};
+use pmkm_obs::{
+    FaultReport, OrchestratorReport, Recorder, RunReport, StatusCell, StatusSnapshot, WorkerState,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -79,6 +81,10 @@ pub struct OrchestratorOptions {
     /// discarded (their checkpoint was never written) and the returned
     /// report is marked `interrupted`.
     pub kill_after_checkpoints: Option<usize>,
+    /// Live-progress slot for the `/status` endpoint: the orchestrator
+    /// publishes a fresh [`StatusSnapshot`] at run open, every cell
+    /// commit, and run close. `None` skips publishing entirely.
+    pub status: Option<Arc<StatusCell>>,
 }
 
 impl OrchestratorOptions {
@@ -112,6 +118,14 @@ impl OrchestratorOptions {
     #[must_use]
     pub fn kill_after(mut self, checkpoints: usize) -> Self {
         self.kill_after_checkpoints = Some(checkpoints);
+        self
+    }
+
+    /// Publishes live progress snapshots into `status` (the `/status`
+    /// endpoint's source).
+    #[must_use]
+    pub fn with_status(mut self, status: Arc<StatusCell>) -> Self {
+        self.status = Some(status);
         self
     }
 }
@@ -248,6 +262,9 @@ pub struct PlanetReport {
     pub checkpoints_invalid: usize,
     /// Checkpoint files written this run.
     pub checkpoints_written: usize,
+    /// Stale checkpoint files (foreign bucket or outdated fingerprint)
+    /// garbage-collected after the run completed cleanly.
+    pub checkpoints_pruned: usize,
     /// True when the kill-after-k drill stopped the run early.
     pub interrupted: bool,
     /// High-water mark of the shared memory budget (0 without a budget).
@@ -301,6 +318,9 @@ impl PlanetReport {
                 budget_peak_bytes: self.budget_peak as u64,
                 steals: self.steals,
             }),
+            timeline: rec
+                .and_then(|r| r.timeline().map(|tl| tl.snapshot(r.elapsed_us())))
+                .filter(|tl| !tl.is_empty()),
             ..RunReport::new()
         }
     }
@@ -335,16 +355,25 @@ pub fn orchestrate(
 
     // Per-cell admission cost against the shared budget: the cell's
     // in-flight chunk footprint (one chunk per partial clone, plus the
-    // chunker's build buffer and the merge's gathered centroids).
-    let costs: Vec<usize> = inputs
-        .iter()
-        .map(|p| match pmkm_data::BucketReader::open(p) {
-            Ok(r) => cell_cost(plan, r.dim),
+    // chunker's build buffer and the merge's gathered centroids). The
+    // same header read yields each cell's grid index, which the timeline
+    // uses to route per-cell pipeline states onto the owning worker lane.
+    let mut costs: Vec<usize> = Vec::with_capacity(n);
+    let mut cell_ids: Vec<Option<u32>> = Vec::with_capacity(n);
+    for p in inputs {
+        match pmkm_data::BucketReader::open(p) {
+            Ok(r) => {
+                cell_ids.push(Some(r.cell.index()));
+                costs.push(cell_cost(plan, r.dim));
+            }
             // Unreadable header: admit for free and let the pipeline
             // surface the proper scan error / tolerant abandonment.
-            Err(_) => 0,
-        })
-        .collect();
+            Err(_) => {
+                cell_ids.push(None);
+                costs.push(0);
+            }
+        }
+    }
     let budget = match opts.budget_bytes {
         Some(cap) => {
             if let Some((i, &worst)) = costs.iter().enumerate().max_by_key(|(_, &c)| c) {
@@ -443,12 +472,18 @@ pub fn orchestrate(
         queues[pos % jobs].lock().push_back(i);
     }
 
+    // One timeline lane per worker (no-ops when no timeline is attached).
+    let lanes: Vec<Option<usize>> = (0..jobs)
+        .map(|w| rec.as_deref().and_then(|r| r.register_worker(&format!("w{w}"))))
+        .collect();
+
     let shared = Shared {
         plan,
         rec: rec.clone(),
         fault_plan,
         queues,
         costs,
+        cell_ids,
         budget,
         outcomes: Mutex::new(outcomes),
         first_err: Mutex::new(None),
@@ -456,10 +491,16 @@ pub fn orchestrate(
         interrupted: AtomicBool::new(false),
         ckpt_written: Mutex::new(0),
         steals: AtomicU64::new(0),
+        running: AtomicUsize::new(0),
         checkpoint_dir: opts.checkpoint_dir.clone(),
         kill_after: opts.kill_after_checkpoints,
         fingerprint,
+        lanes,
+        status: opts.status.clone(),
+        started,
+        cells_total: n,
     };
+    shared.publish_status("running");
 
     crossbeam::thread::scope(|s| {
         for w in 0..jobs {
@@ -469,8 +510,26 @@ pub fn orchestrate(
     })
     .map_err(|_| EngineError::OperatorPanic("orchestrator worker".into()))?;
 
-    if let Some(e) = shared.first_err.into_inner() {
+    if let Some(e) = shared.first_err.lock().take() {
+        shared.publish_status("failed");
         return Err(e);
+    }
+    let interrupted = shared.interrupted.load(Ordering::Relaxed);
+    shared.publish_status(if interrupted { "interrupted" } else { "done" });
+
+    // After a clean, uninterrupted run, prune checkpoint files the plan
+    // can no longer use (foreign buckets, outdated fingerprints); the
+    // current run's own checkpoints are kept so a re-run still resumes.
+    let mut checkpoints_pruned = 0usize;
+    if !interrupted {
+        if let Some(dir) = &opts.checkpoint_dir {
+            checkpoints_pruned = gc_checkpoints(dir, inputs, fingerprint);
+            if checkpoints_pruned > 0 {
+                if let Some(rec) = rec.as_deref() {
+                    rec.event("checkpoint.gc", &[("removed", checkpoints_pruned.into())]);
+                }
+            }
+        }
     }
 
     let cells: Vec<CellOutcome> = shared.outcomes.into_inner().into_iter().flatten().collect();
@@ -505,7 +564,8 @@ pub fn orchestrate(
         cells_resumed: resumed,
         checkpoints_invalid: invalid,
         checkpoints_written,
-        interrupted: shared.interrupted.load(Ordering::Relaxed),
+        checkpoints_pruned,
+        interrupted,
         budget_peak: shared.budget.as_ref().map(MemoryBudget::peak).unwrap_or(0),
         steals: shared.steals.load(Ordering::Relaxed),
     }
@@ -518,6 +578,7 @@ struct Shared<'a> {
     fault_plan: Option<FaultPlan>,
     queues: Vec<Mutex<VecDeque<usize>>>,
     costs: Vec<usize>,
+    cell_ids: Vec<Option<u32>>,
     budget: Option<MemoryBudget>,
     outcomes: Mutex<Vec<Option<CellOutcome>>>,
     first_err: Mutex<Option<EngineError>>,
@@ -525,18 +586,120 @@ struct Shared<'a> {
     interrupted: AtomicBool,
     ckpt_written: Mutex<usize>,
     steals: AtomicU64,
+    running: AtomicUsize,
     checkpoint_dir: Option<PathBuf>,
     kill_after: Option<usize>,
     fingerprint: u64,
+    lanes: Vec<Option<usize>>,
+    status: Option<Arc<StatusCell>>,
+    started: Instant,
+    cells_total: usize,
+}
+
+impl Shared<'_> {
+    /// Records worker `w`'s state on its timeline lane (no-op without one).
+    fn set_state(&self, w: usize, state: WorkerState) {
+        if let (Some(rec), Some(&Some(lane))) = (self.rec.as_deref(), self.lanes.get(w)) {
+            rec.worker_state(lane, state);
+        }
+    }
+
+    /// Routes cell `i`'s pipeline states (scan/partial/merge) onto worker
+    /// `w`'s lane for the duration of the cell's run.
+    fn bind_cell(&self, w: usize, i: usize) {
+        if let (Some(rec), Some(&Some(lane)), Some(&Some(cell))) =
+            (self.rec.as_deref(), self.lanes.get(w), self.cell_ids.get(i))
+        {
+            if let Some(tl) = rec.timeline() {
+                tl.bind_cell(cell, lane);
+            }
+        }
+    }
+
+    fn unbind_cell(&self, i: usize) {
+        if let (Some(rec), Some(&Some(cell))) = (self.rec.as_deref(), self.cell_ids.get(i)) {
+            if let Some(tl) = rec.timeline() {
+                tl.unbind_cell(cell);
+            }
+        }
+    }
+
+    /// Publishes a fresh [`StatusSnapshot`] computed from the committed
+    /// outcomes (no-op without a status cell). Mass numbers are the same
+    /// sums [`PlanetReport`] reports, so the final snapshot matches the
+    /// run's report.
+    fn publish_status(&self, state: &str) {
+        let Some(status) = &self.status else { return };
+        let mut snap = StatusSnapshot::new();
+        snap.state = state.to_string();
+        snap.cells_total = self.cells_total;
+        {
+            let outcomes = self.outcomes.lock();
+            for o in outcomes.iter().flatten() {
+                snap.cells_done += 1;
+                if o.resumed {
+                    snap.cells_resumed += 1;
+                }
+                match &o.clustering {
+                    Some(c) => {
+                        snap.expected_points += c.expected_points;
+                        snap.lost_points += c.lost_points;
+                        snap.received_points += c.output.cluster_weights.iter().sum::<f64>();
+                    }
+                    None => snap.cells_lost += 1,
+                }
+            }
+        }
+        snap.mass_ratio = if snap.expected_points > 0.0 {
+            snap.received_points / snap.expected_points
+        } else {
+            1.0
+        };
+        snap.cells_running = self.running.load(Ordering::Relaxed);
+        if let Some(b) = &self.budget {
+            snap.budget_cap_bytes = b.capacity() as u64;
+            snap.budget_peak_bytes = b.peak() as u64;
+        }
+        snap.steals = self.steals.load(Ordering::Relaxed);
+        snap.elapsed_us = match self.rec.as_deref() {
+            // The recorder clock keeps /status consistent with the
+            // timeline and the ledger; without one, the run clock.
+            Some(rec) => rec.elapsed_us(),
+            None => self.started.elapsed().as_micros() as u64,
+        };
+        // ETA from cell-completion throughput: cells executed this run
+        // over elapsed time (resumed cells restore instantly and would
+        // skew the rate).
+        let executed = snap.cells_done - snap.cells_resumed;
+        let remaining = self.cells_total.saturating_sub(snap.cells_done);
+        if executed > 0 && remaining > 0 {
+            snap.eta_us = snap.elapsed_us * remaining as u64 / executed as u64;
+        }
+        if let Some(tl) = self.rec.as_deref().and_then(Recorder::timeline) {
+            snap.workers = tl
+                .snapshot(snap.elapsed_us)
+                .workers
+                .into_iter()
+                .map(|lane| pmkm_obs::WorkerStatus {
+                    worker: lane.worker,
+                    state: lane.current,
+                    utilization: lane.utilization,
+                })
+                .collect();
+        }
+        status.publish(snap);
+    }
 }
 
 fn worker(w: usize, jobs: usize, shared: &Shared<'_>) {
     loop {
         if shared.kill.load(Ordering::Relaxed) {
+            shared.set_state(w, WorkerState::Idle);
             return;
         }
         // Own queue front-first; steal from the back of the others.
         let task = shared.queues[w].lock().pop_front().or_else(|| {
+            shared.set_state(w, WorkerState::Stealing);
             (1..jobs).find_map(|d| {
                 let victim = (w + d) % jobs;
                 let stolen = shared.queues[victim].lock().pop_back();
@@ -546,17 +709,28 @@ fn worker(w: usize, jobs: usize, shared: &Shared<'_>) {
                 stolen
             })
         });
-        let Some(i) = task else { return };
+        let Some(i) = task else {
+            shared.set_state(w, WorkerState::Idle);
+            return;
+        };
 
         let cost = shared.costs[i];
         if let Some(b) = &shared.budget {
+            shared.set_state(w, WorkerState::BudgetWait);
             b.acquire(cost);
             if shared.kill.load(Ordering::Relaxed) {
                 b.release(cost);
+                shared.set_state(w, WorkerState::Idle);
                 return;
             }
         }
+        // The cell's own pipeline states (scan → partial → merge) land on
+        // this worker's lane via the binding.
+        shared.bind_cell(w, i);
+        shared.running.fetch_add(1, Ordering::Relaxed);
         let res = run_one_cell(shared, i);
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+        shared.unbind_cell(i);
         if let Some(b) = &shared.budget {
             b.release(cost);
         }
@@ -567,6 +741,7 @@ fn worker(w: usize, jobs: usize, shared: &Shared<'_>) {
                     *err = Some(e);
                 }
                 shared.kill.store(true, Ordering::Relaxed);
+                shared.set_state(w, WorkerState::Idle);
                 return;
             }
             Ok(outcome) => {
@@ -576,9 +751,11 @@ fn worker(w: usize, jobs: usize, shared: &Shared<'_>) {
                 // a real process death would leave behind.
                 let mut written = shared.ckpt_written.lock();
                 if shared.kill.load(Ordering::Relaxed) {
+                    shared.set_state(w, WorkerState::Idle);
                     return;
                 }
                 if let Some(dir) = &shared.checkpoint_dir {
+                    shared.set_state(w, WorkerState::Checkpoint);
                     match write_checkpoint(dir, shared.fingerprint, &outcome) {
                         Ok(bytes) => {
                             *written += 1;
@@ -605,6 +782,7 @@ fn worker(w: usize, jobs: usize, shared: &Shared<'_>) {
                                 *err = Some(e);
                             }
                             shared.kill.store(true, Ordering::Relaxed);
+                            shared.set_state(w, WorkerState::Idle);
                             return;
                         }
                     }
@@ -617,6 +795,8 @@ fn worker(w: usize, jobs: usize, shared: &Shared<'_>) {
                 }
                 drop(written);
                 shared.outcomes.lock()[i] = Some(outcome);
+                shared.set_state(w, WorkerState::Idle);
+                shared.publish_status("running");
             }
         }
     }
@@ -711,6 +891,45 @@ fn write_checkpoint(dir: &Path, fingerprint: u64, outcome: &CellOutcome) -> Resu
         .and_then(|()| std::fs::rename(&tmp, &path))
         .map_err(|e| EngineError::InvalidPlan(format!("checkpoint {}: {e}", path.display())))?;
     Ok(text.len())
+}
+
+/// Garbage-collects checkpoint files a completed run can no longer use:
+/// `.ckpt` files for buckets outside the plan's input list and files whose
+/// header fingerprint does not match the run (both would be rejected as
+/// stale on the next resume anyway). Checkpoints of the run's own cells
+/// are kept, so re-running the same plan still resumes instantly. Returns
+/// the number of files removed; I/O errors skip the file, never fail the
+/// run.
+fn gc_checkpoints(dir: &Path, inputs: &[std::path::PathBuf], fingerprint: u64) -> usize {
+    let keep: std::collections::HashSet<PathBuf> =
+        inputs.iter().map(|p| checkpoint_path(dir, p)).collect();
+    let want = format!("{fingerprint:016x}");
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("ckpt") {
+            continue;
+        }
+        let stale = if !keep.contains(&path) {
+            true // a bucket this plan does not schedule
+        } else {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => {
+                    let header_line = text.split('\n').next().unwrap_or("");
+                    match serde_json::from_str::<CheckpointHeader>(header_line) {
+                        Ok(h) => h.fingerprint != want,
+                        Err(_) => true, // unparsable header: dead weight
+                    }
+                }
+                Err(_) => false, // unreadable now; leave it for resume to judge
+            }
+        };
+        if stale && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 enum CheckpointState {
@@ -935,6 +1154,72 @@ mod tests {
             orchestrate(&plan, &OrchestratorOptions::new(2), None, None),
             Err(EngineError::Data(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_gc_keeps_current_run_and_deletes_stale_files() {
+        let dir = tmpdir("ckpt_gc");
+        let ckpt_dir = dir.join("ckpt");
+        let keep_bucket = write_cell(&dir, 21, 50, 3);
+        let foreign_bucket = write_cell(&dir, 22, 50, 3);
+        let outcome = |path: &PathBuf| CellOutcome {
+            input: 0,
+            path: path.clone(),
+            clustering: None,
+            faults: FaultReport::default(),
+            degraded: false,
+            elapsed: Duration::ZERO,
+            resumed: false,
+        };
+        // Current-run checkpoint: in the plan, matching fingerprint.
+        write_checkpoint(&ckpt_dir, 0x1111, &outcome(&keep_bucket)).unwrap();
+        // Same bucket, old fingerprint — overwritten case doesn't apply
+        // here, so stage the stale fingerprint on the foreign bucket and
+        // a plan-external file instead.
+        write_checkpoint(&ckpt_dir, 0x9999, &outcome(&foreign_bucket)).unwrap();
+        std::fs::write(ckpt_dir.join("orphan.gb.ckpt"), "junk\n").unwrap();
+        // A non-checkpoint file is never touched.
+        std::fs::write(ckpt_dir.join("notes.txt"), "keep me").unwrap();
+
+        let inputs = vec![keep_bucket.clone(), foreign_bucket.clone()];
+        let removed = gc_checkpoints(&ckpt_dir, &inputs, 0x1111);
+        assert_eq!(removed, 2, "stale fingerprint + orphan");
+        assert!(checkpoint_path(&ckpt_dir, &keep_bucket).exists(), "current kept");
+        assert!(!checkpoint_path(&ckpt_dir, &foreign_bucket).exists(), "stale deleted");
+        assert!(!ckpt_dir.join("orphan.gb.ckpt").exists(), "orphan deleted");
+        assert!(ckpt_dir.join("notes.txt").exists(), "non-ckpt untouched");
+        // The kept checkpoint still loads.
+        assert!(matches!(
+            load_checkpoint(&ckpt_dir, &keep_bucket, 0x1111),
+            CheckpointState::Loaded(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orchestrate_prunes_stale_checkpoints_after_a_clean_run() {
+        let dir = tmpdir("gc_e2e");
+        let paths: Vec<PathBuf> = (1..=2).map(|i| write_cell(&dir, i, 60, 4)).collect();
+        let plan = mk_plan(&paths, 5);
+        let ckpt_dir = dir.join("ckpt");
+        // Seed a stale file from a "previous" differently-configured run.
+        std::fs::create_dir_all(&ckpt_dir).unwrap();
+        std::fs::write(ckpt_dir.join("old_run.gb.ckpt"), "junk\n").unwrap();
+        let opts = OrchestratorOptions::new(2).with_checkpoints(&ckpt_dir);
+        let planet = orchestrate(&plan, &opts, None, None).unwrap();
+        assert_eq!(planet.checkpoints_written, 2);
+        assert_eq!(planet.checkpoints_pruned, 1, "stale file pruned");
+        assert!(!ckpt_dir.join("old_run.gb.ckpt").exists());
+        for p in &paths {
+            assert!(checkpoint_path(&ckpt_dir, p).exists(), "own checkpoints kept");
+        }
+        // An interrupted run must NOT prune (resume still needs the dir).
+        std::fs::write(ckpt_dir.join("old_run.gb.ckpt"), "junk\n").unwrap();
+        let killed = orchestrate(&plan, &opts.clone().kill_after(1), None, None).unwrap();
+        assert!(killed.interrupted);
+        assert_eq!(killed.checkpoints_pruned, 0);
+        assert!(ckpt_dir.join("old_run.gb.ckpt").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

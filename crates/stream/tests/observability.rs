@@ -1,0 +1,334 @@
+//! The observed-run suite: the tentpole invariants of the live
+//! observability layer.
+//!
+//! 1. **Zero interference** — an orchestrate run with the full stack
+//!    attached (event ledger, worker timeline, `/status` cell, watchdog)
+//!    is bit-identical to a bare run of the same plan.
+//! 2. **Status truth** — the final `/status` snapshot agrees with the
+//!    `PlanetReport` on every cell and mass number.
+//! 3. **Watchdog restraint** — a chaos run under the tolerant policy
+//!    with a sane deadline produces zero stall/straggler verdicts.
+//! 4. **Liveness** — `/events` sequence numbers are strictly monotonic
+//!    and `/healthz` keeps answering while a multi-worker run is live.
+
+use pmkm_core::KMeansConfig;
+use pmkm_obs::{
+    chrome_trace, chrome_trace_from_report, rollup, LedgerSink, MetricsServer, Recorder,
+    StatusCell, Timeline,
+};
+use pmkm_stream::fault::InjectedPanic;
+use pmkm_stream::prelude::*;
+use pmkm_stream::{Watchdog, WatchdogConfig, WatchdogSink};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn write_cell(dir: &Path, idx: u16, n: usize, seed: u64) -> PathBuf {
+    use rand::Rng;
+    let mut rng = pmkm_core::seeding::rng_for(seed, idx as u64);
+    let mut points = pmkm_core::Dataset::new(2).unwrap();
+    for _ in 0..n {
+        let blob = if rng.gen_bool(0.5) { 0.0 } else { 40.0 };
+        points.push(&[blob + rng.gen_range(-1.0..1.0), blob + rng.gen_range(-1.0..1.0)]).unwrap();
+    }
+    let cell = pmkm_data::GridCell::new(idx, idx).unwrap();
+    let path = dir.join(cell.bucket_file_name());
+    pmkm_data::GridBucket { cell, points }.write_to(&path).unwrap();
+    path
+}
+
+/// A planet of `cells` buckets with varied sizes, k = 2, 40-point chunks.
+fn planet(tag: &str, cells: usize, data_seed: u64, plan_seed: u64) -> (PathBuf, PhysicalPlan) {
+    let dir = std::env::temp_dir().join(format!("pmkm_observe_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths: Vec<PathBuf> =
+        (1..=cells).map(|i| write_cell(&dir, i as u16, 60 + 25 * (i % 4), data_seed)).collect();
+    let logical =
+        LogicalPlan::new(paths, KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, plan_seed) });
+    let plan = optimize_fixed_split(logical, &Resources::fixed(1 << 20, 2), 40);
+    (dir, plan)
+}
+
+fn f64_bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Bit-level equality over everything the observability layer must not
+/// perturb. (Durations are wall-clock and deliberately excluded.)
+fn assert_bit_identical(a: &PlanetReport, b: &PlanetReport) {
+    assert_eq!(a.cells.len(), b.cells.len(), "cell count");
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.input, y.input);
+        assert_eq!(x.path, y.path);
+        assert_eq!(x.degraded, y.degraded, "cell {}", x.input);
+        assert_eq!(x.faults, y.faults, "cell {}", x.input);
+        match (&x.clustering, &y.clustering) {
+            (None, None) => {}
+            (Some(cx), Some(cy)) => {
+                assert_eq!(cx.cell, cy.cell);
+                let flat = |c: &pmkm_stream::CellClustering| -> Vec<u64> {
+                    c.output.centroids.iter().flat_map(|p| p.iter().map(|v| v.to_bits())).collect()
+                };
+                assert_eq!(flat(cx), flat(cy), "cell {} centroids", x.input);
+                assert_eq!(
+                    f64_bits(&cx.output.cluster_weights),
+                    f64_bits(&cy.output.cluster_weights),
+                    "cell {} weights",
+                    x.input
+                );
+                assert_eq!(cx.output.epm.to_bits(), cy.output.epm.to_bits(), "cell {}", x.input);
+                assert_eq!(cx.output.mse.to_bits(), cy.output.mse.to_bits());
+                assert_eq!(cx.expected_points.to_bits(), cy.expected_points.to_bits());
+                assert_eq!(cx.lost_points.to_bits(), cy.lost_points.to_bits());
+            }
+            _ => panic!("cell {}: one run produced a clustering, the other did not", x.input),
+        }
+    }
+    assert_eq!(a.faults, b.faults, "planet fault counters");
+    assert_eq!(a.degraded, b.degraded);
+    assert_eq!(a.cells_total, b.cells_total);
+}
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: pmkm\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// Pulls `"key":<number>` out of a JSON body without a Value type.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle).unwrap_or_else(|| panic!("missing {key} in {body}"));
+    let rest = &body[at + needle.len()..];
+    let digits: String =
+        rest.trim_start().chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+    digits.split('.').next().unwrap().parse().unwrap_or_else(|_| panic!("bad {key} in {body}"))
+}
+
+/// Pulls `"key":"value"` out of a JSON body without a Value type.
+fn json_str(body: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle).unwrap_or_else(|| panic!("missing {key} in {body}"));
+    let rest = body[at + needle.len()..].trim_start();
+    let rest = rest.strip_prefix('"').unwrap_or_else(|| panic!("{key} not a string in {body}"));
+    rest.chars().take_while(|c| *c != '"').collect()
+}
+
+fn json_f64(body: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle).unwrap_or_else(|| panic!("missing {key} in {body}"));
+    let rest = &body[at + needle.len()..].trim_start();
+    let digits: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | 'e' | 'E' | '+'))
+        .collect();
+    digits.parse().unwrap_or_else(|_| panic!("bad {key} in {body}"))
+}
+
+/// Invariants 1 + 2: the fully-observed run is bit-identical to the bare
+/// run, and the final status snapshot tells the same story as the report.
+#[test]
+fn observed_run_is_bit_identical_and_status_matches_the_report() {
+    let (dir, plan) = planet("pin", 6, 11, 7);
+
+    let bare = orchestrate(&plan, &OrchestratorOptions::new(3), None, None).unwrap();
+
+    let ledger = Arc::new(LedgerSink::in_memory());
+    let watchdog_sink = Arc::new(WatchdogSink::new());
+    let timeline = Arc::new(Timeline::new());
+    let status = Arc::new(StatusCell::new());
+    let rec = Arc::new(
+        Recorder::new()
+            .with_sink(ledger.clone())
+            .with_sink(watchdog_sink.clone())
+            .with_timeline(timeline.clone()),
+    );
+    let watchdog = Watchdog::start(
+        Arc::clone(&rec),
+        Arc::clone(&watchdog_sink),
+        WatchdogConfig::after(Duration::from_secs(30)),
+    );
+    let opts = OrchestratorOptions::new(3).with_status(Arc::clone(&status));
+    let observed = orchestrate(&plan, &opts, Some(Arc::clone(&rec)), None).unwrap();
+    watchdog.stop();
+
+    assert_bit_identical(&bare, &observed);
+
+    // The final snapshot is the report, seen through /status eyes.
+    let snap = status.get();
+    assert_eq!(snap.state, "done");
+    assert_eq!(snap.cells_total, observed.cells_total);
+    assert_eq!(snap.cells_done, observed.cells.len());
+    assert_eq!(snap.cells_running, 0);
+    assert_eq!(snap.expected_points.to_bits(), observed.expected_points().to_bits());
+    assert_eq!(snap.received_points.to_bits(), observed.received_points().to_bits());
+    assert_eq!(snap.lost_points.to_bits(), observed.lost_points().to_bits());
+    assert_eq!(snap.steals, observed.steals);
+    assert!(!snap.workers.is_empty(), "worker rows in the final snapshot");
+
+    // The ledger saw worker-state transitions and no watchdog verdicts,
+    // and the record stream renders as a Chrome trace document.
+    let records = ledger.records_after(0);
+    let roll = rollup(&records);
+    assert!(roll.worker_transitions > 0, "timeline events in the ledger");
+    assert_eq!(roll.watchdog_stalls, 0);
+    assert_eq!(roll.watchdog_stragglers, 0);
+    let trace = chrome_trace(&records);
+    assert!(trace.contains("\"traceEvents\":["), "chrome trace shape: {trace}");
+    assert!(trace.contains("worker.state") || trace.contains("\"ph\":\"X\""));
+
+    // The report carries the timeline rollup (schema v6) and also renders.
+    let tl = observed.run_report(Some(&rec)).timeline.expect("v6 timeline block");
+    assert_eq!(tl.workers.len(), 3, "one lane per worker");
+    assert!(tl.span_us > 0);
+    let from_report = chrome_trace_from_report(&observed.run_report(Some(&rec)));
+    assert!(from_report.contains("\"traceEvents\":["));
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Invariant 3: heavy chaos under the tolerant policy is slow and ugly but
+/// *alive* — a watchdog with a sane deadline must stay silent. This is the
+/// false-positive guard: progress beacons (chunk.close / cell.close) keep
+/// arriving, so neither the stall nor the straggler rule may fire.
+#[test]
+fn watchdog_stays_silent_under_heavy_chaos_with_tolerant_policy() {
+    quiet_injected_panics();
+    let (dir, mut plan) = planet("chaos_quiet", 6, 29, 3);
+    plan.fault_policy = FaultPolicy::tolerant();
+
+    let ledger = Arc::new(LedgerSink::in_memory());
+    let sink = Arc::new(WatchdogSink::new());
+    let rec = Arc::new(Recorder::new().with_sink(ledger.clone()).with_sink(sink.clone()));
+    let config = WatchdogConfig::after(Duration::from_secs(30));
+    let watchdog = Watchdog::start(Arc::clone(&rec), Arc::clone(&sink), config.clone());
+
+    let report = orchestrate(
+        &plan,
+        &OrchestratorOptions::new(2),
+        Some(Arc::clone(&rec)),
+        Some(FaultPlan::heavy(17)),
+    )
+    .unwrap();
+    // One extra synchronous sweep at the post-run clock so the test does
+    // not depend on the polling thread's schedule.
+    sink.check(&rec, &config, rec.elapsed_us());
+    watchdog.stop();
+
+    assert_eq!(report.cells.len(), report.cells_total, "tolerant run commits every cell");
+    let roll = rollup(&ledger.records_after(0));
+    assert_eq!(roll.watchdog_stalls, 0, "no stall verdicts under live progress");
+    assert_eq!(roll.watchdog_stragglers, 0, "no straggler verdicts under live progress");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Invariant 4: `/events` and `/status` under a live multi-worker run.
+/// Sequence numbers must be strictly monotonic across polls, `/status`
+/// must always parse with a sane shape, and `/healthz` must never block.
+#[test]
+fn events_and_status_stay_live_under_a_multi_worker_run() {
+    let (dir, plan) = planet("live", 8, 41, 13);
+
+    let ledger = Arc::new(LedgerSink::in_memory());
+    let timeline = Arc::new(Timeline::new());
+    let status = Arc::new(StatusCell::new());
+    let rec = Arc::new(Recorder::new().with_sink(ledger.clone()).with_timeline(timeline.clone()));
+    let server = MetricsServer::serve_full(
+        "127.0.0.1:0",
+        Arc::clone(&rec),
+        2,
+        Some(Arc::clone(&ledger)),
+        Some(Arc::clone(&status)),
+    )
+    .expect("bind port 0");
+    let addr = server.local_addr();
+
+    let run = {
+        let rec = Arc::clone(&rec);
+        let status = Arc::clone(&status);
+        std::thread::spawn(move || {
+            let opts = OrchestratorOptions::new(3).with_status(status);
+            orchestrate(&plan, &opts, Some(rec), None).unwrap()
+        })
+    };
+
+    // Poll all three routes while the run is live, then once more after
+    // the snapshot settles on "done" (an empty `/events` long-poll waits
+    // ~2 s, so the loop stops as soon as the run is over). Monotonicity
+    // must hold across the transition.
+    let mut last_seq = 0u64;
+    let mut seen_done = false;
+    for _ in 0..400 {
+        let (health_status, health_body) = get(addr, "/healthz");
+        assert_eq!(health_status, "HTTP/1.1 200 OK", "/healthz while running");
+        assert!(health_body.contains("\"status\":\"ok\""), "healthz body: {health_body}");
+
+        let (ev_status, ev_body) = get(addr, &format!("/events?after={last_seq}"));
+        assert_eq!(ev_status, "HTTP/1.1 200 OK");
+        for line in ev_body.lines().filter(|l| !l.trim().is_empty()) {
+            let seq = json_u64(line, "seq");
+            assert!(seq > last_seq, "monotonic seq: {seq} after {last_seq}");
+            last_seq = seq;
+        }
+
+        let (st_status, st_body) = get(addr, "/status");
+        assert_eq!(st_status, "HTTP/1.1 200 OK");
+        assert_eq!(json_u64(&st_body, "schema"), u64::from(pmkm_obs::STATUS_SCHEMA_VERSION));
+        let done = json_u64(&st_body, "cells_done");
+        let total = json_u64(&st_body, "cells_total");
+        assert!(done <= total.max(8), "done {done} within plan size");
+        let ratio = json_f64(&st_body, "mass_ratio");
+        assert!((0.0..=1.0).contains(&ratio), "mass ratio in range: {ratio}");
+
+        if seen_done {
+            break;
+        }
+        seen_done = json_str(&st_body, "state") == "done";
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(seen_done, "the run never reported done through /status");
+
+    let report = run.join().expect("run thread");
+    assert_eq!(report.cells.len(), 8);
+
+    // After completion the snapshot settles on the report's numbers.
+    let (_, st_body) = get(addr, "/status");
+    assert_eq!(json_str(&st_body, "state"), "done", "final state: {st_body}");
+    assert_eq!(json_u64(&st_body, "cells_done") as usize, report.cells.len());
+    assert_eq!(json_u64(&st_body, "cells_running"), 0);
+
+    // New events past the final cursor still respect the cursor contract.
+    let (_, tail) = get(addr, &format!("/events?after={last_seq}"));
+    for line in tail.lines().filter(|l| !l.trim().is_empty()) {
+        let seq = json_u64(line, "seq");
+        assert!(seq > last_seq);
+        last_seq = seq;
+    }
+    assert!(last_seq > 0, "the ledger saw events");
+
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+}
