@@ -22,16 +22,6 @@ fn bench_algorithms(c: &mut Criterion) {
     let kcfg = KMeansConfig { restarts: 1, ..KMeansConfig::paper(40, 5) };
 
     group.bench_function("kmeans", |b| b.iter(|| pmkm_core::kmeans(&cell, &kcfg).unwrap()));
-    group.bench_function("elkan_kmeans", |b| {
-        let init = pmkm_core::seeding::seed_centroids(
-            &cell,
-            40,
-            pmkm_core::SeedMode::RandomPoints,
-            &mut pmkm_core::seeding::rng_for(5, 0),
-        )
-        .unwrap();
-        b.iter(|| pmkm_core::elkan(&cell, &init, &kcfg.lloyd).unwrap())
-    });
     group.bench_function("partial_merge_10split", |b| {
         let pm = pmkm_core::PartialMergeConfig {
             kmeans: kcfg,

@@ -2,7 +2,7 @@
 //! pipeline (PR 3 acceptance artifact).
 //!
 //! Runs the fig. 6-style workload (one MISR-like 6-D cell, k = 40) through
-//! every {serial, N-clone} × {scalar, pruned_scalar, elkan, fused}
+//! every {serial, N-clone} × {scalar, pruned_scalar, fused}
 //! configuration of the in-process `partial_merge` path, plus the full
 //! stream engine (`execute_observed` over an on-disk bucket, scalar and
 //! fused kernels) and the multi-cell orchestrator (8 cells, 1 vs 4
@@ -242,6 +242,7 @@ fn bench_stream(
     workers: usize,
     kernel: KernelKind,
     ledger: Option<Arc<pmkm_obs::LedgerSink>>,
+    coreset: Option<usize>,
 ) -> Row {
     let dir = std::env::temp_dir().join(format!("pmkm_pipeline_bench_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("bench temp dir");
@@ -253,11 +254,12 @@ fn bench_stream(
         KMeansConfig { restarts: params.restarts, ..KMeansConfig::paper(params.k, params.seed) };
     kmeans.lloyd.kernel = kernel;
     let logical = LogicalPlan::new(vec![path.clone()], kmeans);
-    let plan = optimize_fixed_split(
+    let mut plan = optimize_fixed_split(
         logical,
         &Resources::fixed(1 << 30, workers),
         params.n.div_ceil(params.partitions),
     );
+    plan.coreset = coreset.map(pmkm_stream::CoresetSpec::new);
 
     // Warm once, then `reps` interleaved unprofiled/profiled pairs with a
     // median per arm (see the module doc). Fresh recorder per profiled rep
@@ -294,17 +296,28 @@ fn bench_stream(
         "observation must not change stream-engine results ({workers} workers, {kernel:?})"
     );
 
+    if coreset.is_some() {
+        let stats = report.cells[0].coreset.expect("coreset stats on a coreset bench run");
+        assert!(
+            stats.live_buckets as u32 <= (stats.builds as usize).ilog2() + 1,
+            "coreset memory bound violated at bench scale: {stats:?}"
+        );
+    }
+
     let phases = rec.phase_rows();
     let phase_ms = |name: &str| {
         phases.iter().find(|p| p.path == name).map_or(0.0, |p| p.total_us as f64 / 1e3)
     };
     let _ = std::fs::remove_file(&path);
+    let family = if coreset.is_some() { "coreset" } else { "stream" };
     Row {
-        config: format!("stream{workers}/{}", kernel.label()),
+        config: format!("{family}{workers}/{}", kernel.label()),
         workers,
         kernel: kernel.label().to_string(),
         total_ms,
-        partial_ms: phase_ms("partial"),
+        // In coreset mode the per-chunk work is the coreset build (phase
+        // "coreset"), not partial k-means.
+        partial_ms: phase_ms("partial") + phase_ms("coreset"),
         merge_ms: phase_ms("merge"),
         points_per_sec: params.n as f64 / (total_ms / 1e3),
         epm: report.cells[0].output.epm,
@@ -483,15 +496,13 @@ fn main() {
 
     let mut rows = Vec::new();
     for workers in [0, CLONES] {
-        for kernel in
-            [KernelKind::Scalar, KernelKind::PrunedScalar, KernelKind::Elkan, KernelKind::Fused]
-        {
+        for kernel in [KernelKind::Scalar, KernelKind::PrunedScalar, KernelKind::Fused] {
             rows.push(bench_config(&cell, &params, workers, kernel));
         }
     }
     // Clone count must never change results (per-chunk seeds). Stream-engine
     // rows chunk the cell differently and are checked separately below.
-    for kernel in ["scalar", "pruned_scalar", "elkan", "fused"] {
+    for kernel in ["scalar", "pruned_scalar", "fused"] {
         let epms: Vec<f64> = rows.iter().filter(|r| r.kernel == kernel).map(|r| r.epm).collect();
         assert!(epms.windows(2).all(|w| w[0] == w[1]), "E_pm varies with clones: {epms:?}");
     }
@@ -507,13 +518,22 @@ fn main() {
             _ => None,
         };
         let wrote_ledger = sink.is_some();
-        rows.push(bench_stream(&cell, &params, CLONES, kernel, sink));
+        rows.push(bench_stream(&cell, &params, CLONES, kernel, sink, None));
         if wrote_ledger {
             println!("[ledger] {}", opts.ledger.as_deref().unwrap_or_default());
         }
     }
-    let stream_epms: Vec<f64> =
-        rows.iter().filter(|r| r.config.starts_with("stream")).map(|r| r.epm).collect();
+    // The same engine in coreset mode: the merge-reduce tree replaces the
+    // buffer-everything merge, so these rows price the bounded-memory path
+    // (chunk-coreset build + compactions + terminal anytime query).
+    for kernel in [KernelKind::Scalar, KernelKind::Fused] {
+        rows.push(bench_stream(&cell, &params, CLONES, kernel, None, Some(256)));
+    }
+    let stream_epms: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.config.starts_with("stream") || r.config.starts_with("coreset"))
+        .map(|r| r.epm)
+        .collect();
     assert!(
         stream_epms.iter().all(|e| e.is_finite() && *e > 0.0),
         "stream-engine E_pm must be finite and positive: {stream_epms:?}"

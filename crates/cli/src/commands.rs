@@ -94,6 +94,7 @@ COMMANDS
             as a Chrome trace-event JSON (chrome://tracing, Perfetto).
   cluster   [--k=40] [--restarts=10] [--seed=0] [--splits=P | --memory=BYTES]
             [--workers=N] [--kernel=auto] [--adaptive] [--incremental]
+            [--coreset=SIZE] [--coreset-window=CHUNKS] [--coreset-decay=L]
             [--tolerant] [--chaos=LEVEL:SEED]
             [--metrics-out=REPORT.json] [--trace=TRACE.jsonl]
             [--ledger=LEDGER.jsonl] [--serve=ADDR] [--folded=STACKS.txt]
@@ -101,7 +102,7 @@ COMMANDS
             Cluster each bucket with partial/merge k-means on the stream
             engine; prints centroids summary and operator telemetry.
             --kernel picks the assignment strategy (auto, scalar,
-            pruned_scalar, fused, elkan); --tolerant enables the
+            pruned_scalar, fused); --tolerant enables the
             fault-tolerant policy (scan retries, poison quarantine,
             degraded merge with lost-mass accounting) instead of the
             strict fail-fast default; --chaos injects a seeded fault
@@ -115,10 +116,18 @@ COMMANDS
             /ledger.jsonl when a ledger is active — over HTTP for the
             duration of the run; --folded writes the span profiler's
             folded stacks (pipe into inferno-flamegraph for an SVG
-            flamegraph).
+            flamegraph). --coreset=SIZE replaces the buffer-everything
+            merge with a merge-reduce coreset tree: each chunk becomes a
+            SIZE-point weighted coreset and live memory stays bounded by
+            levels x SIZE regardless of stream length;
+            --coreset-window=CHUNKS keeps only the last CHUNKS chunks
+            (bucket-granularity eviction) and --coreset-decay=L scales
+            live weights by L in (0,1] per chunk for recency-weighted
+            clustering.
   orchestrate [--jobs=4] [--cells=N] [--k=40] [--restarts=10] [--seed=0]
             [--splits=P | --memory=BYTES] [--workers=1] [--budget=BYTES]
             [--checkpoint-dir=DIR] [--resume] [--kill-after=K]
+            [--coreset=SIZE] [--coreset-window=CHUNKS] [--coreset-decay=L]
             [--tolerant] [--chaos=LEVEL:SEED]
             [--metrics-out=REPORT.json] [--ledger=LEDGER.jsonl]
             [--serve=ADDR] [--watchdog=SECS]
@@ -144,7 +153,11 @@ COMMANDS
             emits watchdog.stall to the ledger, a cell open longer than
             SECS and 4x the median cell time emits watchdog.straggler,
             and a worker parked on the memory budget past the deadline
-            is flagged.
+            is flagged. --coreset=SIZE runs every cell on the bounded-
+            memory merge-reduce coreset tree (see cluster); with --serve
+            the anytime query — the mid-stream clustering over the live
+            buckets — is published into /status as the `coreset` block
+            on every tree level-up and at completion.
   diff      [--threshold=0.10] <A> <B>
             Compare two runs (each a run ledger or a RunReport JSON, mixed
             freely): prints the elapsed ratio, per-phase attribution of
@@ -291,6 +304,22 @@ fn inspect_ledger<W: Write>(
             out,
             "  [watchdog] {} stall(s), {} straggler(s)",
             roll.watchdog_stalls, roll.watchdog_stragglers
+        )
+        .map_err(run_err)?;
+    }
+    if !roll.coreset.is_empty() {
+        writeln!(
+            out,
+            "  [coreset] {} build(s), {} compaction(s), {} eviction(s), {} query(s); \
+             net live {} bucket(s) / {:.0} point(s) across {} level(s), expired {:.0}",
+            roll.coreset.builds,
+            roll.coreset.compactions,
+            roll.coreset.evictions,
+            roll.coreset.queries,
+            roll.coreset.live_buckets(),
+            roll.coreset.live_weight(),
+            roll.coreset.levels.len(),
+            roll.coreset.expired_points
         )
         .map_err(run_err)?;
     }
@@ -471,6 +500,9 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "folded",
         "tolerant",
         "chaos",
+        "coreset",
+        "coreset-window",
+        "coreset-decay",
     ])?;
     let paths: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
     if paths.is_empty() {
@@ -479,7 +511,7 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let kernel_name = args.get_str("kernel", "auto");
     let kernel = pmkm_core::KernelKind::parse(&kernel_name).ok_or_else(|| {
         CliError::Run(format!(
-            "cluster: unknown kernel '{kernel_name}' (auto, scalar, pruned_scalar, fused, elkan)"
+            "cluster: unknown kernel '{kernel_name}' (auto, scalar, pruned_scalar, fused)"
         ))
     })?;
     let mut kcfg = KMeansConfig {
@@ -520,6 +552,12 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     };
     if args.flag("tolerant") {
         plan.fault_policy = pmkm_stream::FaultPolicy::tolerant();
+    }
+    plan.coreset = parse_coreset("cluster", args)?;
+    if plan.coreset.is_some() && args.flag("adaptive") {
+        return Err(CliError::Run(
+            "cluster: --coreset runs on the static executor; drop --adaptive".into(),
+        ));
     }
     let metrics_out = args.get_str("metrics-out", "");
     let trace_out = args.get_str("trace", "");
@@ -606,9 +644,10 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         } else {
             String::new()
         };
+        let tree = coreset_tag(cell.coreset.as_ref());
         writeln!(
             out,
-            "  cell {}: {} chunks, {} centroids, E_pm {:.1}, {} points{degraded}",
+            "  cell {}: {} chunks, {} centroids, E_pm {:.1}, {} points{tree}{degraded}",
             cell.cell.index(),
             cell.chunks.len(),
             cell.output.centroids.k(),
@@ -678,6 +717,44 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses the coreset-engine knobs: `--coreset=SIZE` switches the plan's
+/// tail from the buffer-everything merge to the bounded-memory
+/// merge-reduce tree; `--coreset-window=CHUNKS` adds a sliding window and
+/// `--coreset-decay=LAMBDA` an exponential weight decay. Returns `None`
+/// when `--coreset` is absent (the classic merge path).
+fn parse_coreset(cmd: &str, args: &Args) -> Result<Option<pmkm_stream::CoresetSpec>, CliError> {
+    let size = args.get("coreset", 0usize)?;
+    let window = args.get("coreset-window", 0usize)?;
+    let decay = args.get("coreset-decay", 0.0f64)?;
+    if size == 0 {
+        if window > 0 || decay != 0.0 {
+            return Err(CliError::Run(format!(
+                "{cmd}: --coreset-window/--coreset-decay need --coreset=SIZE"
+            )));
+        }
+        return Ok(None);
+    }
+    let mut spec = pmkm_stream::CoresetSpec::new(size);
+    if window > 0 {
+        spec.window = Some(window);
+    }
+    if decay != 0.0 {
+        spec.decay = Some(decay);
+    }
+    Ok(Some(spec))
+}
+
+/// One-line tree summary for the per-cell rows of `cluster`/`orchestrate`.
+fn coreset_tag(stats: Option<&pmkm_core::CoresetStats>) -> String {
+    match stats {
+        Some(s) => format!(
+            " [coreset: {} bucket(s), {} level(s), {} compaction(s)]",
+            s.live_buckets, s.levels, s.compactions
+        ),
+        None => String::new(),
+    }
+}
+
 /// Parses `--chaos=LEVEL:SEED` into a fault plan (`""` → `None`).
 fn parse_chaos(cmd: &str, chaos: &str) -> Result<Option<pmkm_stream::FaultPlan>, CliError> {
     if chaos.is_empty() {
@@ -719,6 +796,9 @@ fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "ledger",
         "serve",
         "watchdog",
+        "coreset",
+        "coreset-window",
+        "coreset-decay",
     ])?;
     let mut paths: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
     if paths.is_empty() {
@@ -758,6 +838,7 @@ fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     if args.flag("tolerant") {
         plan.fault_policy = pmkm_stream::FaultPolicy::tolerant();
     }
+    plan.coreset = parse_coreset("orchestrate", args)?;
     let fault_plan = parse_chaos("orchestrate", &args.get_str("chaos", ""))?;
 
     let mut opts = pmkm_stream::OrchestratorOptions::new(args.get("jobs", 4usize)?);
@@ -884,9 +965,10 @@ fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                 } else {
                     String::new()
                 };
+                let tree = coreset_tag(c.coreset.as_ref());
                 writeln!(
                     out,
-                    "  cell {}: {} chunks, {} centroids, E_pm {:.1}, {} points{degraded}{tag}",
+                    "  cell {}: {} chunks, {} centroids, E_pm {:.1}, {} points{tree}{degraded}{tag}",
                     c.cell.index(),
                     c.chunks.len(),
                     c.output.centroids.k(),
@@ -1573,6 +1655,61 @@ mod tests {
     }
 
     #[test]
+    fn coreset_flags_run_both_commands_and_reject_bad_combinations() {
+        let dir = tmp("coreset_cli");
+        let buckets = write_buckets(&dir, 2);
+
+        // cluster --coreset: the summary carries the tree tag and the
+        // v7 report grows the coreset block.
+        let report_path = dir.join("coreset_report.json").display().to_string();
+        let mut argv = vec![
+            "--k=2".into(),
+            "--restarts=2".into(),
+            "--splits=4".into(),
+            "--coreset=16".into(),
+            format!("--metrics-out={report_path}"),
+        ];
+        argv.extend(buckets.iter().cloned());
+        let out = run("cluster", &argv).unwrap();
+        assert!(out.contains("[coreset:"), "{out}");
+        let report: pmkm_obs::RunReport =
+            serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        let block = report.coreset.as_ref().expect("v7 coreset block");
+        assert_eq!(block.trees, 2);
+        assert!(block.builds >= 2, "{block:?}");
+        assert!(block.lost_points == 0.0, "{block:?}");
+
+        // orchestrate --coreset with decay still answers every cell, and
+        // the journaled coreset events surface in the inspect rollup.
+        let ledger_path = dir.join("coreset_run.jsonl").display().to_string();
+        let mut argv = vec![
+            "--k=2".into(),
+            "--restarts=2".into(),
+            "--splits=4".into(),
+            "--jobs=2".into(),
+            "--coreset=16".into(),
+            "--coreset-decay=0.9".into(),
+            format!("--ledger={ledger_path}"),
+        ];
+        argv.extend(buckets.iter().cloned());
+        let out = run("orchestrate", &argv).unwrap();
+        assert!(out.contains("orchestrated 2 cells"), "{out}");
+        assert!(out.contains("[coreset:"), "{out}");
+        let out = run("inspect", &[ledger_path]).unwrap();
+        assert!(out.contains("[coreset]"), "{out}");
+        assert!(out.contains("build(s)"), "{out}");
+
+        // Window/decay without a size, and --adaptive with --coreset, error.
+        let err = run("cluster", &["--coreset-window=4".into(), buckets[0].clone()]).unwrap_err();
+        assert!(matches!(err, CliError::Run(_)), "{err:?}");
+        let err = run("cluster", &["--adaptive".into(), "--coreset=16".into(), buckets[0].clone()])
+            .unwrap_err();
+        assert!(matches!(err, CliError::Run(_)), "{err:?}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn orchestrate_kill_resume_inspect_round_trip() {
         let dir = tmp("orch");
         let buckets = write_buckets(&dir, 4);
@@ -1689,7 +1826,7 @@ mod tests {
         // inspect on the RunReport prints the per-worker rollup and also
         // renders a trace (summary slices from the report's timeline).
         let out = run("inspect", &[format!("--timeline={trace_path}"), report_path]).unwrap();
-        assert!(out.contains("run report v6"), "{out}");
+        assert!(out.contains("run report v7"), "{out}");
         assert!(out.contains("[timeline] 2 worker(s)"), "{out}");
         let trace = std::fs::read_to_string(&trace_path).unwrap();
         assert!(trace.contains("\"traceEvents\":["), "{trace}");

@@ -14,11 +14,10 @@ pub const DEFAULT_MAX_ITERS: usize = 10_000;
 
 /// Which nearest-centroid strategy drives the Lloyd assignment step.
 ///
-/// Every kind is **exact**: they all produce the same assignments (and,
-/// except [`KernelKind::Elkan`] runs that reseed empty clusters, the same
-/// bit-level distances) as the naive scalar scan — the differential test
-/// suite in `tests/kernel_differential.rs` pins this. They differ only in
-/// how much arithmetic they spend getting there; DESIGN.md §9 discusses
+/// Every kind is **exact**: they all produce the same assignments (and the
+/// same bit-level distances) as the naive scalar scan — the differential
+/// test suite in `tests/kernel_differential.rs` pins this. They differ only
+/// in how much arithmetic they spend getting there; DESIGN.md §9 discusses
 /// when each wins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum KernelKind {
@@ -37,10 +36,6 @@ pub enum KernelKind {
     /// exact rescue pass, and the weighted accumulator updates fused into
     /// the same per-point loop.
     Fused,
-    /// Hamerly/Elkan triangle-inequality bounds ([`crate::elkan::elkan`]):
-    /// skips whole points across iterations rather than vectorizing the
-    /// scan. Wins when clusters separate early and k is large.
-    Elkan,
 }
 
 impl KernelKind {
@@ -51,7 +46,6 @@ impl KernelKind {
             KernelKind::Scalar => "scalar",
             KernelKind::PrunedScalar => "pruned_scalar",
             KernelKind::Fused => "fused",
-            KernelKind::Elkan => "elkan",
         }
     }
 
@@ -63,7 +57,6 @@ impl KernelKind {
             "scalar" => Some(KernelKind::Scalar),
             "pruned_scalar" => Some(KernelKind::PrunedScalar),
             "fused" => Some(KernelKind::Fused),
-            "elkan" => Some(KernelKind::Elkan),
             _ => None,
         }
     }

@@ -256,6 +256,21 @@ impl WeightedSet {
         self.coords.chunks_exact(self.dim).zip(self.weights.iter().copied())
     }
 
+    /// Scales every weight by a positive finite factor (exponential-decay
+    /// coreset trees age all live mass by λ per arriving chunk).
+    ///
+    /// # Errors
+    /// [`Error::InvalidWeight`] if the factor is not finite and positive.
+    pub fn scale_weights(&mut self, factor: f64) -> Result<()> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(Error::InvalidWeight { index: 0 });
+        }
+        for w in &mut self.weights {
+            *w *= factor;
+        }
+        Ok(())
+    }
+
     /// Treats every point of a plain dataset as weight-1.
     pub fn from_dataset(ds: &Dataset) -> Self {
         Self { dim: ds.dim(), coords: ds.as_flat().to_vec(), weights: vec![1.0; ds.len()] }

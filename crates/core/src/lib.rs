@@ -52,6 +52,7 @@
 //! | [`mod@pipeline`] | §3.4/Fig. 5 | end-to-end partial/merge (serial & worker pool) |
 //! | [`metrics`] | §2/§3.3 | `E`, `E_pm`, MSE evaluation |
 //! | [`mod@ecvq`] | §3.3 remarks | entropy-constrained VQ (adaptive k) |
+//! | [`mod@coreset`] | beyond the paper | weighted coresets, merge-reduce tree, anytime queries |
 //!
 //! The stream-operator execution (queues, backpressure, operator cloning —
 //! §3/§4 of the paper) lives in the companion crate `pmkm-stream`, which
@@ -65,9 +66,9 @@
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod coreset;
 pub mod dataset;
 pub mod ecvq;
-pub mod elkan;
 pub mod error;
 pub mod kernel;
 pub mod kmeans;
@@ -84,8 +85,11 @@ pub use config::{
     KMeansConfig, KernelKind, LloydConfig, MergeMode, PartialMergeConfig, PartitionSpec, SeedMode,
     DEFAULT_MAX_ITERS, PAPER_EPSILON,
 };
+pub use coreset::{
+    chunk_coreset, CompactionInfo, CoresetBucket, CoresetConfig, CoresetStats, CoresetTree,
+    EvictionInfo, InsertOutcome,
+};
 pub use dataset::{Centroids, Dataset, PointSource, WeightedSet};
-pub use elkan::{elkan, elkan_observed, ElkanRun};
 pub use error::{Error, Result};
 pub use kernel::{FusedLayout, KernelStats};
 pub use kmeans::{kmeans, kmeans_observed, KMeansOutcome, RestartStats};

@@ -110,22 +110,6 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
     rec: Option<&Recorder>,
 ) -> Result<LloydRun> {
     cfg.validate()?;
-    // Elkan is a whole-algorithm strategy (bounds carried across
-    // iterations), not a per-iteration search: delegate the entire run.
-    if cfg.resolved_kernel() == KernelKind::Elkan {
-        let run = crate::elkan::elkan_observed(src, init, cfg, rec)?;
-        return Ok(LloydRun {
-            centroids: run.centroids,
-            assignments: run.assignments,
-            cluster_weights: run.cluster_weights,
-            sse: run.sse,
-            mse: run.mse,
-            iterations: run.iterations,
-            converged: run.converged,
-            mse_trajectory: run.mse_trajectory,
-            reseeds: run.reseeds,
-        });
-    }
     if src.is_empty() {
         return Err(Error::EmptyDataset);
     }

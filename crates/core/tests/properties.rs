@@ -175,25 +175,6 @@ proptest! {
     }
 
     #[test]
-    fn elkan_always_matches_naive_lloyd(
-        ds in arb_dataset(50, 3),
-        k in 1usize..6,
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(k <= ds.len());
-        let mut rng = rng_for(seed, 2);
-        let init = seed_centroids(&ds, k, SeedMode::RandomPoints, &mut rng).unwrap();
-        let cfg = LloydConfig::default();
-        let naive = lloyd::lloyd(&ds, &init, &cfg).unwrap();
-        let fast = pmkm_core::elkan(&ds, &init, &cfg).unwrap();
-        prop_assert_eq!(&fast.assignments, &naive.assignments);
-        prop_assert_eq!(fast.iterations, naive.iterations);
-        for (a, b) in fast.centroids.as_flat().iter().zip(naive.centroids.as_flat()) {
-            prop_assert!((a - b).abs() < 1e-12, "{} vs {}", a, b);
-        }
-    }
-
-    #[test]
     fn derive_seed_has_no_cheap_collisions(base in any::<u64>()) {
         let mut seen = std::collections::HashSet::new();
         for stream in 0..256u64 {
@@ -279,11 +260,10 @@ proptest! {
         ds in arb_dataset(64, 4),
         k in 1usize..7,
         seed in any::<u64>(),
-        kernel_idx in 0u8..3,
+        kernel_idx in 0u8..2,
     ) {
         prop_assume!(k <= ds.len());
-        let kernel =
-            [KernelKind::Fused, KernelKind::Scalar, KernelKind::Elkan][kernel_idx as usize];
+        let kernel = [KernelKind::Fused, KernelKind::Scalar][kernel_idx as usize];
         let mut rng = rng_for(seed, 3);
         let init = seed_centroids(&ds, k, SeedMode::RandomPoints, &mut rng).unwrap();
         let cfg = LloydConfig { kernel, ..LloydConfig::default() };

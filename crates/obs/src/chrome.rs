@@ -259,6 +259,7 @@ fn state_glyph(state: &str) -> char {
         Some(WorkerState::Scan) => 'S',
         Some(WorkerState::Partial) => 'P',
         Some(WorkerState::Merge) => 'M',
+        Some(WorkerState::Compact) => 'K',
         Some(WorkerState::Checkpoint) => 'C',
         Some(WorkerState::BudgetWait) => 'B',
         None => '?',

@@ -369,6 +369,56 @@ pub struct FaultEntry {
     pub detail: String,
 }
 
+/// Net live state of one coreset-tree level, folded from
+/// `coreset.build`/`coreset.compact`/`coreset.evict` records.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoresetLevelRollup {
+    /// Tree level (0 = fresh chunk coresets).
+    pub level: u32,
+    /// Net live buckets at this level (builds/compaction outputs minus
+    /// compaction inputs and evictions). Signed so a malformed journal
+    /// shows up as a negative count instead of a silent wrap.
+    pub buckets: i64,
+    /// Net live representative weight at this level.
+    pub weight: f64,
+}
+
+/// Coreset-engine state folded from `coreset.*` records: per-level net
+/// bucket counts and weights, which for a well-formed journal of a
+/// non-decaying run reproduce the live tree exactly.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoresetRollup {
+    /// `coreset.build` records folded.
+    pub builds: u64,
+    /// `coreset.compact` records folded.
+    pub compactions: u64,
+    /// `coreset.evict` records folded.
+    pub evictions: u64,
+    /// `coreset.query` records folded.
+    pub queries: u64,
+    /// Raw point mass evicted by sliding windows.
+    pub expired_points: f64,
+    /// Net per-level live state, sorted by level.
+    pub levels: Vec<CoresetLevelRollup>,
+}
+
+impl CoresetRollup {
+    /// True when no coreset records were seen.
+    pub fn is_empty(&self) -> bool {
+        self.builds == 0 && self.compactions == 0 && self.evictions == 0 && self.queries == 0
+    }
+
+    /// Net live buckets across levels.
+    pub fn live_buckets(&self) -> i64 {
+        self.levels.iter().map(|l| l.buckets).sum()
+    }
+
+    /// Net live representative weight across levels.
+    pub fn live_weight(&self) -> f64 {
+        self.levels.iter().map(|l| l.weight).sum()
+    }
+}
+
 /// Aggregated view of one ledger. Produced by [`rollup`].
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct LedgerRollup {
@@ -412,6 +462,10 @@ pub struct LedgerRollup {
     /// Straggler verdicts (`watchdog.straggler`) emitted by the watchdog.
     #[serde(default)]
     pub watchdog_stragglers: u64,
+    /// Coreset-tree state rebuilt from `coreset.*` records (empty for
+    /// classic merge-path runs and pre-coreset journals).
+    #[serde(default)]
+    pub coreset: CoresetRollup,
 }
 
 impl LedgerRollup {
@@ -473,6 +527,7 @@ pub fn rollup(records: &[LedgerRecord]) -> LedgerRollup {
     let mut phases: BTreeMap<String, PhaseReport> = BTreeMap::new();
     let mut cells: BTreeMap<String, CellRollup> = BTreeMap::new();
     let mut kernels: BTreeMap<String, KernelRollup> = BTreeMap::new();
+    let mut coreset_levels: BTreeMap<u32, (i64, f64)> = BTreeMap::new();
     let mut close_elapsed: Option<u64> = None;
     for r in records {
         out.elapsed_us = out.elapsed_us.max(r.ts_us);
@@ -565,9 +620,41 @@ pub fn rollup(records: &[LedgerRecord]) -> LedgerRollup {
                 entry.runs += 1;
                 entry.points += r.u64_field("points").unwrap_or(0);
             }
+            "coreset.build" => {
+                out.coreset.builds += 1;
+                let slot = coreset_levels.entry(0).or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += r.f64_field("weight").unwrap_or(0.0);
+            }
+            "coreset.compact" => {
+                out.coreset.compactions += 1;
+                let level = r.u64_field("level").unwrap_or(0) as u32;
+                let out_slot = coreset_levels.entry(level).or_insert((0, 0.0));
+                out_slot.0 += 1;
+                out_slot.1 += r.f64_field("weight").unwrap_or(0.0);
+                // A compaction consumes the two newest buckets one level
+                // below and emits one bucket at `level`.
+                let in_level = level.saturating_sub(1);
+                let in_slot = coreset_levels.entry(in_level).or_insert((0, 0.0));
+                in_slot.0 -= 2;
+                in_slot.1 -= r.f64_field("consumed_weight").unwrap_or(0.0);
+            }
+            "coreset.evict" => {
+                out.coreset.evictions += 1;
+                let level = r.u64_field("level").unwrap_or(0) as u32;
+                let slot = coreset_levels.entry(level).or_insert((0, 0.0));
+                slot.0 -= 1;
+                slot.1 -= r.f64_field("weight").unwrap_or(0.0);
+                out.coreset.expired_points += r.f64_field("points").unwrap_or(0.0);
+            }
+            "coreset.query" => out.coreset.queries += 1,
             _ => {}
         }
     }
+    out.coreset.levels = coreset_levels
+        .into_iter()
+        .map(|(level, (buckets, weight))| CoresetLevelRollup { level, buckets, weight })
+        .collect();
     if let Some(us) = close_elapsed {
         out.elapsed_us = us;
     }
@@ -1086,6 +1173,71 @@ mod tests {
         let json = serde_json::to_string(&up).unwrap();
         let back: LedgerRollup = serde_json::from_str(&json).unwrap();
         assert_eq!(back, up);
+    }
+
+    #[test]
+    fn rollup_reproduces_coreset_tree_state() {
+        fn rec(seq: u64, name: &str, fields: Vec<(String, FieldValue)>) -> LedgerRecord {
+            LedgerRecord { seq, ts_us: seq, name: name.into(), fields }
+        }
+        // Four chunk builds of weight 100 each, then the binary counter
+        // compacts pairwise: two level-1 buckets, then one level-2 bucket.
+        let mut records = Vec::new();
+        for i in 0..4u64 {
+            records.push(rec(
+                i,
+                "coreset.build",
+                vec![
+                    ("cell".into(), FieldValue::U64(0)),
+                    ("chunk".into(), FieldValue::U64(i)),
+                    ("weight".into(), FieldValue::F64(100.0)),
+                ],
+            ));
+        }
+        for (seq, level, consumed) in [(4u64, 1u64, 200.0), (5, 1, 200.0), (6, 2, 400.0)] {
+            records.push(rec(
+                seq,
+                "coreset.compact",
+                vec![
+                    ("cell".into(), FieldValue::U64(0)),
+                    ("level".into(), FieldValue::U64(level)),
+                    ("weight".into(), FieldValue::F64(consumed)),
+                    ("consumed_weight".into(), FieldValue::F64(consumed)),
+                ],
+            ));
+        }
+        records.push(rec(
+            7,
+            "coreset.evict",
+            vec![
+                ("cell".into(), FieldValue::U64(0)),
+                ("level".into(), FieldValue::U64(2)),
+                ("weight".into(), FieldValue::F64(400.0)),
+                ("points".into(), FieldValue::F64(400.0)),
+            ],
+        ));
+        records.push(rec(8, "coreset.query", vec![("cell".into(), FieldValue::U64(0))]));
+        let up = rollup(&records);
+        assert_eq!(up.coreset.builds, 4);
+        assert_eq!(up.coreset.compactions, 3);
+        assert_eq!(up.coreset.evictions, 1);
+        assert_eq!(up.coreset.queries, 1);
+        assert_eq!(up.coreset.expired_points, 400.0);
+        // All mass was compacted up to level 2 and then evicted: every
+        // level nets out to zero buckets and zero weight.
+        assert_eq!(up.coreset.live_buckets(), 0);
+        assert_eq!(up.coreset.live_weight(), 0.0);
+        for lvl in &up.coreset.levels {
+            assert_eq!(lvl.buckets, 0, "level {} buckets", lvl.level);
+            assert_eq!(lvl.weight, 0.0, "level {} weight", lvl.level);
+        }
+        // Round-trips, and old journals without coreset records parse to
+        // an empty block.
+        let json = serde_json::to_string(&up).unwrap();
+        let back: LedgerRollup = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, up);
+        let empty = rollup(&[]);
+        assert!(empty.coreset.is_empty());
     }
 
     #[test]

@@ -68,17 +68,17 @@ pub use chrome::{ascii_gantt, chrome_trace, chrome_trace_from_report};
 pub use config::ObsConfig;
 pub use ledger::{
     attribute_phases, diff_profiles, emit_phase_events, parse_ledger, read_ledger, rollup,
-    CheckpointRollup, LedgerRecord, LedgerRollup, LedgerSink, PhaseDelta, ProfileDiff, RunProfile,
-    LEDGER_VERSION,
+    CheckpointRollup, CoresetLevelRollup, CoresetRollup, LedgerRecord, LedgerRollup, LedgerSink,
+    PhaseDelta, ProfileDiff, RunProfile, LEDGER_VERSION,
 };
 pub use metrics::{escape_label_value, labeled_name, Counter, Gauge, Histogram, Registry};
 pub use profile::{ManualClock, MonotonicClock, PhaseGuard, Profiler, ProfilerClock};
 pub use report::{
-    CellReport, ChunkReport, CounterSample, FaultReport, GaugeSample, HistogramSample,
-    HistogramSnapshot, MergeReport, MetricsSnapshot, OperatorReport, OrchestratorReport,
-    PhaseReport, QueueReport, RunReport,
+    CellReport, ChunkReport, CoresetReport, CounterSample, FaultReport, GaugeSample,
+    HistogramSample, HistogramSnapshot, MergeReport, MetricsSnapshot, OperatorReport,
+    OrchestratorReport, PhaseReport, QueueReport, RunReport,
 };
 pub use serve::MetricsServer;
-pub use status::{StatusCell, StatusSnapshot, WorkerStatus, STATUS_SCHEMA_VERSION};
+pub use status::{CoresetStatus, StatusCell, StatusSnapshot, WorkerStatus, STATUS_SCHEMA_VERSION};
 pub use timeline::{Timeline, Transition, WorkerLaneReport, WorkerState, WorkerTimeline};
 pub use trace::{Event, FieldValue, JsonlSink, Recorder, RingBufferSink, Span, TraceSink};

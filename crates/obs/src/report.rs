@@ -16,9 +16,38 @@ use std::time::Duration;
 /// added the optional `orchestrator` block of planet-level multi-cell
 /// runs (scheduling, checkpoint and resume counters); v6 added the
 /// optional `timeline` per-worker state rollup (utilization and
-/// per-thread-max wall clock).
+/// per-thread-max wall clock); v7 added the optional `coreset` block
+/// (merge-reduce tree shape and mass accounting of coreset-mode runs) and
+/// the timeline lanes' `compact_us` column.
 /// Every addition is `#[serde(default)]`, so older documents still parse.
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
+
+/// Coreset-engine accounting for one run (schema v7): the aggregated shape
+/// and mass audit of every cell's merge-reduce tree. `None` on classic
+/// merge-path runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoresetReport {
+    /// Cells that ran a coreset tree.
+    pub trees: usize,
+    /// Deepest tree (levels = max level + 1) across cells.
+    pub max_levels: u32,
+    /// Live buckets summed over cells at cell completion.
+    pub live_buckets: usize,
+    /// Pairwise compactions performed across cells.
+    pub compactions: u64,
+    /// Chunk coresets built across cells.
+    pub builds: u64,
+    /// Anytime queries answered across cells (including terminal merges).
+    pub queries: u64,
+    /// Total representative weight live at cell completion.
+    pub live_weight: f64,
+    /// Raw point mass ingested into trees.
+    pub ingested_points: f64,
+    /// Raw point mass quarantined before reaching a tree.
+    pub lost_points: f64,
+    /// Raw point mass evicted by sliding windows.
+    pub expired_points: f64,
+}
 
 /// Fault-tolerance counters for one run (schema v3). All zero on a
 /// fault-free run — and on any report parsed from a v1/v2 document.
@@ -291,6 +320,10 @@ pub struct RunReport {
     /// attached and for pre-v6 documents).
     #[serde(default)]
     pub timeline: Option<crate::timeline::WorkerTimeline>,
+    /// Coreset-engine rollup (`None` on classic merge-path runs and for
+    /// pre-v7 documents).
+    #[serde(default)]
+    pub coreset: Option<CoresetReport>,
 }
 
 impl RunReport {
@@ -308,6 +341,7 @@ impl RunReport {
             faults: FaultReport::default(),
             orchestrator: None,
             timeline: None,
+            coreset: None,
         }
     }
 
@@ -405,13 +439,22 @@ mod tests {
             faults: FaultReport::default(),
             orchestrator: None,
             timeline: None,
+            coreset: None,
         }
+    }
+
+    /// Strips the v7 `coreset` key from a serialized report, producing the
+    /// JSON a v6-or-older writer would have emitted.
+    fn strip_v7_keys(json: &str) -> String {
+        let json = json.replace(",\"coreset\":null", "");
+        assert!(!json.contains("\"coreset\""), "surgery failed: {json}");
+        json
     }
 
     /// Strips the v6 `timeline` key from a serialized report, producing
     /// the JSON a v5-or-older writer would have emitted.
     fn strip_v6_keys(json: &str) -> String {
-        let json = json.replace(",\"timeline\":null", "");
+        let json = strip_v7_keys(json).replace(",\"timeline\":null", "");
         assert!(!json.contains("timeline"), "surgery failed: {json}");
         json
     }
@@ -483,6 +526,40 @@ mod tests {
         assert_eq!(back.schema_version, 3);
         assert_eq!(back.phases[0].wall_us, 0);
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v6_report_without_coreset_block_still_parses() {
+        // A v6 writer emitted no `coreset` key at all; the field must
+        // default to None under the current reader.
+        let mut report = sample_report();
+        report.schema_version = 6;
+        let json = strip_v7_keys(&serde_json::to_string(&report).unwrap());
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, 6);
+        assert!(back.coreset.is_none());
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn coreset_block_round_trips() {
+        let mut report = sample_report();
+        report.coreset = Some(CoresetReport {
+            trees: 2,
+            max_levels: 5,
+            live_buckets: 7,
+            compactions: 13,
+            builds: 20,
+            queries: 6,
+            live_weight: 48_000.0,
+            ingested_points: 50_000.0,
+            lost_points: 2_000.0,
+            expired_points: 0.0,
+        });
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.coreset.unwrap().compactions, 13);
     }
 
     #[test]

@@ -245,6 +245,9 @@ fn live_report(recorder: &Recorder) -> RunReport {
 /// states even between orchestrator publishes.
 fn status_body(recorder: &Recorder, status: &StatusCell) -> Result<String, serde_json::Error> {
     let mut snap = (*status.get()).clone();
+    // The coreset operator publishes into its own slot; merge the latest
+    // anytime clustering into the document at request time.
+    snap.coreset = status.coreset().map(|cs| (*cs).clone());
     if let Some(timeline) = recorder.timeline() {
         let now = recorder.elapsed_us();
         if snap.state == "running" {

@@ -13,7 +13,47 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// `/status` document schema version.
-pub const STATUS_SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 = planet progress + worker lanes; v2 adds the optional
+/// `coreset` block (anytime mid-stream clustering from the coreset tree).
+pub const STATUS_SCHEMA_VERSION: u32 = 2;
+
+/// Mid-stream clustering published by the coreset operator: the latest
+/// anytime-query result plus the live shape of the merge-reduce tree.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoresetStatus {
+    /// Cell index the query ran on.
+    pub cell: u32,
+    /// Tree depth (`max level + 1`).
+    pub levels: u32,
+    /// Live buckets (≤ `floor(log2(chunks)) + 1` without a window).
+    pub live_buckets: usize,
+    /// Total representative weight across live buckets.
+    pub live_weight: f64,
+    /// Raw point mass inserted into the tree so far.
+    pub ingested_points: f64,
+    /// Raw point mass of quarantined chunks that never reached the tree.
+    pub lost_points: f64,
+    /// Raw point mass evicted by the sliding window.
+    pub expired_points: f64,
+    /// Pairwise compactions performed so far.
+    pub compactions: u64,
+    /// Chunk coresets inserted so far.
+    pub builds: u64,
+    /// Anytime queries answered so far.
+    pub queries: u64,
+    /// `k` of the anytime clustering below.
+    pub k: usize,
+    /// Weighted MSE of the anytime clustering over the live union.
+    pub mse: f64,
+    /// Lloyd iterations the anytime query spent.
+    pub iterations: usize,
+    /// Input points (union size) the anytime query consumed — bounded by
+    /// `live_buckets × coreset_size`.
+    pub query_points: usize,
+    /// The anytime centroids, one `dim`-length row per cluster.
+    pub centroids: Vec<Vec<f64>>,
+}
 
 /// One worker's row in the `/status` document.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -65,6 +105,10 @@ pub struct StatusSnapshot {
     pub eta_us: u64,
     /// Per-worker state and utilization.
     pub workers: Vec<WorkerStatus>,
+    /// Latest mid-stream coreset clustering, when a coreset-mode run has
+    /// published one (defaulted so v1 documents still deserialize).
+    #[serde(default)]
+    pub coreset: Option<CoresetStatus>,
 }
 
 impl Default for StatusSnapshot {
@@ -94,6 +138,7 @@ impl StatusSnapshot {
             elapsed_us: 0,
             eta_us: 0,
             workers: Vec::new(),
+            coreset: None,
         }
     }
 }
@@ -102,6 +147,10 @@ impl StatusSnapshot {
 /// [module docs](self) for the publish/read model.
 pub struct StatusCell {
     snap: Mutex<Arc<StatusSnapshot>>,
+    /// Published independently of the planet snapshot: the coreset operator
+    /// runs inside the engine (not the orchestrator loop), so its updates
+    /// must not race or overwrite progress publishes.
+    coreset: Mutex<Option<Arc<CoresetStatus>>>,
 }
 
 impl Default for StatusCell {
@@ -113,7 +162,7 @@ impl Default for StatusCell {
 impl StatusCell {
     /// A cell holding an empty `"idle"` snapshot.
     pub fn new() -> Self {
-        Self { snap: Mutex::new(Arc::new(StatusSnapshot::new())) }
+        Self { snap: Mutex::new(Arc::new(StatusSnapshot::new())), coreset: Mutex::new(None) }
     }
 
     /// Publishes a new snapshot (single pointer swap).
@@ -124,6 +173,16 @@ impl StatusCell {
     /// The current snapshot (single pointer clone).
     pub fn get(&self) -> Arc<StatusSnapshot> {
         Arc::clone(&self.snap.lock())
+    }
+
+    /// Publishes a fresh mid-stream coreset clustering (pointer swap).
+    pub fn publish_coreset(&self, status: CoresetStatus) {
+        *self.coreset.lock() = Some(Arc::new(status));
+    }
+
+    /// The latest coreset clustering, if any run published one.
+    pub fn coreset(&self) -> Option<Arc<CoresetStatus>> {
+        self.coreset.lock().clone()
     }
 }
 
@@ -168,6 +227,28 @@ mod tests {
         let back: StatusSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.schema, STATUS_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn v1_snapshot_without_coreset_still_deserializes() {
+        let mut json = serde_json::to_string(&StatusSnapshot::new()).unwrap();
+        json = json.replace(",\"coreset\":null", "");
+        assert!(!json.contains("coreset"));
+        let back: StatusSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.coreset, None);
+    }
+
+    #[test]
+    fn coreset_slot_is_independent_of_snapshot_publishes() {
+        let cell = StatusCell::new();
+        assert!(cell.coreset().is_none());
+        cell.publish_coreset(CoresetStatus { cell: 3, live_buckets: 2, ..Default::default() });
+        let mut snap = StatusSnapshot::new();
+        snap.state = "running".into();
+        cell.publish(snap);
+        let cs = cell.coreset().expect("survives snapshot publishes");
+        assert_eq!(cs.cell, 3);
+        assert_eq!(cs.live_buckets, 2);
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub enum WorkerState {
     Partial,
     /// The bound cell is merging partial centroids.
     Merge,
+    /// The bound cell is compacting its coreset tree (coreset-mode runs:
+    /// inserting chunk coresets and carrying same-level buckets upward).
+    Compact,
     /// Persisting the finished cell's checkpoint.
     Checkpoint,
     /// Parked waiting for memory-budget headroom.
@@ -52,12 +55,13 @@ pub enum WorkerState {
 
 impl WorkerState {
     /// Every state, in ring-chart legend order.
-    pub const ALL: [WorkerState; 7] = [
+    pub const ALL: [WorkerState; 8] = [
         WorkerState::Idle,
         WorkerState::Stealing,
         WorkerState::Scan,
         WorkerState::Partial,
         WorkerState::Merge,
+        WorkerState::Compact,
         WorkerState::Checkpoint,
         WorkerState::BudgetWait,
     ];
@@ -70,6 +74,7 @@ impl WorkerState {
             WorkerState::Scan => "scan",
             WorkerState::Partial => "partial",
             WorkerState::Merge => "merge",
+            WorkerState::Compact => "compact",
             WorkerState::Checkpoint => "checkpoint",
             WorkerState::BudgetWait => "budget-wait",
         }
@@ -248,6 +253,7 @@ impl Timeline {
                 scan_us: state_us[WorkerState::Scan.idx()],
                 partial_us: state_us[WorkerState::Partial.idx()],
                 merge_us: state_us[WorkerState::Merge.idx()],
+                compact_us: state_us[WorkerState::Compact.idx()],
                 checkpoint_us: state_us[WorkerState::Checkpoint.idx()],
                 budget_wait_us: state_us[WorkerState::BudgetWait.idx()],
                 busy_us,
@@ -288,6 +294,10 @@ pub struct WorkerLaneReport {
     pub partial_us: u64,
     /// Time spent merging bound cells.
     pub merge_us: u64,
+    /// Time spent compacting coreset trees of bound cells (defaulted so
+    /// pre-coreset reports still deserialize).
+    #[serde(default)]
+    pub compact_us: u64,
     /// Time spent writing checkpoints.
     pub checkpoint_us: u64,
     /// Time parked on the memory budget.

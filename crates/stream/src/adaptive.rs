@@ -66,6 +66,14 @@ pub fn execute_adaptive_observed(
     rec: Option<Arc<Recorder>>,
 ) -> Result<AdaptiveReport> {
     plan.validate()?;
+    if plan.coreset.is_some() {
+        // The adaptive executor scales the partial stage and keeps the
+        // classic merge; silently dropping the coreset spec would change
+        // results, so refuse instead.
+        return Err(EngineError::InvalidPlan(
+            "adaptive execution does not support coreset mode; use execute/orchestrate".into(),
+        ));
+    }
     let faults = FaultContext::new(None, plan.fault_policy);
     let started = Instant::now();
     let cap = plan.queue_capacity;

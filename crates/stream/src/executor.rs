@@ -6,11 +6,13 @@
 use crate::error::{EngineError, Result};
 use crate::fault::{FaultContext, FaultPlan};
 use crate::item::{CellClustering, ChunkMsg, MergeMsg, ScanMsg};
-use crate::ops::{ChunkerOp, MergeKMeansOp, PartialKMeansOp, ScanOp};
+use crate::ops::{ChunkerOp, CoresetOp, MergeKMeansOp, PartialKMeansOp, ScanOp};
 use crate::plan::PhysicalPlan;
 use crate::queue::{QueueStats, SmartQueue};
 use crate::telemetry::OpStats;
-use pmkm_obs::{CellReport, ChunkReport, FaultReport, MergeReport, Recorder, RunReport};
+use pmkm_obs::{
+    CellReport, ChunkReport, CoresetReport, FaultReport, MergeReport, Recorder, RunReport,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,9 +42,15 @@ impl EngineReport {
         self.op_stats.iter().filter(|s| s.name == "partial-kmeans").map(|s| s.busy).sum()
     }
 
-    /// Busy time of the merge operator (`t merge`).
+    /// Busy time of the merge operator (`t merge`). Coreset runs replace
+    /// the merge operator with the coreset operator, whose busy time
+    /// (tree maintenance + anytime queries) plays the same role.
     pub fn merge_busy(&self) -> Duration {
-        self.op_stats.iter().filter(|s| s.name == "merge").map(|s| s.busy).sum()
+        self.op_stats
+            .iter()
+            .filter(|s| s.name == "merge" || s.name == "coreset")
+            .map(|s| s.busy)
+            .sum()
     }
 
     /// Converts the engine telemetry into the observability layer's
@@ -59,9 +67,34 @@ impl EngineReport {
             phases: rec.map(|r| r.phase_rows()).unwrap_or_default(),
             degraded: self.degraded,
             faults: self.faults,
+            coreset: coreset_report(&self.cells),
             ..RunReport::new()
         }
     }
+}
+
+/// Folds the per-cell coreset-tree summaries into the run report's v7
+/// `coreset` block. `None` when no cell ran in coreset mode, so classic
+/// merge-path reports keep serializing byte-identically to v6.
+pub fn coreset_report<'a>(
+    cells: impl IntoIterator<Item = &'a CellClustering>,
+) -> Option<CoresetReport> {
+    let mut out = CoresetReport::default();
+    let mut any = false;
+    for stats in cells.into_iter().filter_map(|c| c.coreset.as_ref()) {
+        any = true;
+        out.trees += 1;
+        out.max_levels = out.max_levels.max(stats.levels);
+        out.live_buckets += stats.live_buckets;
+        out.compactions += stats.compactions;
+        out.builds += stats.builds;
+        out.queries += stats.queries;
+        out.live_weight += stats.live_weight;
+        out.ingested_points += stats.ingested_points;
+        out.lost_points += stats.lost_points;
+        out.expired_points += stats.expired_points;
+    }
+    any.then_some(out)
 }
 
 /// Converts one cell's clustering into the observability layer's
@@ -199,19 +232,39 @@ fn execute_inner(
     let partials: Vec<PartialKMeansOp> = (0..plan.partial_clones)
         .map(|i| {
             PartialKMeansOp::new(q_chunks.consumer(), q_merge.producer(), plan.logical.kmeans, i)
+                .with_coreset(plan.coreset.as_ref().map(|s| s.size))
                 .with_recorder(rec.clone())
                 .with_faults(faults.clone())
         })
         .collect();
-    let merge = MergeKMeansOp::new(
-        q_merge.consumer(),
-        q_results.producer(),
-        plan.logical.kmeans,
-        plan.logical.merge_mode,
-        plan.logical.merge_restarts,
-    )
-    .with_recorder(rec.clone())
-    .with_faults(faults.clone());
+    // The tail of the pipeline is either the classic buffer-everything
+    // merge or the bounded-memory coreset tree — same queues, same
+    // contract, different operator.
+    let tail_name = if plan.coreset.is_some() { "coreset" } else { "merge" };
+    let tail: Box<dyn FnOnce() -> Result<OpStats> + Send> = if let Some(spec) = plan.coreset.clone()
+    {
+        let op = CoresetOp::new(
+            q_merge.consumer(),
+            q_results.producer(),
+            plan.logical.kmeans,
+            plan.logical.merge_restarts,
+            spec,
+        )
+        .with_recorder(rec.clone())
+        .with_faults(faults.clone());
+        Box::new(move || op.run())
+    } else {
+        let op = MergeKMeansOp::new(
+            q_merge.consumer(),
+            q_results.producer(),
+            plan.logical.kmeans,
+            plan.logical.merge_mode,
+            plan.logical.merge_restarts,
+        )
+        .with_recorder(rec.clone())
+        .with_faults(faults.clone());
+        Box::new(move || op.run())
+    };
     let results = q_results.consumer();
     q_scan.seal();
     q_chunks.seal();
@@ -227,7 +280,7 @@ fn execute_inner(
         for p in partials {
             handles.push(("partial-kmeans", s.spawn(move |_| p.run())));
         }
-        handles.push(("merge", s.spawn(|_| merge.run())));
+        handles.push((tail_name, s.spawn(move |_| tail())));
 
         // Sink: drain final results on this thread while the pipeline runs.
         let mut cells = Vec::new();
@@ -589,6 +642,55 @@ mod tests {
         // The mass gauges expose the same ratio on /metrics.
         let ratio = rec.registry().gauge("mass_conservation_ratio").get();
         assert!((ratio - roll.mass_ratio()).abs() < 1e-9, "{ratio} vs {}", roll.mass_ratio());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn coreset_mode_clusters_end_to_end_with_bounded_buckets() {
+        use crate::plan::CoresetSpec;
+        let dir = tmpdir("coreset");
+        let paths = vec![write_cell(&dir, 21, 300, 9)];
+        let mk_plan = |workers: usize| {
+            let mut plan = optimize_fixed_split(
+                LogicalPlan::new(
+                    paths.clone(),
+                    KMeansConfig { restarts: 2, ..KMeansConfig::paper(2, 11) },
+                ),
+                &Resources::fixed(1 << 20, workers),
+                30, // 300 points → 10 chunks
+            );
+            plan.coreset = Some(CoresetSpec::new(32));
+            plan
+        };
+        let report = execute(&mk_plan(3)).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let c = &report.cells[0];
+        let total: f64 = c.output.cluster_weights.iter().sum();
+        assert_eq!(total, 300.0, "coreset weights must conserve the cell mass");
+        // Two blobs at 0 and 40: the anytime clustering still finds them.
+        let mut xs: Vec<f64> = c.output.centroids.iter().map(|p| p[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(xs[0] < 5.0 && xs[xs.len() - 1] > 35.0);
+        let stats = c.coreset.expect("coreset stats on a coreset run");
+        assert_eq!(stats.builds, 10);
+        // 10 chunks → popcount(10) = 2 live buckets, ≤ the log bound.
+        assert_eq!(stats.live_buckets, 2);
+        assert!(stats.live_buckets as u32 <= 10usize.ilog2() + 1);
+        assert_eq!(stats.ingested_points, 300.0);
+        // Worker count must not change the clustering (ordered drain).
+        let four = execute(&mk_plan(4)).unwrap();
+        assert_eq!(c.output.centroids, four.cells[0].output.centroids);
+        assert_eq!(c.output.mse, four.cells[0].output.mse);
+        // The v7 report block aggregates the tree.
+        let run = report.run_report(None);
+        let block = run.coreset.expect("coreset block");
+        assert_eq!(block.trees, 1);
+        assert_eq!(block.builds, 10);
+        assert_eq!(block.ingested_points, 300.0);
+        // Classic runs keep the block absent.
+        let mut classic = mk_plan(3);
+        classic.coreset = None;
+        assert!(execute(&classic).unwrap().run_report(None).coreset.is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,5 +1,6 @@
 //! The data items flowing on the pipeline's edges.
 
+use pmkm_core::coreset::CoresetStats;
 use pmkm_core::merge::MergeOutput;
 use pmkm_core::partial::PartialOutput;
 use pmkm_core::pipeline::ChunkStats;
@@ -100,4 +101,9 @@ pub struct CellClustering {
     pub lost_chunks: usize,
     /// True when the cell merged with missing mass.
     pub degraded: bool,
+    /// Coreset-tree summary when the cell ran in coreset mode (`None` on
+    /// the classic merge path; defaulted so pre-coreset checkpoints still
+    /// deserialize).
+    #[serde(default)]
+    pub coreset: Option<CoresetStats>,
 }

@@ -60,14 +60,16 @@ pub mod watchdog;
 
 pub use adaptive::{execute_adaptive, execute_adaptive_observed, AdaptiveReport, ScalingEvent};
 pub use error::{EngineError, Result};
-pub use executor::{execute, execute_cell, execute_observed, execute_with_faults, EngineReport};
+pub use executor::{
+    coreset_report, execute, execute_cell, execute_observed, execute_with_faults, EngineReport,
+};
 pub use fault::{record_fault, FaultContext, FaultCounters, FaultPlan, FaultPolicy};
 pub use item::{CellClustering, ChunkMsg, MergeMsg, ScanMsg};
 pub use optimizer::{optimize, optimize_fixed_split};
 pub use orchestrator::{
     orchestrate, CellOutcome, MemoryBudget, OrchestratorOptions, PlanetReport, CHECKPOINT_VERSION,
 };
-pub use plan::{LogicalPlan, PhysicalPlan};
+pub use plan::{CoresetSpec, LogicalPlan, PhysicalPlan};
 pub use queue::{QueueStats, SmartQueue};
 pub use resources::Resources;
 pub use telemetry::OpStats;

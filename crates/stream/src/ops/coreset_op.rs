@@ -1,0 +1,763 @@
+//! The coreset operator: a drop-in replacement for the merge operator
+//! that folds each cell's per-chunk coresets into a binary-counter
+//! merge-reduce tree ([`CoresetTree`]) instead of buffering them all.
+//!
+//! Live memory per cell is bounded by `levels × coreset_size`
+//! representatives, so the operator can absorb unbounded streams. Chunks
+//! are inserted in chunk-id order regardless of worker arrival order
+//! (out-of-order partials are buffered in a contiguous-prefix drain), so
+//! a replay with a different worker count is bit-identical. An anytime
+//! query — weighted Lloyd over the union of live buckets — is published
+//! to the plan's status probe on every tree level-up, and the *final*
+//! clustering of a cell is exactly that same query over the finished
+//! tree, which is what makes anytime and terminal results coincide.
+
+use crate::error::{EngineError, Result};
+use crate::fault::{record_fault, FaultContext};
+use crate::item::{CellClustering, MergeMsg};
+use crate::plan::CoresetSpec;
+use crate::queue::{QueueConsumer, QueueProducer};
+use crate::telemetry::{OpMeter, OpStats};
+use pmkm_core::coreset::CoresetTree;
+use pmkm_core::merge::MergeOutput;
+use pmkm_core::partial::PartialOutput;
+use pmkm_core::pipeline::ChunkStats;
+use pmkm_core::KMeansConfig;
+use pmkm_data::GridCell;
+use pmkm_obs::{CoresetStatus, Recorder, WorkerState};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Per-cell tree plus the buffering needed to feed it in chunk order.
+struct CellTreeState {
+    tree: CoresetTree,
+    /// Arrived but not yet inserted (waiting for earlier chunk ids).
+    pending: BTreeMap<usize, PartialOutput>,
+    /// Quarantined but not yet drained: `chunk_id → points lost`.
+    pending_lost: BTreeMap<usize, usize>,
+    /// Next chunk id the contiguous drain expects.
+    next_chunk: usize,
+    /// Chunks consumed so far (inserted + noted lost).
+    drained: usize,
+    expected: Option<usize>,
+    expected_points: usize,
+    lost_chunks: usize,
+    chunk_stats: Vec<ChunkStats>,
+    trajectories: Vec<Vec<f64>>,
+}
+
+impl CellTreeState {
+    fn complete(&self) -> bool {
+        self.expected == Some(self.drained)
+            && self.pending.is_empty()
+            && self.pending_lost.is_empty()
+    }
+}
+
+/// The coreset operator.
+pub struct CoresetOp {
+    input: QueueConsumer<MergeMsg>,
+    out: QueueProducer<CellClustering>,
+    kmeans: KMeansConfig,
+    merge_restarts: usize,
+    spec: CoresetSpec,
+    recorder: Option<Arc<Recorder>>,
+    faults: FaultContext,
+}
+
+impl CoresetOp {
+    /// Creates the operator.
+    pub fn new(
+        input: QueueConsumer<MergeMsg>,
+        out: QueueProducer<CellClustering>,
+        kmeans: KMeansConfig,
+        merge_restarts: usize,
+        spec: CoresetSpec,
+    ) -> Self {
+        Self {
+            input,
+            out,
+            kmeans,
+            merge_restarts,
+            spec,
+            recorder: None,
+            faults: FaultContext::default(),
+        }
+    }
+
+    /// Attaches an observability recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Option<Arc<Recorder>>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a fault plan/policy/counter bundle (builder style).
+    pub fn with_faults(mut self, faults: FaultContext) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Runs until the partial stream ends, exactly like
+    /// [`MergeKMeansOp::run`](crate::ops::MergeKMeansOp::run): strict
+    /// policies error on any missing mass; degraded policies answer from
+    /// whatever survived and report the loss.
+    pub fn run(self) -> Result<OpStats> {
+        let mut meter = OpMeter::new("coreset", 0);
+        let mut cells: HashMap<GridCell, CellTreeState> = HashMap::new();
+        while let Some(msg) = meter.wait(|| self.input.recv()) {
+            meter.item_in();
+            let cell = match msg {
+                MergeMsg::Partial { cell, chunk_id, output } => {
+                    let state = self.cell_state(&mut cells, cell)?;
+                    if chunk_id < state.next_chunk
+                        || state.pending_lost.contains_key(&chunk_id)
+                        || state.pending.insert(chunk_id, output).is_some()
+                    {
+                        return Err(EngineError::InvalidPlan(format!(
+                            "duplicate chunk {chunk_id} for cell {}",
+                            cell.index()
+                        )));
+                    }
+                    self.drain(&mut meter, cell, cells.get_mut(&cell).expect("inserted"))?;
+                    cell
+                }
+                MergeMsg::CellPlan { cell, chunks, expected_points } => {
+                    let state = self.cell_state(&mut cells, cell)?;
+                    state.expected_points = expected_points;
+                    if state.expected.replace(chunks).is_some() {
+                        return Err(EngineError::InvalidPlan(format!(
+                            "duplicate cell plan for cell {}",
+                            cell.index()
+                        )));
+                    }
+                    cell
+                }
+                MergeMsg::ChunkLost { cell, chunk_id, points } => {
+                    let state = self.cell_state(&mut cells, cell)?;
+                    if chunk_id < state.next_chunk
+                        || state.pending.contains_key(&chunk_id)
+                        || state.pending_lost.insert(chunk_id, points).is_some()
+                    {
+                        return Err(EngineError::InvalidPlan(format!(
+                            "duplicate chunk {chunk_id} for cell {}",
+                            cell.index()
+                        )));
+                    }
+                    self.drain(&mut meter, cell, cells.get_mut(&cell).expect("inserted"))?;
+                    cell
+                }
+            };
+            if cells.get(&cell).is_some_and(CellTreeState::complete) {
+                let state = cells.remove(&cell).expect("checked above");
+                self.finish_cell(&mut meter, cell, state, false)?;
+            }
+        }
+        if !cells.is_empty() {
+            if !self.faults.policy.degraded_merge {
+                let cell = cells.keys().next().expect("non-empty");
+                return Err(EngineError::InvalidPlan(format!(
+                    "stream ended with {} incomplete cell(s), e.g. cell {}",
+                    cells.len(),
+                    cell.index()
+                )));
+            }
+            // Degraded path: the stream died mid-cell; answer from the
+            // tree built so far plus whatever is still buffered.
+            let mut rest: Vec<(GridCell, CellTreeState)> = cells.drain().collect();
+            rest.sort_by_key(|(cell, _)| cell.index());
+            for (cell, state) in rest {
+                self.finish_cell(&mut meter, cell, state, true)?;
+            }
+        }
+        Ok(meter.finish())
+    }
+
+    /// Looks up (or creates) the per-cell tree state.
+    fn cell_state<'a>(
+        &self,
+        cells: &'a mut HashMap<GridCell, CellTreeState>,
+        cell: GridCell,
+    ) -> Result<&'a mut CellTreeState> {
+        if let std::collections::hash_map::Entry::Vacant(slot) = cells.entry(cell) {
+            let tree = CoresetTree::new(self.spec.config(), self.kmeans.seed, cell.index())?;
+            slot.insert(CellTreeState {
+                tree,
+                pending: BTreeMap::new(),
+                pending_lost: BTreeMap::new(),
+                next_chunk: 0,
+                drained: 0,
+                expected: None,
+                expected_points: 0,
+                lost_chunks: 0,
+                chunk_stats: Vec::new(),
+                trajectories: Vec::new(),
+            });
+        }
+        Ok(cells.get_mut(&cell).expect("inserted above"))
+    }
+
+    /// Feeds the contiguous prefix of buffered chunks into the tree, so
+    /// insertion order — and therefore every compaction — is a pure
+    /// function of the plan, not of worker scheduling.
+    fn drain(&self, meter: &mut OpMeter, cell: GridCell, state: &mut CellTreeState) -> Result<()> {
+        loop {
+            if let Some(output) = state.pending.remove(&state.next_chunk) {
+                let chunk_id = state.next_chunk;
+                self.insert_one(meter, cell, state, chunk_id, output)?;
+            } else if let Some(points) = state.pending_lost.remove(&state.next_chunk) {
+                state.tree.note_lost(points as f64);
+                state.lost_chunks += 1;
+                state.drained += 1;
+                state.next_chunk += 1;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Inserts one chunk coreset, emits the compaction/eviction ledger
+    /// events, and refreshes the anytime probe on tree level-ups.
+    fn insert_one(
+        &self,
+        meter: &mut OpMeter,
+        cell: GridCell,
+        state: &mut CellTreeState,
+        chunk_id: usize,
+        output: PartialOutput,
+    ) -> Result<()> {
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.worker_state_cell(cell.index(), WorkerState::Compact);
+        }
+        let PartialOutput {
+            centroids,
+            points,
+            best_mse,
+            total_iterations,
+            elapsed,
+            best_trajectory,
+            ..
+        } = output;
+        state.chunk_stats.push(ChunkStats {
+            chunk: chunk_id,
+            points,
+            best_mse,
+            total_iterations,
+            elapsed,
+        });
+        state.trajectories.push(best_trajectory);
+        let first_build = state.tree.stats().builds == 0;
+        let before_level = state.tree.max_level();
+        let outcome = meter.work(|| {
+            state.tree.insert_chunk(chunk_id, centroids, points as f64).map_err(EngineError::from)
+        })?;
+        state.drained += 1;
+        state.next_chunk = chunk_id + 1;
+        if let Some(rec) = self.recorder.as_deref() {
+            for ev in &outcome.evictions {
+                rec.registry().counter("coreset_evictions_total").inc();
+                rec.event(
+                    "coreset.evict",
+                    &[
+                        ("cell", cell.index().into()),
+                        ("level", u64::from(ev.level).into()),
+                        ("size", ev.size.into()),
+                        ("weight", ev.weight.into()),
+                        ("points", ev.points.into()),
+                    ],
+                );
+            }
+            for cp in &outcome.compactions {
+                rec.registry().counter("coreset_compactions_total").inc();
+                rec.event(
+                    "coreset.compact",
+                    &[
+                        ("cell", cell.index().into()),
+                        ("level", u64::from(cp.level).into()),
+                        ("size", cp.size.into()),
+                        ("weight", cp.weight.into()),
+                        ("consumed_weight", cp.consumed_weight.into()),
+                        ("live_buckets", state.tree.live_buckets().into()),
+                        ("live_weight", state.tree.live_weight().into()),
+                    ],
+                );
+            }
+        }
+        // Refresh the probe's mid-stream clustering when the tree grows a
+        // level (plus once on the very first chunk) — O(log chunks)
+        // anytime queries per cell, each O(levels × size) input points.
+        if self.spec.probe.is_some() && (first_build || state.tree.max_level() > before_level) {
+            let out = self.run_query(meter, cell, &mut state.tree)?;
+            self.publish_status(cell, &state.tree, &out);
+        }
+        Ok(())
+    }
+
+    /// Runs the anytime query (weighted Lloyd over the live-bucket union)
+    /// and emits its `coreset.query` ledger event.
+    fn run_query(
+        &self,
+        meter: &mut OpMeter,
+        cell: GridCell,
+        tree: &mut CoresetTree,
+    ) -> Result<MergeOutput> {
+        let out = meter.work(|| {
+            // The anytime query is the coreset path's merge clustering;
+            // profile it under the same phase as the classic merge so
+            // phase breakdowns stay comparable across engine modes.
+            let _phase = self.recorder.as_deref().and_then(|r| r.phase("merge"));
+            tree.query(&self.kmeans, self.merge_restarts, self.recorder.as_deref())
+                .map_err(EngineError::from)
+        })?;
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.registry().counter("coreset_queries_total").inc();
+            rec.event(
+                "coreset.query",
+                &[
+                    ("cell", cell.index().into()),
+                    ("k", out.centroids.k().into()),
+                    ("input_points", out.input_centroids.into()),
+                    ("mse", out.mse.into()),
+                    ("iterations", out.iterations.into()),
+                    ("live_buckets", tree.live_buckets().into()),
+                ],
+            );
+        }
+        Ok(out)
+    }
+
+    /// Publishes a query result to the plan's live status probe, if any.
+    fn publish_status(&self, cell: GridCell, tree: &CoresetTree, out: &MergeOutput) {
+        let Some(probe) = self.spec.probe.as_ref() else { return };
+        let stats = tree.stats();
+        probe.publish_coreset(CoresetStatus {
+            cell: cell.index(),
+            levels: stats.levels,
+            live_buckets: stats.live_buckets,
+            live_weight: stats.live_weight,
+            ingested_points: stats.ingested_points,
+            lost_points: stats.lost_points,
+            expired_points: stats.expired_points,
+            compactions: stats.compactions,
+            builds: stats.builds,
+            queries: stats.queries,
+            k: out.centroids.k(),
+            mse: out.mse,
+            iterations: out.iterations,
+            query_points: out.input_centroids,
+            centroids: out.centroids.iter().map(<[f64]>::to_vec).collect(),
+        });
+    }
+
+    /// Answers a finished (or, at end of stream, abandoned) cell from its
+    /// tree and emits the result. The final clustering *is* the anytime
+    /// query over the finished tree — there is no separate terminal merge,
+    /// which is what makes `query_now()` after the last chunk bit-identical
+    /// to the emitted result.
+    fn finish_cell(
+        &self,
+        meter: &mut OpMeter,
+        cell: GridCell,
+        mut state: CellTreeState,
+        incomplete: bool,
+    ) -> Result<()> {
+        // An abandoned cell may hold buffered chunks beyond a gap the
+        // drain never crossed; fold them in ascending order so the
+        // degraded answer still uses every surviving chunk.
+        let leftovers: Vec<(usize, PartialOutput)> =
+            std::mem::take(&mut state.pending).into_iter().collect();
+        for (chunk_id, output) in leftovers {
+            self.insert_one(meter, cell, &mut state, chunk_id, output)?;
+        }
+        for (_, points) in std::mem::take(&mut state.pending_lost) {
+            state.tree.note_lost(points as f64);
+            state.lost_chunks += 1;
+        }
+        let stats = state.tree.stats();
+        let expected = if state.expected.is_some() {
+            state.expected_points as f64
+        } else {
+            // The plan never arrived: the best lower bound on the cell's
+            // mass is what actually reached the tree.
+            stats.ingested_points + stats.lost_points
+        };
+        let lost = (expected - stats.ingested_points).max(0.0);
+        // Silent shortfall (e.g. a truncated chunk that was never
+        // quarantined) must still debit the tree's audit so its stats
+        // balance: ingested + lost == expected.
+        let shortfall = lost - stats.lost_points;
+        if shortfall > 0.0 {
+            state.tree.note_lost(shortfall);
+        }
+        let degraded = incomplete || state.lost_chunks > 0 || lost > 0.0;
+        if degraded && self.faults.strict_mass_check() {
+            return Err(EngineError::InvalidPlan(format!(
+                "cell {} lost {} of {} expected points under a strict policy",
+                cell.index(),
+                lost,
+                expected
+            )));
+        }
+        if stats.builds == 0 {
+            if degraded {
+                // Every chunk of the cell was lost: nothing to answer,
+                // but the loss must not be silent.
+                self.note_degraded(cell, expected);
+                self.note_cell_close(
+                    cell,
+                    0,
+                    expected,
+                    expected,
+                    state.lost_chunks.max(1),
+                    true,
+                    0.0,
+                    0.0,
+                );
+            }
+            return Ok(()); // empty bucket (or total loss): nothing to emit
+        }
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.worker_state_cell(cell.index(), WorkerState::Merge);
+        }
+        let output = self.run_query(meter, cell, &mut state.tree)?;
+        self.publish_status(cell, &state.tree, &output);
+        if degraded {
+            self.note_degraded(cell, lost);
+        }
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.registry().counter("coreset_cells_total").inc();
+        }
+        self.note_cell_close(
+            cell,
+            state.chunk_stats.len(),
+            expected,
+            lost,
+            state.lost_chunks,
+            degraded,
+            output.mse,
+            output.epm,
+        );
+        let result = CellClustering {
+            cell,
+            output,
+            chunks: state.chunk_stats,
+            trajectories: state.trajectories,
+            expected_points: expected,
+            lost_points: lost,
+            lost_chunks: state.lost_chunks,
+            degraded,
+            coreset: Some(state.tree.stats()),
+        };
+        meter.item_out();
+        meter
+            .wait(|| self.out.send(result).map_err(drop))
+            .map_err(|_| EngineError::Disconnected("coreset→results"))
+    }
+
+    fn note_degraded(&self, cell: GridCell, lost_points: f64) {
+        self.faults.counters.cells_degraded.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.registry().counter("fault_cells_degraded_total").inc();
+            rec.event(
+                "coreset.degraded",
+                &[("cell", cell.index().into()), ("lost_points", lost_points.into())],
+            );
+        }
+        record_fault(
+            self.recorder.as_deref(),
+            "cell_degraded",
+            &[("cell", cell.index().into()), ("lost_points", lost_points.into())],
+        );
+    }
+
+    /// Emits the `cell.close` ledger event and rolls the cell's mass into
+    /// the same `mass_weight_expected` / `mass_weight_received` gauges the
+    /// merge path maintains, so mass audits are mode-independent: a lost
+    /// chunk debits the tree's audit exactly like a lost chunk debits a
+    /// merge.
+    #[allow(clippy::too_many_arguments)] // mirrors the cell.close event fields
+    fn note_cell_close(
+        &self,
+        cell: GridCell,
+        chunks: usize,
+        expected_points: f64,
+        lost_points: f64,
+        lost_chunks: usize,
+        degraded: bool,
+        mse: f64,
+        epm: f64,
+    ) {
+        let Some(rec) = self.recorder.as_deref() else { return };
+        rec.event(
+            "cell.close",
+            &[
+                ("cell", cell.index().into()),
+                ("chunks", chunks.into()),
+                ("expected_points", expected_points.into()),
+                ("lost_points", lost_points.into()),
+                ("lost_chunks", lost_chunks.into()),
+                ("degraded", degraded.into()),
+                ("mse", mse.into()),
+                ("epm", epm.into()),
+            ],
+        );
+        let expected = rec.registry().gauge("mass_weight_expected");
+        let received = rec.registry().gauge("mass_weight_received");
+        expected.add(expected_points);
+        received.add(expected_points - lost_points);
+        let total = expected.get();
+        if total > 0.0 {
+            rec.registry().gauge("mass_conservation_ratio").set(received.get() / total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultContext, FaultPolicy};
+    use crate::queue::SmartQueue;
+    use pmkm_core::partial::partial_kmeans;
+    use pmkm_core::Dataset;
+    use pmkm_obs::StatusCell;
+
+    fn cell(i: u16) -> GridCell {
+        GridCell::new(i, 0).unwrap()
+    }
+
+    fn partial(n: usize, offset: f64) -> PartialOutput {
+        let mut ds = Dataset::new(1).unwrap();
+        for i in 0..n {
+            ds.push(&[offset + (i % 3) as f64 * 0.1]).unwrap();
+        }
+        partial_kmeans(&ds, &KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 3) }).unwrap()
+    }
+
+    fn run_with(
+        msgs: Vec<MergeMsg>,
+        spec: CoresetSpec,
+        faults: FaultContext,
+    ) -> Result<Vec<CellClustering>> {
+        let q_in: SmartQueue<MergeMsg> = SmartQueue::new("coreset", 64);
+        let q_out: SmartQueue<CellClustering> = SmartQueue::new("results", 64);
+        let p = q_in.producer();
+        let op = CoresetOp::new(
+            q_in.consumer(),
+            q_out.producer(),
+            KMeansConfig { restarts: 1, ..KMeansConfig::paper(2, 3) },
+            1,
+            spec,
+        )
+        .with_faults(faults);
+        let c = q_out.consumer();
+        q_in.seal();
+        q_out.seal();
+        for m in msgs {
+            p.send(m).unwrap();
+        }
+        drop(p);
+        op.run()?;
+        Ok(std::iter::from_fn(|| c.recv()).collect())
+    }
+
+    fn run_coreset(msgs: Vec<MergeMsg>) -> Result<Vec<CellClustering>> {
+        run_with(msgs, CoresetSpec::new(16), FaultContext::default())
+    }
+
+    fn tolerant() -> FaultContext {
+        FaultContext::new(None, FaultPolicy::tolerant())
+    }
+
+    #[test]
+    fn completes_cell_and_conserves_mass() {
+        let c0 = cell(1);
+        let out = run_coreset(vec![
+            MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(10, 0.0) },
+            MergeMsg::Partial { cell: c0, chunk_id: 1, output: partial(10, 50.0) },
+            MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 20 },
+        ])
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cell, c0);
+        assert_eq!(out[0].chunks.len(), 2);
+        let total: f64 = out[0].output.cluster_weights.iter().sum();
+        assert_eq!(total, 20.0);
+        assert!(!out[0].degraded);
+        let stats = out[0].coreset.expect("coreset stats");
+        assert_eq!(stats.builds, 2);
+        assert_eq!(stats.live_buckets, 1); // 2 chunks → one level-1 bucket
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.ingested_points, 20.0);
+    }
+
+    #[test]
+    fn arrival_order_does_not_change_result() {
+        let c0 = cell(2);
+        let msgs = |flip: bool| {
+            let a = MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(12, 0.0) };
+            let b = MergeMsg::Partial { cell: c0, chunk_id: 1, output: partial(12, 9.0) };
+            let plan = MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 24 };
+            if flip {
+                vec![b, plan, a]
+            } else {
+                vec![a, b, plan]
+            }
+        };
+        let x = run_coreset(msgs(false)).unwrap();
+        let y = run_coreset(msgs(true)).unwrap();
+        assert_eq!(x[0].output.centroids, y[0].output.centroids);
+        assert_eq!(x[0].output.mse, y[0].output.mse);
+        assert_eq!(x[0].coreset, y[0].coreset);
+    }
+
+    #[test]
+    fn lost_chunk_debits_tree_audit_as_degraded() {
+        let c0 = cell(3);
+        let ctx = tolerant();
+        let out = run_with(
+            vec![
+                MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(10, 0.0) },
+                MergeMsg::ChunkLost { cell: c0, chunk_id: 1, points: 10 },
+                MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 20 },
+            ],
+            CoresetSpec::new(16),
+            ctx.clone(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].degraded);
+        assert_eq!(out[0].expected_points, 20.0);
+        assert_eq!(out[0].lost_points, 10.0);
+        assert_eq!(out[0].lost_chunks, 1);
+        let stats = out[0].coreset.expect("coreset stats");
+        assert_eq!(stats.ingested_points, 10.0);
+        assert_eq!(stats.lost_points, 10.0);
+        assert_eq!(ctx.counters.snapshot().cells_degraded, 1);
+    }
+
+    #[test]
+    fn lost_chunk_under_strict_policy_is_an_error() {
+        let c0 = cell(4);
+        let err = run_coreset(vec![
+            MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(10, 0.0) },
+            MergeMsg::ChunkLost { cell: c0, chunk_id: 1, points: 10 },
+            MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 20 },
+        ]);
+        assert!(matches!(err, Err(EngineError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn incomplete_cell_is_an_error_under_strict_policy() {
+        let err = run_coreset(vec![MergeMsg::Partial {
+            cell: cell(5),
+            chunk_id: 0,
+            output: partial(5, 0.0),
+        }]);
+        assert!(matches!(err, Err(EngineError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn incomplete_cell_answers_degraded_under_tolerant_policy() {
+        let c0 = cell(6);
+        let ctx = tolerant();
+        let out = run_with(
+            vec![
+                MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 20 },
+                MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(10, 0.0) },
+            ],
+            CoresetSpec::new(16),
+            ctx.clone(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].degraded);
+        assert_eq!(out[0].lost_points, 10.0);
+        assert_eq!(ctx.counters.snapshot().cells_degraded, 1);
+    }
+
+    #[test]
+    fn duplicate_chunk_is_an_error() {
+        let c0 = cell(7);
+        let err = run_coreset(vec![
+            MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(5, 0.0) },
+            MergeMsg::Partial { cell: c0, chunk_id: 0, output: partial(5, 0.0) },
+            MergeMsg::CellPlan { cell: c0, chunks: 2, expected_points: 10 },
+        ]);
+        assert!(matches!(err, Err(EngineError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn fully_lost_cell_emits_nothing_but_counts_degraded() {
+        let c0 = cell(8);
+        let ctx = tolerant();
+        let out = run_with(
+            vec![
+                MergeMsg::ChunkLost { cell: c0, chunk_id: 0, points: 10 },
+                MergeMsg::CellPlan { cell: c0, chunks: 1, expected_points: 10 },
+            ],
+            CoresetSpec::new(16),
+            ctx.clone(),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(ctx.counters.snapshot().cells_degraded, 1);
+    }
+
+    #[test]
+    fn many_chunks_keep_live_buckets_logarithmic() {
+        let c0 = cell(9);
+        let chunks = 32;
+        let mut msgs: Vec<MergeMsg> = (0..chunks)
+            .map(|i| MergeMsg::Partial { cell: c0, chunk_id: i, output: partial(6, i as f64) })
+            .collect();
+        msgs.push(MergeMsg::CellPlan { cell: c0, chunks, expected_points: chunks * 6 });
+        let out = run_coreset(msgs).unwrap();
+        let stats = out[0].coreset.expect("coreset stats");
+        assert_eq!(stats.builds, chunks as u64);
+        // 32 = 2^5 chunks collapse into a single level-5 bucket.
+        assert_eq!(stats.live_buckets, 1);
+        assert_eq!(stats.levels, 6);
+        assert_eq!(stats.ingested_points, (chunks * 6) as f64);
+        let total: f64 = out[0].output.cluster_weights.iter().sum();
+        assert!((total - (chunks * 6) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probe_receives_anytime_clustering() {
+        let c0 = cell(10);
+        let probe = Arc::new(StatusCell::new());
+        let mut spec = CoresetSpec::new(16);
+        spec.probe = Some(probe.clone());
+        let mut msgs: Vec<MergeMsg> = (0..4)
+            .map(|i| MergeMsg::Partial { cell: c0, chunk_id: i, output: partial(8, i as f64) })
+            .collect();
+        msgs.push(MergeMsg::CellPlan { cell: c0, chunks: 4, expected_points: 32 });
+        let out = run_with(msgs, spec, FaultContext::default()).unwrap();
+        assert_eq!(out.len(), 1);
+        let status = probe.coreset().expect("published status");
+        assert_eq!(status.cell, c0.index());
+        assert_eq!(status.builds, 4);
+        assert_eq!(status.k, out[0].output.centroids.k());
+        assert_eq!(status.centroids.len(), status.k);
+        // The last publish is the terminal query over the finished tree —
+        // bit-identical to the emitted clustering.
+        let flat: Vec<f64> = status.centroids.iter().flatten().copied().collect();
+        assert_eq!(flat, out[0].output.centroids.as_flat().to_vec());
+        assert_eq!(status.mse, out[0].output.mse);
+    }
+
+    #[test]
+    fn probe_queries_do_not_change_the_final_clustering() {
+        let c0 = cell(11);
+        let mut msgs: Vec<MergeMsg> = (0..8)
+            .map(|i| MergeMsg::Partial { cell: c0, chunk_id: i, output: partial(5, i as f64) })
+            .collect();
+        msgs.push(MergeMsg::CellPlan { cell: c0, chunks: 8, expected_points: 40 });
+        let plain = run_coreset(msgs.clone()).unwrap();
+        let mut spec = CoresetSpec::new(16);
+        spec.probe = Some(Arc::new(StatusCell::new()));
+        let probed = run_with(msgs, spec, FaultContext::default()).unwrap();
+        assert_eq!(plain[0].output.centroids, probed[0].output.centroids);
+        assert_eq!(plain[0].output.mse, probed[0].output.mse);
+    }
+}

@@ -325,6 +325,7 @@ impl MergeKMeansOp {
             lost_points: degraded.lost_weight,
             lost_chunks: progress.lost.len(),
             degraded: degraded.degraded,
+            coreset: None,
         })
     }
 }

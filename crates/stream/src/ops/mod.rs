@@ -2,12 +2,14 @@
 //! (Figure 5 of the paper): scan → chunker → cloned partial k-means → merge.
 
 pub mod chunker;
+pub mod coreset_op;
 pub mod fine;
 pub mod merge_op;
 pub mod partial_op;
 pub mod scan;
 
 pub use chunker::{ChunkPolicy, ChunkerOp};
+pub use coreset_op::CoresetOp;
 pub use fine::{choose_random_seeds, fine_kmeans, FineRun};
 pub use merge_op::MergeKMeansOp;
 pub use partial_op::{chunk_seed, PartialKMeansOp};

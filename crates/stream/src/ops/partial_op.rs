@@ -12,16 +12,62 @@ use crate::fault::{record_fault, FaultContext, InjectedPanic, EDGE_MERGE};
 use crate::item::{ChunkMsg, MergeMsg};
 use crate::queue::{QueueConsumer, QueueProducer};
 use crate::telemetry::{OpMeter, OpStats};
-use pmkm_core::partial::partial_kmeans_observed;
-use pmkm_core::seeding::derive_seed;
-use pmkm_core::{KMeansConfig, PointSource};
+use pmkm_core::coreset::chunk_coreset;
+use pmkm_core::partial::{partial_kmeans_observed, PartialOutput};
+use pmkm_core::seeding::{derive_seed, rng_for};
+use pmkm_core::{Dataset, KMeansConfig, PointSource};
+use pmkm_data::GridCell;
 use pmkm_obs::Recorder;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Stream tag for per-(cell, chunk) seeds.
 const STREAM_CHUNK: u64 = 0x5354_4348_554E_4B00; // "STCHUNK"
+
+/// Stream tag separating a chunk's coreset-sampling draws from its k-means
+/// restart streams (both derive from the same per-chunk seed).
+const STREAM_CORESET_BUILD: u64 = 0x4353_4255_494C_4400; // "CSBUILD"
+
+/// Builds one chunk's weighted coreset and wraps it in the partial-output
+/// envelope the downstream operators already speak (`best_mse`/iterations
+/// zeroed: no Lloyd ran). The RNG derives from the chunk seed, so the
+/// summary is identical no matter which clone builds it.
+fn build_chunk_coreset(
+    points: &Dataset,
+    size: usize,
+    cfg: &KMeansConfig,
+    cell: GridCell,
+    chunk_id: usize,
+    rec: Option<&Recorder>,
+) -> Result<PartialOutput> {
+    let started = Instant::now();
+    let mut rng = rng_for(cfg.seed, STREAM_CORESET_BUILD);
+    let set = chunk_coreset(points, size, &mut rng)?;
+    if let Some(rec) = rec {
+        rec.registry().counter("coreset_builds_total").inc();
+        rec.event(
+            "coreset.build",
+            &[
+                ("cell", cell.index().into()),
+                ("chunk", chunk_id.into()),
+                ("points", points.len().into()),
+                ("size", set.len().into()),
+                ("weight", set.total_weight().into()),
+            ],
+        );
+    }
+    Ok(PartialOutput {
+        points: points.len(),
+        best_mse: 0.0,
+        restarts: Vec::new(),
+        total_iterations: 0,
+        elapsed: started.elapsed(),
+        best_trajectory: Vec::new(),
+        centroids: set,
+    })
+}
 
 /// The seed used to cluster `(cell, chunk_id)` under `base`. Public so the
 /// in-memory pipeline and tests can reproduce engine results exactly.
@@ -37,6 +83,7 @@ pub struct PartialKMeansOp {
     clone_id: usize,
     recorder: Option<Arc<Recorder>>,
     faults: FaultContext,
+    coreset_size: Option<usize>,
 }
 
 impl PartialKMeansOp {
@@ -47,7 +94,15 @@ impl PartialKMeansOp {
         kmeans: KMeansConfig,
         clone_id: usize,
     ) -> Self {
-        Self { input, out, kmeans, clone_id, recorder: None, faults: FaultContext::default() }
+        Self {
+            input,
+            out,
+            kmeans,
+            clone_id,
+            recorder: None,
+            faults: FaultContext::default(),
+            coreset_size: None,
+        }
     }
 
     /// Attaches an observability recorder (builder style).
@@ -59,6 +114,15 @@ impl PartialKMeansOp {
     /// Attaches a fault plan/policy/counter bundle (builder style).
     pub fn with_faults(mut self, faults: FaultContext) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Switches the clone into coreset mode (builder style): each chunk is
+    /// summarised by a weighted coreset of at most `size` points instead of
+    /// best-of-R k-means centroids. All the fault machinery (poison gate,
+    /// retries, quarantine) applies unchanged.
+    pub fn with_coreset(mut self, size: Option<usize>) -> Self {
+        self.coreset_size = size;
         self
     }
 
@@ -145,8 +209,15 @@ impl PartialKMeansOp {
                     if inject {
                         std::panic::panic_any(InjectedPanic);
                     }
-                    let _phase = rec.and_then(|r| r.phase("partial"));
-                    meter.work(|| partial_kmeans_observed(&points, &cfg, rec))
+                    if let Some(size) = self.coreset_size {
+                        let _phase = rec.and_then(|r| r.phase("coreset"));
+                        meter.work(|| build_chunk_coreset(&points, size, &cfg, cell, chunk_id, rec))
+                    } else {
+                        let _phase = rec.and_then(|r| r.phase("partial"));
+                        meter
+                            .work(|| partial_kmeans_observed(&points, &cfg, rec))
+                            .map_err(EngineError::from)
+                    }
                 }));
                 match outcome {
                     Ok(result) => break result?,

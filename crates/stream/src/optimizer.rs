@@ -29,6 +29,7 @@ pub fn optimize(logical: LogicalPlan, resources: &Resources) -> PhysicalPlan {
         // the partial operator.
         scan_clones: (resources.workers / 2).clamp(1, logical_inputs),
         fault_policy: crate::fault::FaultPolicy::default(),
+        coreset: None,
     }
 }
 

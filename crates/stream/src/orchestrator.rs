@@ -321,6 +321,7 @@ impl PlanetReport {
             timeline: rec
                 .and_then(|r| r.timeline().map(|tl| tl.snapshot(r.elapsed_us())))
                 .filter(|tl| !tl.is_empty()),
+            coreset: crate::executor::coreset_report(self.clusterings()),
             ..RunReport::new()
         }
     }
@@ -807,6 +808,14 @@ fn run_one_cell(shared: &Shared<'_>, i: usize) -> Result<CellOutcome> {
     let mut cell_plan = shared.plan.clone();
     cell_plan.logical.inputs = vec![path.clone()];
     cell_plan.scan_clones = 1;
+    // Coreset runs report their anytime clustering on /status: route the
+    // orchestrator's status cell into the operator unless the caller
+    // already wired a probe of their own.
+    if let Some(spec) = cell_plan.coreset.as_mut() {
+        if spec.probe.is_none() {
+            spec.probe = shared.status.clone();
+        }
+    }
     let report = execute_cell(&cell_plan, shared.rec.clone(), shared.fault_plan.clone())?;
     Ok(CellOutcome {
         input: i,
@@ -833,13 +842,16 @@ fn cell_cost(plan: &PhysicalPlan, dim: usize) -> usize {
 /// parallelism knobs (clones, queue capacities, jobs) are deliberately
 /// excluded because results are invariant to them.
 fn plan_fingerprint(plan: &PhysicalPlan, fault_plan: Option<&FaultPlan>) -> u64 {
+    // `CoresetSpec`'s manual Debug omits the status probe, so attaching a
+    // live dashboard never invalidates checkpoints.
     let key = format!(
-        "{:?}|{:?}|{}|{:?}|{:?}|{:?}",
+        "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}",
         plan.logical.kmeans,
         plan.logical.merge_mode,
         plan.logical.merge_restarts,
         plan.chunk_policy,
         plan.fault_policy,
+        plan.coreset,
         fault_plan
     );
     fnv1a(key.as_bytes())
@@ -1220,6 +1232,37 @@ mod tests {
         assert!(killed.interrupted);
         assert_eq!(killed.checkpoints_pruned, 0);
         assert!(ckpt_dir.join("old_run.gb.ckpt").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coreset_orchestrate_publishes_anytime_status_and_report_block() {
+        let dir = tmpdir("coreset");
+        let paths: Vec<PathBuf> = (1..=3).map(|i| write_cell(&dir, i, 120, 8)).collect();
+        let mut plan = mk_plan(&paths, 13);
+        plan.coreset = Some(crate::plan::CoresetSpec::new(32));
+        let status = Arc::new(StatusCell::new());
+        let opts = OrchestratorOptions::new(2).with_status(status.clone());
+        let planet = orchestrate(&plan, &opts, None, None).unwrap();
+        assert_eq!(planet.cells.len(), 3);
+        for c in planet.clusterings() {
+            let stats = c.coreset.expect("coreset stats per cell");
+            assert_eq!(stats.builds, 3); // 120 points / 40-point chunks
+            let total: f64 = c.output.cluster_weights.iter().sum();
+            assert_eq!(total, 120.0);
+        }
+        // The orchestrator's status cell doubles as the anytime probe.
+        let cs = status.coreset().expect("anytime clustering published to /status");
+        assert!(cs.builds > 0);
+        assert_eq!(cs.centroids.len(), cs.k);
+        // The planet report carries the aggregated v7 block.
+        let block = planet.run_report(None).coreset.expect("coreset block");
+        assert_eq!(block.trees, 3);
+        assert_eq!(block.builds, 9);
+        assert_eq!(block.ingested_points, 360.0);
+        // Worker count and the probe never change the clustering.
+        let one = orchestrate(&plan, &OrchestratorOptions::new(1), None, None).unwrap();
+        assert_same_cells(&planet, &one);
         std::fs::remove_dir_all(&dir).ok();
     }
 

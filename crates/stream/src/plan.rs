@@ -9,8 +9,12 @@
 use crate::error::{EngineError, Result};
 use crate::fault::FaultPolicy;
 use crate::ops::ChunkPolicy;
+use pmkm_core::coreset::CoresetConfig;
 use pmkm_core::{KMeansConfig, MergeMode};
+use pmkm_obs::StatusCell;
+use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The logical dataflow: what to cluster and how.
 #[derive(Debug, Clone)]
@@ -44,6 +48,47 @@ impl LogicalPlan {
     }
 }
 
+/// Coreset-mode execution: replace the gather-everything merge with a
+/// bounded merge-reduce coreset tree per cell (see
+/// [`pmkm_core::coreset`]), enabling anytime queries on unbounded streams.
+#[derive(Clone)]
+pub struct CoresetSpec {
+    /// Representatives per tree bucket (live memory ≈ `levels × size`).
+    pub size: usize,
+    /// Sliding window in chunks (bucket-granularity eviction).
+    pub window: Option<usize>,
+    /// Exponential decay λ ∈ (0, 1] applied per arriving chunk.
+    pub decay: Option<f64>,
+    /// Live status cell the coreset operator publishes anytime-query
+    /// results into (the `/status` dashboard's mid-stream clustering).
+    /// Not part of the plan's identity: fingerprints and `Debug` ignore it.
+    pub probe: Option<Arc<StatusCell>>,
+}
+
+impl CoresetSpec {
+    /// A plain coreset spec (no window, no decay, no probe).
+    pub fn new(size: usize) -> Self {
+        Self { size, window: None, decay: None, probe: None }
+    }
+
+    /// The tree configuration this spec describes.
+    pub fn config(&self) -> CoresetConfig {
+        CoresetConfig { size: self.size, window: self.window, decay: self.decay }
+    }
+}
+
+// Manual impl so the probe handle (scheduling state, not plan identity)
+// never leaks into `{:?}`-based plan fingerprints.
+impl fmt::Debug for CoresetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoresetSpec")
+            .field("size", &self.size)
+            .field("window", &self.window)
+            .field("decay", &self.decay)
+            .finish()
+    }
+}
+
 /// The physical plan: the logical plan plus every execution knob the
 /// optimizer fixed.
 #[derive(Debug, Clone)]
@@ -66,6 +111,10 @@ pub struct PhysicalPlan {
     /// default) fails fast, [`FaultPolicy::tolerant`] retries, quarantines
     /// and merges degraded cells.
     pub fault_policy: FaultPolicy,
+    /// `Some` switches the engine into coreset mode: partial clones build
+    /// per-chunk coresets and a merge-reduce tree replaces the merge
+    /// operator's gather, bounding live memory on unbounded streams.
+    pub coreset: Option<CoresetSpec>,
 }
 
 impl PhysicalPlan {
@@ -88,13 +137,23 @@ impl PhysicalPlan {
         }
         match self.chunk_policy {
             ChunkPolicy::FixedPoints(0) => {
-                Err(EngineError::InvalidPlan("fixed chunk size must be >= 1".into()))
+                return Err(EngineError::InvalidPlan("fixed chunk size must be >= 1".into()));
             }
             ChunkPolicy::MemoryBudget { bytes: 0 } => {
-                Err(EngineError::InvalidPlan("memory budget must be >= 1 byte".into()))
+                return Err(EngineError::InvalidPlan("memory budget must be >= 1 byte".into()));
             }
-            _ => Ok(()),
+            _ => {}
         }
+        if let Some(spec) = &self.coreset {
+            spec.config().validate()?;
+            if spec.size < self.logical.kmeans.k {
+                return Err(EngineError::InvalidPlan(format!(
+                    "coreset size {} must be >= k = {}",
+                    spec.size, self.logical.kmeans.k
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -130,6 +189,7 @@ mod tests {
             scan_batch: 64,
             scan_clones: 1,
             fault_policy: FaultPolicy::default(),
+            coreset: None,
         };
         ok.validate().unwrap();
         let bad = PhysicalPlan { scan_clones: 0, ..ok.clone() };
@@ -142,8 +202,23 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = PhysicalPlan {
             fault_policy: FaultPolicy { max_chunk_attempts: 0, ..FaultPolicy::tolerant() },
-            ..ok
+            ..ok.clone()
         };
         assert!(bad.validate().is_err());
+        let bad = PhysicalPlan { coreset: Some(CoresetSpec::new(0)), ..ok.clone() };
+        assert!(bad.validate().is_err());
+        // size < k is rejected up front, not at query time.
+        let bad = PhysicalPlan { coreset: Some(CoresetSpec::new(2)), ..ok.clone() };
+        assert!(bad.validate().is_err());
+        let good = PhysicalPlan { coreset: Some(CoresetSpec::new(64)), ..ok };
+        good.validate().unwrap();
+    }
+
+    #[test]
+    fn coreset_spec_debug_ignores_probe() {
+        let mut spec = CoresetSpec::new(128);
+        let bare = format!("{spec:?}");
+        spec.probe = Some(Arc::new(StatusCell::new()));
+        assert_eq!(format!("{spec:?}"), bare, "probe must not leak into plan fingerprints");
     }
 }

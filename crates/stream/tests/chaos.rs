@@ -395,6 +395,110 @@ fn partial_loss_marks_only_the_hit_cell_degraded() {
     panic!("no seed under 200 hits exactly one cell");
 }
 
+/// The coreset path under the chaos matrix: a quarantined chunk's mass is
+/// debited from the tree's audit exactly like the merge path's, the audit
+/// balances through compaction (`ingested + lost == expected`), and the
+/// live-bucket bound survives arbitrary fault schedules.
+#[test]
+fn coreset_chaos_matrix_conserves_mass_through_compaction() {
+    quiet_injected_panics();
+    for seed in seeds() {
+        let (dir, plan) = workload(&format!("coreset_{seed}"));
+        let mut plan = plan;
+        plan.coreset = Some(pmkm_stream::CoresetSpec::new(12));
+        plan.fault_policy = FaultPolicy::tolerant();
+        for fault_plan in [FaultPlan::light(seed), FaultPlan::heavy(seed)] {
+            let run = || execute_with_faults(&plan, None, Some(fault_plan.clone()));
+            let report = run()
+                .unwrap_or_else(|e| panic!("tolerant coreset run must survive seed {seed}: {e}"));
+            for c in &report.cells {
+                let stats = c.coreset.expect("coreset stats on a coreset run");
+                // The emitted weights are the tree's live representatives:
+                // they carry exactly the ingested mass…
+                let received: f64 = c.output.cluster_weights.iter().sum();
+                assert!(
+                    (received - stats.ingested_points).abs() < 1e-6,
+                    "seed {seed} cell {}: weights {} vs ingested {}",
+                    c.cell.index(),
+                    received,
+                    stats.ingested_points
+                );
+                // …and the audit debits quarantined chunks, balancing the
+                // bucket's promise through every compaction.
+                assert!(
+                    (stats.ingested_points + stats.lost_points - c.expected_points).abs() < 1e-6,
+                    "seed {seed} cell {}: ingested {} + lost {} != expected {}",
+                    c.cell.index(),
+                    stats.ingested_points,
+                    stats.lost_points,
+                    c.expected_points
+                );
+                assert_eq!(c.lost_points, stats.lost_points, "seed {seed}");
+                assert_eq!(c.degraded, c.lost_points > 0.0 || c.lost_chunks > 0, "seed {seed}");
+                if c.lost_chunks > 0 {
+                    assert!(stats.lost_points > 0.0, "seed {seed}: lost chunk left no debit");
+                }
+                // Faults never break the memory bound: live buckets stay
+                // within the binary counter's popcount ceiling.
+                assert!(stats.builds >= 1, "seed {seed}");
+                assert!(
+                    stats.live_buckets as u32 <= (stats.builds as usize).ilog2() + 1,
+                    "seed {seed}: {} buckets from {} builds",
+                    stats.live_buckets,
+                    stats.builds
+                );
+                assert!(c.output.epm.is_finite() && c.output.epm >= 0.0);
+            }
+            // Replays are byte-identical.
+            let again = run().unwrap();
+            assert_eq!(report.faults, again.faults, "seed {seed}");
+            for c in &report.cells {
+                assert_eq!(
+                    centroid_bits(&report, c.cell.index()),
+                    centroid_bits(&again, c.cell.index()),
+                    "seed {seed} cell {}",
+                    c.cell.index()
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A fault-free coreset run through the fault layer is bit-identical to
+/// the plain entry point, and a strict-policy run with guaranteed chunk
+/// loss fails cleanly instead of emitting a degraded tree.
+#[test]
+fn coreset_strict_policy_fails_cleanly_and_idle_fault_layer_costs_nothing() {
+    quiet_injected_panics();
+    let (dir, plan) = workload("coreset_strict");
+    let mut plan = plan;
+    plan.coreset = Some(pmkm_stream::CoresetSpec::new(12));
+
+    // Idle fault layer: same bits as the plain path.
+    let clean = execute(&plan).unwrap();
+    let with_layer = execute_with_faults(&plan, None, Some(FaultPlan::none(7))).unwrap();
+    for c in &clean.cells {
+        assert_eq!(
+            centroid_bits(&clean, c.cell.index()),
+            centroid_bits(&with_layer, c.cell.index())
+        );
+        let stats = c.coreset.expect("coreset stats");
+        assert_eq!(stats.lost_points, 0.0);
+        assert!(!c.degraded);
+    }
+
+    // Poison every chunk under the strict default: a clean error, never a
+    // silently-degraded tree.
+    let err = execute_with_faults(
+        &plan,
+        None,
+        Some(FaultPlan { poison_rate: 1.0, ..FaultPlan::none(3) }),
+    );
+    assert!(err.is_err(), "strict policy must refuse lost coreset mass");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 mod properties {
     use super::*;
     use proptest::prelude::*;
