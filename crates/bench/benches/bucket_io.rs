@@ -1,8 +1,12 @@
 //! Criterion microbench: grid-bucket serialization — full write/read round
-//! trips and the streaming batch reader the scan operator uses.
+//! trips, the streaming batch reader the scan operator uses, and the GB02
+//! block container (writer per codec, reads across the backend × codec
+//! matrix).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pmkm_data::{BucketReader, CellConfig, GridBucket, GridCell};
+use pmkm_data::{
+    gb02_to_bytes, BackendKind, BucketReader, CellConfig, Codec, Gb02Reader, GridBucket, GridCell,
+};
 
 fn bench_bucket_io(c: &mut Criterion) {
     let mut group = c.benchmark_group("bucket_io");
@@ -37,6 +41,32 @@ fn bench_bucket_io(c: &mut Criterion) {
             assert_eq!(total, n * 6);
         })
     });
+
+    // GB02 block container: the writer per codec, then every backend ×
+    // codec read combination (block-at-a-time, the scan operator's access
+    // pattern).
+    for codec in Codec::ALL {
+        group.bench_function(BenchmarkId::new(format!("gb02_encode_{codec}"), n), |b| {
+            b.iter(|| gb02_to_bytes(&bucket, codec, 4096).unwrap())
+        });
+        let gb2_path = dir.join(format!("bench_{codec}.gb2"));
+        pmkm_data::write_gb02(&bucket, &gb2_path, codec, 4096).unwrap();
+        for backend in BackendKind::ALL {
+            group.bench_function(
+                BenchmarkId::new(format!("gb02_read_{codec}_{backend}"), n),
+                |b| {
+                    b.iter(|| {
+                        let r = Gb02Reader::open_path(&gb2_path, backend).unwrap();
+                        let mut total = 0usize;
+                        for i in 0..r.n_blocks() {
+                            total += r.read_block(i).unwrap().as_flat().len();
+                        }
+                        assert_eq!(total, n * 6);
+                    })
+                },
+            );
+        }
+    }
     group.finish();
     std::fs::remove_dir_all(&dir).ok();
 }

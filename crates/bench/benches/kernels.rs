@@ -78,7 +78,7 @@ fn bench_lloyd_kernels(c: &mut Criterion) {
     let cell = make_cell(n);
     let init = seed_centroids(&cell, K, SeedMode::RandomPoints, &mut rng_for(7, 0)).unwrap();
     group.throughput(Throughput::Elements(n as u64));
-    for kernel in [KernelKind::Scalar, KernelKind::PrunedScalar, KernelKind::Fused] {
+    for kernel in [KernelKind::Scalar, KernelKind::Fused] {
         let cfg = LloydConfig { max_iters: 5, epsilon: 0.0, kernel, ..LloydConfig::default() };
         group.bench_with_input(
             BenchmarkId::new(format!("{}_5iters_k40", kernel.label()), n),

@@ -27,10 +27,6 @@ fn bench_lloyd(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parallel_5iters_k40", n), &cell, |b, cell| {
             b.iter(|| lloyd::lloyd(cell, &init, &par).unwrap())
         });
-        let pruned = LloydConfig { pruned_assign: true, ..cfg };
-        group.bench_with_input(BenchmarkId::new("pruned_5iters_k40", n), &cell, |b, cell| {
-            b.iter(|| lloyd::lloyd(cell, &init, &pruned).unwrap())
-        });
     }
     group.finish();
 }

@@ -2,13 +2,16 @@
 //! pipeline (PR 3 acceptance artifact).
 //!
 //! Runs the fig. 6-style workload (one MISR-like 6-D cell, k = 40) through
-//! every {serial, N-clone} × {scalar, pruned_scalar, fused}
+//! every {serial, N-clone} × {scalar, fused}
 //! configuration of the in-process `partial_merge` path, plus the full
 //! stream engine (`execute_observed` over an on-disk bucket, scalar and
-//! fused kernels) and the multi-cell orchestrator (8 cells, 1 vs 4
-//! work-stealing workers), recording throughput (points/s), per-phase wall
-//! times, `E_pm`, and the span profiler's phase breakdown + measured
-//! overhead into `BENCH_pipeline.json` at the repository root.
+//! fused kernels), the multi-cell orchestrator (8 cells, 1 vs 4
+//! work-stealing workers), and scan-only storage rows (GB01 buffered vs
+//! the GB02 block container across every backend × codec, with a smoke
+//! gate asserting the mmap zero-copy scan beats the buffered reader),
+//! recording throughput (points/s), per-phase wall times, `E_pm`, and the
+//! span profiler's phase breakdown + measured overhead into
+//! `BENCH_pipeline.json` at the repository root.
 //!
 //! Measurement methodology: every configuration gets one untimed warmup
 //! run, then `reps` timed unprofiled/profiled run PAIRS, interleaved; each
@@ -326,6 +329,103 @@ fn bench_stream(
     }
 }
 
+/// Scan-only rows: drain the fig6 bucket through the GB01 buffered reader
+/// and through the GB02 block container across every backend × codec
+/// combination. Each timed sample scans the file several times (more on
+/// the `--quick` workload) so per-pass open cost stays measurable above
+/// timer noise; rows report the median, while the mmap-vs-buffered smoke
+/// below compares best-of-reps, the robust "how fast can this go"
+/// estimator.
+///
+/// Smoke gate: the mmap backend's raw-codec (zero-copy) scan must be at
+/// least as fast as the GB01 buffered reader — the container's reason to
+/// exist on scan-bound workloads.
+fn bench_scan(cell: &Dataset, params: &Params) -> Vec<Row> {
+    use pmkm_data::{BackendKind, BucketReader, Codec, Gb02Reader};
+    const SCAN_REPS: usize = 9;
+    let dir = std::env::temp_dir().join(format!("pmkm_scan_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scan bench dir");
+    let gcell = GridCell::new(3, 3).expect("grid cell");
+    let bucket = GridBucket { cell: gcell, points: cell.clone() };
+    let gb01 = dir.join("scan.gb");
+    bucket.write_to(&gb01).expect("write gb01 scan bucket");
+    let n = params.n;
+    let flat_len = n * params.dim;
+    let passes = (2_000_000 / n.max(1)).clamp(1, 64);
+
+    // Returns (median_ms, best_ms) per single pass.
+    let time_scan = |f: &mut dyn FnMut() -> usize| -> (f64, f64) {
+        assert_eq!(f(), flat_len, "scan must drain the whole bucket");
+        let mut samples = Vec::with_capacity(SCAN_REPS);
+        for _ in 0..SCAN_REPS {
+            let t = Instant::now();
+            for _ in 0..passes {
+                f();
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e3 / passes as f64);
+        }
+        let best = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        (median(samples), best)
+    };
+    let scan_row = |config: String, ms: f64| Row {
+        config,
+        workers: 1,
+        kernel: "scan".to_string(),
+        total_ms: ms,
+        partial_ms: 0.0,
+        merge_ms: 0.0,
+        points_per_sec: n as f64 / (ms / 1e3),
+        epm: 0.0,
+        profiler_overhead_pct: 0.0,
+        phases: Vec::new(),
+    };
+
+    let mut rows = Vec::new();
+    let (gb01_ms, gb01_best) = time_scan(&mut || {
+        let mut r = BucketReader::open(&gb01).expect("open gb01");
+        let mut total = 0usize;
+        while let Some(batch) = r.next_batch(4096).expect("gb01 batch") {
+            total += batch.as_flat().len();
+        }
+        total
+    });
+    rows.push(scan_row("scan/gb01-buffered".to_string(), gb01_ms));
+
+    let mut mmap_raw_best = f64::INFINITY;
+    for codec in Codec::ALL {
+        let path = dir.join(format!("scan_{codec}.gb2"));
+        pmkm_data::write_gb02(&bucket, &path, codec, pmkm_data::DEFAULT_BLOCK_POINTS)
+            .expect("write gb02 scan bucket");
+        for backend in BackendKind::ALL {
+            let (ms, best) = time_scan(&mut || {
+                let r = Gb02Reader::open_path(&path, backend).expect("open gb02");
+                let mut total = 0usize;
+                for i in 0..r.n_blocks() {
+                    total += r.read_block(i).expect("gb02 block").as_flat().len();
+                }
+                total
+            });
+            if backend == BackendKind::Mmap && codec == Codec::Raw {
+                mmap_raw_best = best;
+            }
+            rows.push(scan_row(format!("scan/gb02-{backend}/{codec}"), ms));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ratio = gb01_best / mmap_raw_best;
+    println!(
+        "[scan] mmap zero-copy vs gb01 buffered: {ratio:.2}x \
+         (gb01 best {gb01_best:.3} ms, mmap/raw best {mmap_raw_best:.3} ms)"
+    );
+    assert!(
+        ratio >= 1.0,
+        "mmap zero-copy scan must be at least as fast as the GB01 buffered reader, \
+         got {ratio:.2}x (gb01 {gb01_best:.3} ms vs mmap/raw {mmap_raw_best:.3} ms)"
+    );
+    rows
+}
+
 /// Benchmarks the multi-cell orchestrator: `cells` on-disk buckets run
 /// through per-cell pipelines on `jobs` work-stealing workers. The serial
 /// (`jobs = 1`) row is the per-cell-looping baseline the 4-worker row must
@@ -496,13 +596,13 @@ fn main() {
 
     let mut rows = Vec::new();
     for workers in [0, CLONES] {
-        for kernel in [KernelKind::Scalar, KernelKind::PrunedScalar, KernelKind::Fused] {
+        for kernel in [KernelKind::Scalar, KernelKind::Fused] {
             rows.push(bench_config(&cell, &params, workers, kernel));
         }
     }
     // Clone count must never change results (per-chunk seeds). Stream-engine
     // rows chunk the cell differently and are checked separately below.
-    for kernel in ["scalar", "pruned_scalar", "fused"] {
+    for kernel in ["scalar", "fused"] {
         let epms: Vec<f64> = rows.iter().filter(|r| r.kernel == kernel).map(|r| r.epm).collect();
         assert!(epms.windows(2).all(|w| w[0] == w[1]), "E_pm varies with clones: {epms:?}");
     }
@@ -587,6 +687,9 @@ fn main() {
     rows.push(serial_row);
     rows.push(parallel_row);
     let _ = std::fs::remove_dir_all(&orch_dir);
+
+    // Scan-only backend × codec rows, with the mmap ≥ gb01-buffered gate.
+    rows.extend(bench_scan(&cell, &params));
 
     if opts.simulate_regression > 0.0 {
         println!("[simulating a {:.0}% throughput regression]", opts.simulate_regression * 100.0);

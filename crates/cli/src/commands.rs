@@ -36,7 +36,7 @@ impl std::fmt::Display for CliError {
                 write!(
                     f,
                     "unknown command '{c}'; try: generate, bin, inspect, cluster, orchestrate, \
-                     diff, compress, query, serve-demo"
+                     convert, diff, compress, query, serve-demo"
                 )
             }
         }
@@ -63,6 +63,7 @@ pub fn dispatch<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<(),
         "inspect" => inspect(args, out),
         "cluster" => cluster(args, out),
         "orchestrate" => orchestrate_cmd(args, out),
+        "convert" => convert(args, out),
         "diff" => diff_runs(args, out),
         "compress" => compress(args, out),
         "query" => query(args, out),
@@ -93,7 +94,8 @@ COMMANDS
             numbers and per-worker utilization. --timeline exports the run
             as a Chrome trace-event JSON (chrome://tracing, Perfetto).
   cluster   [--k=40] [--restarts=10] [--seed=0] [--splits=P | --memory=BYTES]
-            [--workers=N] [--kernel=auto] [--adaptive] [--incremental]
+            [--workers=N] [--kernel=auto] [--backend=local-file]
+            [--adaptive] [--incremental]
             [--coreset=SIZE] [--coreset-window=CHUNKS] [--coreset-decay=L]
             [--tolerant] [--chaos=LEVEL:SEED]
             [--metrics-out=REPORT.json] [--trace=TRACE.jsonl]
@@ -102,7 +104,11 @@ COMMANDS
             Cluster each bucket with partial/merge k-means on the stream
             engine; prints centroids summary and operator telemetry.
             --kernel picks the assignment strategy (auto, scalar,
-            pruned_scalar, fused); --tolerant enables the
+            fused); --backend picks the storage backend for GB02 block
+            containers (local-file, mmap, sim-object-store) — GB01
+            buckets always use the legacy buffered reader, and
+            sim-object-store adds per-GET latency (plus seeded
+            flakiness under --chaos); --tolerant enables the
             fault-tolerant policy (scan retries, poison quarantine,
             degraded merge with lost-mass accounting) instead of the
             strict fail-fast default; --chaos injects a seeded fault
@@ -126,6 +132,7 @@ COMMANDS
             clustering.
   orchestrate [--jobs=4] [--cells=N] [--k=40] [--restarts=10] [--seed=0]
             [--splits=P | --memory=BYTES] [--workers=1] [--budget=BYTES]
+            [--backend=local-file]
             [--checkpoint-dir=DIR] [--resume] [--kill-after=K]
             [--coreset=SIZE] [--coreset-window=CHUNKS] [--coreset-decay=L]
             [--tolerant] [--chaos=LEVEL:SEED]
@@ -157,7 +164,21 @@ COMMANDS
             memory merge-reduce coreset tree (see cluster); with --serve
             the anytime query — the mid-stream clustering over the live
             buckets — is published into /status as the `coreset` block
-            on every tree level-up and at completion.
+            on every tree level-up and at completion. --backend picks
+            the GB02 storage backend (see cluster); the backend is part
+            of the checkpoint plan fingerprint, so --resume only
+            accepts checkpoints written under the same backend.
+  convert   [--codec=shuffle-rle] [--block-points=4096] [--out=DIR]
+            <bucket files…>
+            Re-encode buckets as PMKMGB02 block containers: the payload
+            is split into fixed-point-count blocks, each independently
+            compressed and covered by an FNV-1a entry in a trailing
+            index that enables ranged reads. Reads either format (GB01
+            blobs or existing GB02 files, e.g. to recompress); writes
+            NAME.gb2 next to each input, or into --out=DIR. --codec
+            picks the block codec (raw, shuffle-rle); --block-points
+            sets the points per block. Prints the block count and the
+            payload compression ratio per file.
   diff      [--threshold=0.10] <A> <B>
             Compare two runs (each a run ledger or a RunReport JSON, mixed
             freely): prints the elapsed ratio, per-phase attribution of
@@ -307,6 +328,20 @@ fn inspect_ledger<W: Write>(
         )
         .map_err(run_err)?;
     }
+    if !roll.scan.is_empty() {
+        writeln!(
+            out,
+            "  [scan] {} block(s), {} stored / {} payload bytes ({:.2}x), \
+             {} zero-copy, prefetch hit rate {:.0}%",
+            roll.scan.blocks,
+            roll.scan.stored_bytes,
+            roll.scan.payload_bytes,
+            roll.scan.compression_ratio(),
+            roll.scan.zero_copy_blocks,
+            roll.scan.prefetch_hit_rate() * 100.0
+        )
+        .map_err(run_err)?;
+    }
     if !roll.coreset.is_empty() {
         writeln!(
             out,
@@ -397,14 +432,33 @@ fn inspect<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             }
             continue;
         }
-        let bucket = GridBucket::read_from(&PathBuf::from(path)).map_err(run_err)?;
+        let p = PathBuf::from(path);
+        let info = pmkm_data::probe(&p).map_err(run_err)?;
+        let bucket = match info.format {
+            pmkm_data::BucketFormat::Gb01 => GridBucket::read_from(&p).map_err(run_err)?,
+            pmkm_data::BucketFormat::Gb02 => {
+                let reader =
+                    pmkm_data::Gb02Reader::open_path(&p, pmkm_data::BackendKind::LocalFile)
+                        .map_err(run_err)?;
+                writeln!(
+                    out,
+                    "{path}: gb02 container, {} block(s) of ≤{} points, codec {}",
+                    reader.n_blocks(),
+                    reader.block_points,
+                    reader.default_codec
+                )
+                .map_err(run_err)?;
+                reader.read_all().map_err(run_err)?
+            }
+        };
         let (lat, lon) = bucket.cell.center();
         writeln!(
             out,
-            "{path}: cell {} (center {lat:.1}°, {lon:.1}°), {} points × {} dims",
+            "{path}: cell {} (center {lat:.1}°, {lon:.1}°), {} points × {} dims [{}]",
             bucket.cell.index(),
             bucket.points.len(),
-            bucket.points.dim()
+            bucket.points.dim(),
+            info.format.label()
         )
         .map_err(run_err)?;
         if let Some(stats) = pmkm_data::stats::summarize(&bucket.points) {
@@ -491,6 +545,7 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "memory",
         "workers",
         "kernel",
+        "backend",
         "adaptive",
         "incremental",
         "metrics-out",
@@ -510,9 +565,7 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
     let kernel_name = args.get_str("kernel", "auto");
     let kernel = pmkm_core::KernelKind::parse(&kernel_name).ok_or_else(|| {
-        CliError::Run(format!(
-            "cluster: unknown kernel '{kernel_name}' (auto, scalar, pruned_scalar, fused)"
-        ))
+        CliError::Run(format!("cluster: unknown kernel '{kernel_name}' (auto, scalar, fused)"))
     })?;
     let mut kcfg = KMeansConfig {
         restarts: args.get("restarts", 10usize)?,
@@ -537,11 +590,12 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         }
         splits => {
             // Resolve splits per the largest bucket so every bucket gets at
-            // most `splits` chunks.
+            // most `splits` chunks. probe() reads only the header, and
+            // understands both bucket formats.
             let max_points = logical
                 .inputs
                 .iter()
-                .map(|p| pmkm_data::BucketReader::open(p).map(|r| r.count))
+                .map(|p| pmkm_data::probe(p).map(|info| info.count))
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(run_err)?
                 .into_iter()
@@ -550,6 +604,7 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             optimize_fixed_split(logical, &resources, max_points.div_ceil(splits).max(1))
         }
     };
+    plan.scan_backend = parse_backend("cluster", args)?;
     if args.flag("tolerant") {
         plan.fault_policy = pmkm_stream::FaultPolicy::tolerant();
     }
@@ -755,6 +810,68 @@ fn coreset_tag(stats: Option<&pmkm_core::CoresetStats>) -> String {
     }
 }
 
+/// Parses `--backend=KIND` into the plan's scan-backend knob.
+fn parse_backend(cmd: &str, args: &Args) -> Result<pmkm_data::BackendKind, CliError> {
+    let name = args.get_str("backend", "local-file");
+    pmkm_data::BackendKind::parse(&name).ok_or_else(|| {
+        CliError::Run(format!(
+            "{cmd}: unknown backend '{name}' (local-file, mmap, sim-object-store)"
+        ))
+    })
+}
+
+/// Reads either bucket format fully into memory: a GB01 blob via the
+/// legacy reader, a GB02 block container via the local-file backend.
+fn read_bucket_any(path: &std::path::Path) -> Result<GridBucket, CliError> {
+    match pmkm_data::probe(path).map_err(run_err)?.format {
+        pmkm_data::BucketFormat::Gb01 => GridBucket::read_from(path).map_err(run_err),
+        pmkm_data::BucketFormat::Gb02 => {
+            pmkm_data::Gb02Reader::open_path(path, pmkm_data::BackendKind::LocalFile)
+                .and_then(|r| r.read_all())
+                .map_err(run_err)
+        }
+    }
+}
+
+fn convert<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["out", "codec", "block-points"])?;
+    let paths: Vec<PathBuf> = args.positionals().iter().map(PathBuf::from).collect();
+    if paths.is_empty() {
+        return Err(CliError::Run("convert: no bucket files given".into()));
+    }
+    let codec_name = args.get_str("codec", "shuffle-rle");
+    let codec = pmkm_data::Codec::parse(&codec_name).ok_or_else(|| {
+        CliError::Run(format!("convert: unknown codec '{codec_name}' (raw, shuffle-rle)"))
+    })?;
+    let block_points = args.get("block-points", pmkm_data::DEFAULT_BLOCK_POINTS)?;
+    let out_dir = args.get_str("out", "");
+    if !out_dir.is_empty() {
+        std::fs::create_dir_all(&out_dir).map_err(run_err)?;
+    }
+    for path in &paths {
+        let bucket = read_bucket_any(path)?;
+        let dst = if out_dir.is_empty() {
+            path.with_extension("gb2")
+        } else {
+            let name = path.file_stem().unwrap_or_default().to_string_lossy().into_owned();
+            PathBuf::from(&out_dir).join(format!("{name}.gb2"))
+        };
+        let stats = pmkm_data::write_gb02(&bucket, &dst, codec, block_points).map_err(run_err)?;
+        writeln!(
+            out,
+            "{}: {} points -> {} ({} block(s), {codec}, {:.2}x payload ratio, {} bytes)",
+            path.display(),
+            bucket.points.len(),
+            dst.display(),
+            stats.blocks,
+            stats.ratio(),
+            stats.file_bytes
+        )
+        .map_err(run_err)?;
+    }
+    Ok(())
+}
+
 /// Parses `--chaos=LEVEL:SEED` into a fault plan (`""` → `None`).
 fn parse_chaos(cmd: &str, chaos: &str) -> Result<Option<pmkm_stream::FaultPlan>, CliError> {
     if chaos.is_empty() {
@@ -786,6 +903,7 @@ fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "splits",
         "memory",
         "workers",
+        "backend",
         "budget",
         "checkpoint-dir",
         "resume",
@@ -826,7 +944,7 @@ fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             let max_points = logical
                 .inputs
                 .iter()
-                .map(|p| pmkm_data::BucketReader::open(p).map(|r| r.count))
+                .map(|p| pmkm_data::probe(p).map(|info| info.count))
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(run_err)?
                 .into_iter()
@@ -835,6 +953,7 @@ fn orchestrate_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             optimize_fixed_split(logical, &resources, max_points.div_ceil(splits).max(1))
         }
     };
+    plan.scan_backend = parse_backend("orchestrate", args)?;
     if args.flag("tolerant") {
         plan.fault_policy = pmkm_stream::FaultPolicy::tolerant();
     }
@@ -1049,7 +1168,7 @@ fn compress<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         ..PartialMergeConfig::paper(40, 5, 0)
     };
     for path in &paths {
-        let bucket = GridBucket::read_from(path).map_err(run_err)?;
+        let bucket = read_bucket_any(path)?;
         if bucket.points.is_empty() {
             writeln!(out, "{}: empty, skipped", path.display()).map_err(run_err)?;
             continue;
@@ -1121,7 +1240,7 @@ fn query<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
     let exact_path = args.get_str("exact", "");
     if !exact_path.is_empty() {
-        let bucket = GridBucket::read_from(&PathBuf::from(&exact_path)).map_err(run_err)?;
+        let bucket = read_bucket_any(&PathBuf::from(&exact_path))?;
         let exact = pmkm_compress::exact_answer(&bucket.points, &q).map_err(run_err)?;
         writeln!(
             out,
@@ -1705,6 +1824,91 @@ mod tests {
         let err = run("cluster", &["--adaptive".into(), "--coreset=16".into(), buckets[0].clone()])
             .unwrap_err();
         assert!(matches!(err, CliError::Run(_)), "{err:?}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_and_backend_flags_round_trip() {
+        let dir = tmp("convert");
+        let buckets = write_buckets(&dir, 2);
+
+        // convert writes .gb2 siblings and reports block/ratio stats.
+        let mut argv: Vec<String> = vec!["--block-points=37".into()];
+        argv.extend(buckets.iter().cloned());
+        let out = run("convert", &argv).unwrap();
+        assert!(out.contains(".gb2"), "{out}");
+        assert!(out.contains("block(s)"), "{out}");
+        let gb2: Vec<String> = buckets
+            .iter()
+            .map(|p| PathBuf::from(p).with_extension("gb2").display().to_string())
+            .collect();
+        for p in &gb2 {
+            assert!(std::path::Path::new(p).exists(), "missing {p}");
+        }
+
+        // inspect understands the container: block map plus the usual
+        // cell header and per-dimension stats.
+        let out = run("inspect", std::slice::from_ref(&gb2[0])).unwrap();
+        assert!(out.contains("gb02 container"), "{out}");
+        assert!(out.contains("[gb02]"), "{out}");
+        assert!(out.contains("dim 0"), "{out}");
+
+        // Clustering is bit-identical across formats and backends: the
+        // per-cell summary lines (chunks, centroids, E_pm, points) of
+        // every GB02 backend must match the GB01 baseline exactly.
+        let base = vec!["--k=2".into(), "--restarts=2".into(), "--splits=3".into()];
+        let mut argv = base.clone();
+        argv.extend(buckets.iter().cloned());
+        let reference = run("cluster", &argv).unwrap();
+        let ref_cells: Vec<&str> =
+            reference.lines().filter(|l| l.trim_start().starts_with("cell ")).collect();
+        assert_eq!(ref_cells.len(), 2, "{reference}");
+        for backend in ["local-file", "mmap", "sim-object-store"] {
+            let mut argv = base.clone();
+            argv.push(format!("--backend={backend}"));
+            argv.extend(gb2.iter().cloned());
+            let out = run("cluster", &argv).unwrap();
+            let cells: Vec<&str> =
+                out.lines().filter(|l| l.trim_start().starts_with("cell ")).collect();
+            assert_eq!(cells, ref_cells, "backend {backend} diverged");
+        }
+
+        // orchestrate accepts the knob too.
+        let mut argv = base.clone();
+        argv.push("--jobs=2".into());
+        argv.push("--backend=mmap".into());
+        argv.extend(gb2.iter().cloned());
+        let out = run("orchestrate", &argv).unwrap();
+        assert!(out.contains("orchestrated 2 cells"), "{out}");
+
+        // A ledgered GB02 run journals scan.block events; inspect
+        // surfaces the block I/O rollup.
+        let ledger = dir.join("gb2.jsonl").display().to_string();
+        let mut argv = base.clone();
+        argv.push(format!("--ledger={ledger}"));
+        argv.extend(gb2.iter().cloned());
+        run("cluster", &argv).unwrap();
+        let out = run("inspect", &[ledger]).unwrap();
+        assert!(out.contains("[scan]"), "{out}");
+        assert!(out.contains("zero-copy, prefetch hit rate"), "{out}");
+
+        // convert --out=DIR with the raw codec (ratio exactly 1.00), and
+        // recompression of an already-GB02 input.
+        let out_dir = dir.join("converted");
+        let out = run(
+            "convert",
+            &[format!("--out={}", out_dir.display()), "--codec=raw".into(), gb2[0].clone()],
+        )
+        .unwrap();
+        assert!(out.contains("1.00x"), "{out}");
+
+        // Usage errors: bad codec, bad backend, no inputs.
+        let err = run("convert", &["--codec=zstd".into(), buckets[0].clone()]).unwrap_err();
+        assert!(err.to_string().contains("unknown codec"), "{err}");
+        let err = run("cluster", &["--backend=s3".into(), buckets[0].clone()]).unwrap_err();
+        assert!(err.to_string().contains("unknown backend"), "{err}");
+        assert!(matches!(run("convert", &[]), Err(CliError::Run(_))));
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -21,16 +21,15 @@ pub const DEFAULT_MAX_ITERS: usize = 10_000;
 /// when each wins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum KernelKind {
-    /// Pick automatically: the fused SoA kernel, unless the legacy
-    /// `pruned_assign` flag asks for the pruned scalar scan.
+    /// Pick automatically: always the fused SoA kernel. (A pruned scalar
+    /// scan existed historically but measured 0.81× the plain scalar scan
+    /// on the kernel-speedup workloads and was removed; `KernelKind` keeps
+    /// only strategies that earn their maintenance.)
     #[default]
     Auto,
     /// The naive AoS scalar scan ([`crate::point::nearest_centroid`]) —
     /// the paper's §4 prototype behaviour, kept for timing mirrors.
     Scalar,
-    /// Scalar scan with partial-distance pruning
-    /// ([`crate::point::nearest_centroid_pruned`]).
-    PrunedScalar,
     /// The fused, cache-blocked SoA kernel ([`crate::kernel::FusedLayout`]):
     /// `‖x−c‖²` via the norm expansion over 8-lane centroid blocks, with an
     /// exact rescue pass, and the weighted accumulator updates fused into
@@ -44,7 +43,6 @@ impl KernelKind {
         match self {
             KernelKind::Auto => "auto",
             KernelKind::Scalar => "scalar",
-            KernelKind::PrunedScalar => "pruned_scalar",
             KernelKind::Fused => "fused",
         }
     }
@@ -55,7 +53,6 @@ impl KernelKind {
         match s {
             "auto" => Some(KernelKind::Auto),
             "scalar" => Some(KernelKind::Scalar),
-            "pruned_scalar" => Some(KernelKind::PrunedScalar),
             "fused" => Some(KernelKind::Fused),
             _ => None,
         }
@@ -75,15 +72,14 @@ pub struct LloydConfig {
     /// chunks*, not within a run, and the experiment harnesses keep this off
     /// so per-run timings mirror the paper's single-threaded operators.
     pub parallel_assign: bool,
-    /// Use partial-distance pruning in the nearest-centroid search. Exact
-    /// (bit-identical assignments), usually faster for larger k than the
-    /// plain scalar scan. Subsumed by `kernel`: the flag is honoured when
-    /// `kernel` is [`KernelKind::Auto`] and kept for configuration
-    /// backward-compatibility.
+    /// Historical flag that selected the (since removed) pruned scalar
+    /// scan. Now a no-op: every kernel is exact, so configs that set it
+    /// still deserialize and produce bit-identical results through the
+    /// fused kernel. Kept only so persisted configs keep loading.
     pub pruned_assign: bool,
     /// Assignment-step strategy. [`KernelKind::Auto`] (the default)
     /// resolves to the fused SoA kernel — bit-identical results, just
-    /// faster — or to the pruned scalar scan when `pruned_assign` is set.
+    /// faster.
     pub kernel: KernelKind,
 }
 
@@ -112,10 +108,11 @@ impl LloydConfig {
     }
 
     /// The concrete strategy a run will use: resolves [`KernelKind::Auto`]
-    /// against the legacy `pruned_assign` flag; never returns `Auto`.
+    /// to the fused kernel; never returns `Auto`. (The legacy
+    /// `pruned_assign` flag is ignored — its kernel no longer exists, and
+    /// every kernel is exact anyway.)
     pub fn resolved_kernel(&self) -> KernelKind {
         match self.kernel {
-            KernelKind::Auto if self.pruned_assign => KernelKind::PrunedScalar,
             KernelKind::Auto => KernelKind::Fused,
             k => k,
         }

@@ -19,9 +19,7 @@ use crate::config::{KernelKind, LloydConfig};
 use crate::dataset::{Centroids, PointSource};
 use crate::error::{Error, Result};
 use crate::kernel::{FusedLayout, KernelStats};
-use crate::point::{
-    nearest_centroid, nearest_centroid_pruned, nearest_centroid_pruned_counted, PruneStats,
-};
+use crate::point::nearest_centroid;
 use pmkm_obs::Recorder;
 use rayon::prelude::*;
 
@@ -101,8 +99,9 @@ pub fn lloyd<S: PointSource + ?Sized>(
 
 /// [`lloyd`] with observability hooks: when `rec` is `Some`, every
 /// iteration emits a `lloyd.iteration` event (MSE, convergence delta,
-/// reassignment count) and pruned assignment tallies its hit rate into the
-/// recorder's registry. `None` takes the exact same code path as [`lloyd`].
+/// reassignment count) and the fused kernel tallies its rescue rate into
+/// the recorder's registry. `None` takes the exact same code path as
+/// [`lloyd`].
 pub fn lloyd_observed<S: PointSource + ?Sized>(
     src: &S,
     init: &Centroids,
@@ -128,13 +127,6 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
     let kernel = cfg.resolved_kernel();
     let mut centroids = init.clone();
     let mut scratch = Scratch::new(n, k, dim);
-    // Pruning tallies are only kept when a recorder is attached; `None`
-    // keeps `assign` on its unobserved (and parallelizable) path.
-    let mut prune_stats = if rec.is_some() && kernel == KernelKind::PrunedScalar {
-        Some(PruneStats::default())
-    } else {
-        None
-    };
     // Fused-kernel tallies are two integer bumps per point — cheap enough
     // to keep unconditionally without forking the code path.
     let mut kernel_stats = KernelStats::default();
@@ -144,8 +136,7 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
     // Distance calculation against the initial seeds gives MSE(0).
     let mut prev_mse = {
         let _phase = rec.and_then(|r| r.phase("assign"));
-        assign(src, &centroids, cfg, kernel, &mut scratch, prune_stats.as_mut(), &mut kernel_stats)
-            / total_weight
+        assign(src, &centroids, cfg, kernel, &mut scratch, &mut kernel_stats) / total_weight
     };
     let mut iterations = 0usize;
     let mut converged = false;
@@ -166,15 +157,7 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
         };
         let mse = {
             let _phase = rec.and_then(|r| r.phase("assign"));
-            assign(
-                src,
-                &centroids,
-                cfg,
-                kernel,
-                &mut scratch,
-                prune_stats.as_mut(),
-                &mut kernel_stats,
-            ) / total_weight
+            assign(src, &centroids, cfg, kernel, &mut scratch, &mut kernel_stats) / total_weight
         };
         iterations += 1;
         let delta = prev_mse - mse;
@@ -208,18 +191,6 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
         }
     }
 
-    if let (Some(rec), Some(stats)) = (rec, prune_stats) {
-        rec.registry().counter("prune_candidates_total").add(stats.candidates);
-        rec.registry().counter("prune_hits_total").add(stats.pruned);
-        rec.event(
-            "lloyd.pruning",
-            &[
-                ("candidates", stats.candidates.into()),
-                ("pruned", stats.pruned.into()),
-                ("hit_rate", stats.hit_rate().into()),
-            ],
-        );
-    }
     if let Some(rec) = rec {
         if kernel_stats.points > 0 {
             rec.registry().counter("kernel_fused_points_total").add(kernel_stats.points);
@@ -260,14 +231,12 @@ pub fn lloyd_observed<S: PointSource + ?Sized>(
 /// `sq_dist`, and the accumulation visits points in the same order), so
 /// iteration counts, trajectories, and final centroids never depend on the
 /// kernel choice.
-#[allow(clippy::too_many_arguments)]
 fn assign<S: PointSource + ?Sized>(
     src: &S,
     centroids: &Centroids,
     cfg: &LloydConfig,
     kernel: KernelKind,
     scratch: &mut Scratch,
-    prune: Option<&mut PruneStats>,
     kernel_stats: &mut KernelStats,
 ) -> f64 {
     let dim = src.dim();
@@ -298,32 +267,21 @@ fn assign<S: PointSource + ?Sized>(
         return wsse;
     }
 
-    type Search = fn(&[f64], &[f64], usize) -> (usize, f64);
-    // The rayon path always uses a stateless scalar search (the fused
+    // The rayon path always uses the stateless scalar search (the fused
     // kernel wants a per-worker screen buffer); results are identical.
-    let search: Search =
-        if kernel == KernelKind::PrunedScalar { nearest_centroid_pruned } else { nearest_centroid };
-    if let Some(stats) = prune {
-        // Observed pruned assignment: same decisions, serial so the tallies
-        // need no atomics. Only reachable with a recorder attached.
-        for (i, (a, d)) in scratch.assignments.iter_mut().zip(scratch.d2.iter_mut()).enumerate() {
-            let (j, d2) = nearest_centroid_pruned_counted(src.coords(i), cents, dim, stats);
-            *a = j as u32;
-            *d = d2;
-        }
-    } else if cfg.parallel_assign && n >= 2048 {
+    if cfg.parallel_assign && n >= 2048 {
         // Hot O(n·k·dim) search in parallel; cheap O(n·dim) accumulation
         // stays serial to avoid a k×dim-sized reduction per worker.
         scratch.assignments.par_iter_mut().zip(scratch.d2.par_iter_mut()).enumerate().for_each(
             |(i, (a, d))| {
-                let (j, d2) = search(src.coords(i), cents, dim);
+                let (j, d2) = nearest_centroid(src.coords(i), cents, dim);
                 *a = j as u32;
                 *d = d2;
             },
         );
     } else {
         for (i, (a, d)) in scratch.assignments.iter_mut().zip(scratch.d2.iter_mut()).enumerate() {
-            let (j, d2) = search(src.coords(i), cents, dim);
+            let (j, d2) = nearest_centroid(src.coords(i), cents, dim);
             *a = j as u32;
             *d = d2;
         }
@@ -563,8 +521,11 @@ mod tests {
         assert!((serial.mse - par.mse).abs() < 1e-15);
     }
 
+    /// The legacy `pruned_assign` flag (whose kernel was removed) is a
+    /// pure no-op: configs that persist it still load and still produce
+    /// bit-identical results through the fused kernel.
     #[test]
-    fn pruned_assignment_is_bit_identical() {
+    fn legacy_pruned_assign_flag_is_a_bit_identical_noop() {
         let mut ds = Dataset::new(3).unwrap();
         let mut rng = rng_for(17, 0);
         use rand::Rng;
@@ -572,14 +533,14 @@ mod tests {
             ds.push(&[rng.gen::<f64>() * 50.0, rng.gen::<f64>() * 50.0, rng.gen::<f64>()]).unwrap();
         }
         let init = seed_centroids(&ds, 12, SeedMode::RandomPoints, &mut rng_for(5, 0)).unwrap();
+        let legacy = LloydConfig { pruned_assign: true, ..LloydConfig::default() };
+        assert_eq!(legacy.resolved_kernel(), KernelKind::Fused);
         let plain = lloyd(&ds, &init, &LloydConfig::default()).unwrap();
-        let pruned =
-            lloyd(&ds, &init, &LloydConfig { pruned_assign: true, ..LloydConfig::default() })
-                .unwrap();
-        assert_eq!(plain.centroids, pruned.centroids);
-        assert_eq!(plain.assignments, pruned.assignments);
-        assert_eq!(plain.iterations, pruned.iterations);
-        assert_eq!(plain.mse, pruned.mse);
+        let flagged = lloyd(&ds, &init, &legacy).unwrap();
+        assert_eq!(plain.centroids, flagged.centroids);
+        assert_eq!(plain.assignments, flagged.assignments);
+        assert_eq!(plain.iterations, flagged.iterations);
+        assert_eq!(plain.mse, flagged.mse);
     }
 
     #[test]
@@ -621,8 +582,7 @@ mod tests {
 
         let ring = Arc::new(RingBufferSink::new(256));
         let rec = pmkm_obs::Recorder::new().with_sink(ring.clone());
-        let observed_cfg = LloydConfig { pruned_assign: true, ..cfg() };
-        let observed = lloyd_observed(&ds, &init, &observed_cfg, Some(&rec)).unwrap();
+        let observed = lloyd_observed(&ds, &init, &cfg(), Some(&rec)).unwrap();
 
         assert_eq!(plain.centroids, observed.centroids);
         assert_eq!(plain.mse, observed.mse);
@@ -631,16 +591,16 @@ mod tests {
         let events = ring.events();
         let iters = events.iter().filter(|e| e.name == "lloyd.iteration").count();
         assert_eq!(iters, observed.iterations);
-        assert_eq!(events.iter().filter(|e| e.name == "lloyd.pruning").count(), 1);
+        assert_eq!(events.iter().filter(|e| e.name == "lloyd.kernel").count(), 1);
         let snap = rec.registry().snapshot();
-        let candidates = snap
+        let fused_points = snap
             .counters
             .iter()
-            .find(|c| c.name == "prune_candidates_total")
+            .find(|c| c.name == "kernel_fused_points_total")
             .map(|c| c.value)
             .unwrap();
-        // One candidate per point × centroid pair per distance calculation.
-        assert_eq!(candidates, (ds.len() * 2 * (observed.iterations + 1)) as u64);
+        // One fused screen per point per distance calculation.
+        assert_eq!(fused_points, (ds.len() * (observed.iterations + 1)) as u64);
     }
 
     #[test]

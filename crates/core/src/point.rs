@@ -48,117 +48,6 @@ pub fn nearest_centroid(point: &[f64], centroids: &[f64], dim: usize) -> (usize,
     (best, best_d)
 }
 
-/// How many dimensions accumulate between prune checks. Checking after
-/// *every* dimension (the obvious formulation) puts a data-dependent
-/// branch inside the innermost loop and costs more than it saves — the
-/// `lloyd` bench measured it at roughly half the naive scan's throughput.
-/// A blocked check keeps the inner loop branch-free and pipelined while
-/// still abandoning hopeless candidates early.
-const PRUNE_BLOCK: usize = 4;
-
-/// Like [`nearest_centroid`], with *partial-distance pruning*: the
-/// per-dimension accumulation of a candidate is abandoned once a prefix of
-/// it already exceeds the best distance so far, checked every
-/// [`PRUNE_BLOCK`] dimensions. Exact — it returns bit-identical results to
-/// the naive scan (the accumulation order is unchanged and a candidate is
-/// only abandoned when strictly worse, which a longer prefix can only
-/// confirm) — but skips most of the arithmetic once a good candidate is
-/// found. This is the kind of "improved search mechanism for finding the
-/// nearest centroid" the paper's §4 explicitly leaves out; the `lloyd`
-/// bench measures what it buys.
-#[inline]
-pub fn nearest_centroid_pruned(point: &[f64], centroids: &[f64], dim: usize) -> (usize, f64) {
-    debug_assert_eq!(point.len(), dim);
-    debug_assert!(!centroids.is_empty() && centroids.len().is_multiple_of(dim));
-    let mut best = 0usize;
-    let mut best_d = f64::INFINITY;
-    for (j, c) in centroids.chunks_exact(dim).enumerate() {
-        let mut acc = 0.0;
-        let mut pruned = false;
-        let mut i = 0;
-        while i < dim {
-            let end = (i + PRUNE_BLOCK).min(dim);
-            while i < end {
-                let d = point[i] - c[i];
-                acc += d * d;
-                i += 1;
-            }
-            if acc > best_d {
-                pruned = true;
-                break;
-            }
-        }
-        if !pruned && acc < best_d {
-            best_d = acc;
-            best = j;
-        }
-    }
-    (best, best_d)
-}
-
-/// Tally of how often partial-distance pruning fired, accumulated by
-/// [`nearest_centroid_pruned_counted`] when an observability recorder is
-/// attached to the run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PruneStats {
-    /// Centroid candidates examined (one per point × centroid pair).
-    pub candidates: u64,
-    /// Candidates abandoned before the full `dim` accumulation finished.
-    pub pruned: u64,
-}
-
-impl PruneStats {
-    /// Fraction of candidates that were pruned (`0.0` when none were seen).
-    pub fn hit_rate(&self) -> f64 {
-        if self.candidates == 0 {
-            0.0
-        } else {
-            self.pruned as f64 / self.candidates as f64
-        }
-    }
-}
-
-/// [`nearest_centroid_pruned`] with bookkeeping: tallies into `stats` how
-/// many candidates were examined and how many were abandoned early. Same
-/// decisions, same distances — only the counting differs.
-#[inline]
-pub fn nearest_centroid_pruned_counted(
-    point: &[f64],
-    centroids: &[f64],
-    dim: usize,
-    stats: &mut PruneStats,
-) -> (usize, f64) {
-    debug_assert_eq!(point.len(), dim);
-    debug_assert!(!centroids.is_empty() && centroids.len().is_multiple_of(dim));
-    let mut best = 0usize;
-    let mut best_d = f64::INFINITY;
-    for (j, c) in centroids.chunks_exact(dim).enumerate() {
-        stats.candidates += 1;
-        let mut acc = 0.0;
-        let mut pruned = false;
-        let mut i = 0;
-        while i < dim {
-            let end = (i + PRUNE_BLOCK).min(dim);
-            while i < end {
-                let d = point[i] - c[i];
-                acc += d * d;
-                i += 1;
-            }
-            if acc > best_d {
-                pruned = true;
-                break;
-            }
-        }
-        if pruned {
-            stats.pruned += 1;
-        } else if acc < best_d {
-            best_d = acc;
-            best = j;
-        }
-    }
-    (best, best_d)
-}
-
 /// True if every coordinate is finite (no NaN / ±inf).
 #[inline]
 pub fn all_finite(coords: &[f64]) -> bool {
@@ -216,49 +105,6 @@ mod tests {
         let (idx, d) = nearest_centroid(&[5.0, 6.0], &cents, 2);
         assert_eq!(idx, 0);
         assert_eq!(d, 1.0);
-    }
-
-    #[test]
-    fn pruned_matches_naive_exactly() {
-        use rand::Rng;
-        let mut rng = crate::seeding::rng_for(3, 0);
-        for _ in 0..200 {
-            let dim = rng.gen_range(1usize..8);
-            let k = rng.gen_range(1usize..12);
-            let point: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
-            let cents: Vec<f64> = (0..k * dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
-            let naive = nearest_centroid(&point, &cents, dim);
-            let pruned = nearest_centroid_pruned(&point, &cents, dim);
-            assert_eq!(naive.0, pruned.0);
-            assert_eq!(naive.1, pruned.1);
-        }
-    }
-
-    #[test]
-    fn pruned_handles_duplicate_centroids() {
-        let cents = [1.0, 1.0, 1.0, 1.0, 2.0, 2.0];
-        let (j, d) = nearest_centroid_pruned(&[1.0, 1.0], &cents, 2);
-        assert_eq!(j, 0); // first of the duplicates wins, like the naive scan
-        assert_eq!(d, 0.0);
-    }
-
-    #[test]
-    fn counted_pruned_matches_uncounted_and_tallies() {
-        use rand::Rng;
-        let mut rng = crate::seeding::rng_for(7, 0);
-        let dim = 4usize;
-        let k = 10usize;
-        let cents: Vec<f64> = (0..k * dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
-        let mut stats = PruneStats::default();
-        for _ in 0..100 {
-            let point: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
-            let plain = nearest_centroid_pruned(&point, &cents, dim);
-            let counted = nearest_centroid_pruned_counted(&point, &cents, dim, &mut stats);
-            assert_eq!(plain, counted);
-        }
-        assert_eq!(stats.candidates, 100 * k as u64);
-        assert!(stats.pruned > 0, "expected some pruning on random data");
-        assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
     }
 
     #[test]

@@ -167,8 +167,8 @@ proptest! {
         prop_assert_eq!(f.mse.to_bits(), s.mse.to_bits());
     }
 
-    // Every selectable strategy lands on the same geometry: pruned-scalar
-    // and the Auto-resolved fused kernel are bit-identical to scalar.
+    // Every selectable strategy lands on the same geometry: the
+    // Auto-resolved fused kernel is bit-identical to scalar.
     #[test]
     fn all_strategies_agree_on_final_mse(
         flat in proptest::collection::vec(-500.0..500.0f64, 8..240),
@@ -188,11 +188,9 @@ proptest! {
             lloyd::lloyd(&ds, &init, &cfg).unwrap()
         };
         let scalar = run(KernelKind::Scalar);
-        let pruned = run(KernelKind::PrunedScalar);
         let auto = run(KernelKind::Auto);
 
-        prop_assert_eq!(&pruned.assignments, &scalar.assignments);
-        prop_assert_eq!(pruned.mse.to_bits(), scalar.mse.to_bits());
+        prop_assert_eq!(&auto.assignments, &scalar.assignments);
         prop_assert_eq!(auto.mse.to_bits(), scalar.mse.to_bits(), "Auto must resolve to Fused");
     }
 }

@@ -52,13 +52,12 @@ pub struct GridBucket {
 }
 
 impl GridBucket {
-    /// Serializes the bucket to bytes.
+    /// Serializes the bucket to bytes. The payload is written through the
+    /// bulk little-endian path, not value-by-value.
     pub fn to_bytes(&self) -> Bytes {
         let flat = self.points.as_flat();
-        let mut payload = BytesMut::with_capacity(flat.len() * 8);
-        for v in flat {
-            payload.put_f64_le(*v);
-        }
+        let mut payload = Vec::with_capacity(flat.len() * 8);
+        crate::codec::f64s_to_le(flat, &mut payload);
         let checksum = fnv1a(&payload);
         let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
         out.put_slice(&MAGIC);
@@ -104,10 +103,7 @@ impl GridBucket {
         if actual != checksum {
             return Err(DataError::ChecksumMismatch { expected: checksum, actual });
         }
-        let mut flat = Vec::with_capacity(count * dim);
-        while buf.has_remaining() {
-            flat.push(buf.get_f64_le());
-        }
+        let flat = crate::codec::f64s_from_le(buf);
         let points = Dataset::from_flat(dim, flat).map_err(|e| DataError::Format(e.to_string()))?;
         Ok(Self { cell, points })
     }
@@ -196,11 +192,7 @@ impl BucketReader {
                 actual: self.checksum_running,
             });
         }
-        let mut flat = Vec::with_capacity(n * self.dim);
-        let mut cur = &raw[..];
-        while cur.has_remaining() {
-            flat.push(cur.get_f64_le());
-        }
+        let flat = crate::codec::f64s_from_le(&raw);
         let ds =
             Dataset::from_flat(self.dim, flat).map_err(|e| DataError::Format(e.to_string()))?;
         Ok(Some(ds))

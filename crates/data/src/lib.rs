@@ -19,8 +19,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod binner;
 pub mod bucket;
+pub mod codec;
+pub mod container;
 pub mod error;
 pub mod gaussian;
 pub mod generator;
@@ -29,7 +32,15 @@ pub mod mixture;
 pub mod stats;
 pub mod swath;
 
+pub use backend::{
+    open_backend, BackendKind, FileBackend, GetFaultHook, MmapBackend, ScanBackend, SimObjectStore,
+};
 pub use bucket::{BucketReader, GridBucket};
+pub use codec::Codec;
+pub use container::{
+    gb02_to_bytes, probe, write_gb02, BlockEntry, BlockReadStats, BucketFormat, BucketInfo,
+    Gb02Reader, Gb02Stats, DEFAULT_BLOCK_POINTS,
+};
 pub use error::{DataError, Result};
 pub use generator::{paper_cell, CellConfig, PAPER_DIM, PAPER_K, PAPER_SWEEP, PAPER_VERSIONS};
 pub use grid::GridCell;

@@ -419,6 +419,49 @@ impl CoresetRollup {
     }
 }
 
+/// Block-scan I/O rebuilt from `scan.block` records (GB02 block
+/// containers only; empty for GB01-only runs and pre-container journals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScanRollup {
+    /// Blocks fetched and decoded.
+    pub blocks: u64,
+    /// Bytes fetched from the storage backend (compressed size).
+    pub stored_bytes: u64,
+    /// Bytes after decode (raw `f64` payload).
+    pub payload_bytes: u64,
+    /// Blocks decoded straight from a borrowed mmap range with no
+    /// intermediate payload copy.
+    pub zero_copy_blocks: u64,
+    /// Blocks already resident when the consumer asked for them (the
+    /// double-buffered prefetcher won the race).
+    pub prefetch_hits: u64,
+}
+
+impl ScanRollup {
+    /// True when no `scan.block` records were seen.
+    pub fn is_empty(&self) -> bool {
+        self.blocks == 0
+    }
+
+    /// Payload/stored compression ratio (1.0 when nothing was stored).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            1.0
+        } else {
+            self.payload_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+
+    /// Fraction of block fetches served out of the prefetch buffer.
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.blocks as f64
+        }
+    }
+}
+
 /// Aggregated view of one ledger. Produced by [`rollup`].
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct LedgerRollup {
@@ -466,6 +509,10 @@ pub struct LedgerRollup {
     /// classic merge-path runs and pre-coreset journals).
     #[serde(default)]
     pub coreset: CoresetRollup,
+    /// Block-scan I/O rebuilt from `scan.block` records (empty for
+    /// GB01-only runs and pre-container journals).
+    #[serde(default)]
+    pub scan: ScanRollup,
 }
 
 impl LedgerRollup {
@@ -648,6 +695,17 @@ pub fn rollup(records: &[LedgerRecord]) -> LedgerRollup {
                 out.coreset.expired_points += r.f64_field("points").unwrap_or(0.0);
             }
             "coreset.query" => out.coreset.queries += 1,
+            "scan.block" => {
+                out.scan.blocks += 1;
+                out.scan.stored_bytes += r.u64_field("stored_bytes").unwrap_or(0);
+                out.scan.payload_bytes += r.u64_field("payload_bytes").unwrap_or(0);
+                if r.bool_field("zero_copy").unwrap_or(false) {
+                    out.scan.zero_copy_blocks += 1;
+                }
+                if r.bool_field("prefetch_hit").unwrap_or(false) {
+                    out.scan.prefetch_hits += 1;
+                }
+            }
             _ => {}
         }
     }
@@ -991,6 +1049,41 @@ mod tests {
         assert_eq!(up.chunks[0].duration_us, 300);
         assert_eq!(up.mass_ratio(), 1.0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_block_records_roll_up_io_and_prefetch_tallies() {
+        let sink = Arc::new(LedgerSink::in_memory());
+        let rec = Recorder::new().with_sink(sink.clone());
+        // Three blocks: one compressed prefetch hit, one zero-copy raw
+        // block, one plain miss.
+        for (stored, payload, zero_copy, hit) in
+            [(400u64, 800u64, false, true), (800, 800, true, false), (800, 800, false, false)]
+        {
+            rec.event(
+                "scan.block",
+                &[
+                    ("cell", "9".into()),
+                    ("block", 0u64.into()),
+                    ("stored_bytes", stored.into()),
+                    ("payload_bytes", payload.into()),
+                    ("zero_copy", zero_copy.into()),
+                    ("prefetch_hit", hit.into()),
+                ],
+            );
+        }
+        let roll = rollup(&sink.records_after(0));
+        assert!(!roll.scan.is_empty());
+        assert_eq!(roll.scan.blocks, 3);
+        assert_eq!(roll.scan.stored_bytes, 2000);
+        assert_eq!(roll.scan.payload_bytes, 2400);
+        assert_eq!(roll.scan.zero_copy_blocks, 1);
+        assert_eq!(roll.scan.prefetch_hits, 1);
+        assert!((roll.scan.compression_ratio() - 1.2).abs() < 1e-12);
+        assert!((roll.scan.prefetch_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // A GB01-only journal stays empty and serde-defaults on old files.
+        assert!(rollup(&[]).scan.is_empty());
+        assert_eq!(rollup(&[]).scan.compression_ratio(), 1.0);
     }
 
     #[test]

@@ -91,7 +91,8 @@ pub fn execute_adaptive_observed(
     // the partial operator (the paper's dominant cost).
     let scan = ScanOp::new(plan.logical.inputs.clone(), plan.scan_batch, q_scan.producer())
         .with_recorder(rec.clone())
-        .with_faults(faults.clone());
+        .with_faults(faults.clone())
+        .with_backend(plan.scan_backend);
     let chunker = ChunkerOp::new(
         q_scan.consumer(),
         q_chunks.producer(),

@@ -219,6 +219,7 @@ fn execute_inner(
             ScanOp::new(paths, plan.scan_batch, q_scan.producer())
                 .with_recorder(rec.clone())
                 .with_faults(faults.clone())
+                .with_backend(plan.scan_backend)
         })
         .collect();
     let chunker = ChunkerOp::new(

@@ -44,6 +44,7 @@ pub fn record_fault(rec: Option<&Recorder>, kind: &str, fields: &[(&str, FieldVa
 /// independent faults at different sites.
 const SITE_SCAN: u64 = 0x5343_414E; // "SCAN"
 const SITE_SCAN_KIND: u64 = 0x5343_4B44; // "SCKD"
+const SITE_OBJGET: u64 = 0x4F47_4554; // "OGET"
 const SITE_TRUNCATE: u64 = 0x5452_554E; // "TRUN"
 const SITE_POISON: u64 = 0x504F_4953; // "POIS"
 const SITE_PANIC: u64 = 0x504E_4943; // "PNIC"
@@ -124,6 +125,11 @@ pub struct FaultPlan {
     pub stall_rate: f64,
     /// Duration of an injected queue stall.
     pub stall: Duration,
+    /// Probability an individual object-store ranged GET fails (only
+    /// meaningful under the `sim-object-store` scan backend). GET faults
+    /// are naturally transient: a retried read issues fresh GETs with new
+    /// ordinals, so each retry re-rolls.
+    pub object_get_error_rate: f64,
 }
 
 impl FaultPlan {
@@ -139,6 +145,7 @@ impl FaultPlan {
             panic_sticky_fraction: 0.0,
             stall_rate: 0.0,
             stall: Duration::ZERO,
+            object_get_error_rate: 0.0,
         }
     }
 
@@ -154,6 +161,7 @@ impl FaultPlan {
             panic_sticky_fraction: 0.0,
             stall_rate: 0.05,
             stall: Duration::from_micros(200),
+            object_get_error_rate: 0.03,
             ..Self::none(seed)
         }
     }
@@ -170,6 +178,7 @@ impl FaultPlan {
             panic_sticky_fraction: 0.5,
             stall_rate: 0.2,
             stall: Duration::from_micros(500),
+            object_get_error_rate: 0.1,
             ..Self::none(seed)
         }
     }
@@ -218,6 +227,15 @@ impl FaultPlan {
             return false;
         }
         attempt == 0 || self.roll(SITE_PANIC_KIND, key) < self.panic_sticky_fraction
+    }
+
+    /// Does the `get_ordinal`-th ranged GET against the object keyed
+    /// `path` fail? Rolled by the simulated object store per GET, so a
+    /// retried block read (fresh ordinals) re-rolls — injected GET faults
+    /// behave like transient network flakiness.
+    pub fn object_get_fault(&self, path: u64, get_ordinal: u64) -> bool {
+        let key = path ^ get_ordinal.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        self.roll(SITE_OBJGET, key) < self.object_get_error_rate
     }
 
     /// Should the `seq`-th send on the edge keyed `edge` stall, and for how
@@ -419,6 +437,20 @@ mod tests {
         let all_transient =
             FaultPlan { scan_error_rate: 1.0, scan_permanent_fraction: 0.0, ..FaultPlan::none(1) };
         assert_eq!(all_transient.scan_fault(2, 0), Some(ScanFault::Transient));
+    }
+
+    #[test]
+    fn object_get_faults_roll_per_ordinal() {
+        let plan = FaultPlan { object_get_error_rate: 0.5, ..FaultPlan::none(9) };
+        assert_eq!(plan.object_get_fault(3, 0), plan.object_get_fault(3, 0));
+        let hits = (0..2000).filter(|&i| plan.object_get_fault(3, i)).count();
+        assert!((800..1200).contains(&hits), "0.5 rate produced {hits}/2000 hits");
+        assert!((0..2000).all(|i| !FaultPlan::none(9).object_get_fault(3, i)));
+        // Presets with injection enable some GET flakiness.
+        assert!(FaultPlan::light(1).object_get_error_rate > 0.0);
+        assert!(
+            FaultPlan::heavy(1).object_get_error_rate > FaultPlan::light(1).object_get_error_rate
+        );
     }
 
     #[test]

@@ -5,7 +5,10 @@ use crate::fault::{path_key, record_fault, FaultContext, ScanFault};
 use crate::item::ScanMsg;
 use crate::queue::QueueProducer;
 use crate::telemetry::{OpMeter, OpStats};
-use pmkm_data::{BucketReader, DataError};
+use pmkm_data::{
+    BackendKind, BlockReadStats, BucketFormat, BucketReader, DataError, FileBackend, Gb02Reader,
+    MmapBackend, ScanBackend, SimObjectStore,
+};
 use pmkm_obs::Recorder;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
@@ -14,10 +17,34 @@ use std::sync::Arc;
 /// Batch key under which the bucket *open* (header read) is injected.
 const OPEN_BATCH_KEY: u64 = u64::MAX;
 
+/// Prefetched-but-unconsumed blocks the fetch thread may hold: one block
+/// in flight plus one parked in the channel — classic double buffering, so
+/// decompression of block *i+1* overlaps clustering of block *i* without
+/// unbounded memory.
+const PREFETCH_DEPTH: usize = 1;
+
+/// Simulated per-GET latency when the sim-object-store backend is chosen
+/// without explicit configuration: enough to be visible in scan telemetry,
+/// small enough for tests.
+const SIM_STORE_LATENCY_US: u64 = 50;
+
+/// A bucket opened for scanning, either format.
+enum AnyReader {
+    Gb01(Box<BucketReader>),
+    Gb02(Arc<Gb02Reader>),
+}
+
 /// Streams every bucket file as a sequence of bounded point batches,
 /// followed by a [`ScanMsg::CellEnd`] marker per cell. Data is read once,
-/// in batches, so the operator's state never exceeds one batch — the
-/// "one look at the data" discipline of §3.
+/// in batches, so the operator's state never exceeds one batch (plus, for
+/// block containers, the bounded prefetch window) — the "one look at the
+/// data" discipline of §3.
+///
+/// Legacy `PMKMGB01` buckets stream through the buffered reader exactly as
+/// before, regardless of the configured backend. `PMKMGB02` block
+/// containers are ranged-read through the configured [`BackendKind`] one
+/// block per batch, with a dedicated prefetch thread decoding the next
+/// block while the pipeline clusters the current one.
 ///
 /// Read errors are retried with exponential backoff up to the fault
 /// policy's `scan_retries`; past that, a tolerant (`quarantine`) policy
@@ -30,6 +57,7 @@ pub struct ScanOp {
     out: QueueProducer<ScanMsg>,
     recorder: Option<Arc<Recorder>>,
     faults: FaultContext,
+    backend: BackendKind,
 }
 
 impl ScanOp {
@@ -41,6 +69,7 @@ impl ScanOp {
             out,
             recorder: None,
             faults: FaultContext::default(),
+            backend: BackendKind::default(),
         }
     }
 
@@ -54,6 +83,34 @@ impl ScanOp {
     pub fn with_faults(mut self, faults: FaultContext) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Selects the storage backend for GB02 containers (builder style).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builds the configured backend for one bucket. The sim object store
+    /// gets its GET-level flakiness wired to the fault plan here, keyed on
+    /// the bucket path so schedules replay per cell.
+    fn make_backend(
+        &self,
+        path: &std::path::Path,
+        pkey: u64,
+    ) -> pmkm_data::Result<Arc<dyn ScanBackend>> {
+        Ok(match self.backend {
+            BackendKind::LocalFile => Arc::new(FileBackend::open(path)?),
+            BackendKind::Mmap => Arc::new(MmapBackend::open(path)?),
+            BackendKind::SimObjectStore => {
+                let mut store = SimObjectStore::open(path, SIM_STORE_LATENCY_US)?;
+                if let Some(plan) = self.faults.plan.clone() {
+                    store = store
+                        .with_fault_hook(Arc::new(move |get| plan.object_get_fault(pkey, get)));
+                }
+                Arc::new(store)
+            }
+        })
     }
 
     /// One read with injection and retry-with-backoff. `batch` keys the
@@ -122,15 +179,176 @@ impl ScanOp {
         );
     }
 
+    /// Opens one bucket in whichever format its magic declares. GB02 goes
+    /// through the configured backend; GB01 keeps the buffered reader.
+    ///
+    /// The backend is created once per path and memoized in `cached` so
+    /// open *retries* keep the same GET-ordinal sequence: a sim-object-store
+    /// GET fault re-rolls on fresh ordinals instead of deterministically
+    /// repeating, which is what makes injected GET flakiness transient.
+    fn open_any(
+        &self,
+        path: &std::path::Path,
+        pkey: u64,
+        cached: &mut Option<Arc<dyn ScanBackend>>,
+    ) -> pmkm_data::Result<AnyReader> {
+        match pmkm_data::probe(path)?.format {
+            BucketFormat::Gb01 => Ok(AnyReader::Gb01(Box::new(BucketReader::open(path)?))),
+            BucketFormat::Gb02 => {
+                if cached.is_none() {
+                    *cached = Some(self.make_backend(path, pkey)?);
+                }
+                let backend = Arc::clone(cached.as_ref().expect("just filled"));
+                Ok(AnyReader::Gb02(Arc::new(Gb02Reader::open(Box::new(backend))?)))
+            }
+        }
+    }
+
+    /// Streams a legacy GB01 bucket in `batch_points`-sized batches.
+    /// Returns false when the bucket's tail was abandoned under quarantine.
+    fn scan_gb01(
+        &self,
+        meter: &mut OpMeter,
+        path: &std::path::Path,
+        pkey: u64,
+        mut reader: BucketReader,
+    ) -> Result<()> {
+        let cell = reader.cell;
+        let mut batch_idx = 0u64;
+        loop {
+            let batch = match self
+                .read_with_retry(meter, pkey, batch_idx, || reader.next_batch(self.batch_points))
+            {
+                Ok(b) => b,
+                Err(e) if self.faults.policy.quarantine => {
+                    // Abandon the bucket's tail; CellEnd afterwards still
+                    // reports the promised count, so the missing mass is
+                    // visible downstream.
+                    self.note_scan_failure(path, &e);
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
+            batch_idx += 1;
+            match batch {
+                Some(points) => {
+                    meter.item_out();
+                    meter
+                        .wait(|| self.out.send(ScanMsg::Batch { cell, points }))
+                        .map_err(|_| EngineError::Disconnected("scan→chunker"))?;
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Streams a GB02 container one block per batch with double-buffered
+    /// prefetch: a fetch thread reads, integrity-checks, and decodes block
+    /// *i+1* (injection and retry included) while the pipeline consumes
+    /// block *i*.
+    fn scan_gb02(
+        &self,
+        meter: &mut OpMeter,
+        path: &std::path::Path,
+        pkey: u64,
+        reader: Arc<Gb02Reader>,
+    ) -> Result<()> {
+        let cell = reader.cell;
+        let n_blocks = reader.n_blocks();
+        let (tx, rx) = crossbeam::channel::bounded::<(
+            usize,
+            std::result::Result<(pmkm_core::Dataset, BlockReadStats), DataError>,
+        )>(PREFETCH_DEPTH);
+        let fetch_reader = Arc::clone(&reader);
+        let fetch_faults = self.faults.clone();
+        let fetch_rec = self.recorder.clone();
+        let fetcher = std::thread::spawn(move || {
+            for i in 0..n_blocks {
+                let res = fetch_block_with_retry(
+                    &fetch_faults,
+                    fetch_rec.as_deref(),
+                    pkey,
+                    i,
+                    &fetch_reader,
+                );
+                let failed = res.is_err();
+                if tx.send((i, res)).is_err() || failed {
+                    return;
+                }
+            }
+        });
+
+        let mut failed = None;
+        for _ in 0..n_blocks {
+            // A ready block means decode fully overlapped clustering.
+            let (prefetched, msg) = match rx.try_recv() {
+                Ok(msg) => (true, Some(msg)),
+                Err(crossbeam::channel::TryRecvError::Empty) => {
+                    let mut got = None;
+                    meter.wait(|| got = rx.recv().ok());
+                    (false, got)
+                }
+                Err(crossbeam::channel::TryRecvError::Disconnected) => (false, None),
+            };
+            let Some((block, result)) = msg else { break };
+            match result {
+                Ok((points, stats)) => {
+                    if let Some(rec) = self.recorder.as_deref() {
+                        let reg = rec.registry();
+                        reg.counter("scan_blocks_total").inc();
+                        reg.counter("scan_stored_bytes_total").add(stats.stored_bytes);
+                        reg.counter("scan_payload_bytes_total").add(stats.payload_bytes);
+                        let hits = if prefetched {
+                            reg.counter("scan_prefetch_hits_total")
+                        } else {
+                            reg.counter("scan_prefetch_misses_total")
+                        };
+                        hits.inc();
+                        rec.event(
+                            "scan.block",
+                            &[
+                                ("cell", cell.index().into()),
+                                ("block", (block as u64).into()),
+                                ("stored_bytes", stats.stored_bytes.into()),
+                                ("payload_bytes", stats.payload_bytes.into()),
+                                ("zero_copy", stats.zero_copy.into()),
+                                ("prefetch_hit", prefetched.into()),
+                            ],
+                        );
+                    }
+                    meter.item_out();
+                    meter
+                        .wait(|| self.out.send(ScanMsg::Batch { cell, points }))
+                        .map_err(|_| EngineError::Disconnected("scan→chunker"))?;
+                }
+                Err(e) => {
+                    failed = Some(EngineError::Data(e));
+                    break;
+                }
+            }
+        }
+        drop(rx);
+        let _ = fetcher.join();
+        match failed {
+            None => Ok(()),
+            Some(e) if self.faults.policy.quarantine => {
+                self.note_scan_failure(path, &e);
+                Ok(())
+            }
+            Some(e) => Err(e),
+        }
+    }
+
     /// Runs to completion, returning telemetry.
     pub fn run(self) -> Result<OpStats> {
         let mut meter = OpMeter::new("scan", 0);
         for path in &self.paths {
             let _phase = self.recorder.as_deref().and_then(|r| r.phase("scan"));
             let pkey = path_key(path);
-            let mut reader = match self
-                .read_with_retry(&mut meter, pkey, OPEN_BATCH_KEY, || BucketReader::open(path))
-            {
+            let mut backend_cache: Option<Arc<dyn ScanBackend>> = None;
+            let reader = match self.read_with_retry(&mut meter, pkey, OPEN_BATCH_KEY, || {
+                self.open_any(path, pkey, &mut backend_cache)
+            }) {
                 Ok(r) => r,
                 Err(e) if self.faults.policy.quarantine => {
                     // Header unreadable: the cell never enters the
@@ -140,8 +358,10 @@ impl ScanOp {
                 }
                 Err(e) => return Err(e),
             };
-            let cell = reader.cell;
-            let expected_points = reader.count;
+            let (cell, expected_points) = match &reader {
+                AnyReader::Gb01(r) => (r.cell, r.count),
+                AnyReader::Gb02(r) => (r.cell, r.count),
+            };
             if let Some(rec) = self.recorder.as_deref() {
                 rec.event(
                     "cell.open",
@@ -149,31 +369,9 @@ impl ScanOp {
                 );
                 rec.worker_state_cell(cell.index(), pmkm_obs::WorkerState::Scan);
             }
-            let mut batch_idx = 0u64;
-            loop {
-                let batch = match self.read_with_retry(&mut meter, pkey, batch_idx, || {
-                    reader.next_batch(self.batch_points)
-                }) {
-                    Ok(b) => b,
-                    Err(e) if self.faults.policy.quarantine => {
-                        // Abandon the bucket's tail; CellEnd below still
-                        // reports the promised count, so the missing mass
-                        // is visible downstream.
-                        self.note_scan_failure(path, &e);
-                        break;
-                    }
-                    Err(e) => return Err(e),
-                };
-                batch_idx += 1;
-                match batch {
-                    Some(points) => {
-                        meter.item_out();
-                        meter
-                            .wait(|| self.out.send(ScanMsg::Batch { cell, points }))
-                            .map_err(|_| EngineError::Disconnected("scan→chunker"))?;
-                    }
-                    None => break,
-                }
+            match reader {
+                AnyReader::Gb01(r) => self.scan_gb01(&mut meter, path, pkey, *r)?,
+                AnyReader::Gb02(r) => self.scan_gb02(&mut meter, path, pkey, r)?,
             }
             meter.item_out();
             meter
@@ -182,6 +380,12 @@ impl ScanOp {
             if let Some(rec) = self.recorder.as_deref() {
                 rec.registry().counter("scan_cells_total").inc();
                 rec.event("scan.cell", &[("cell", cell.index().into())]);
+                let reg = rec.registry();
+                let stored = reg.counter("scan_stored_bytes_total").get();
+                let payload = reg.counter("scan_payload_bytes_total").get();
+                if stored > 0 {
+                    reg.gauge("scan_compression_ratio").set(payload as f64 / stored as f64);
+                }
             }
         }
         let stats = meter.finish();
@@ -199,22 +403,100 @@ impl ScanOp {
     }
 }
 
+/// One prefetch-thread block read with injection and retry-with-backoff —
+/// the thread-side mirror of [`ScanOp::read_with_retry`] (no meter: the
+/// scan's own wait/work accounting happens on the consuming side).
+fn fetch_block_with_retry(
+    faults: &FaultContext,
+    recorder: Option<&Recorder>,
+    path: u64,
+    block: usize,
+    reader: &Gb02Reader,
+) -> std::result::Result<(pmkm_core::Dataset, BlockReadStats), DataError> {
+    let attempts = faults.policy.scan_retries + 1;
+    let mut backoff = faults.policy.retry_backoff;
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        let injected = faults
+            .plan
+            .as_deref()
+            .and_then(|p| p.scan_fault(path, block as u64))
+            .is_some_and(|f| f == ScanFault::Permanent || attempt == 0);
+        let result = if injected {
+            Err(DataError::Io(std::io::Error::other("injected scan read error")))
+        } else {
+            reader.read_block_with_stats(block)
+        };
+        match result {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                last_err = Some(e);
+                if attempt + 1 < attempts {
+                    faults.counters.scan_retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(rec) = recorder {
+                        rec.registry().counter("fault_scan_retries_total").inc();
+                    }
+                    record_fault(
+                        recorder,
+                        "scan_retry",
+                        &[("batch", (block as u64).into()), ("attempt", (attempt as u64).into())],
+                    );
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fault::{FaultPlan, FaultPolicy};
     use crate::queue::SmartQueue;
     use pmkm_core::{Dataset, PointSource};
-    use pmkm_data::{GridBucket, GridCell};
+    use pmkm_data::{Codec, GridBucket, GridCell};
 
-    fn write_bucket(dir: &std::path::Path, cell: GridCell, n: usize) -> PathBuf {
+    fn make_points(cell: GridCell, n: usize) -> Dataset {
         let mut points = Dataset::new(2).unwrap();
         for i in 0..n {
             points.push(&[i as f64, cell.index() as f64]).unwrap();
         }
+        points
+    }
+
+    fn write_bucket(dir: &std::path::Path, cell: GridCell, n: usize) -> PathBuf {
         let path = dir.join(cell.bucket_file_name());
-        GridBucket { cell, points }.write_to(&path).unwrap();
+        GridBucket { cell, points: make_points(cell, n) }.write_to(&path).unwrap();
         path
+    }
+
+    fn write_bucket_gb02(
+        dir: &std::path::Path,
+        cell: GridCell,
+        n: usize,
+        codec: Codec,
+        block_points: usize,
+    ) -> PathBuf {
+        let path = dir.join(format!("gb02_{}.gb", cell.index()));
+        let bucket = GridBucket { cell, points: make_points(cell, n) };
+        pmkm_data::write_gb02(&bucket, &path, codec, block_points).unwrap();
+        path
+    }
+
+    fn drain_points(msgs: &[ScanMsg]) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for m in msgs {
+            if let ScanMsg::Batch { points, .. } = m {
+                for i in 0..points.len() {
+                    out.push(points.coords(i).to_vec());
+                }
+            }
+        }
+        out
     }
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
@@ -387,5 +669,193 @@ mod tests {
         }
         assert_eq!(counters.snapshot().scan_failures, 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Every backend × codec combination delivers the exact same points in
+    /// the exact same order as the legacy GB01 stream of the same bucket.
+    #[test]
+    fn gb02_scan_is_bit_identical_across_backends_and_codecs() {
+        let dir = tmpdir("gb02_ident");
+        let cell = GridCell::new(6, 6).unwrap();
+        let n = 103; // not a multiple of the block size: exercises the tail
+        let gb01 = write_bucket(&dir, cell, n);
+
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 256);
+        let op = ScanOp::new(vec![gb01], 10, q.producer());
+        let c = q.consumer();
+        q.seal();
+        op.run().unwrap();
+        let reference = drain_points(&std::iter::from_fn(|| c.recv()).collect::<Vec<_>>());
+        assert_eq!(reference.len(), n);
+
+        for backend in BackendKind::ALL {
+            for codec in Codec::ALL {
+                let path = write_bucket_gb02(&dir, cell, n, codec, 16);
+                let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 256);
+                let op = ScanOp::new(vec![path.clone()], 10, q.producer()).with_backend(backend);
+                let c = q.consumer();
+                q.seal();
+                let stats = op.run().unwrap();
+                let msgs: Vec<ScanMsg> = std::iter::from_fn(|| c.recv()).collect();
+                let got = drain_points(&msgs);
+                assert_eq!(got, reference, "{backend:?}/{codec:?} diverged");
+                // One batch per block (103 points at 16/block → 7 blocks),
+                // plus the CellEnd marker.
+                assert_eq!(stats.items_out, 7 + 1, "{backend:?}/{codec:?}");
+                match msgs.last().unwrap() {
+                    ScanMsg::CellEnd { cell: end_cell, expected_points } => {
+                        assert_eq!(*end_cell, cell);
+                        assert_eq!(*expected_points, n);
+                    }
+                    other => panic!("expected CellEnd, got {other:?}"),
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// GB02 containers honour the scan fault machinery: injected block
+    /// faults retry to success, and permanent ones abandon the tail under
+    /// a tolerant policy while the CellEnd still promises the header count.
+    #[test]
+    fn gb02_injected_faults_retry_and_quarantine() {
+        let dir = tmpdir("gb02_faults");
+        let cell = GridCell::new(7, 7).unwrap();
+        let path = write_bucket_gb02(&dir, cell, 48, Codec::ShuffleRle, 8);
+
+        // Transient: every block read fails once, then succeeds on retry.
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 256);
+        let faults = FaultContext::new(
+            Some(FaultPlan {
+                scan_error_rate: 1.0,
+                scan_permanent_fraction: 0.0,
+                ..FaultPlan::none(17)
+            }),
+            FaultPolicy { scan_retries: 2, ..FaultPolicy::tolerant() },
+        );
+        let counters = Arc::clone(&faults.counters);
+        let op = ScanOp::new(vec![path.clone()], 10, q.producer()).with_faults(faults);
+        let c = q.consumer();
+        q.seal();
+        op.run().unwrap();
+        let msgs: Vec<ScanMsg> = std::iter::from_fn(|| c.recv()).collect();
+        assert_eq!(drain_points(&msgs).len(), 48);
+        assert!(counters.snapshot().scan_retries > 0);
+        assert_eq!(counters.snapshot().scan_failures, 0);
+
+        // Permanent under strict: the run aborts with a data error.
+        let plan =
+            FaultPlan { scan_error_rate: 1.0, scan_permanent_fraction: 1.0, ..FaultPlan::none(3) };
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 256);
+        let op = ScanOp::new(vec![path.clone()], 10, q.producer())
+            .with_faults(FaultContext::new(Some(plan.clone()), FaultPolicy::strict()));
+        let _c = q.consumer();
+        q.seal();
+        assert!(matches!(op.run(), Err(EngineError::Data(_))));
+
+        // Permanent mid-bucket under tolerant: the tail is abandoned but
+        // CellEnd still reports the promised count.
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let p = FaultPlan {
+                    scan_error_rate: 0.3,
+                    scan_permanent_fraction: 1.0,
+                    ..FaultPlan::none(s)
+                };
+                let key = path_key(&path);
+                p.scan_fault(key, OPEN_BATCH_KEY).is_none()
+                    && p.scan_fault(key, 0).is_none()
+                    && p.scan_fault(key, 1) == Some(ScanFault::Permanent)
+            })
+            .expect("some seed fails exactly block 1");
+        let plan = FaultPlan {
+            scan_error_rate: 0.3,
+            scan_permanent_fraction: 1.0,
+            ..FaultPlan::none(seed)
+        };
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 256);
+        let faults = FaultContext::new(Some(plan), FaultPolicy::tolerant());
+        let counters = Arc::clone(&faults.counters);
+        let op = ScanOp::new(vec![path], 10, q.producer()).with_faults(faults);
+        let c = q.consumer();
+        q.seal();
+        op.run().unwrap();
+        let msgs: Vec<ScanMsg> = std::iter::from_fn(|| c.recv()).collect();
+        // Block 0 (8 points) arrived before block 1 permanently failed.
+        assert_eq!(drain_points(&msgs).len(), 8);
+        match msgs.last().unwrap() {
+            ScanMsg::CellEnd { expected_points, .. } => assert_eq!(*expected_points, 48),
+            other => panic!("expected CellEnd, got {other:?}"),
+        }
+        assert_eq!(counters.snapshot().scan_failures, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Sim-object-store GET flakiness (a separate injection channel from
+    /// block faults) is absorbed by the block retry loop: each retry issues
+    /// fresh GETs with fresh ordinals, so injected GET faults behave as
+    /// transient flakiness. GET rolls are keyed by a hash of the bucket
+    /// PATH (which embeds the test pid), so whether one seed's ~10 GETs
+    /// draw a fault varies per run — sweep seeds until one does; every
+    /// swept run must still deliver all points with zero hard failures.
+    #[test]
+    fn gb02_sim_store_get_flakiness_is_retried() {
+        let dir = tmpdir("gb02_getfaults");
+        let cell = GridCell::new(8, 8).unwrap();
+        let path = write_bucket_gb02(&dir, cell, 64, Codec::Raw, 8);
+        let mut retried = false;
+        for seed in 29..29 + 16 {
+            let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 256);
+            let faults = FaultContext::new(
+                Some(FaultPlan { object_get_error_rate: 0.3, ..FaultPlan::none(seed) }),
+                FaultPolicy { scan_retries: 10, ..FaultPolicy::tolerant() },
+            );
+            let counters = Arc::clone(&faults.counters);
+            let op = ScanOp::new(vec![path.clone()], 10, q.producer())
+                .with_faults(faults)
+                .with_backend(BackendKind::SimObjectStore);
+            let c = q.consumer();
+            q.seal();
+            op.run().unwrap();
+            let msgs: Vec<ScanMsg> = std::iter::from_fn(|| c.recv()).collect();
+            assert_eq!(drain_points(&msgs).len(), 64, "all points despite GET flakiness");
+            let snap = counters.snapshot();
+            assert_eq!(snap.scan_failures, 0);
+            if snap.scan_retries > 0 {
+                retried = true;
+                break;
+            }
+        }
+        assert!(retried, "a 30% GET fault rate must trigger retries within 16 seeds");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The prefetch pipeline reports per-block telemetry: block counts,
+    /// byte counters, the compression-ratio gauge, and `scan.block` events.
+    #[test]
+    fn gb02_scan_reports_block_metrics() {
+        let dir = tmpdir("gb02_metrics");
+        let cell = GridCell::new(9, 9).unwrap();
+        let path = write_bucket_gb02(&dir, cell, 90, Codec::ShuffleRle, 16);
+        let q: SmartQueue<ScanMsg> = SmartQueue::new("scan", 256);
+        let rec = Arc::new(Recorder::new());
+        let op = ScanOp::new(vec![path], 10, q.producer()).with_recorder(Some(Arc::clone(&rec)));
+        let c = q.consumer();
+        q.seal();
+        op.run().unwrap();
+        let _msgs: Vec<ScanMsg> = std::iter::from_fn(|| c.recv()).collect();
+        let reg = rec.registry();
+        assert_eq!(reg.counter("scan_blocks_total").get(), 6); // ceil(90/16)
+        let stored = reg.counter("scan_stored_bytes_total").get();
+        let payload = reg.counter("scan_payload_bytes_total").get();
+        assert_eq!(payload, 90 * 2 * 8);
+        assert!(stored > 0 && stored < payload, "shuffle+RLE must compress: {stored}");
+        assert!(
+            reg.counter("scan_prefetch_hits_total").get()
+                + reg.counter("scan_prefetch_misses_total").get()
+                == 6
+        );
+        let ratio = reg.gauge("scan_compression_ratio").get();
+        assert!((ratio - payload as f64 / stored as f64).abs() < 1e-9);
     }
 }

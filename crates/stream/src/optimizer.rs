@@ -30,6 +30,7 @@ pub fn optimize(logical: LogicalPlan, resources: &Resources) -> PhysicalPlan {
         scan_clones: (resources.workers / 2).clamp(1, logical_inputs),
         fault_policy: crate::fault::FaultPolicy::default(),
         coreset: None,
+        scan_backend: pmkm_data::BackendKind::default(),
     }
 }
 

@@ -362,10 +362,12 @@ pub fn orchestrate(
     let mut costs: Vec<usize> = Vec::with_capacity(n);
     let mut cell_ids: Vec<Option<u32>> = Vec::with_capacity(n);
     for p in inputs {
-        match pmkm_data::BucketReader::open(p) {
-            Ok(r) => {
-                cell_ids.push(Some(r.cell.index()));
-                costs.push(cell_cost(plan, r.dim));
+        // `probe` reads the shared 32-byte header prefix, so GB01 buckets
+        // and GB02 block containers are admitted alike.
+        match pmkm_data::probe(p) {
+            Ok(info) => {
+                cell_ids.push(Some(info.cell.index()));
+                costs.push(cell_cost(plan, info.dim));
             }
             // Unreadable header: admit for free and let the pipeline
             // surface the proper scan error / tolerant abandonment.
@@ -444,7 +446,10 @@ pub fn orchestrate(
                 ],
             );
             // Re-announce each restored cell so a resumed run's ledger
-            // still rolls up the full per-cell table and mass audit.
+            // still rolls up the full per-cell table and mass audit, and
+            // roll the restored mass into the same gauges the merge path
+            // maintains — `/metrics` then reports `Σw_received /
+            // Σw_expected` over the *whole* run, resumed cells included.
             for o in outcomes.iter().flatten() {
                 if let Some(c) = &o.clustering {
                     rec.event(
@@ -461,6 +466,14 @@ pub fn orchestrate(
                             ("resumed", true.into()),
                         ],
                     );
+                    let expected = rec.registry().gauge("mass_weight_expected");
+                    let received = rec.registry().gauge("mass_weight_received");
+                    expected.add(c.expected_points);
+                    received.add(c.expected_points - c.lost_points);
+                    let total = expected.get();
+                    if total > 0.0 {
+                        rec.registry().gauge("mass_conservation_ratio").set(received.get() / total);
+                    }
                 }
             }
         }
@@ -844,15 +857,18 @@ fn cell_cost(plan: &PhysicalPlan, dim: usize) -> usize {
 fn plan_fingerprint(plan: &PhysicalPlan, fault_plan: Option<&FaultPlan>) -> u64 {
     // `CoresetSpec`'s manual Debug omits the status probe, so attaching a
     // live dashboard never invalidates checkpoints.
+    // The scan backend is part of the key: backends change injection
+    // granularity under chaos, so checkpoints must not cross backends.
     let key = format!(
-        "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}",
+        "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}",
         plan.logical.kmeans,
         plan.logical.merge_mode,
         plan.logical.merge_restarts,
         plan.chunk_policy,
         plan.fault_policy,
         plan.coreset,
-        fault_plan
+        fault_plan,
+        plan.scan_backend
     );
     fnv1a(key.as_bytes())
 }

@@ -115,6 +115,11 @@ pub struct PhysicalPlan {
     /// per-chunk coresets and a merge-reduce tree replaces the merge
     /// operator's gather, bounding live memory on unbounded streams.
     pub coreset: Option<CoresetSpec>,
+    /// Storage backend the scan reads GB02 block containers through
+    /// (GB01 buckets always use the legacy buffered reader). Part of the
+    /// plan fingerprint: backends change injection granularity under
+    /// chaos, so checkpoints must not cross backends.
+    pub scan_backend: pmkm_data::BackendKind,
 }
 
 impl PhysicalPlan {
@@ -190,6 +195,7 @@ mod tests {
             scan_clones: 1,
             fault_policy: FaultPolicy::default(),
             coreset: None,
+            scan_backend: pmkm_data::BackendKind::LocalFile,
         };
         ok.validate().unwrap();
         let bad = PhysicalPlan { scan_clones: 0, ..ok.clone() };

@@ -315,6 +315,90 @@ fn orchestrator_chaos_matrix_conserves_planet_mass() {
     }
 }
 
+/// The pinned workload converted to GB02 block containers reproduces the
+/// exact pre-PR bits through every backend × codec at 1 and 4 workers:
+/// storage format, compression, prefetch, and parallelism are all
+/// invisible to the clustering output.
+#[test]
+fn gb02_backends_reproduce_pinned_bits_any_worker_count() {
+    use pmkm_data::{BackendKind, Codec};
+    let (dir, base_plan) = workload("gb02_ident");
+    // Convert each bucket in place to GB02 with a block size deliberately
+    // misaligned with the 40-point chunks (37), so batching is reshaped.
+    let gb02_paths: Vec<PathBuf> =
+        base_plan.logical.inputs.iter().map(|p| p.with_extension("gb2")).collect();
+    for codec in Codec::ALL {
+        for (src, dst) in base_plan.logical.inputs.iter().zip(&gb02_paths) {
+            let bucket = pmkm_data::GridBucket::read_from(src).unwrap();
+            pmkm_data::write_gb02(&bucket, dst, codec, 37).unwrap();
+        }
+        for backend in BackendKind::ALL {
+            for workers in [1usize, 4] {
+                let logical = LogicalPlan::new(
+                    gb02_paths.clone(),
+                    KMeansConfig { restarts: 2, ..KMeansConfig::paper(3, 42) },
+                );
+                let mut plan =
+                    optimize_fixed_split(logical, &Resources::fixed(1 << 20, workers), 40);
+                plan.scan_backend = backend;
+                let report = execute(&plan).unwrap();
+                assert_matches_pinned(&report);
+                assert_mass_invariants(&report);
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The chaos matrix over the sim-object-store backend: GET-level
+/// flakiness (a fault channel the other backends never roll) composes
+/// with scan/panic injection, and tolerant runs still conserve surviving
+/// mass and replay byte-identically.
+#[test]
+fn gb02_sim_store_chaos_matrix_conserves_mass() {
+    use pmkm_data::{BackendKind, Codec};
+    quiet_injected_panics();
+    for seed in seeds() {
+        let (dir, base_plan) = workload(&format!("gb02_chaos_{seed}"));
+        let gb02_paths: Vec<PathBuf> = base_plan
+            .logical
+            .inputs
+            .iter()
+            .map(|p| {
+                let bucket = pmkm_data::GridBucket::read_from(p).unwrap();
+                let dst = p.with_extension("gb2");
+                pmkm_data::write_gb02(&bucket, &dst, Codec::ShuffleRle, 37).unwrap();
+                dst
+            })
+            .collect();
+        let logical = LogicalPlan::new(
+            gb02_paths,
+            KMeansConfig { restarts: 2, ..KMeansConfig::paper(3, 42) },
+        );
+        let mut plan = optimize_fixed_split(logical, &Resources::fixed(1 << 20, 2), 40);
+        plan.fault_policy = FaultPolicy::tolerant();
+        plan.scan_backend = BackendKind::SimObjectStore;
+        for fault_plan in [FaultPlan::light(seed), FaultPlan::heavy(seed)] {
+            let run = || execute_with_faults(&plan, None, Some(fault_plan.clone()));
+            let report =
+                run().unwrap_or_else(|e| panic!("tolerant policy must survive seed {seed}: {e}"));
+            assert_mass_invariants(&report);
+            let again = run().unwrap();
+            assert_eq!(report.faults, again.faults, "seed {seed}");
+            assert_eq!(report.degraded, again.degraded, "seed {seed}");
+            for c in &report.cells {
+                assert_eq!(
+                    centroid_bits(&report, c.cell.index()),
+                    centroid_bits(&again, c.cell.index()),
+                    "seed {seed} cell {}",
+                    c.cell.index()
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn strict_policy_fails_cleanly_instead_of_degrading() {
     quiet_injected_panics();

